@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the NP-hard solver substrates Salimi and
+//! Hardt reduce to: weighted MaxSAT, NMF and the simplex LP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairlens_linalg::Matrix;
+use fairlens_solver::{nmf, Clause, LinearProgram, Lit, MaxSatProblem, NmfOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn maxsat_instance(n_vars: usize, seed: u64) -> MaxSatProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = MaxSatProblem::new(n_vars);
+    // implication chains (hard) + random soft preferences — repair-shaped
+    for v in 0..n_vars - 1 {
+        p.add(Clause::hard(vec![Lit::neg(v), Lit::pos(v + 1)]));
+    }
+    for v in 0..n_vars {
+        let w = 1.0 + rng.gen::<f64>() * 3.0;
+        if rng.gen::<bool>() {
+            p.add(Clause::soft(vec![Lit::pos(v)], w));
+        } else {
+            p.add(Clause::soft(vec![Lit::neg(v)], w));
+        }
+    }
+    p
+}
+
+fn bench_maxsat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxsat");
+    group.sample_size(10);
+    for &n in &[12usize, 40, 120] {
+        let p = maxsat_instance(n, 3);
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| p.solve(7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nmf(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("nmf_rank1");
+    group.sample_size(10);
+    for &m in &[8usize, 32, 64] {
+        let mut v = Matrix::zeros(2, m);
+        for i in 0..2 {
+            for j in 0..m {
+                v.set(i, j, rng.gen::<f64>() * 50.0);
+            }
+        }
+        group.bench_function(BenchmarkId::from_parameter(m), |b| {
+            b.iter(|| nmf::nmf(&v, &NmfOptions { rank: 1, max_iter: 200, ..Default::default() }))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    // Hardt-shaped LP: 4 variables, 2 equalities, 4 box constraints.
+    let lp = LinearProgram::minimize(vec![0.3, -0.2, 0.1, -0.4])
+        .eq(vec![0.7, 0.3, -0.5, -0.5], 0.0)
+        .eq(vec![0.2, 0.8, -0.4, -0.6], 0.0)
+        .le(vec![1.0, 0.0, 0.0, 0.0], 1.0)
+        .le(vec![0.0, 1.0, 0.0, 0.0], 1.0)
+        .le(vec![0.0, 0.0, 1.0, 0.0], 1.0)
+        .le(vec![0.0, 0.0, 0.0, 1.0], 1.0);
+    c.bench_function("simplex/hardt_lp", |b| b.iter(|| lp.solve().unwrap()));
+}
+
+criterion_group!(benches, bench_maxsat, bench_nmf, bench_simplex);
+criterion_main!(benches);

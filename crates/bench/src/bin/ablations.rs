@@ -1,0 +1,196 @@
+//! Ablation studies over the design choices DESIGN.md calls out.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fairlens-bench --bin ablations [-- zafar|salimi|cd|thomas|all]
+//! ```
+//!
+//! * `zafar`  — the covariance-tolerance knob `c`: the accuracy↔parity
+//!   curve the constraint induces (Zafar^DP_Fair on COMPAS);
+//! * `salimi` — the stratification width: how the number of admissible
+//!   stratification attributes drives instance size, runtime and repair
+//!   volume (the mechanism behind Fig. 11(d)'s inverse scaling);
+//! * `cd`     — the causal-discrimination error bound: Hoeffding sample
+//!   size vs estimate spread across seeds;
+//! * `thomas` — the Seldonian tolerance: when does the safety test start
+//!   returning NSF.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fairlens_core::inproc::{Thomas, ThomasNotion, Zafar, ZafarVariant};
+use fairlens_core::pipeline::Preprocessor;
+use fairlens_core::pre::{Salimi, SalimiEngine};
+use fairlens_core::{baseline_approach, Approach, ApproachKind, Stage};
+use fairlens_frame::split;
+use fairlens_metrics::{causal_discrimination, di_star, hoeffding_sample_size};
+use fairlens_synth::DatasetKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if which == "zafar" || which == "all" {
+        ablate_zafar();
+    }
+    if which == "salimi" || which == "all" {
+        ablate_salimi();
+    }
+    if which == "cd" || which == "all" {
+        ablate_cd();
+    }
+    if which == "thomas" || which == "all" {
+        ablate_thomas();
+    }
+}
+
+fn accuracy(preds: &[u8], labels: &[u8]) -> f64 {
+    preds.iter().zip(labels).filter(|&(p, t)| p == t).count() as f64 / labels.len() as f64
+}
+
+/// Zafar^DP_Fair: the tolerance `c` of `|cov| ≤ c` traces the whole
+/// accuracy–parity frontier.
+fn ablate_zafar() {
+    println!("=== Ablation: Zafar covariance tolerance c ===");
+    let kind = DatasetKind::Compas;
+    let data = kind.generate(4_000, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+    let (train, test) = split::train_test_split(&data, 0.3, &mut rng);
+
+    println!("{:<12} {:>10} {:>8} {:>10}", "c", "accuracy", "DI*", "fit(ms)");
+    for c in [1.0, 0.3, 0.1, 0.03, 0.01, 0.003, 0.001] {
+        let zafar = Zafar { cov_tol: c, ..Zafar::new(ZafarVariant::DpFair) };
+        let approach = Approach {
+            name: "Zafar^DP(sweep)",
+            stage: Stage::In,
+            targets: &["DI"],
+            kind: ApproachKind::In(Arc::new(zafar)),
+        };
+        let t0 = Instant::now();
+        match approach.fit(&train, 1) {
+            Ok(f) => {
+                let preds = f.predict(&test);
+                println!(
+                    "{:<12} {:>10.3} {:>8.3} {:>10}",
+                    format!("{c:.3}"),
+                    accuracy(&preds, test.labels()),
+                    di_star(&preds, test.sensitive()),
+                    t0.elapsed().as_millis()
+                );
+            }
+            Err(e) => println!("{c:<12.3} failed: {e}"),
+        }
+    }
+    println!();
+}
+
+/// Salimi: force different stratification widths by varying dataset width
+/// (the repair stratifies on the strongest admissible attributes, bounded
+/// by the data budget).
+fn ablate_salimi() {
+    println!("=== Ablation: Salimi stratification / instance size ===");
+    let kind = DatasetKind::Compas;
+    let full = kind.generate(6_000, 42);
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "attrs", "maxsat(ms)", "matfac(ms)", "rows Δ"
+    );
+    for width in [2usize, 4, 6, 8, 11] {
+        let idx: Vec<usize> = (0..width).collect();
+        let data = full.select_attrs(&idx);
+        let mut row = format!("{width:<8}");
+        let mut delta = 0usize;
+        for engine in [SalimiEngine::MaxSat, SalimiEngine::MatFac] {
+            let s = Salimi::new(engine, vec![]);
+            let mut rng = StdRng::seed_from_u64(1);
+            let t0 = Instant::now();
+            match s.repair(&data, &mut rng) {
+                Ok(r) => {
+                    delta = r.n_rows().abs_diff(data.n_rows());
+                    row.push_str(&format!(" {:>12}", t0.elapsed().as_millis()));
+                }
+                Err(e) => row.push_str(&format!(" {:>12}", format!("err:{e}"))),
+            }
+        }
+        row.push_str(&format!(" {delta:>12}"));
+        println!("{row}");
+    }
+    println!("(fewer attributes → coarser strata → bigger MaxSAT instances)");
+    println!();
+}
+
+/// CD: the paper's (99 %, 1 %) setting vs cheaper bounds — sample size and
+/// seed-to-seed spread.
+fn ablate_cd() {
+    println!("=== Ablation: CD confidence/error bound ===");
+    let kind = DatasetKind::Compas;
+    let data = kind.generate(6_000, 42);
+    let fitted = baseline_approach().fit(&data, 1).expect("LR trains");
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "(confidence, error)", "samples", "mean CD", "spread"
+    );
+    for (conf, err) in [(0.90, 0.05), (0.95, 0.02), (0.99, 0.01)] {
+        let n = hoeffding_sample_size(conf, err);
+        let mut estimates = Vec::new();
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            estimates.push(causal_discrimination(
+                &data,
+                |d| fitted.predict(d),
+                conf,
+                err,
+                &mut rng,
+            ));
+        }
+        let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+        let spread = estimates
+            .iter()
+            .fold(0.0f64, |m, &v| m.max((v - mean).abs()));
+        println!(
+            "{:<22} {:>10} {:>10.4} {:>10.4}",
+            format!("({conf}, {err})"),
+            n,
+            mean,
+            spread
+        );
+    }
+    println!("(tighter bounds → larger Hoeffding samples → smaller spread)");
+    println!();
+}
+
+/// Thomas: tolerance vs acceptance — at tight tolerances the safety test
+/// cannot pass and the NSF fallback is used.
+fn ablate_thomas() {
+    println!("=== Ablation: Thomas safety-test tolerance ===");
+    let kind = DatasetKind::Compas;
+    let data = kind.generate(4_000, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+    let (train, test) = split::train_test_split(&data, 0.3, &mut rng);
+
+    println!("{:<12} {:>10} {:>8}", "tolerance", "accuracy", "DI*");
+    for tol in [0.20, 0.12, 0.08, 0.05, 0.02] {
+        let thomas = Thomas { tolerance: tol, ..Thomas::new(ThomasNotion::DemographicParity) };
+        let approach = Approach {
+            name: "Thomas^DP(sweep)",
+            stage: Stage::In,
+            targets: &["DI"],
+            kind: ApproachKind::In(Arc::new(thomas)),
+        };
+        match approach.fit(&train, 1) {
+            Ok(f) => {
+                let preds = f.predict(&test);
+                println!(
+                    "{:<12.2} {:>10.3} {:>8.3}",
+                    tol,
+                    accuracy(&preds, test.labels()),
+                    di_star(&preds, test.sensitive())
+                );
+            }
+            Err(e) => println!("{tol:<12.2} failed: {e}"),
+        }
+    }
+    println!();
+}

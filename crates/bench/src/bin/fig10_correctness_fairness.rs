@@ -1,0 +1,105 @@
+//! Fig. 10 (a–d): correctness and fairness of the 18 fair variants + LR
+//! over Adult, COMPAS, German and Credit.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fairlens-bench --bin fig10_correctness_fairness [-- quick|paper [dataset]]
+//! ```
+//!
+//! `quick` caps dataset sizes at 8 000 rows (same qualitative shape, much
+//! faster); `paper` uses the paper's documented sizes. An optional dataset
+//! name (`adult`/`compas`/`german`/`credit`) restricts the run to one panel.
+//!
+//! As in the paper: 70 %/30 % random train/test split, logistic regression
+//! under every pre-processing repair, metrics normalised so higher = more
+//! correct / more fair, and the Credit panel drops to 22 attributes for
+//! Calmon (the most it can handle).
+
+use fairlens_bench::{evaluate, print_fig10_table, scale_rows};
+use fairlens_core::{all_approaches, baseline_approach};
+use fairlens_frame::split;
+use fairlens_synth::{DatasetKind, ALL_DATASETS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args.first().map(String::as_str).unwrap_or("paper").to_string();
+    let only: Option<String> = args.get(1).map(|s| s.to_lowercase());
+
+    for kind in ALL_DATASETS {
+        if let Some(o) = &only {
+            if !kind.name().to_lowercase().starts_with(o.as_str()) {
+                continue;
+            }
+        }
+        run_panel(kind, &scale);
+    }
+}
+
+fn run_panel(kind: DatasetKind, scale: &str) {
+    let n = scale_rows(kind, scale);
+    let data = kind.generate(n, 42);
+    eprintln!("[fig10] {} ({n} rows)", kind.name());
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let (train, test) = split::train_test_split(&data, 0.3, &mut rng);
+
+    let baseline = evaluate(&baseline_approach(), kind, &train, &test, 1)
+        .expect("baseline LR always trains");
+
+    let mut rows = Vec::new();
+    for approach in all_approaches(kind.inadmissible_attrs()) {
+        eprintln!("[fig10]   {}", approach.name);
+        match evaluate(&approach, kind, &train, &test, 1) {
+            Ok(e) => rows.push(e),
+            Err(e) if approach.name == "Calmon^DP" && kind == DatasetKind::Credit => {
+                // The paper: "Calmon failed to complete on the Credit dataset
+                // due to the large number of attributes (26); we display its
+                // performance over 22 attributes (the most it could handle)."
+                eprintln!("[fig10]   Calmon^DP on 26 attrs: {e}; retrying with 22 attributes");
+                let idx: Vec<usize> = (0..22).collect();
+                let train22 = train.select_attrs(&idx);
+                let test22 = test.select_attrs(&idx);
+                match evaluate(&approach, kind, &train22, &test22, 1) {
+                    Ok(e) => rows.push(e),
+                    Err(e) => eprintln!("[fig10]   Calmon^DP still failed: {e}"),
+                }
+            }
+            Err(e) => eprintln!("[fig10]   {} failed: {e}", approach.name),
+        }
+    }
+    print_fig10_table(kind.name(), &rows, Some(&baseline));
+
+    // The paper's target-arrow check: does each approach improve the
+    // metric(s) it optimises, relative to LR?
+    println!("-- targeted-metric check (↑ = improved over LR) --");
+    for e in &rows {
+        let approach = all_approaches(kind.inadmissible_attrs())
+            .into_iter()
+            .find(|a| a.name == e.approach)
+            .expect("evaluated approach exists in registry");
+        if approach.targets.is_empty() {
+            continue;
+        }
+        let pick = |r: &fairlens_metrics::MetricReport, t: &str| match t {
+            "DI" => r.di_star,
+            "TPRB" => r.tprb_fair,
+            "TNRB" => r.tnrb_fair,
+            "CD" => r.cd_fair,
+            "CRD" => r.crd_fair,
+            _ => unreachable!("unknown target"),
+        };
+        let marks: Vec<String> = approach
+            .targets
+            .iter()
+            .map(|t| {
+                let ours = pick(&e.report, t);
+                let lr = pick(&baseline.report, t);
+                format!("{t}:{}", if ours >= lr - 0.02 { "↑" } else { "✗" })
+            })
+            .collect();
+        println!("{:<19} {}", e.approach, marks.join("  "));
+    }
+}

@@ -1,0 +1,142 @@
+//! Fig. 11: efficiency and scalability.
+//!
+//! * Fig. 11(a–c) — runtime *overhead over LR* as the number of data points
+//!   grows (1 K → 40 K rows of Adult), reported per stage (pre / in / post);
+//! * Fig. 11(d–f) — runtime overhead as the number of attributes grows
+//!   (2 → 26 attributes of Credit).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fairlens-bench --bin fig11_scalability [-- size|attrs|both [quick]]
+//! ```
+//!
+//! `quick` halves the sweep (sizes up to 10 K, attributes up to 22) for
+//! smoke runs. As in the paper, the reported value is
+//! `total pipeline time − LR time`, so pure-overhead comparisons across
+//! stages are meaningful; everything is single-threaded.
+
+use std::time::Duration;
+
+use fairlens_bench::time_fit;
+use fairlens_core::{all_approaches, baseline_approach, Stage};
+use fairlens_synth::DatasetKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("both").to_string();
+    let quick = args.iter().any(|a| a == "quick");
+
+    if mode == "size" || mode == "both" {
+        let sizes: &[usize] = if quick {
+            &[1_000, 2_000, 5_000, 10_000]
+        } else {
+            &[1_000, 2_000, 5_000, 10_000, 20_000, 40_000]
+        };
+        size_sweep(sizes);
+    }
+    if mode == "attrs" || mode == "both" {
+        let attrs: &[usize] = if quick {
+            &[2, 6, 10, 14, 18, 22]
+        } else {
+            &[2, 6, 10, 14, 18, 22, 26]
+        };
+        attr_sweep(attrs);
+    }
+}
+
+/// Fig. 11(a–c): vary |D| on Adult.
+fn size_sweep(sizes: &[usize]) {
+    println!("=== Fig. 11(a–c) — runtime overhead vs data size (Adult) ===");
+    println!("(milliseconds of overhead over LR; '-' = failed/unsupported)");
+    let kind = DatasetKind::Adult;
+    let approaches = all_approaches(kind.inadmissible_attrs());
+
+    print!("{:<6} {:<19}", "stage", "approach");
+    for n in sizes {
+        print!(" {:>9}", format!("{}K", n / 1000));
+    }
+    println!();
+
+    // Baseline LR times per size (subtracted from everything).
+    let mut lr_ms = Vec::new();
+    for &n in sizes {
+        let data = kind.generate(n, 9);
+        let t = time_fit(&baseline_approach(), &data, 1).expect("LR trains");
+        lr_ms.push(t);
+    }
+    print!("{:<6} {:<19}", "base", "LR (absolute)");
+    for t in &lr_ms {
+        print!(" {:>9}", t.as_millis());
+    }
+    println!();
+
+    for stage in [Stage::Pre, Stage::In, Stage::Post] {
+        for approach in approaches.iter().filter(|a| a.stage == stage) {
+            print!("{:<6} {:<19}", stage.label(), approach.name);
+            for (i, &n) in sizes.iter().enumerate() {
+                let data = kind.generate(n, 9);
+                match time_fit(approach, &data, 1) {
+                    Ok(t) => {
+                        let overhead = t.saturating_sub(lr_ms[i]);
+                        print!(" {:>9}", overhead.as_millis());
+                    }
+                    Err(_) => print!(" {:>9}", "-"),
+                }
+            }
+            println!();
+            eprintln!("[fig11/size] {} done", approach.name);
+        }
+    }
+}
+
+/// Fig. 11(d–f): vary |X| on Credit.
+fn attr_sweep(attr_counts: &[usize]) {
+    println!();
+    println!("=== Fig. 11(d–f) — runtime overhead vs #attributes (Credit) ===");
+    println!("(milliseconds of overhead over LR; '-' = failed/unsupported)");
+    let kind = DatasetKind::Credit;
+    // The paper uses the Credit dataset at its natural size for this sweep.
+    let n = 20_651.min(kind.default_rows());
+    let full = kind.generate(n, 11);
+    let approaches = all_approaches(kind.inadmissible_attrs());
+
+    print!("{:<6} {:<19}", "stage", "approach");
+    for a in attr_counts {
+        print!(" {:>9}", format!("{a}att"));
+    }
+    println!();
+
+    let mut lr_ms: Vec<Duration> = Vec::new();
+    for &a in attr_counts {
+        let idx: Vec<usize> = (0..a).collect();
+        let data = full.select_attrs(&idx);
+        lr_ms.push(time_fit(&baseline_approach(), &data, 1).expect("LR trains"));
+    }
+    print!("{:<6} {:<19}", "base", "LR (absolute)");
+    for t in &lr_ms {
+        print!(" {:>9}", t.as_millis());
+    }
+    println!();
+
+    for stage in [Stage::Pre, Stage::In, Stage::Post] {
+        for approach in approaches.iter().filter(|a| a.stage == stage) {
+            print!("{:<6} {:<19}", stage.label(), approach.name);
+            for (i, &a) in attr_counts.iter().enumerate() {
+                let idx: Vec<usize> = (0..a).collect();
+                let data = full.select_attrs(&idx);
+                match time_fit(approach, &data, 1) {
+                    Ok(t) => {
+                        let overhead = t.saturating_sub(lr_ms[i]);
+                        print!(" {:>9}", overhead.as_millis());
+                    }
+                    // Calmon beyond 22 attributes reports Unsupported — the
+                    // paper's "did not converge for more than 22 attributes".
+                    Err(_) => print!(" {:>9}", "-"),
+                }
+            }
+            println!();
+            eprintln!("[fig11/attrs] {} done", approach.name);
+        }
+    }
+}

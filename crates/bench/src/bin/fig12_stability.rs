@@ -1,0 +1,106 @@
+//! Figs. 12–16: stability (variance) of every approach over random folds.
+//!
+//! The paper executes each approach 10 times on random 2/3–1/3 train/test
+//! folds and reports the spread of the correctness and fairness metrics.
+//! Fig. 12 is the headline panel (Adult: accuracy, F1, DI, TPRB, CD);
+//! Figs. 13–16 are the full grids for all four datasets.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fairlens-bench --bin fig12_stability [-- adult|compas|german|credit|all [--headline] [quick]]
+//! ```
+
+use fairlens_bench::{evaluate, scale_rows, summarize, Summary};
+use fairlens_core::{all_approaches, baseline_approach, Approach};
+use fairlens_frame::split;
+use fairlens_synth::{DatasetKind, ALL_DATASETS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FOLDS: usize = 10;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("adult").to_string();
+    let headline = args.iter().any(|a| a == "--headline");
+    let scale = if args.iter().any(|a| a == "quick") { "quick" } else { "paper" };
+
+    for kind in ALL_DATASETS {
+        let name = kind.name().to_lowercase();
+        if which != "all" && !name.starts_with(&which.to_lowercase()) {
+            continue;
+        }
+        run_dataset(kind, headline, scale);
+    }
+}
+
+fn run_dataset(kind: DatasetKind, headline: bool, scale: &str) {
+    let n = scale_rows(kind, scale);
+    let data = kind.generate(n, 21);
+    println!();
+    println!(
+        "=== Stability — {} ({n} rows, {FOLDS} random 2/3 folds) ===",
+        kind.name()
+    );
+
+    // metric indices into MetricReport::values(); the headline panel of
+    // Fig. 12 shows accuracy, F1, DI, TPRB and CD.
+    let headers = fairlens_metrics::MetricReport::headers();
+    let metric_idx: Vec<usize> = if headline {
+        vec![0, 3, 4, 5, 7]
+    } else {
+        (0..headers.len()).collect()
+    };
+
+    print!("{:<19}", "approach");
+    for &m in &metric_idx {
+        print!(" {:>24}", headers[m]);
+    }
+    println!();
+    print!("{:<19}", "");
+    for _ in &metric_idx {
+        print!(" {:>24}", "mean±std [min,max]");
+    }
+    println!();
+
+    let mut approaches: Vec<Approach> = vec![baseline_approach()];
+    approaches.extend(all_approaches(kind.inadmissible_attrs()));
+
+    for approach in &approaches {
+        let mut per_metric: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
+        for fold in 0..FOLDS {
+            let mut rng = StdRng::seed_from_u64(1000 + fold as u64);
+            // paper: 66.67 % training, the rest testing
+            let (mut train, mut test) = split::train_test_split(&data, 1.0 / 3.0, &mut rng);
+            // Calmon cannot handle Credit's 26 attributes; evaluate it over
+            // 22, the most it can handle (as the paper does in Fig. 10/16).
+            if approach.name == "Calmon^DP" && kind == DatasetKind::Credit {
+                let idx: Vec<usize> = (0..22).collect();
+                train = train.select_attrs(&idx);
+                test = test.select_attrs(&idx);
+            }
+            match evaluate(approach, kind, &train, &test, fold as u64) {
+                Ok(e) => {
+                    for (m, v) in e.report.values().into_iter().enumerate() {
+                        per_metric[m].push(v);
+                    }
+                }
+                Err(err) => eprintln!(
+                    "[stability] {} fold {fold} failed: {err}",
+                    approach.name
+                ),
+            }
+        }
+        print!("{:<19}", approach.name);
+        for &m in &metric_idx {
+            let s: Summary = summarize(&per_metric[m]);
+            print!(
+                " {:>24}",
+                format!("{:.3}±{:.3} [{:.2},{:.2}]", s.mean, s.std, s.min, s.max)
+            );
+        }
+        println!();
+        eprintln!("[stability] {} done", approach.name);
+    }
+}

@@ -1,0 +1,184 @@
+//! # fairlens-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (Section 4) against the FairLens implementations.
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `fig10_correctness_fairness` | Fig. 10(a–d): 4 correctness + 5 fairness metrics × 19 approaches × 4 datasets |
+//! | `fig11_scalability` | Fig. 11(a–c): runtime vs data size; Fig. 11(d–f): runtime vs #attributes |
+//! | `fig12_stability` | Fig. 12 (headline) and Figs. 13–16 (full): metric variance over 10 random folds |
+//!
+//! Criterion micro-benchmarks (`cargo bench -p fairlens-bench`) cover
+//! per-approach training latency and the solver kernels.
+//!
+//! This library crate holds the shared machinery: the evaluation runner
+//! (train → predict → all nine metrics, with wall-clock timing), plain-text
+//! table/series printers, and summary statistics for the stability runs.
+
+use std::time::{Duration, Instant};
+
+use fairlens_core::{Approach, CoreError, FittedPipeline};
+use fairlens_frame::Dataset;
+use fairlens_metrics::{causal_discrimination, causal_risk_difference, MetricReport};
+use fairlens_synth::DatasetKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One evaluated cell of Fig. 10: the nine metrics plus the fit time.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Approach display name.
+    pub approach: &'static str,
+    /// Stage label (`pre` / `in` / `post` / `baseline`).
+    pub stage: &'static str,
+    /// The nine normalised metrics.
+    pub report: MetricReport,
+    /// Wall-clock training time (repair + train + adjuster fit).
+    pub fit_time: Duration,
+}
+
+/// Train `approach` on `train`, evaluate on `test` with the paper's metric
+/// suite (CD at 99 %/1 %, CRD with the dataset's resolving attributes).
+pub fn evaluate(
+    approach: &Approach,
+    kind: DatasetKind,
+    train: &Dataset,
+    test: &Dataset,
+    seed: u64,
+) -> Result<Evaluation, CoreError> {
+    let t0 = Instant::now();
+    let fitted = approach.fit(train, seed)?;
+    let fit_time = t0.elapsed();
+    let report = evaluate_fitted(&fitted, kind, test, seed);
+    Ok(Evaluation {
+        approach: approach.name,
+        stage: approach.stage.label(),
+        report,
+        fit_time,
+    })
+}
+
+/// Metric suite for an already-fitted pipeline.
+pub fn evaluate_fitted(
+    fitted: &FittedPipeline,
+    kind: DatasetKind,
+    test: &Dataset,
+    seed: u64,
+) -> MetricReport {
+    let preds = fitted.predict(test);
+    let mut cd_rng = StdRng::seed_from_u64(seed ^ 0xCD);
+    let cd = causal_discrimination(test, |d| fitted.predict(d), 0.99, 0.01, &mut cd_rng);
+    let crd = causal_risk_difference(test, &preds, kind.resolving_attrs());
+    MetricReport::from_predictions(test.labels(), &preds, test.sensitive(), cd, crd)
+}
+
+/// Time just the training of an approach (the Fig. 11 quantity, before
+/// baseline subtraction).
+pub fn time_fit(approach: &Approach, train: &Dataset, seed: u64) -> Result<Duration, CoreError> {
+    let t0 = Instant::now();
+    let _ = approach.fit(train, seed)?;
+    Ok(t0.elapsed())
+}
+
+/// Render one Fig. 10 panel as a plain-text table.
+pub fn print_fig10_table(dataset: &str, rows: &[Evaluation], baseline: Option<&Evaluation>) {
+    println!();
+    println!("=== Fig. 10 — {dataset} ===");
+    print!("{:<9} {:<19}", "stage", "approach");
+    for h in MetricReport::headers() {
+        print!(" {h:>9}");
+    }
+    println!(" {:>9}", "fit(ms)");
+    let print_row = |e: &Evaluation| {
+        print!("{:<9} {:<19}", e.stage, e.approach);
+        for v in e.report.values() {
+            print!(" {v:>9.3}");
+        }
+        println!(" {:>9}", e.fit_time.as_millis());
+    };
+    if let Some(b) = baseline {
+        print_row(b);
+    }
+    for e in rows {
+        print_row(e);
+    }
+}
+
+/// Mean / std / min / max over a sample (population std, as the paper's
+/// box plots summarise observed folds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarise a sample; zeroes for the empty sample.
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary { mean: 0.0, std: 0.0, min: 0.0, max: 0.0 };
+    }
+    let mean = fairlens_linalg::vector::mean(values);
+    let std = fairlens_linalg::vector::stddev(values);
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    Summary { mean, std, min, max }
+}
+
+/// Parse a `--scale` style CLI argument shared by the binaries.
+///
+/// * `paper` (default) — the paper's documented dataset sizes;
+/// * `quick` — sizes capped at 8 000 rows, for smoke runs and CI.
+pub fn scale_rows(kind: DatasetKind, scale: &str) -> usize {
+    match scale {
+        "quick" => kind.default_rows().min(8_000),
+        _ => kind.default_rows(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairlens_core::baseline_approach;
+    use fairlens_frame::split;
+
+    #[test]
+    fn evaluate_baseline_on_german() {
+        let kind = DatasetKind::German;
+        let data = kind.generate(800, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = split::train_test_split(&data, 0.3, &mut rng);
+        let e = evaluate(&baseline_approach(), kind, &train, &test, 1).unwrap();
+        assert!(e.report.accuracy > 0.55, "accuracy {}", e.report.accuracy);
+        assert_eq!(e.stage, "baseline");
+        for v in e.report.values() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - (1.25_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(summarize(&[]).mean, 0.0);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(scale_rows(DatasetKind::Adult, "paper"), 45_222);
+        assert_eq!(scale_rows(DatasetKind::Adult, "quick"), 8_000);
+        assert_eq!(scale_rows(DatasetKind::German, "quick"), 1_000);
+    }
+}

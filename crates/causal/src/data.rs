@@ -1,0 +1,119 @@
+//! Discrete variable table consumed by discovery and effect estimation.
+
+use fairlens_frame::DiscreteView;
+
+/// A fully discrete dataset for causal analysis.
+///
+/// Variables are the predictive attributes followed by `S` and then `Y`
+/// (indices [`CausalData::s_index`] and [`CausalData::y_index`]). Keeping
+/// `S` and `Y` as ordinary variables lets the discovery and effect machinery
+/// treat them uniformly.
+#[derive(Debug, Clone)]
+pub struct CausalData {
+    /// `columns[v][r]` = code of variable `v` at row `r`.
+    pub columns: Vec<Vec<u32>>,
+    /// Cardinalities per variable.
+    pub cards: Vec<u32>,
+    /// Variable names (attributes, then S, then Y).
+    pub names: Vec<String>,
+    n_attrs: usize,
+}
+
+impl CausalData {
+    /// Build from a discretised view, appending `S` and `Y` as variables.
+    pub fn from_view(view: &DiscreteView) -> Self {
+        let mut columns = view.columns.clone();
+        let mut cards = view.cards.clone();
+        let mut names = view.names.clone();
+        columns.push(view.sensitive.iter().map(|&s| s as u32).collect());
+        cards.push(2);
+        names.push("S".to_string());
+        columns.push(view.labels.iter().map(|&y| y as u32).collect());
+        cards.push(2);
+        names.push("Y".to_string());
+        Self { n_attrs: view.n_attrs(), columns, cards, names }
+    }
+
+    /// Build directly from raw columns (used in tests and by synthetic
+    /// structural models). The last two columns are interpreted as `S` and
+    /// `Y`.
+    pub fn from_columns(columns: Vec<Vec<u32>>, cards: Vec<u32>, names: Vec<String>) -> Self {
+        assert!(columns.len() >= 2, "need at least S and Y");
+        assert_eq!(columns.len(), cards.len());
+        assert_eq!(columns.len(), names.len());
+        let n_attrs = columns.len() - 2;
+        Self { n_attrs, columns, cards, names }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Number of variables (attributes + 2).
+    pub fn n_vars(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of predictive attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// Index of the sensitive variable `S`.
+    pub fn s_index(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// Index of the label variable `Y`.
+    pub fn y_index(&self) -> usize {
+        self.n_attrs + 1
+    }
+
+    /// The default causal order used by discovery: `S` first (an immutable
+    /// characteristic precedes everything), attributes next, `Y` last (the
+    /// outcome follows everything) — the standard "knowledge tiers" the
+    /// paper feeds TETRAD.
+    pub fn default_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.n_vars());
+        order.push(self.s_index());
+        order.extend(0..self.n_attrs);
+        order.push(self.y_index());
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairlens_frame::{Dataset, Discretizer};
+
+    #[test]
+    fn from_view_appends_s_and_y() {
+        let d = Dataset::builder("t")
+            .numeric("a", vec![1.0, 2.0, 3.0, 4.0])
+            .sensitive("s", vec![0, 1, 0, 1])
+            .labels("y", vec![1, 1, 0, 0])
+            .build()
+            .unwrap();
+        let view = Discretizer::fit(&d, 2).transform(&d);
+        let cd = CausalData::from_view(&view);
+        assert_eq!(cd.n_vars(), 3);
+        assert_eq!(cd.n_attrs(), 1);
+        assert_eq!(cd.s_index(), 1);
+        assert_eq!(cd.y_index(), 2);
+        assert_eq!(cd.columns[1], vec![0, 1, 0, 1]);
+        assert_eq!(cd.columns[2], vec![1, 1, 0, 0]);
+        assert_eq!(cd.cards[1], 2);
+    }
+
+    #[test]
+    fn default_order_is_s_attrs_y() {
+        let cd = CausalData::from_columns(
+            vec![vec![0, 1], vec![1, 0], vec![0, 0], vec![1, 1]],
+            vec![2, 2, 2, 2],
+            vec!["a".into(), "b".into(), "S".into(), "Y".into()],
+        );
+        assert_eq!(cd.default_order(), vec![2, 0, 1, 3]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Regularised incomplete gamma functions, for χ² tail probabilities.
+//!
+//! The χ² survival function with `k` degrees of freedom at `x` is
+//! `Q(k/2, x/2)`, the regularised *upper* incomplete gamma. Implemented with
+//! the standard series/continued-fraction split (Numerical Recipes §6.2):
+//! the series converges fast for `x < a + 1`, the Lentz continued fraction
+//! elsewhere.
+
+/// `ln Γ(x)` via the Lanczos approximation (g = 7, n = 9 coefficients).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularised lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularised upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Series expansion of `P(a, x)`, valid for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Lentz continued fraction for `Q(a, x)`, valid for `x ≥ a + 1`.
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// χ² survival function: `Pr(X > x)` for `X ~ χ²(dof)`.
+pub fn chi2_sf(x: f64, dof: f64) -> f64 {
+    assert!(dof > 0.0, "chi2_sf requires dof > 0");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(dof / 2.0, x / 2.0).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        for (n, f) in [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
+            assert!((ln_gamma(n) - (f as f64).ln()).abs() < 1e-10, "Γ({n})");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn p_plus_q_is_one() {
+        for &(a, x) in &[(0.5, 0.3), (1.0, 2.0), (2.5, 2.0), (10.0, 15.0), (3.0, 0.1)] {
+            let s = gamma_p(a, x) + gamma_q(a, x);
+            assert!((s - 1.0).abs() < 1e-12, "a={a}, x={x}: sum {s}");
+        }
+    }
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // χ²(1): Pr(X > 3.841) ≈ 0.05; Pr(X > 6.635) ≈ 0.01
+        assert!((chi2_sf(3.841, 1.0) - 0.05).abs() < 1e-3);
+        assert!((chi2_sf(6.635, 1.0) - 0.01).abs() < 1e-3);
+        // χ²(4): Pr(X > 9.488) ≈ 0.05
+        assert!((chi2_sf(9.488, 4.0) - 0.05).abs() < 1e-3);
+        // χ²(2) is Exp(1/2): Pr(X > x) = e^{−x/2}
+        assert!((chi2_sf(4.0, 2.0) - (-2.0_f64).exp()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi2_sf_monotone_in_x() {
+        let mut prev = 1.0;
+        for i in 0..50 {
+            let x = i as f64 * 0.5;
+            let v = chi2_sf(x, 3.0);
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn chi2_sf_edges() {
+        assert_eq!(chi2_sf(0.0, 5.0), 1.0);
+        assert_eq!(chi2_sf(-1.0, 5.0), 1.0);
+        assert!(chi2_sf(1e6, 1.0) < 1e-12);
+    }
+}

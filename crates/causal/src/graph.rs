@@ -1,0 +1,190 @@
+//! Directed acyclic graphs over discrete variables.
+
+/// A DAG over `n` variables, stored as parent lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag {
+    parents: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Empty DAG over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { parents: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Parents of node `v` (sorted ascending).
+    pub fn parents(&self, v: usize) -> &[usize] {
+        &self.parents[v]
+    }
+
+    /// Children of node `v` (computed on demand).
+    pub fn children(&self, v: usize) -> Vec<usize> {
+        (0..self.n_nodes())
+            .filter(|&c| self.parents[c].contains(&v))
+            .collect()
+    }
+
+    /// Add the edge `from → to`.
+    ///
+    /// # Panics
+    /// Panics if the edge would create a cycle or a self-loop.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert_ne!(from, to, "self-loop");
+        if self.parents[to].contains(&from) {
+            return;
+        }
+        assert!(
+            !self.reachable(to, from),
+            "edge {from}->{to} would create a cycle"
+        );
+        self.parents[to].push(from);
+        self.parents[to].sort_unstable();
+    }
+
+    /// Remove the edge `from → to` if present.
+    pub fn remove_edge(&mut self, from: usize, to: usize) {
+        self.parents[to].retain(|&p| p != from);
+    }
+
+    /// Whether the edge `from → to` exists.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.parents[to].contains(&from)
+    }
+
+    /// Total number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.parents.iter().map(Vec::len).sum()
+    }
+
+    /// Whether `to` is reachable from `from` along directed edges.
+    pub fn reachable(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.n_nodes()];
+        seen[from] = true;
+        while let Some(v) = stack.pop() {
+            for c in self.children(v) {
+                if c == to {
+                    return true;
+                }
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// A topological order (parents before children).
+    ///
+    /// # Panics
+    /// Panics if the graph has a cycle (cannot happen through `add_edge`).
+    pub fn topological_order(&self) -> Vec<usize> {
+        let n = self.n_nodes();
+        let mut indeg: Vec<usize> = self.parents.iter().map(Vec::len).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for c in self.children(v) {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "graph has a cycle");
+        order
+    }
+
+    /// All nodes on some directed path from `from` (excluding `from`).
+    pub fn descendants(&self, from: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.n_nodes()];
+        seen[from] = true;
+        while let Some(v) = stack.pop() {
+            for c in self.children(v) {
+                if !seen[c] {
+                    seen[c] = true;
+                    out.push(c);
+                    stack.push(c);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Dag {
+        // 0 → 1 → 2, plus 0 → 2
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g
+    }
+
+    #[test]
+    fn edges_and_parents() {
+        let g = chain();
+        assert_eq!(g.parents(2), &[0, 1]);
+        assert_eq!(g.children(0), vec![1, 2]);
+        assert_eq!(g.n_edges(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_rejected() {
+        let mut g = chain();
+        g.add_edge(2, 0);
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let mut g = chain();
+        g.add_edge(0, 1);
+        assert_eq!(g.n_edges(), 3);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = chain();
+        let order = g.topological_order();
+        let pos = |v: usize| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn reachability_and_descendants() {
+        let g = chain();
+        assert!(g.reachable(0, 2));
+        assert!(!g.reachable(2, 0));
+        assert_eq!(g.descendants(0), vec![1, 2]);
+        assert_eq!(g.descendants(2), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn remove_edge_works() {
+        let mut g = chain();
+        g.remove_edge(0, 2);
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.parents(2), &[1]);
+    }
+}

@@ -1,0 +1,167 @@
+//! χ² conditional-independence testing on discrete data.
+
+use std::collections::HashMap;
+
+use crate::data::CausalData;
+use crate::gamma::chi2_sf;
+
+/// Result of a conditional-independence test.
+#[derive(Debug, Clone, Copy)]
+pub struct Chi2Result {
+    /// The χ² statistic summed over conditioning strata.
+    pub statistic: f64,
+    /// Total degrees of freedom.
+    pub dof: f64,
+    /// Tail probability `Pr(χ²(dof) > statistic)`.
+    pub p_value: f64,
+}
+
+impl Chi2Result {
+    /// Whether the test *fails to reject* independence at level `alpha`
+    /// (i.e. the variables look conditionally independent).
+    pub fn independent(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Test `X_a ⊥ X_b | Z` on `data` with Pearson's χ² over each `Z`-stratum.
+///
+/// Strata with fewer than `2` rows are skipped; zero-margin rows/columns
+/// within a stratum do not contribute degrees of freedom. When no stratum is
+/// testable the result reports `p_value = 1` (no evidence of dependence).
+pub fn chi2_ci_test(data: &CausalData, a: usize, b: usize, z: &[usize]) -> Chi2Result {
+    assert_ne!(a, b, "chi2_ci_test: identical variables");
+    let n = data.n_rows();
+    let ca = data.cards[a] as usize;
+    let cb = data.cards[b] as usize;
+
+    // Group rows by the conditioning-stratum key.
+    let mut strata: HashMap<u64, Vec<usize>> = HashMap::new();
+    for r in 0..n {
+        let mut key = 0u64;
+        for &zv in z {
+            key = key * data.cards[zv] as u64 + data.columns[zv][r] as u64;
+        }
+        strata.entry(key).or_default().push(r);
+    }
+
+    let mut statistic = 0.0;
+    let mut dof = 0.0;
+    for rows in strata.values() {
+        if rows.len() < 2 {
+            continue;
+        }
+        // contingency table of (a, b) within the stratum
+        let mut table = vec![0.0f64; ca * cb];
+        for &r in rows {
+            let ia = data.columns[a][r] as usize;
+            let ib = data.columns[b][r] as usize;
+            table[ia * cb + ib] += 1.0;
+        }
+        let total: f64 = rows.len() as f64;
+        let row_sums: Vec<f64> = (0..ca)
+            .map(|i| (0..cb).map(|j| table[i * cb + j]).sum())
+            .collect();
+        let col_sums: Vec<f64> = (0..cb)
+            .map(|j| (0..ca).map(|i| table[i * cb + j]).sum())
+            .collect();
+        let live_rows = row_sums.iter().filter(|&&v| v > 0.0).count();
+        let live_cols = col_sums.iter().filter(|&&v| v > 0.0).count();
+        if live_rows < 2 || live_cols < 2 {
+            continue;
+        }
+        for i in 0..ca {
+            if row_sums[i] == 0.0 {
+                continue;
+            }
+            for j in 0..cb {
+                if col_sums[j] == 0.0 {
+                    continue;
+                }
+                let expect = row_sums[i] * col_sums[j] / total;
+                let diff = table[i * cb + j] - expect;
+                statistic += diff * diff / expect;
+            }
+        }
+        dof += ((live_rows - 1) * (live_cols - 1)) as f64;
+    }
+
+    if dof <= 0.0 {
+        return Chi2Result { statistic: 0.0, dof: 0.0, p_value: 1.0 };
+    }
+    Chi2Result { statistic, dof, p_value: chi2_sf(statistic, dof) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn make(columns: Vec<Vec<u32>>, cards: Vec<u32>) -> CausalData {
+        let names = (0..columns.len()).map(|i| format!("v{i}")).collect();
+        CausalData::from_columns(columns, cards, names)
+    }
+
+    #[test]
+    fn strongly_dependent_pair_rejected() {
+        // b == a, 200 rows
+        let a: Vec<u32> = (0..200).map(|i| (i % 2) as u32).collect();
+        let b = a.clone();
+        let data = make(vec![a, b], vec![2, 2]);
+        let r = chi2_ci_test(&data, 0, 1, &[]);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+        assert!(!r.independent(0.05));
+    }
+
+    #[test]
+    fn independent_pair_not_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a: Vec<u32> = (0..500).map(|_| rng.gen_range(0..2)).collect();
+        let b: Vec<u32> = (0..500).map(|_| rng.gen_range(0..3)).collect();
+        let data = make(vec![a, b], vec![2, 3]);
+        let r = chi2_ci_test(&data, 0, 1, &[]);
+        assert!(r.independent(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn conditioning_explains_dependence() {
+        // chain a → z → b: a and b are dependent marginally but independent
+        // given z.
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 3000;
+        let mut a = Vec::with_capacity(n);
+        let mut zc = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        for _ in 0..n {
+            let av: u32 = rng.gen_range(0..2);
+            // z strongly follows a
+            let zv = if rng.gen::<f64>() < 0.9 { av } else { 1 - av };
+            // b strongly follows z
+            let bv = if rng.gen::<f64>() < 0.9 { zv } else { 1 - zv };
+            a.push(av);
+            zc.push(zv);
+            b.push(bv);
+        }
+        let data = make(vec![a, zc, b], vec![2, 2, 2]);
+        let marginal = chi2_ci_test(&data, 0, 2, &[]);
+        assert!(!marginal.independent(0.01), "marginal p = {}", marginal.p_value);
+        let conditional = chi2_ci_test(&data, 0, 2, &[1]);
+        assert!(
+            conditional.independent(0.01),
+            "conditional p = {}",
+            conditional.p_value
+        );
+    }
+
+    #[test]
+    fn degenerate_stratum_yields_p_one() {
+        // constant b: no testable variation
+        let a = vec![0, 1, 0, 1];
+        let b = vec![0, 0, 0, 0];
+        let data = make(vec![a, b], vec![2, 2]);
+        let r = chi2_ci_test(&data, 0, 1, &[]);
+        assert_eq!(r.p_value, 1.0);
+        assert!(r.independent(0.05));
+    }
+}

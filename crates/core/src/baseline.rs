@@ -1,0 +1,58 @@
+//! The fairness-unaware baseline `LR` (paper Section 4.1).
+//!
+//! An unconstrained logistic regression over the one-hot/standardised
+//! features *including* the sensitive attribute — the reference point every
+//! fair approach is compared against (overlaid bars in Fig. 10, subtracted
+//! runtime in Fig. 11).
+
+use crate::pipeline::{Approach, ApproachKind, Stage};
+
+/// The `LR` baseline approach descriptor.
+pub fn lr_baseline() -> Approach {
+    Approach {
+        name: "LR",
+        stage: Stage::Baseline,
+        targets: &[],
+        kind: ApproachKind::Baseline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairlens_frame::Dataset;
+
+    #[test]
+    fn baseline_reflects_data_bias() {
+        // Strong group bias in the data → LR reproduces it (the paper's
+        // "garbage-in, garbage-out" premise).
+        let n = 2000;
+        let mut x = Vec::new();
+        let mut s = Vec::new();
+        let mut y = Vec::new();
+        let mut state = 99u64;
+        let mut unif = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..n {
+            let si = u8::from(unif() < 0.5);
+            let xi = unif() * 2.0 - 1.0;
+            // y heavily favours the privileged group
+            let yi = u8::from(unif() < if si == 1 { 0.7 } else { 0.2 } + 0.1 * xi);
+            x.push(xi);
+            s.push(si);
+            y.push(yi);
+        }
+        let d = Dataset::builder("biased")
+            .numeric("x", x)
+            .sensitive("s", s)
+            .labels("y", y)
+            .build()
+            .unwrap();
+        let fitted = lr_baseline().fit(&d, 1).unwrap();
+        let preds = fitted.predict(&d);
+        let di = fairlens_metrics::disparate_impact(&preds, d.sensitive());
+        assert!(di < 0.6, "LR should replicate the bias, DI = {di}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type shared by all approaches.
+
+use fairlens_model::FitError;
+
+/// Failure modes of training a fair classification pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The underlying classifier failed to fit.
+    Fit(FitError),
+    /// The repaired / constrained problem was infeasible (e.g. Hardt's LP
+    /// on degenerate group statistics, Thomas with unreachable thresholds).
+    Infeasible(String),
+    /// The approach cannot run on this dataset shape (e.g. Calmon beyond
+    /// its attribute budget — mirroring the paper's >22-attribute failure
+    /// on Credit).
+    Unsupported(String),
+    /// A dataset invariant needed by the approach does not hold.
+    BadInput(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Fit(e) => write!(f, "classifier fit failed: {e}"),
+            CoreError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CoreError::BadInput(m) => write!(f, "bad input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<FitError> for CoreError {
+    fn from(e: FitError) -> Self {
+        CoreError::Fit(e)
+    }
+}

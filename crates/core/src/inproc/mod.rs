@@ -1,0 +1,14 @@
+//! In-processing approaches (paper Section 3 / Appendix A.2): constrain or
+//! reshape the learning procedure itself.
+
+pub mod celis;
+pub mod kearns;
+pub mod thomas;
+pub mod zafar;
+pub mod zhale;
+
+pub use celis::Celis;
+pub use kearns::{Kearns, KearnsNotion};
+pub use thomas::{Thomas, ThomasNotion};
+pub use zafar::{Zafar, ZafarVariant};
+pub use zhale::{ZhaLe, ZhaLeNotion};

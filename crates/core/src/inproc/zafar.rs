@@ -1,0 +1,365 @@
+//! Zafar^DP / Zafar^EO — covariance-proxy constrained logistic regression
+//! (Zafar et al.; paper A.2).
+//!
+//! The sensitive attribute never enters the feature set; it only shapes the
+//! constraint. The fairness proxy is the empirical covariance between `S`
+//! and the signed distance to the decision boundary,
+//!
+//! ```text
+//! cov(θ) = (1/N) Σ_i (S_i − S̄) · d_θ(x_i)
+//! ```
+//!
+//! which is linear in the parameters and hence convex. Three evaluated
+//! variants:
+//!
+//! * [`ZafarVariant::DpFair`] — minimise logistic loss s.t. `|cov| ≤ c`
+//!   (maximise accuracy under a demographic-parity constraint);
+//! * [`ZafarVariant::DpAcc`] — minimise `cov²` s.t. `loss ≤ (1+γ)·L*`
+//!   (maximise parity under a bounded accuracy compromise);
+//! * [`ZafarVariant::EoFair`] — equalized odds via the covariance over
+//!   *misclassified* tuples only; non-convex, solved by the
+//!   convex–concave trick of freezing the misclassification indicator per
+//!   outer round (the role DCCP plays in the original).
+//!
+//! The constrained solves use the workspace augmented-Lagrangian method.
+
+use fairlens_frame::{Dataset, Encoder};
+use fairlens_linalg::{vector, Matrix};
+use fairlens_model::{LogisticLoss, LogisticRegression};
+use fairlens_optim::{gd, minimize_augmented_lagrangian, AugLagOptions, Objective};
+use rand::rngs::StdRng;
+
+use crate::error::CoreError;
+use crate::pipeline::{InProcessor, TrainedModel};
+
+/// Which Zafar formulation to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZafarVariant {
+    /// Accuracy under a demographic-parity covariance constraint.
+    DpFair,
+    /// Parity under an accuracy (loss) constraint.
+    DpAcc,
+    /// Equalized odds via misclassification covariance (convex–concave).
+    EoFair,
+}
+
+/// The Zafar et al. constrained learner.
+#[derive(Debug, Clone)]
+pub struct Zafar {
+    /// The formulation.
+    pub variant: ZafarVariant,
+    /// Covariance tolerance `c` for the fairness constraints.
+    pub cov_tol: f64,
+    /// Allowed relative loss increase `γ` for [`ZafarVariant::DpAcc`].
+    pub gamma: f64,
+    /// Outer convex–concave rounds for [`ZafarVariant::EoFair`].
+    pub cc_rounds: usize,
+    /// L2 regularisation of the logistic loss.
+    pub l2: f64,
+}
+
+impl Zafar {
+    /// Construct with paper-style defaults.
+    pub fn new(variant: ZafarVariant) -> Self {
+        Self { variant, cov_tol: 1e-3, gamma: 0.10, cc_rounds: 5, l2: 1e-3 }
+    }
+}
+
+/// Signed covariance constraint `sign · cov(θ) − tol ≤ 0`. With per-tuple
+/// multipliers `m` (all ones for DP; misclassification masks for EO).
+struct CovConstraint<'a> {
+    x: &'a Matrix,
+    coef: Vec<f64>, // coef_i = m_i (S_i − S̄) / N · sign
+    tol: f64,
+}
+
+impl CovConstraint<'_> {
+    fn cov(&self, params: &[f64]) -> f64 {
+        let d = self.x.cols();
+        let (w, b) = params.split_at(d);
+        let b = b[0];
+        let mut acc = 0.0;
+        for (i, &c) in self.coef.iter().enumerate() {
+            if c != 0.0 {
+                acc += c * (vector::dot(self.x.row(i), w) + b);
+            }
+        }
+        acc
+    }
+}
+
+impl Objective for CovConstraint<'_> {
+    fn dim(&self) -> usize {
+        self.x.cols() + 1
+    }
+    fn value(&self, params: &[f64]) -> f64 {
+        self.cov(params) - self.tol
+    }
+    fn gradient(&self, _params: &[f64]) -> Vec<f64> {
+        // Linear: gradient independent of θ.
+        let d = self.x.cols();
+        let mut g = vec![0.0; d + 1];
+        for (i, &c) in self.coef.iter().enumerate() {
+            if c != 0.0 {
+                vector::axpy(c, self.x.row(i), &mut g[..d]);
+                g[d] += c;
+            }
+        }
+        g
+    }
+}
+
+/// The squared covariance as a minimisation objective (for DpAcc).
+struct CovSquared<'a>(CovConstraint<'a>);
+
+impl Objective for CovSquared<'_> {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+    fn value(&self, params: &[f64]) -> f64 {
+        let c = self.0.cov(params);
+        c * c
+    }
+    fn gradient(&self, params: &[f64]) -> Vec<f64> {
+        let c = self.0.cov(params);
+        let mut g = self.0.gradient(params);
+        vector::scale(2.0 * c, &mut g);
+        g
+    }
+}
+
+/// Loss-cap constraint `loss(θ) − cap ≤ 0`.
+struct LossCap<'a> {
+    loss: &'a LogisticLoss<'a>,
+    cap: f64,
+}
+
+impl Objective for LossCap<'_> {
+    fn dim(&self) -> usize {
+        self.loss.dim()
+    }
+    fn value(&self, params: &[f64]) -> f64 {
+        self.loss.value(params) - self.cap
+    }
+    fn gradient(&self, params: &[f64]) -> Vec<f64> {
+        self.loss.gradient(params)
+    }
+}
+
+/// Fitted Zafar model: encoder (without `S`) + parameters.
+struct ZafarModel {
+    encoder: Encoder,
+    model: LogisticRegression,
+}
+
+impl TrainedModel for ZafarModel {
+    fn predict(&self, data: &Dataset) -> Vec<u8> {
+        self.model.predict(&self.encoder.transform(data).matrix)
+    }
+}
+
+impl Zafar {
+    fn centered_sensitive(train: &Dataset) -> Vec<f64> {
+        let s: Vec<f64> = train.sensitive().iter().map(|&v| v as f64).collect();
+        let mean = vector::mean(&s);
+        s.iter().map(|v| v - mean).collect()
+    }
+
+    fn dp_coefs(train: &Dataset, sign: f64) -> Vec<f64> {
+        let n = train.n_rows() as f64;
+        Self::centered_sensitive(train)
+            .into_iter()
+            .map(|c| sign * c / n)
+            .collect()
+    }
+}
+
+impl InProcessor for Zafar {
+    fn train(&self, train: &Dataset, _rng: &mut StdRng) -> Result<Box<dyn TrainedModel>, CoreError> {
+        let encoder = Encoder::fit(train, false);
+        let x = encoder.transform(train).matrix;
+        let y = train.labels();
+        let loss = LogisticLoss::new(&x, y, self.l2);
+        let dim = loss.dim();
+
+        // Warm start from the unconstrained optimum.
+        let warm = gd::minimize(
+            &loss,
+            &vec![0.0; dim],
+            &gd::GdOptions { max_iter: 300, ..Default::default() },
+        );
+
+        let al_opts = AugLagOptions {
+            feas_tol: self.cov_tol.max(1e-4),
+            ..Default::default()
+        };
+
+        let params = match self.variant {
+            ZafarVariant::DpFair => {
+                let pos = CovConstraint { x: &x, coef: Self::dp_coefs(train, 1.0), tol: self.cov_tol };
+                let neg = CovConstraint { x: &x, coef: Self::dp_coefs(train, -1.0), tol: self.cov_tol };
+                minimize_augmented_lagrangian(
+                    &loss,
+                    &[&pos as &dyn Objective, &neg as &dyn Objective],
+                    &warm.x,
+                    &al_opts,
+                )
+                .x
+            }
+            ZafarVariant::DpAcc => {
+                let cap = LossCap { loss: &loss, cap: (1.0 + self.gamma) * warm.value };
+                let cov2 = CovSquared(CovConstraint {
+                    x: &x,
+                    coef: Self::dp_coefs(train, 1.0),
+                    tol: 0.0,
+                });
+                minimize_augmented_lagrangian(
+                    &cov2,
+                    &[&cap as &dyn Objective],
+                    &warm.x,
+                    &al_opts,
+                )
+                .x
+            }
+            ZafarVariant::EoFair => {
+                // Convex–concave: freeze the misclassification mask, solve
+                // the convexified problem, refresh, repeat.
+                let n = train.n_rows() as f64;
+                let s_centered = Self::centered_sensitive(train);
+                let mut params = warm.x.clone();
+                for _ in 0..self.cc_rounds {
+                    let (w, b) = params.split_at(x.cols());
+                    let coef: Vec<f64> = (0..train.n_rows())
+                        .map(|i| {
+                            let z = vector::dot(x.row(i), w) + b[0];
+                            let pred = u8::from(z >= 0.0);
+                            if pred != y[i] {
+                                // g_θ = −d_θ for misclassified tuples
+                                -s_centered[i] / n
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect();
+                    let neg_coef: Vec<f64> = coef.iter().map(|c| -c).collect();
+                    let pos = CovConstraint { x: &x, coef, tol: self.cov_tol };
+                    let neg = CovConstraint { x: &x, coef: neg_coef, tol: self.cov_tol };
+                    params = minimize_augmented_lagrangian(
+                        &loss,
+                        &[&pos as &dyn Objective, &neg as &dyn Objective],
+                        &params,
+                        &al_opts,
+                    )
+                    .x;
+                }
+                params
+            }
+        };
+
+        if params.iter().any(|p| !p.is_finite()) {
+            return Err(CoreError::Infeasible("Zafar solve produced non-finite parameters".into()));
+        }
+        let (w, b) = params.split_at(x.cols());
+        Ok(Box::new(ZafarModel {
+            encoder,
+            model: LogisticRegression::from_params(w.to_vec(), b[0]),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairlens_metrics::{di_star, disparate_impact, tpr_balance};
+    use rand::{Rng, SeedableRng};
+
+    /// Biased data: x predicts y, but s leaks into y strongly.
+    fn biased(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x1 = Vec::new();
+        let mut x2 = Vec::new();
+        let mut s = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let si = u8::from(rng.gen::<f64>() < 0.5);
+            let a: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            // x2 correlates with s (a redlining proxy)
+            let b: f64 = 0.8 * (si as f64 * 2.0 - 1.0) + 0.4 * (rng.gen::<f64>() * 2.0 - 1.0);
+            let p = vector::sigmoid(1.5 * a + 1.2 * b);
+            x1.push(a);
+            x2.push(b);
+            s.push(si);
+            y.push(u8::from(rng.gen::<f64>() < p));
+        }
+        Dataset::builder("bz")
+            .numeric("x1", x1)
+            .numeric("x2", x2)
+            .sensitive("s", s)
+            .labels("y", y)
+            .build()
+            .unwrap()
+    }
+
+    fn unconstrained_di(d: &Dataset) -> f64 {
+        let enc = Encoder::fit(d, false);
+        let x = enc.transform(d).matrix;
+        let m = LogisticRegression::fit(&x, d.labels(), &Default::default()).unwrap();
+        disparate_impact(&m.predict(&x), d.sensitive())
+    }
+
+    #[test]
+    fn dp_fair_improves_parity() {
+        let d = biased(3000, 1);
+        let base_di = unconstrained_di(&d);
+        assert!(base_di < 0.6, "setup: baseline DI {base_di}");
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Zafar::new(ZafarVariant::DpFair).train(&d, &mut rng).unwrap();
+        let preds = m.predict(&d);
+        let di = di_star(&preds, d.sensitive());
+        assert!(di > 0.8, "Zafar DP-fair DI* = {di} (baseline {base_di})");
+    }
+
+    #[test]
+    fn dp_acc_bounds_the_loss() {
+        let d = biased(3000, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Zafar::new(ZafarVariant::DpAcc).train(&d, &mut rng).unwrap();
+        let preds = m.predict(&d);
+        let acc = preds
+            .iter()
+            .zip(d.labels())
+            .filter(|&(p, t)| p == t)
+            .count() as f64
+            / d.n_rows() as f64;
+        // accuracy must stay within a sane band of the unconstrained model
+        assert!(acc > 0.6, "accuracy {acc}");
+        let di = di_star(&preds, d.sensitive());
+        assert!(di > unconstrained_di(&d).min(1.0), "DI* should improve: {di}");
+    }
+
+    #[test]
+    fn eo_fair_shrinks_tprb() {
+        let d = biased(3000, 5);
+        // baseline TPRB
+        let enc = Encoder::fit(&d, false);
+        let x = enc.transform(&d).matrix;
+        let base = LogisticRegression::fit(&x, d.labels(), &Default::default()).unwrap();
+        let base_tprb = tpr_balance(d.labels(), &base.predict(&x), d.sensitive()).abs();
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = Zafar::new(ZafarVariant::EoFair).train(&d, &mut rng).unwrap();
+        let tprb = tpr_balance(d.labels(), &m.predict(&d), d.sensitive()).abs();
+        assert!(
+            tprb < base_tprb + 0.02,
+            "TPRB should not get worse: {base_tprb} → {tprb}"
+        );
+    }
+
+    #[test]
+    fn zafar_never_sees_sensitive_attribute() {
+        // flipping S cannot change predictions → CD = 0 by construction
+        let d = biased(500, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = Zafar::new(ZafarVariant::DpFair).train(&d, &mut rng).unwrap();
+        assert_eq!(m.predict(&d), m.predict(&d.flip_sensitive()));
+    }
+}

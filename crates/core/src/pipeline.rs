@@ -1,0 +1,373 @@
+//! The unified fair-classification pipeline.
+//!
+//! Every evaluated variant plugs into one of three stage traits
+//! ([`Preprocessor`], [`InProcessor`], [`Postprocessor`]); [`Approach::fit`]
+//! assembles the full pipeline the paper times in its efficiency
+//! experiments:
+//!
+//! * **pre**: repair the training data, then train the standard logistic
+//!   regression on the repaired data (the paper pairs every pre-processing
+//!   method with logistic regression);
+//! * **in**: train the approach's own constrained model;
+//! * **post**: train the standard logistic regression, then fit a
+//!   prediction adjuster on its training-set probabilities.
+
+use std::sync::Arc;
+
+use fairlens_frame::{Dataset, Encoder};
+use fairlens_model::{LogisticOptions, LogisticRegression};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::CoreError;
+
+/// The stage at which an approach enforces fairness (paper Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Fairness-unaware logistic regression (`LR`).
+    Baseline,
+    /// Data repair before training.
+    Pre,
+    /// Constrained learning.
+    In,
+    /// Prediction adjustment after training.
+    Post,
+}
+
+impl Stage {
+    /// Display label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Baseline => "baseline",
+            Stage::Pre => "pre",
+            Stage::In => "in",
+            Stage::Post => "post",
+        }
+    }
+}
+
+/// A data-repair approach: `Dataset → Dataset`.
+pub trait Preprocessor: Send + Sync {
+    /// Produce the repaired training dataset.
+    fn repair(&self, train: &Dataset, rng: &mut StdRng) -> Result<Dataset, CoreError>;
+
+    /// Whether the downstream classifier should see `S` as a feature.
+    ///
+    /// Defaults to `true` (the AIF360 convention). Feld overrides this to
+    /// `false`: disparate-impact removal repairs `X` so the model can be
+    /// trained *without* the sensitive attribute — leaving `S` in the
+    /// feature set would let the classifier re-derive exactly the signal
+    /// the repair removed.
+    fn include_sensitive_in_model(&self) -> bool {
+        true
+    }
+}
+
+/// A model trained by an in-processing approach.
+pub trait TrainedModel: Send + Sync {
+    /// Hard 0/1 predictions on (possibly counterfactual) data.
+    fn predict(&self, data: &Dataset) -> Vec<u8>;
+}
+
+/// An in-processing approach: constrained training.
+pub trait InProcessor: Send + Sync {
+    /// Train on `train`, returning a predictor.
+    fn train(&self, train: &Dataset, rng: &mut StdRng) -> Result<Box<dyn TrainedModel>, CoreError>;
+}
+
+/// A fitted post-processing rule mapping base-classifier probabilities (and
+/// group membership) to adjusted hard predictions.
+pub trait PredictionAdjuster: Send + Sync {
+    /// Adjust predictions. `probs[i] = P(Y=1 | x_i)` from the base model.
+    fn adjust(&self, probs: &[f64], sensitive: &[u8], rng: &mut StdRng) -> Vec<u8>;
+}
+
+/// A post-processing approach: fits an adjuster from the base classifier's
+/// training-set probabilities, ground truth and groups.
+pub trait Postprocessor: Send + Sync {
+    /// Fit the adjuster.
+    fn fit(
+        &self,
+        probs: &[f64],
+        y: &[u8],
+        sensitive: &[u8],
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn PredictionAdjuster>, CoreError>;
+}
+
+/// The mechanism behind an [`Approach`].
+#[derive(Clone)]
+pub enum ApproachKind {
+    /// Plain logistic regression, no fairness mechanism.
+    Baseline,
+    /// Data repair + logistic regression.
+    Pre(Arc<dyn Preprocessor>),
+    /// Constrained learner.
+    In(Arc<dyn InProcessor>),
+    /// Logistic regression + prediction adjustment.
+    Post(Arc<dyn Postprocessor>),
+}
+
+/// One evaluated variant (a row of the paper's Fig. 8 right-hand column).
+#[derive(Clone)]
+pub struct Approach {
+    /// Display name, e.g. `"KamCal^DP"`.
+    pub name: &'static str,
+    /// Fairness-enforcing stage.
+    pub stage: Stage,
+    /// Which of the five evaluated fairness metrics the variant explicitly
+    /// optimises (the ↑ arrows in Fig. 10): subset of
+    /// `{"DI", "TPRB", "TNRB"}` (none of the evaluated approaches target CD
+    /// or CRD directly).
+    pub targets: &'static [&'static str],
+    /// The mechanism.
+    pub kind: ApproachKind,
+}
+
+impl std::fmt::Debug for Approach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Approach")
+            .field("name", &self.name)
+            .field("stage", &self.stage.label())
+            .field("targets", &self.targets)
+            .finish()
+    }
+}
+
+/// The standard classifier of the benchmark: an [`Encoder`] +
+/// [`LogisticRegression`] pair trained on one dataset and applicable to any
+/// dataset with the same schema. The sensitive attribute is included as a
+/// feature (the AIF360 convention), which is what gives the baseline and the
+/// pre-/post-processing pipelines a non-trivial causal-discrimination
+/// surface.
+#[derive(Debug, Clone)]
+pub struct LrClassifier {
+    encoder: Encoder,
+    model: LogisticRegression,
+}
+
+impl LrClassifier {
+    /// Train on `train`. `include_sensitive` controls whether `S` enters the
+    /// feature encoding.
+    pub fn train(train: &Dataset, include_sensitive: bool) -> Result<Self, CoreError> {
+        let encoder = Encoder::fit(train, include_sensitive);
+        let feats = encoder.transform(train);
+        let model =
+            LogisticRegression::fit(&feats.matrix, train.labels(), &LogisticOptions::default())?;
+        Ok(Self { encoder, model })
+    }
+
+    /// `P(Y = 1 | x)` on a dataset.
+    pub fn proba(&self, data: &Dataset) -> Vec<f64> {
+        self.model.predict_proba(&self.encoder.transform(data).matrix)
+    }
+
+    /// Signed decision values.
+    pub fn decision(&self, data: &Dataset) -> Vec<f64> {
+        self.model.decision_function(&self.encoder.transform(data).matrix)
+    }
+
+    /// The inner regression model.
+    pub fn model(&self) -> &LogisticRegression {
+        &self.model
+    }
+}
+
+impl TrainedModel for LrClassifier {
+    fn predict(&self, data: &Dataset) -> Vec<u8> {
+        self.model.predict(&self.encoder.transform(data).matrix)
+    }
+}
+
+/// A fully trained pipeline ready to predict on fresh data.
+pub enum FittedPipeline {
+    /// Baseline / pre / in: a plain predictor.
+    Model(Box<dyn TrainedModel>),
+    /// Post: base classifier + prediction adjuster. The stored seed makes
+    /// randomised adjusters (Pleiss) deterministic per `predict` call.
+    Adjusted {
+        /// The underlying fairness-unaware classifier.
+        base: LrClassifier,
+        /// The fitted adjustment rule.
+        adjuster: Box<dyn PredictionAdjuster>,
+        /// Seed for prediction-time randomness.
+        seed: u64,
+    },
+}
+
+impl FittedPipeline {
+    /// Predict hard labels for `data` (which must share the training
+    /// schema). Deterministic for a fixed pipeline and dataset.
+    pub fn predict(&self, data: &Dataset) -> Vec<u8> {
+        match self {
+            FittedPipeline::Model(m) => m.predict(data),
+            FittedPipeline::Adjusted { base, adjuster, seed } => {
+                let probs = base.proba(data);
+                let mut rng = StdRng::seed_from_u64(*seed ^ data.n_rows() as u64);
+                adjuster.adjust(&probs, data.sensitive(), &mut rng)
+            }
+        }
+    }
+}
+
+impl Approach {
+    /// Train the full pipeline on `train` with deterministic randomness
+    /// derived from `seed`. This is the unit the efficiency experiments
+    /// time.
+    pub fn fit(&self, train: &Dataset, seed: u64) -> Result<FittedPipeline, CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match &self.kind {
+            ApproachKind::Baseline => {
+                Ok(FittedPipeline::Model(Box::new(LrClassifier::train(train, true)?)))
+            }
+            ApproachKind::Pre(p) => {
+                let repaired = p.repair(train, &mut rng)?;
+                if repaired.n_rows() == 0 {
+                    return Err(CoreError::BadInput("repair removed every tuple".into()));
+                }
+                let with_s = p.include_sensitive_in_model();
+                Ok(FittedPipeline::Model(Box::new(LrClassifier::train(&repaired, with_s)?)))
+            }
+            ApproachKind::In(i) => Ok(FittedPipeline::Model(i.train(train, &mut rng)?)),
+            ApproachKind::Post(p) => {
+                let base = LrClassifier::train(train, true)?;
+                let probs = base.proba(train);
+                let adjuster = p.fit(&probs, train.labels(), train.sensitive(), &mut rng)?;
+                Ok(FittedPipeline::Adjusted { base, adjuster, seed })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        // x correlates with y; s is informative too
+        let mut x = Vec::new();
+        let mut s = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let xi = (i % 10) as f64;
+            let si = (i % 2) as u8;
+            let yi = u8::from(xi + 3.0 * si as f64 > 6.0);
+            x.push(xi);
+            s.push(si);
+            y.push(yi);
+        }
+        Dataset::builder("toy")
+            .numeric("x", x)
+            .sensitive("s", s)
+            .labels("y", y)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn baseline_pipeline_learns() {
+        let d = toy(400);
+        let approach = Approach {
+            name: "LR",
+            stage: Stage::Baseline,
+            targets: &[],
+            kind: ApproachKind::Baseline,
+        };
+        let fitted = approach.fit(&d, 1).unwrap();
+        let preds = fitted.predict(&d);
+        let acc = preds
+            .iter()
+            .zip(d.labels())
+            .filter(|&(p, t)| p == t)
+            .count() as f64
+            / d.n_rows() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn baseline_uses_sensitive_attribute() {
+        // y depends on s; flipping s must change some predictions → CD > 0
+        let d = toy(400);
+        let approach = Approach {
+            name: "LR",
+            stage: Stage::Baseline,
+            targets: &[],
+            kind: ApproachKind::Baseline,
+        };
+        let fitted = approach.fit(&d, 1).unwrap();
+        let a = fitted.predict(&d);
+        let b = fitted.predict(&d.flip_sensitive());
+        assert_ne!(a, b, "sensitive attribute should matter to the baseline");
+    }
+
+    #[test]
+    fn identity_preprocessor_matches_baseline() {
+        struct Identity;
+        impl Preprocessor for Identity {
+            fn repair(&self, train: &Dataset, _rng: &mut StdRng) -> Result<Dataset, CoreError> {
+                Ok(train.clone())
+            }
+        }
+        let d = toy(300);
+        let pre = Approach {
+            name: "identity",
+            stage: Stage::Pre,
+            targets: &[],
+            kind: ApproachKind::Pre(Arc::new(Identity)),
+        };
+        let base = Approach {
+            name: "LR",
+            stage: Stage::Baseline,
+            targets: &[],
+            kind: ApproachKind::Baseline,
+        };
+        let p1 = pre.fit(&d, 3).unwrap().predict(&d);
+        let p2 = base.fit(&d, 3).unwrap().predict(&d);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn threshold_adjuster_applies() {
+        struct AlwaysPositive;
+        impl PredictionAdjuster for AlwaysPositive {
+            fn adjust(&self, probs: &[f64], _s: &[u8], _rng: &mut StdRng) -> Vec<u8> {
+                vec![1; probs.len()]
+            }
+        }
+        struct FitAlwaysPositive;
+        impl Postprocessor for FitAlwaysPositive {
+            fn fit(
+                &self,
+                _probs: &[f64],
+                _y: &[u8],
+                _s: &[u8],
+                _rng: &mut StdRng,
+            ) -> Result<Box<dyn PredictionAdjuster>, CoreError> {
+                Ok(Box::new(AlwaysPositive))
+            }
+        }
+        let d = toy(100);
+        let post = Approach {
+            name: "always-pos",
+            stage: Stage::Post,
+            targets: &[],
+            kind: ApproachKind::Post(Arc::new(FitAlwaysPositive)),
+        };
+        let preds = post.fit(&d, 1).unwrap().predict(&d);
+        assert!(preds.iter().all(|&p| p == 1));
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let d = toy(200);
+        let approach = Approach {
+            name: "LR",
+            stage: Stage::Baseline,
+            targets: &[],
+            kind: ApproachKind::Baseline,
+        };
+        let a = approach.fit(&d, 9).unwrap().predict(&d);
+        let b = approach.fit(&d, 9).unwrap().predict(&d);
+        assert_eq!(a, b);
+    }
+}

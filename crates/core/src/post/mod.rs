@@ -1,0 +1,10 @@
+//! Post-processing approaches (paper Section 3 / Appendix A.3): adjust the
+//! predictions of an already-trained classifier.
+
+pub mod hardt;
+pub mod kamkar;
+pub mod pleiss;
+
+pub use hardt::Hardt;
+pub use kamkar::KamKar;
+pub use pleiss::{Pleiss, PleissTarget};

@@ -1,0 +1,152 @@
+//! Kam-Cal^DP — Kamiran & Calders' reweighing repair (paper A.1.1).
+//!
+//! Computes, for every `(S, Y)` cell, the ratio of the *expected* joint
+//! probability under independence to the *observed* joint probability,
+//!
+//! ```text
+//! w(t) = Pr_exp(S = S_t ∧ Y = Y_t) / Pr_obs(S = S_t ∧ Y = Y_t)
+//! ```
+//!
+//! and resamples `|D|` tuples with probability proportional to `w`. In the
+//! resampled data `S ⊥ Y`, so a classifier trained on it tends towards
+//! demographic parity.
+
+use fairlens_frame::Dataset;
+use rand::rngs::StdRng;
+
+use crate::error::CoreError;
+use crate::pipeline::Preprocessor;
+
+/// The Kam-Cal reweighing preprocessor.
+#[derive(Debug, Clone, Default)]
+pub struct KamCal;
+
+impl KamCal {
+    /// The per-tuple reweighing weights (exposed for tests and analysis).
+    pub fn weights(train: &Dataset) -> Vec<f64> {
+        let n = train.n_rows() as f64;
+        // cell counts and marginals
+        let mut cell = [[0usize; 2]; 2];
+        let mut s_marg = [0usize; 2];
+        let mut y_marg = [0usize; 2];
+        for (&s, &y) in train.sensitive().iter().zip(train.labels().iter()) {
+            cell[s as usize][y as usize] += 1;
+            s_marg[s as usize] += 1;
+            y_marg[y as usize] += 1;
+        }
+        train
+            .sensitive()
+            .iter()
+            .zip(train.labels().iter())
+            .map(|(&s, &y)| {
+                let obs = cell[s as usize][y as usize] as f64 / n;
+                if obs == 0.0 {
+                    return 1.0;
+                }
+                let exp = (s_marg[s as usize] as f64 / n) * (y_marg[y as usize] as f64 / n);
+                exp / obs
+            })
+            .collect()
+    }
+}
+
+impl Preprocessor for KamCal {
+    fn repair(&self, train: &Dataset, rng: &mut StdRng) -> Result<Dataset, CoreError> {
+        let w = Self::weights(train);
+        Ok(train.sample_weighted(train.n_rows(), &w, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Data where S and Y are strongly dependent.
+    fn biased(n: usize) -> Dataset {
+        let mut x = Vec::new();
+        let mut s = Vec::new();
+        let mut y = Vec::new();
+        let mut state = 5u64;
+        let mut unif = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for _ in 0..n {
+            let si = u8::from(unif() < 0.5);
+            let yi = u8::from(unif() < if si == 1 { 0.8 } else { 0.2 });
+            x.push(unif());
+            s.push(si);
+            y.push(yi);
+        }
+        Dataset::builder("b")
+            .numeric("x", x)
+            .sensitive("s", s)
+            .labels("y", y)
+            .build()
+            .unwrap()
+    }
+
+    /// Dependence measure: |P(S=1,Y=1) − P(S=1)P(Y=1)|.
+    fn dependence(d: &Dataset) -> f64 {
+        let n = d.n_rows() as f64;
+        let p11 = d.cell_count(1, 1) as f64 / n;
+        let ps = d.group_size(1) as f64 / n;
+        let py = d.pos_rate();
+        (p11 - ps * py).abs()
+    }
+
+    #[test]
+    fn resampling_removes_dependence() {
+        let d = biased(8000);
+        assert!(dependence(&d) > 0.1, "setup: data must be dependent");
+        let mut rng = StdRng::seed_from_u64(1);
+        let repaired = KamCal.repair(&d, &mut rng).unwrap();
+        assert_eq!(repaired.n_rows(), d.n_rows());
+        assert!(
+            dependence(&repaired) < 0.02,
+            "dependence after repair: {}",
+            dependence(&repaired)
+        );
+    }
+
+    #[test]
+    fn weights_match_closed_form() {
+        let d = biased(5000);
+        let w = KamCal::weights(&d);
+        let n = d.n_rows() as f64;
+        // check one cell: (S=1, Y=1)
+        let idx = d
+            .sensitive()
+            .iter()
+            .zip(d.labels().iter())
+            .position(|(&s, &y)| s == 1 && y == 1)
+            .unwrap();
+        let expect = (d.group_size(1) as f64 / n) * d.pos_rate()
+            / (d.cell_count(1, 1) as f64 / n);
+        assert!((w[idx] - expect).abs() < 1e-12);
+        // favoured cells are downweighted (< 1), rare cells upweighted (> 1)
+        assert!(w[idx] < 1.0);
+        let idx2 = d
+            .sensitive()
+            .iter()
+            .zip(d.labels().iter())
+            .position(|(&s, &y)| s == 0 && y == 1)
+            .unwrap();
+        assert!(w[idx2] > 1.0);
+    }
+
+    #[test]
+    fn independent_data_gets_unit_weights() {
+        // S ⊥ Y by construction
+        let d = Dataset::builder("i")
+            .numeric("x", vec![0.0; 8])
+            .sensitive("s", vec![0, 0, 0, 0, 1, 1, 1, 1])
+            .labels("y", vec![0, 0, 1, 1, 0, 0, 1, 1])
+            .build()
+            .unwrap();
+        for w in KamCal::weights(&d) {
+            assert!((w - 1.0).abs() < 1e-12);
+        }
+    }
+}

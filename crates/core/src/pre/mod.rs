@@ -1,0 +1,15 @@
+//! Pre-processing approaches (paper Section 3 / Appendix A.1): repair the
+//! training data so that a downstream fairness-unaware classifier comes out
+//! fair.
+
+pub mod calmon;
+pub mod feld;
+pub mod kamcal;
+pub mod salimi;
+pub mod zhawu;
+
+pub use calmon::Calmon;
+pub use feld::Feld;
+pub use kamcal::KamCal;
+pub use salimi::{Salimi, SalimiEngine};
+pub use zhawu::ZhaWu;

@@ -1,0 +1,222 @@
+//! Registry of the 18 evaluated variants (paper Fig. 8) plus the baseline.
+
+use std::sync::Arc;
+
+use crate::inproc::{Celis, Kearns, Thomas, ThomasNotion, Zafar, ZafarVariant, ZhaLe};
+use crate::pipeline::{Approach, ApproachKind, Stage};
+use crate::post::{Hardt, KamKar, Pleiss};
+use crate::pre::{Calmon, Feld, KamCal, Salimi, SalimiEngine, ZhaWu};
+
+/// The fairness-unaware baseline `LR`.
+pub fn baseline_approach() -> Approach {
+    crate::baseline::lr_baseline()
+}
+
+/// All 18 evaluated variants, in the paper's Fig. 8 order.
+///
+/// `salimi_inadmissible` lists the dataset's inadmissible attribute names
+/// for the two Salimi variants (the paper uses race / gender /
+/// marital-relationship attributes whenever applicable; the sensitive
+/// attribute itself is always inadmissible).
+pub fn all_approaches(salimi_inadmissible: &[&str]) -> Vec<Approach> {
+    let inadmissible: Vec<String> = salimi_inadmissible.iter().map(|s| s.to_string()).collect();
+    vec![
+        // ---------------- pre-processing ----------------
+        Approach {
+            name: "KamCal^DP",
+            stage: Stage::Pre,
+            targets: &["DI"],
+            kind: ApproachKind::Pre(Arc::new(KamCal)),
+        },
+        Approach {
+            name: "Feld^DP(1.0)",
+            stage: Stage::Pre,
+            targets: &["DI"],
+            kind: ApproachKind::Pre(Arc::new(Feld::new(1.0))),
+        },
+        Approach {
+            name: "Feld^DP(0.6)",
+            stage: Stage::Pre,
+            targets: &["DI"],
+            kind: ApproachKind::Pre(Arc::new(Feld::new(0.6))),
+        },
+        Approach {
+            name: "Calmon^DP",
+            stage: Stage::Pre,
+            targets: &["DI"],
+            kind: ApproachKind::Pre(Arc::new(Calmon::default())),
+        },
+        Approach {
+            name: "ZhaWu^PSF",
+            stage: Stage::Pre,
+            targets: &["CRD"],
+            kind: ApproachKind::Pre(Arc::new(ZhaWu::default())),
+        },
+        Approach {
+            name: "Salimi^JF(MaxSAT)",
+            stage: Stage::Pre,
+            targets: &["CRD"],
+            kind: ApproachKind::Pre(Arc::new(Salimi::new(
+                SalimiEngine::MaxSat,
+                inadmissible.clone(),
+            ))),
+        },
+        Approach {
+            name: "Salimi^JF(MatFac)",
+            stage: Stage::Pre,
+            targets: &["CRD"],
+            kind: ApproachKind::Pre(Arc::new(Salimi::new(SalimiEngine::MatFac, inadmissible))),
+        },
+        // ---------------- in-processing -----------------
+        Approach {
+            name: "Zafar^DP_Fair",
+            stage: Stage::In,
+            targets: &["DI"],
+            kind: ApproachKind::In(Arc::new(Zafar::new(ZafarVariant::DpFair))),
+        },
+        Approach {
+            name: "Zafar^DP_Acc",
+            stage: Stage::In,
+            targets: &["DI"],
+            kind: ApproachKind::In(Arc::new(Zafar::new(ZafarVariant::DpAcc))),
+        },
+        Approach {
+            name: "Zafar^EO_Fair",
+            stage: Stage::In,
+            targets: &["TPRB", "TNRB"],
+            kind: ApproachKind::In(Arc::new(Zafar::new(ZafarVariant::EoFair))),
+        },
+        Approach {
+            name: "ZhaLe^EO",
+            stage: Stage::In,
+            targets: &["TPRB", "TNRB"],
+            kind: ApproachKind::In(Arc::new(ZhaLe::default())),
+        },
+        Approach {
+            name: "Kearns^PE",
+            stage: Stage::In,
+            targets: &["TNRB"],
+            kind: ApproachKind::In(Arc::new(Kearns::default())),
+        },
+        Approach {
+            name: "Celis^PP",
+            stage: Stage::In,
+            targets: &[],
+            kind: ApproachKind::In(Arc::new(Celis::default())),
+        },
+        Approach {
+            name: "Thomas^DP",
+            stage: Stage::In,
+            targets: &["DI"],
+            kind: ApproachKind::In(Arc::new(Thomas::new(ThomasNotion::DemographicParity))),
+        },
+        Approach {
+            name: "Thomas^EO",
+            stage: Stage::In,
+            targets: &["TPRB", "TNRB"],
+            kind: ApproachKind::In(Arc::new(Thomas::new(ThomasNotion::EqualizedOdds))),
+        },
+        // ---------------- post-processing ---------------
+        Approach {
+            name: "KamKar^DP",
+            stage: Stage::Post,
+            targets: &["DI"],
+            kind: ApproachKind::Post(Arc::new(KamKar::default())),
+        },
+        Approach {
+            name: "Hardt^EO",
+            stage: Stage::Post,
+            targets: &["TPRB", "TNRB"],
+            kind: ApproachKind::Post(Arc::new(Hardt)),
+        },
+        Approach {
+            name: "Pleiss^EOP",
+            stage: Stage::Post,
+            targets: &["TPRB"],
+            kind: ApproachKind::Post(Arc::new(Pleiss::default())),
+        },
+    ]
+}
+
+/// Extension variants beyond the paper's 18 — notions the paper mentions
+/// the approaches support but could not evaluate (e.g. Kearns^DP was
+/// missing from its AIF360 build; Thomas's single-sided notions were
+/// excluded as subsumed by equalized odds).
+pub fn extended_approaches() -> Vec<Approach> {
+    vec![
+        Approach {
+            name: "Kearns^DP",
+            stage: Stage::In,
+            targets: &["DI"],
+            kind: ApproachKind::In(Arc::new(Kearns::demographic_parity())),
+        },
+        Approach {
+            name: "ZhaLe^DP",
+            stage: Stage::In,
+            targets: &["DI"],
+            kind: ApproachKind::In(Arc::new(ZhaLe::demographic_parity())),
+        },
+        Approach {
+            name: "Thomas^EOpp",
+            stage: Stage::In,
+            targets: &["TPRB"],
+            kind: ApproachKind::In(Arc::new(Thomas::new(ThomasNotion::EqualOpportunity))),
+        },
+        Approach {
+            name: "Thomas^PE",
+            stage: Stage::In,
+            targets: &["TNRB"],
+            kind: ApproachKind::In(Arc::new(Thomas::new(ThomasNotion::PredictiveEquality))),
+        },
+        Approach {
+            name: "Pleiss^PE",
+            stage: Stage::Post,
+            targets: &["TNRB"],
+            kind: ApproachKind::Post(Arc::new(Pleiss::predictive_equality())),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_18_variants() {
+        let all = all_approaches(&[]);
+        assert_eq!(all.len(), 18);
+        let pre = all.iter().filter(|a| a.stage == Stage::Pre).count();
+        let inp = all.iter().filter(|a| a.stage == Stage::In).count();
+        let post = all.iter().filter(|a| a.stage == Stage::Post).count();
+        // paper: 5 pre approaches → 7 variants, 5 in → 8 variants,
+        // 3 post → 3 variants
+        assert_eq!(pre, 7);
+        assert_eq!(inp, 8);
+        assert_eq!(post, 3);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = all_approaches(&[]);
+        let mut names: Vec<&str> = all.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn extended_registry_has_unique_new_names() {
+        let base: Vec<&str> = all_approaches(&[]).iter().map(|a| a.name).collect();
+        let ext = extended_approaches();
+        assert_eq!(ext.len(), 5);
+        for a in &ext {
+            assert!(!base.contains(&a.name), "{} duplicates a base variant", a.name);
+        }
+    }
+
+    #[test]
+    fn baseline_is_baseline() {
+        assert_eq!(baseline_approach().stage, Stage::Baseline);
+        assert_eq!(baseline_approach().name, "LR");
+    }
+}

@@ -1,0 +1,164 @@
+//! Column storage: numeric and categorical attribute vectors.
+
+/// The kind of an attribute column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// Real-valued attribute (age, hours-per-week, capital gain, …).
+    Numeric,
+    /// Finite-domain attribute stored as integer codes with string levels
+    /// (occupation, marital status, …).
+    Categorical,
+}
+
+/// A single attribute column of a [`crate::Dataset`].
+///
+/// Categorical columns store `u32` codes plus the level names; numeric
+/// columns store raw `f64` values. The two variants are what the paper's
+/// approaches need: Feld repairs numeric marginals, while Salimi/Calmon/
+/// Zha-Wu operate on discrete domains.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Real-valued data.
+    Numeric(Vec<f64>),
+    /// Coded categorical data with human-readable level names.
+    Categorical {
+        /// Per-row level codes, each `< levels.len()`.
+        codes: Vec<u32>,
+        /// Names of the levels; `levels[code]` is the display value.
+        levels: Vec<String>,
+    },
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's [`ColumnKind`].
+    pub fn kind(&self) -> ColumnKind {
+        match self {
+            Column::Numeric(_) => ColumnKind::Numeric,
+            Column::Categorical { .. } => ColumnKind::Categorical,
+        }
+    }
+
+    /// Number of categorical levels (1 for numeric columns, as a convention
+    /// used by cardinality products in the discrete approaches).
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Column::Numeric(_) => 1,
+            Column::Categorical { levels, .. } => levels.len(),
+        }
+    }
+
+    /// View the column as `f64` values: numeric values as-is, categorical
+    /// codes cast to `f64` (an *ordinal* view, used by quantile binning).
+    pub fn to_f64(&self) -> Vec<f64> {
+        match self {
+            Column::Numeric(v) => v.clone(),
+            Column::Categorical { codes, .. } => codes.iter().map(|&c| c as f64).collect(),
+        }
+    }
+
+    /// The numeric values, if this is a numeric column.
+    pub fn as_numeric(&self) -> Option<&[f64]> {
+        match self {
+            Column::Numeric(v) => Some(v),
+            Column::Categorical { .. } => None,
+        }
+    }
+
+    /// The categorical codes, if this is a categorical column.
+    pub fn as_codes(&self) -> Option<&[u32]> {
+        match self {
+            Column::Numeric(_) => None,
+            Column::Categorical { codes, .. } => Some(codes),
+        }
+    }
+
+    /// Select rows by index (with repetition allowed — used by resampling).
+    pub fn select(&self, idx: &[usize]) -> Column {
+        match self {
+            Column::Numeric(v) => Column::Numeric(idx.iter().map(|&i| v[i]).collect()),
+            Column::Categorical { codes, levels } => Column::Categorical {
+                codes: idx.iter().map(|&i| codes[i]).collect(),
+                levels: levels.clone(),
+            },
+        }
+    }
+
+    /// Append a single value from another column of the same variant at `row`.
+    ///
+    /// # Panics
+    /// Panics if the variants differ.
+    pub fn push_from(&mut self, other: &Column, row: usize) {
+        match (self, other) {
+            (Column::Numeric(v), Column::Numeric(o)) => v.push(o[row]),
+            (Column::Categorical { codes, .. }, Column::Categorical { codes: oc, .. }) => {
+                codes.push(oc[row])
+            }
+            _ => panic!("push_from: column kind mismatch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat() -> Column {
+        Column::Categorical {
+            codes: vec![0, 1, 2, 1],
+            levels: vec!["a".into(), "b".into(), "c".into()],
+        }
+    }
+
+    #[test]
+    fn kinds_and_lengths() {
+        let n = Column::Numeric(vec![1.0, 2.0]);
+        assert_eq!(n.kind(), ColumnKind::Numeric);
+        assert_eq!(n.len(), 2);
+        assert!(!n.is_empty());
+        let c = cat();
+        assert_eq!(c.kind(), ColumnKind::Categorical);
+        assert_eq!(c.cardinality(), 3);
+    }
+
+    #[test]
+    fn to_f64_casts_codes() {
+        assert_eq!(cat().to_f64(), vec![0.0, 1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn select_with_repetition() {
+        let c = cat().select(&[3, 3, 0]);
+        assert_eq!(c.as_codes().unwrap(), &[1, 1, 0]);
+        let n = Column::Numeric(vec![5.0, 6.0]).select(&[1, 0, 1]);
+        assert_eq!(n.as_numeric().unwrap(), &[6.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn push_from_appends() {
+        let mut c = cat();
+        let src = cat();
+        c.push_from(&src, 2);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.as_codes().unwrap()[4], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn push_from_checks_kind() {
+        let mut c = cat();
+        c.push_from(&Column::Numeric(vec![1.0]), 0);
+    }
+}

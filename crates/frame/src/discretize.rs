@@ -1,0 +1,241 @@
+//! Quantile discretisation: mixed columns → small discrete domains.
+//!
+//! The causal and combinatorial approaches (Zha-Wu's PC-based discovery,
+//! Salimi's integrity-constraint repair, Calmon's distribution optimisation)
+//! all operate on discrete attribute domains. A [`Discretizer`] is fitted on
+//! training data — numeric attributes get quantile cut points, categorical
+//! attributes keep their codes — and produces a [`DiscreteView`]: a dense
+//! code table plus per-attribute cardinalities.
+
+use crate::column::Column;
+use crate::dataset::Dataset;
+
+/// Fitted per-attribute discretisation state.
+#[derive(Debug, Clone)]
+enum AttrBins {
+    /// Numeric attribute with ascending interior cut points; a value `v`
+    /// falls in bin `#{c in cuts : v > c}`.
+    Quantile { cuts: Vec<f64> },
+    /// Categorical attribute passed through with its original cardinality.
+    Passthrough { card: u32 },
+}
+
+/// Fitted discretiser (see module docs).
+#[derive(Debug, Clone)]
+pub struct Discretizer {
+    attrs: Vec<AttrBins>,
+}
+
+/// A discretised dataset: per-attribute code columns plus `S` and `Y`.
+#[derive(Debug, Clone)]
+pub struct DiscreteView {
+    /// `columns[a][r]` is the bin code of attribute `a` at row `r`.
+    pub columns: Vec<Vec<u32>>,
+    /// Cardinality (number of bins / levels) of each attribute.
+    pub cards: Vec<u32>,
+    /// Attribute names, mirroring the source dataset.
+    pub names: Vec<String>,
+    /// Sensitive attribute values.
+    pub sensitive: Vec<u8>,
+    /// Ground-truth labels.
+    pub labels: Vec<u8>,
+}
+
+impl Discretizer {
+    /// Fit on `data`, using at most `max_bins` quantile bins per numeric
+    /// attribute (categorical attributes keep their natural levels).
+    ///
+    /// # Panics
+    /// Panics if `max_bins < 2`.
+    pub fn fit(data: &Dataset, max_bins: usize) -> Discretizer {
+        assert!(max_bins >= 2, "discretizer needs at least 2 bins");
+        let attrs = data
+            .columns()
+            .iter()
+            .map(|col| match col {
+                Column::Numeric(v) => AttrBins::Quantile { cuts: quantile_cuts(v, max_bins) },
+                Column::Categorical { levels, .. } => {
+                    AttrBins::Passthrough { card: levels.len() as u32 }
+                }
+            })
+            .collect();
+        Discretizer { attrs }
+    }
+
+    /// Discretise a dataset with the fitted cut points.
+    pub fn transform(&self, data: &Dataset) -> DiscreteView {
+        assert_eq!(data.n_attrs(), self.attrs.len(), "discretizer arity mismatch");
+        let mut columns = Vec::with_capacity(data.n_attrs());
+        let mut cards = Vec::with_capacity(data.n_attrs());
+        for (col, bins) in data.columns().iter().zip(self.attrs.iter()) {
+            match (col, bins) {
+                (Column::Numeric(v), AttrBins::Quantile { cuts }) => {
+                    columns.push(v.iter().map(|&x| bin_of(x, cuts)).collect());
+                    cards.push(cuts.len() as u32 + 1);
+                }
+                (Column::Categorical { codes, .. }, AttrBins::Passthrough { card }) => {
+                    columns.push(codes.clone());
+                    cards.push(*card);
+                }
+                _ => panic!("discretizer/dataset column kind mismatch"),
+            }
+        }
+        DiscreteView {
+            columns,
+            cards,
+            names: data.attr_names().to_vec(),
+            sensitive: data.sensitive().to_vec(),
+            labels: data.labels().to_vec(),
+        }
+    }
+}
+
+impl DiscreteView {
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Encode the values of the attribute subset `attrs` at `row` into a
+    /// single stratum key (mixed-radix over the attribute cardinalities).
+    /// Used to group rows by admissible-attribute context.
+    pub fn stratum_key(&self, row: usize, attrs: &[usize]) -> u64 {
+        let mut key = 0u64;
+        for &a in attrs {
+            key = key * self.cards[a] as u64 + self.columns[a][row] as u64;
+        }
+        key
+    }
+
+    /// Total number of joint cells over an attribute subset (product of
+    /// cardinalities, saturating).
+    pub fn domain_size(&self, attrs: &[usize]) -> u64 {
+        attrs
+            .iter()
+            .fold(1u64, |acc, &a| acc.saturating_mul(self.cards[a] as u64))
+    }
+}
+
+/// Interior quantile cut points for up to `bins` bins.
+///
+/// Duplicate cut points (heavy-tailed or low-cardinality data) are collapsed,
+/// so the effective number of bins may be smaller.
+fn quantile_cuts(values: &[f64], bins: usize) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    let mut cuts = Vec::with_capacity(bins - 1);
+    for q in 1..bins {
+        let pos = (q * n) / bins;
+        if pos == 0 {
+            continue;
+        }
+        // Cut at the *last element of the bin*, so that `value <= cut` lands
+        // in the lower bin and quantile bins come out balanced.
+        let c = sorted[(pos - 1).min(n - 1)];
+        if cuts.last().map_or(true, |&last| c > last) {
+            cuts.push(c);
+        }
+    }
+    // Drop a trailing cut equal to the maximum: it would create an empty bin.
+    while cuts.last().map_or(false, |&c| c >= sorted[n - 1]) {
+        cuts.pop();
+    }
+    cuts
+}
+
+/// Bin index of `x` for ascending `cuts`: number of cuts strictly below `x`.
+#[inline]
+fn bin_of(x: f64, cuts: &[f64]) -> u32 {
+    cuts.partition_point(|&c| c < x) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::builder("toy")
+            .numeric("v", vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+            .categorical(
+                "c",
+                vec![0, 1, 2, 0, 1, 2, 0, 1],
+                vec!["x".into(), "y".into(), "z".into()],
+            )
+            .sensitive("s", vec![0, 1, 0, 1, 0, 1, 0, 1])
+            .labels("y", vec![1, 1, 0, 0, 1, 1, 0, 0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn quantile_bins_are_balanced() {
+        let d = toy();
+        let view = Discretizer::fit(&d, 4).transform(&d);
+        assert_eq!(view.cards[0], 4);
+        // 8 values into 4 quantile bins → 2 each
+        let mut counts = [0usize; 4];
+        for &b in &view.columns[0] {
+            counts[b as usize] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn categorical_passthrough() {
+        let d = toy();
+        let view = Discretizer::fit(&d, 4).transform(&d);
+        assert_eq!(view.cards[1], 3);
+        assert_eq!(view.columns[1], vec![0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn constant_column_yields_one_bin() {
+        let d = Dataset::builder("k")
+            .numeric("v", vec![3.0; 5])
+            .sensitive("s", vec![0, 1, 0, 1, 0])
+            .labels("y", vec![1, 0, 1, 0, 1])
+            .build()
+            .unwrap();
+        let view = Discretizer::fit(&d, 4).transform(&d);
+        assert_eq!(view.cards[0], 1);
+        assert!(view.columns[0].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn stratum_keys_are_mixed_radix() {
+        let d = toy();
+        let view = Discretizer::fit(&d, 2).transform(&d);
+        // attrs [0, 1]: key = bin_v * 3 + code_c
+        let k = view.stratum_key(0, &[0, 1]);
+        assert_eq!(k, (view.columns[0][0] as u64) * 3 + view.columns[1][0] as u64);
+        assert_eq!(view.domain_size(&[0, 1]), view.cards[0] as u64 * 3);
+    }
+
+    #[test]
+    fn transform_applies_train_cuts_to_new_data() {
+        let d = toy();
+        let disc = Discretizer::fit(&d, 2);
+        let test = d.select_rows(&[0, 7]);
+        let view = disc.transform(&test);
+        assert_eq!(view.n_rows(), 2);
+        assert_eq!(view.columns[0][0], 0); // 1.0 below median cut
+        assert_eq!(view.columns[0][1], 1); // 8.0 above median cut
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let vals: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let cuts = quantile_cuts(&vals, 5);
+        assert!(bin_of(10.0, &cuts) as usize <= cuts.len());
+        assert_eq!(bin_of(0.0, &cuts), 0);
+    }
+}

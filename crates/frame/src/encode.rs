@@ -1,0 +1,246 @@
+//! Feature encoding: mixed columns → standardised dense matrix.
+//!
+//! Every model in the workspace consumes a dense `f64` matrix. The
+//! [`Encoder`] is *fitted on training data* (it memorises per-attribute means
+//! / standard deviations and categorical level counts) and then applied to
+//! both train and test so the two encodings agree — the standard leakage-safe
+//! protocol.
+//!
+//! Numeric attributes are z-standardised; categorical attributes are one-hot
+//! encoded (all levels, no reference-level drop — L2 regularisation in the
+//! models handles the induced collinearity). Optionally the sensitive
+//! attribute is appended as a final raw 0/1 column; the pipelines record its
+//! index so the causal-discrimination metric can flip it in place.
+
+use fairlens_linalg::Matrix;
+
+use crate::column::Column;
+use crate::dataset::Dataset;
+
+/// Per-attribute fitted encoding state.
+#[derive(Debug, Clone)]
+enum AttrEncoding {
+    /// z-standardisation with the training mean and std (std clamped ≥ 1e-9).
+    Numeric { mean: f64, std: f64 },
+    /// One-hot over `levels` indicator columns.
+    OneHot { levels: usize },
+}
+
+/// A fitted feature encoder (see module docs).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    attrs: Vec<AttrEncoding>,
+    include_sensitive: bool,
+    width: usize,
+    names: Vec<String>,
+    sensitive_index: Option<usize>,
+}
+
+/// The encoded design matrix plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct EncodedFeatures {
+    /// `n × d` design matrix.
+    pub matrix: Matrix,
+    /// Name of each encoded feature column.
+    pub names: Vec<String>,
+    /// Index of the raw sensitive column, when the encoder included it.
+    pub sensitive_index: Option<usize>,
+}
+
+impl Encoder {
+    /// Fit an encoder on (training) data.
+    ///
+    /// `include_sensitive` appends `S` as a raw 0/1 feature column. The
+    /// fairness-unaware baseline and the pre-/post-processing pipelines use
+    /// `true` (mirroring AIF360, where the protected attribute is part of the
+    /// feature set); approaches that must not see `S` at prediction time
+    /// (e.g. Zafar) use `false`.
+    pub fn fit(data: &Dataset, include_sensitive: bool) -> Encoder {
+        let mut attrs = Vec::with_capacity(data.n_attrs());
+        let mut names = Vec::new();
+        let mut width = 0usize;
+        for (col, name) in data.columns().iter().zip(data.attr_names()) {
+            match col {
+                Column::Numeric(v) => {
+                    let mean = fairlens_linalg::vector::mean(v);
+                    let std = fairlens_linalg::vector::stddev(v).max(1e-9);
+                    attrs.push(AttrEncoding::Numeric { mean, std });
+                    names.push(name.clone());
+                    width += 1;
+                }
+                Column::Categorical { levels, .. } => {
+                    attrs.push(AttrEncoding::OneHot { levels: levels.len() });
+                    for l in levels {
+                        names.push(format!("{name}={l}"));
+                    }
+                    width += levels.len();
+                }
+            }
+        }
+        let sensitive_index = if include_sensitive {
+            names.push(data.sensitive_name().to_string());
+            width += 1;
+            Some(width - 1)
+        } else {
+            None
+        };
+        Encoder { attrs, include_sensitive, width, names, sensitive_index }
+    }
+
+    /// Number of encoded feature columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether `S` is appended as a feature.
+    pub fn includes_sensitive(&self) -> bool {
+        self.include_sensitive
+    }
+
+    /// Index of the raw `S` column in the encoded matrix, if included.
+    pub fn sensitive_index(&self) -> Option<usize> {
+        self.sensitive_index
+    }
+
+    /// Encode a dataset with the fitted parameters.
+    ///
+    /// # Panics
+    /// Panics if the dataset's attribute arity differs from the fitted one,
+    /// or if a categorical code exceeds the fitted level count.
+    pub fn transform(&self, data: &Dataset) -> EncodedFeatures {
+        assert_eq!(data.n_attrs(), self.attrs.len(), "encoder/dataset arity mismatch");
+        let n = data.n_rows();
+        let mut m = Matrix::zeros(n, self.width);
+        for r in 0..n {
+            let row = m.row_mut(r);
+            let mut j = 0usize;
+            for (col, enc) in data.columns().iter().zip(self.attrs.iter()) {
+                match (col, enc) {
+                    (Column::Numeric(v), AttrEncoding::Numeric { mean, std }) => {
+                        row[j] = (v[r] - mean) / std;
+                        j += 1;
+                    }
+                    (Column::Categorical { codes, .. }, AttrEncoding::OneHot { levels }) => {
+                        let c = codes[r] as usize;
+                        assert!(c < *levels, "categorical code beyond fitted levels");
+                        row[j + c] = 1.0;
+                        j += levels;
+                    }
+                    _ => panic!("encoder/dataset column kind mismatch"),
+                }
+            }
+            if self.include_sensitive {
+                row[j] = data.sensitive()[r] as f64;
+            }
+        }
+        EncodedFeatures {
+            matrix: m,
+            names: self.names.clone(),
+            sensitive_index: self.sensitive_index,
+        }
+    }
+}
+
+impl EncodedFeatures {
+    /// A copy of the design matrix with the sensitive column flipped
+    /// (`0 ↔ 1`) — the interventional twin used by the causal-discrimination
+    /// metric. Returns `None` when `S` was not encoded as a feature.
+    pub fn flip_sensitive(&self) -> Option<Matrix> {
+        let idx = self.sensitive_index?;
+        let mut m = self.matrix.clone();
+        for r in 0..m.rows() {
+            let v = m.get(r, idx);
+            m.set(r, idx, 1.0 - v);
+        }
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::builder("toy")
+            .numeric("age", vec![20.0, 30.0, 40.0, 50.0])
+            .categorical("job", vec![0, 1, 1, 0], vec!["a".into(), "b".into()])
+            .sensitive("s", vec![1, 0, 1, 0])
+            .labels("y", vec![1, 0, 1, 0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn width_counts_levels_and_sensitive() {
+        let d = toy();
+        assert_eq!(Encoder::fit(&d, false).width(), 3); // age + 2 one-hot
+        assert_eq!(Encoder::fit(&d, true).width(), 4);
+    }
+
+    #[test]
+    fn numeric_is_standardised() {
+        let d = toy();
+        let enc = Encoder::fit(&d, false);
+        let f = enc.transform(&d);
+        let col = f.matrix.column(0);
+        assert!(fairlens_linalg::vector::mean(&col).abs() < 1e-12);
+        assert!((fairlens_linalg::vector::stddev(&col) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_hot_is_exclusive() {
+        let d = toy();
+        let f = Encoder::fit(&d, false).transform(&d);
+        for r in 0..4 {
+            let row = f.matrix.row(r);
+            assert_eq!(row[1] + row[2], 1.0);
+        }
+        assert_eq!(f.matrix.get(0, 1), 1.0); // job=a for row 0
+        assert_eq!(f.matrix.get(1, 2), 1.0); // job=b for row 1
+    }
+
+    #[test]
+    fn sensitive_column_appended_raw() {
+        let d = toy();
+        let enc = Encoder::fit(&d, true);
+        let f = enc.transform(&d);
+        assert_eq!(f.sensitive_index, Some(3));
+        assert_eq!(f.matrix.column(3), vec![1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(f.names[3], "s");
+    }
+
+    #[test]
+    fn flip_sensitive_inverts_only_s() {
+        let d = toy();
+        let f = Encoder::fit(&d, true).transform(&d);
+        let flipped = f.flip_sensitive().unwrap();
+        assert_eq!(flipped.column(3), vec![0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(flipped.column(0), f.matrix.column(0));
+        let f2 = Encoder::fit(&d, false).transform(&d);
+        assert!(f2.flip_sensitive().is_none());
+    }
+
+    #[test]
+    fn train_fitted_encoder_applies_to_test() {
+        let d = toy();
+        let enc = Encoder::fit(&d, false);
+        let test = d.select_rows(&[0, 3]);
+        let f = enc.transform(&test);
+        assert_eq!(f.matrix.rows(), 2);
+        // uses *train* mean 35, std from train — row 0 age 20
+        let train_std = fairlens_linalg::vector::stddev(&[20.0, 30.0, 40.0, 50.0]);
+        assert!((f.matrix.get(0, 0) - (20.0 - 35.0) / train_std).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_numeric_column_is_safe() {
+        let d = Dataset::builder("c")
+            .numeric("k", vec![5.0, 5.0, 5.0])
+            .sensitive("s", vec![0, 1, 0])
+            .labels("y", vec![1, 0, 1])
+            .build()
+            .unwrap();
+        let f = Encoder::fit(&d, false).transform(&d);
+        assert!(f.matrix.column(0).iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for dataset construction and manipulation.
+
+/// Errors raised while building or manipulating a [`crate::Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Column lengths disagree with the number of rows.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Expected number of rows.
+        expected: usize,
+        /// Actual length provided.
+        actual: usize,
+    },
+    /// A binary attribute (S or Y) contained a value outside `{0, 1}`.
+    NonBinary {
+        /// Name of the offending attribute.
+        attribute: String,
+    },
+    /// A named column was not found.
+    UnknownColumn {
+        /// The requested name.
+        name: String,
+    },
+    /// The dataset has no rows where at least one was required.
+    Empty,
+    /// A categorical code exceeded the declared number of levels.
+    CodeOutOfRange {
+        /// Name of the offending column.
+        column: String,
+        /// The offending code.
+        code: u32,
+        /// The number of declared levels.
+        levels: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::LengthMismatch { column, expected, actual } => write!(
+                f,
+                "column `{column}` has {actual} values but the dataset has {expected} rows"
+            ),
+            FrameError::NonBinary { attribute } => {
+                write!(f, "attribute `{attribute}` must be binary (0/1)")
+            }
+            FrameError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
+            FrameError::Empty => write!(f, "dataset has no rows"),
+            FrameError::CodeOutOfRange { column, code, levels } => write!(
+                f,
+                "categorical column `{column}` has code {code} but only {levels} levels"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}

@@ -1,0 +1,42 @@
+//! # fairlens-frame
+//!
+//! Tabular data substrate for the FairLens workspace — the "data management"
+//! layer under every fair-classification approach.
+//!
+//! A [`Dataset`] follows the paper's schema `(X, S; Y)`:
+//!
+//! * `X` — a set of predictive attributes, each a [`Column`] (numeric or
+//!   categorical),
+//! * `S` — a binary sensitive attribute (`1` = privileged, `0` =
+//!   unprivileged),
+//! * `Y` — a binary ground-truth label (`1` = favourable).
+//!
+//! On top of that the crate provides the data-management operations the
+//! benchmark needs:
+//!
+//! * row selection / weighted resampling ([`Dataset::select_rows`],
+//!   [`Dataset::sample_weighted`]) — used by Kam-Cal's reweighing repair and
+//!   by the scalability sweeps;
+//! * train/test splits and k-folds ([`split`]) — used by the stability
+//!   experiment (Figs. 12–16);
+//! * a fitted [`encode::Encoder`] mapping mixed columns to a standardised,
+//!   one-hot dense matrix — fitted on training data and re-applied to test
+//!   data so the two agree;
+//! * quantile discretisation ([`discretize`]) — the representation consumed
+//!   by the causal-discovery and combinatorial-repair approaches (Zha-Wu,
+//!   Salimi, Calmon).
+
+pub mod column;
+pub mod csv;
+pub mod dataset;
+pub mod discretize;
+pub mod encode;
+pub mod error;
+pub mod split;
+
+pub use column::{Column, ColumnKind};
+pub use csv::{read_csv_file, read_csv_str, write_csv_str, CsvError, CsvOptions};
+pub use dataset::{Dataset, DatasetBuilder};
+pub use discretize::{DiscreteView, Discretizer};
+pub use encode::{EncodedFeatures, Encoder};
+pub use error::FrameError;

@@ -1,0 +1,165 @@
+//! Train/test splitting and k-fold cross-validation.
+//!
+//! The paper uses a random 70 %/30 % train/test split, 3-fold cross-
+//! validation for model validation, and ten random 2/3–1/3 folds for the
+//! stability experiment (Figs. 12–16). All of those are built from the two
+//! functions here.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// Randomly split a dataset into `(train, test)` with the given test
+/// fraction.
+///
+/// # Panics
+/// Panics if `test_frac` is outside `(0, 1)` or either side would be empty.
+pub fn train_test_split<R: Rng + ?Sized>(
+    data: &Dataset,
+    test_frac: f64,
+    rng: &mut R,
+) -> (Dataset, Dataset) {
+    assert!(test_frac > 0.0 && test_frac < 1.0, "test_frac must be in (0, 1)");
+    let n = data.n_rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let n_test = ((n as f64) * test_frac).round() as usize;
+    let n_test = n_test.clamp(1, n - 1);
+    let (test_idx, train_idx) = idx.split_at(n_test);
+    (data.select_rows(train_idx), data.select_rows(test_idx))
+}
+
+/// Produce `k` cross-validation folds; each element is `(train, validation)`.
+///
+/// Rows are shuffled once and dealt round-robin into `k` buckets so fold
+/// sizes differ by at most one.
+///
+/// # Panics
+/// Panics if `k < 2` or `k > |D|`.
+pub fn k_folds<R: Rng + ?Sized>(data: &Dataset, k: usize, rng: &mut R) -> Vec<(Dataset, Dataset)> {
+    let n = data.n_rows();
+    assert!(k >= 2, "k_folds: k must be at least 2");
+    assert!(k <= n, "k_folds: k must not exceed the number of rows");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+    for (pos, &i) in idx.iter().enumerate() {
+        buckets[pos % k].push(i);
+    }
+    (0..k)
+        .map(|f| {
+            let val = &buckets[f];
+            let train: Vec<usize> = (0..k)
+                .filter(|&b| b != f)
+                .flat_map(|b| buckets[b].iter().copied())
+                .collect();
+            (data.select_rows(&train), data.select_rows(val))
+        })
+        .collect()
+}
+
+/// Draw a uniform random subsample of `n` rows *without* replacement
+/// (used by the Fig. 11 size sweep). If `n >= |D|`, rows are drawn *with*
+/// replacement to reach the requested size (the sweep needs 40 K rows even
+/// when a generator is asked for fewer).
+pub fn subsample<R: Rng + ?Sized>(data: &Dataset, n: usize, rng: &mut R) -> Dataset {
+    let total = data.n_rows();
+    if n < total {
+        let mut idx: Vec<usize> = (0..total).collect();
+        idx.shuffle(rng);
+        idx.truncate(n);
+        data.select_rows(&idx)
+    } else {
+        let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..total)).collect();
+        data.select_rows(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        Dataset::builder("toy")
+            .numeric("x", (0..n).map(|i| i as f64).collect())
+            .sensitive("s", (0..n).map(|i| (i % 2) as u8).collect())
+            .labels("y", (0..n).map(|i| ((i / 2) % 2) as u8).collect())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn split_sizes_add_up() {
+        let d = toy(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (tr, te) = train_test_split(&d, 0.3, &mut rng);
+        assert_eq!(tr.n_rows(), 70);
+        assert_eq!(te.n_rows(), 30);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let d = toy(50);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (tr, te) = train_test_split(&d, 0.3, &mut rng);
+        let mut seen: Vec<f64> = tr
+            .column(0)
+            .as_numeric()
+            .unwrap()
+            .iter()
+            .chain(te.column(0).as_numeric().unwrap())
+            .copied()
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn folds_cover_everything_once() {
+        let d = toy(31);
+        let mut rng = StdRng::seed_from_u64(3);
+        let folds = k_folds(&d, 3, &mut rng);
+        assert_eq!(folds.len(), 3);
+        let mut val_rows: Vec<f64> = folds
+            .iter()
+            .flat_map(|(_, v)| v.column(0).as_numeric().unwrap().to_vec())
+            .collect();
+        val_rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..31).map(|i| i as f64).collect();
+        assert_eq!(val_rows, expect);
+        for (tr, va) in &folds {
+            assert_eq!(tr.n_rows() + va.n_rows(), 31);
+        }
+    }
+
+    #[test]
+    fn subsample_without_replacement_is_distinct() {
+        let d = toy(20);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = subsample(&d, 10, &mut rng);
+        let mut vals = s.column(0).as_numeric().unwrap().to_vec();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        assert_eq!(vals.len(), 10);
+    }
+
+    #[test]
+    fn subsample_with_replacement_when_oversized() {
+        let d = toy(5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = subsample(&d, 12, &mut rng);
+        assert_eq!(s.n_rows(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "test_frac")]
+    fn split_rejects_bad_fraction() {
+        let d = toy(10);
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = train_test_split(&d, 1.5, &mut rng);
+    }
+}

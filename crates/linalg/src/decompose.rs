@@ -1,0 +1,203 @@
+//! Small dense factorisations: Cholesky and Gaussian elimination.
+//!
+//! These back the Newton/IRLS step of logistic regression (SPD normal
+//! equations) and the generic small solves in the LP and causal machinery.
+
+use crate::matrix::Matrix;
+
+/// Cholesky factorisation `A = L Lᵀ` of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+/// Error raised when a matrix is singular (or not SPD for Cholesky).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular or not positive definite")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+impl Cholesky {
+    /// Factorise `a`. Returns `Err(SingularMatrix)` when a non-positive pivot
+    /// is encountered (the matrix is not SPD within numerical tolerance).
+    pub fn new(a: &Matrix) -> Result<Self, SingularMatrix> {
+        let n = a.rows();
+        assert_eq!(a.rows(), a.cols(), "cholesky: matrix must be square");
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 1e-14 {
+                        return Err(SingularMatrix);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Solve `A x = b` using the stored factor.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "cholesky solve: rhs length mismatch");
+        // forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l.get(i, k) * y[k];
+            }
+            y[i] = s / self.l.get(i, i);
+        }
+        // backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l.get(k, i) * x[k];
+            }
+            x[i] = s / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+/// One-shot SPD solve `A x = b` via Cholesky.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+    Ok(Cholesky::new(a)?.solve(b))
+}
+
+/// General dense solve `A x = b` by Gaussian elimination with partial
+/// pivoting. Suitable for the small systems in this workspace (≤ a few
+/// hundred unknowns).
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+    let n = a.rows();
+    assert_eq!(a.rows(), a.cols(), "solve: matrix must be square");
+    assert_eq!(b.len(), n, "solve: rhs length mismatch");
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // partial pivot
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m.get(r, col).abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        if pivot_val < 1e-12 {
+            return Err(SingularMatrix);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m.get(col, c);
+                m.set(col, c, m.get(pivot_row, c));
+                m.set(pivot_row, c, tmp);
+            }
+            rhs.swap(col, pivot_row);
+            perm.swap(col, pivot_row);
+        }
+        let pivot = m.get(col, col);
+        for r in (col + 1)..n {
+            let factor = m.get(r, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m.get(r, c) - factor * m.get(col, c);
+                m.set(r, c, v);
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+
+    // back substitution
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = rhs[i];
+        for k in (i + 1)..n {
+            s -= m.get(i, k) * x[k];
+        }
+        x[i] = s / m.get(i, i);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_solves_spd() {
+        // A = [[4,2],[2,3]] is SPD
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x = cholesky_solve(&a, &[8.0, 7.0]).unwrap();
+        // check residual
+        let r = a.matvec(&x);
+        assert!((r[0] - 8.0).abs() < 1e-10);
+        assert!((r[1] - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn gaussian_solve_with_pivoting() {
+        // requires pivoting: zero on the diagonal
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![2.0, 1.0]]);
+        let x = solve(&a, &[3.0, 7.0]).unwrap();
+        let r = a.matvec(&x);
+        assert!((r[0] - 3.0).abs() < 1e-10);
+        assert!((r[1] - 7.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gaussian_solve_detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn solve_identity_is_rhs() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.0, 0.5];
+        assert_eq!(solve(&a, &b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 3.0, 1.0],
+            vec![3.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ]);
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        let rec = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec.get(i, j) - a.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # fairlens-linalg
+//!
+//! Minimal dense linear algebra substrate for the FairLens workspace.
+//!
+//! Every numerical component of the fair-classification benchmark — logistic
+//! regression, constrained optimisation, propensity scoring, non-negative
+//! matrix factorisation, the simplex LP solver — is built on the two types in
+//! this crate:
+//!
+//! * [`Matrix`] — a dense, row-major, `f64` matrix with BLAS-2 level kernels
+//!   (`matvec`, `matvec_t`, `matmul`), and
+//! * the free functions in [`vector`] — BLAS-1 level kernels over `&[f64]`
+//!   slices (`dot`, `axpy`, norms, reductions).
+//!
+//! [`decompose`] adds the small dense factorisations the workspace needs:
+//! Cholesky (for IRLS/Newton steps in logistic regression) and Gaussian
+//! elimination with partial pivoting (for general small solves).
+//!
+//! The crate is deliberately not generic over scalar types: the benchmark only
+//! ever needs `f64`, and monomorphic code keeps the hot loops easy for the
+//! compiler to vectorise (see the Rust Performance Book's advice on avoiding
+//! abstraction in hot paths).
+
+pub mod decompose;
+pub mod matrix;
+pub mod vector;
+
+pub use decompose::{cholesky_solve, solve, Cholesky};
+pub use matrix::Matrix;

@@ -1,0 +1,386 @@
+//! Dense row-major `f64` matrix.
+
+use crate::vector;
+
+/// A dense, row-major matrix of `f64`.
+///
+/// Row-major layout means `row(i)` is a contiguous slice, which is the access
+/// pattern of every hot loop in the workspace (per-sample gradient updates,
+/// per-tuple predictions), so iteration stays cache-friendly.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        if show < self.rows {
+            writeln!(f, "  ... ({} more rows)", self.rows - show)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// All-zeros matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with a constant.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Build from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Build by stacking column vectors.
+    pub fn from_columns(cols: &[Vec<f64>]) -> Self {
+        if cols.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let rows = cols[0].len();
+        let mut m = Self::zeros(rows, cols.len());
+        for (j, c) in cols.iter().enumerate() {
+            assert_eq!(c.len(), rows, "from_columns: ragged columns");
+            for (i, &v) in c.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols, "get out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols, "set out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// In-place element update.
+    #[inline]
+    pub fn add_to(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols, "add_to out of bounds");
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Contiguous view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows, "row_mut out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c` (columns are strided, so this allocates).
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        debug_assert!(c < self.cols, "column out of bounds");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix–vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows).map(|r| vector::dot(self.row(r), x)).collect()
+    }
+
+    /// Transposed matrix–vector product `Aᵀ x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            if xr != 0.0 {
+                vector::axpy(xr, self.row(r), &mut out);
+            }
+        }
+        out
+    }
+
+    /// Dense matrix product `A B` (naive triple loop; only used on small
+    /// matrices — factorisations and contingency tables).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.add_to(i, j, a * other.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// `AᵀWA` for a diagonal weight vector `w` (the IRLS normal-equations
+    /// kernel in logistic regression). `w.len()` must equal `rows`.
+    pub fn gram_weighted(&self, w: &[f64]) -> Matrix {
+        assert_eq!(w.len(), self.rows, "gram_weighted: weight length mismatch");
+        let d = self.cols;
+        let mut out = Matrix::zeros(d, d);
+        for (r, &wr) in w.iter().enumerate() {
+            if wr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for i in 0..d {
+                let wi = wr * row[i];
+                if wi == 0.0 {
+                    continue;
+                }
+                for j in i..d {
+                    out.add_to(i, j, wi * row[j]);
+                }
+            }
+        }
+        // mirror the upper triangle
+        for i in 0..d {
+            for j in 0..i {
+                let v = out.get(j, i);
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place scale.
+    pub fn scale(&mut self, alpha: f64) {
+        vector::scale(alpha, &mut self.data);
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        vector::norm2(&self.data)
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// New matrix keeping only the given column indices, in order.
+    pub fn select_columns(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, idx.len());
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (jo, &ji) in idx.iter().enumerate() {
+                out.set(r, jo, row[ji]);
+            }
+        }
+        out
+    }
+
+    /// New matrix keeping only the given row indices, in order.
+    pub fn select_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (ro, &ri) in idx.iter().enumerate() {
+            out.row_mut(ro).copy_from_slice(self.row(ri));
+        }
+        out
+    }
+
+    /// Horizontally append a column.
+    pub fn append_column(&self, col: &[f64]) -> Matrix {
+        assert_eq!(col.len(), self.rows, "append_column: length mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + 1);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.set(r, self.cols, col[r]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]])
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let i = Matrix::identity(3);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_and_transpose_agree() {
+        let m = sample();
+        let x = [1.0, -1.0];
+        let y = m.matvec(&x);
+        assert_eq!(y, vec![-1.0, -1.0, -1.0]);
+        let t = m.transpose();
+        let z = t.matvec_t(&x); // (Mᵀ)ᵀ x = M x
+        assert_eq!(z, y);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn gram_weighted_matches_explicit() {
+        let m = sample();
+        let w = [1.0, 2.0, 0.5];
+        let g = m.gram_weighted(&w);
+        // explicit AᵀWA
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut expect = 0.0;
+                for r in 0..3 {
+                    expect += w[r] * m.get(r, i) * m.get(r, j);
+                }
+                assert!((g.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn select_rows_columns() {
+        let m = sample();
+        let r = m.select_rows(&[2, 0]);
+        assert_eq!(r.row(0), &[5.0, 6.0]);
+        assert_eq!(r.row(1), &[1.0, 2.0]);
+        let c = m.select_columns(&[1]);
+        assert_eq!(c.column(0), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn append_column_grows_width() {
+        let m = sample().append_column(&[9.0, 9.0, 9.0]);
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.column(2), vec![9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn from_columns_roundtrip() {
+        let m = Matrix::from_columns(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.row(0), &[1.0, 3.0]);
+        assert_eq!(m.row(1), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_checks_shape() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn frobenius_and_sum() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert!((m.frobenius() - 5.0).abs() < 1e-12);
+        assert_eq!(m.sum(), 7.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Causal discrimination (CD) — individual, causal, interventional
+//! (Galhotra et al., "fairness testing"; paper Fig. 6 and Example 2).
+//!
+//! `CD` is the fraction of tuples whose prediction changes when the
+//! sensitive attribute is flipped while every other attribute is held
+//! fixed. The formal definition quantifies over all points of the domain;
+//! the practical heuristic (which the paper adopts with a 99 % confidence /
+//! 1 % error-bound setting) evaluates a random sample of observed tuples
+//! sized by Hoeffding's inequality.
+
+use fairlens_frame::Dataset;
+use rand::Rng;
+
+/// Sample size `n = ⌈ln(2/δ) / (2ε²)⌉` for which the empirical CD is within
+/// `ε` (`error`) of the true CD with probability `1 − δ` (`confidence`).
+pub fn hoeffding_sample_size(confidence: f64, error: f64) -> usize {
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence in (0,1)");
+    assert!(error > 0.0 && error < 1.0, "error in (0,1)");
+    let delta = 1.0 - confidence;
+    ((2.0 / delta).ln() / (2.0 * error * error)).ceil() as usize
+}
+
+/// Estimate causal discrimination of `predict` on `data`.
+///
+/// `predict` must map a dataset (features *and* sensitive attribute) to hard
+/// predictions; the metric evaluates it on the original tuples and on their
+/// interventional twins (`S` flipped) and reports the disagreement rate.
+///
+/// The paper's parameters are `confidence = 0.99`, `error = 0.01`. When the
+/// dataset is smaller than the Hoeffding sample size the whole dataset is
+/// used (an exact evaluation); otherwise a with-replacement sample is drawn.
+pub fn causal_discrimination<R, F>(
+    data: &Dataset,
+    predict: F,
+    confidence: f64,
+    error: f64,
+    rng: &mut R,
+) -> f64
+where
+    R: Rng + ?Sized,
+    F: Fn(&Dataset) -> Vec<u8>,
+{
+    let needed = hoeffding_sample_size(confidence, error);
+    let sample = if data.n_rows() <= needed {
+        data.clone()
+    } else {
+        let idx: Vec<usize> = (0..needed).map(|_| rng.gen_range(0..data.n_rows())).collect();
+        data.select_rows(&idx)
+    };
+    let original = predict(&sample);
+    let flipped = predict(&sample.flip_sensitive());
+    assert_eq!(original.len(), flipped.len(), "predictor changed row count");
+    let changed = original
+        .iter()
+        .zip(flipped.iter())
+        .filter(|&(a, b)| a != b)
+        .count();
+    changed as f64 / original.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        Dataset::builder("t")
+            .numeric("x", (0..n).map(|i| i as f64).collect())
+            .sensitive("s", (0..n).map(|i| (i % 2) as u8).collect())
+            .labels("y", (0..n).map(|i| ((i / 2) % 2) as u8).collect())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn hoeffding_size_paper_setting() {
+        // 99 % confidence, 1 % error → ln(200)/0.0002 ≈ 26 492
+        let n = hoeffding_sample_size(0.99, 0.01);
+        assert_eq!(n, 26_492);
+    }
+
+    #[test]
+    fn sensitive_blind_predictor_has_zero_cd() {
+        let d = toy(500);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cd = causal_discrimination(
+            &d,
+            |ds| {
+                ds.column(0)
+                    .as_numeric()
+                    .unwrap()
+                    .iter()
+                    .map(|&x| u8::from(x > 250.0))
+                    .collect()
+            },
+            0.99,
+            0.05,
+            &mut rng,
+        );
+        assert_eq!(cd, 0.0);
+    }
+
+    #[test]
+    fn sensitive_only_predictor_has_cd_one() {
+        let d = toy(500);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cd = causal_discrimination(
+            &d,
+            |ds| ds.sensitive().to_vec(),
+            0.99,
+            0.05,
+            &mut rng,
+        );
+        assert_eq!(cd, 1.0);
+    }
+
+    #[test]
+    fn partial_dependence_is_fractional() {
+        // predictor uses S only when x is below 100 → CD ≈ P(x < 100)
+        let d = toy(1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cd = causal_discrimination(
+            &d,
+            |ds| {
+                ds.column(0)
+                    .as_numeric()
+                    .unwrap()
+                    .iter()
+                    .zip(ds.sensitive().iter())
+                    .map(|(&x, &s)| if x < 100.0 { s } else { 0 })
+                    .collect()
+            },
+            0.99,
+            0.01,
+            &mut rng,
+        );
+        // dataset smaller than the Hoeffding bound → exact evaluation
+        assert!((cd - 0.1).abs() < 1e-12, "CD = {cd}");
+    }
+
+    #[test]
+    fn example2_single_flip() {
+        // Fig. 7 scenario: 7 applicants, exactly one (t6) flips → CD = 1/7.
+        let d = Dataset::builder("fig7")
+            .numeric("sat", vec![1200.0, 1350.0, 1105.0, 1410.0, 1130.0, 1290.0, 1210.0])
+            .sensitive("gender", vec![1, 1, 0, 0, 1, 0, 1])
+            .labels("admitted", vec![0, 1, 1, 1, 1, 0, 1])
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        // A predictor that discriminates exactly against tuple index 5 (t6):
+        // females with SAT 1290 are rejected, males accepted.
+        let cd = causal_discrimination(
+            &d,
+            |ds| {
+                ds.column(0)
+                    .as_numeric()
+                    .unwrap()
+                    .iter()
+                    .zip(ds.sensitive().iter())
+                    .map(|(&sat, &s)| {
+                        if (sat - 1290.0).abs() < 1e-9 {
+                            s // admitted iff male
+                        } else {
+                            1
+                        }
+                    })
+                    .collect()
+            },
+            0.99,
+            0.01,
+            &mut rng,
+        );
+        assert!((cd - 1.0 / 7.0).abs() < 1e-12, "CD = {cd}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Confusion matrices and the four correctness metrics (paper Figs. 2–3).
+
+/// A binary confusion matrix, optionally restricted to one sensitive group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// True positives (`Ŷ = 1, Y = 1`).
+    pub tp: usize,
+    /// False positives (`Ŷ = 1, Y = 0`).
+    pub fp: usize,
+    /// False negatives (`Ŷ = 0, Y = 1`).
+    pub fn_: usize,
+    /// True negatives (`Ŷ = 0, Y = 0`).
+    pub tn: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tabulate predictions against ground truth.
+    ///
+    /// # Panics
+    /// Panics if the slices disagree in length.
+    pub fn from_predictions(y_true: &[u8], y_pred: &[u8]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "confusion: length mismatch");
+        let mut m = Self::default();
+        for (&t, &p) in y_true.iter().zip(y_pred.iter()) {
+            match (t, p) {
+                (1, 1) => m.tp += 1,
+                (0, 1) => m.fp += 1,
+                (1, 0) => m.fn_ += 1,
+                (0, 0) => m.tn += 1,
+                _ => panic!("confusion: labels must be binary"),
+            }
+        }
+        m
+    }
+
+    /// Tabulate only the rows with `sensitive == group`.
+    pub fn from_predictions_group(
+        y_true: &[u8],
+        y_pred: &[u8],
+        sensitive: &[u8],
+        group: u8,
+    ) -> Self {
+        assert_eq!(y_true.len(), sensitive.len(), "confusion: sensitive length mismatch");
+        let (t, p): (Vec<u8>, Vec<u8>) = y_true
+            .iter()
+            .zip(y_pred.iter())
+            .zip(sensitive.iter())
+            .filter(|&(_, &s)| s == group)
+            .map(|((&t, &p), _)| (t, p))
+            .unzip();
+        Self::from_predictions(&t, &p)
+    }
+
+    /// Total number of tabulated tuples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Accuracy `(TP + TN) / total`; `0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Precision `TP / (TP + FP)`; `0` when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall (= TPR) `TP / (TP + FN)`; `0` when no positive tuples.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F₁ score — harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// True positive rate `Pr(Ŷ=1 | Y=1)` (alias of recall).
+    pub fn tpr(&self) -> f64 {
+        self.recall()
+    }
+
+    /// True negative rate `Pr(Ŷ=0 | Y=0)`.
+    pub fn tnr(&self) -> f64 {
+        ratio(self.tn, self.tn + self.fp)
+    }
+
+    /// False positive rate `Pr(Ŷ=1 | Y=0)`.
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.tn + self.fp)
+    }
+
+    /// False negative rate `Pr(Ŷ=0 | Y=1)`.
+    pub fn fnr(&self) -> f64 {
+        ratio(self.fn_, self.tp + self.fn_)
+    }
+
+    /// Positive prediction rate `Pr(Ŷ=1)`.
+    pub fn positive_rate(&self) -> f64 {
+        ratio(self.tp + self.fp, self.total())
+    }
+
+    /// False discovery rate `Pr(Y=0 | Ŷ=1)` — the quantity Celis^PP
+    /// equalises.
+    pub fn fdr(&self) -> f64 {
+        ratio(self.fp, self.tp + self.fp)
+    }
+}
+
+#[inline]
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 4 running example: 100 applicants, 60 male (S=1) /
+    /// 40 female (S=0). Male: TP=14, FN=2, FP=6, TN=38. Female: TP=7, FN=3,
+    /// FP=2, TN=28.
+    pub(crate) fn figure4() -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        let mut y = Vec::new();
+        let mut p = Vec::new();
+        let mut s = Vec::new();
+        let mut push = |n: usize, yt: u8, yp: u8, sv: u8| {
+            for _ in 0..n {
+                y.push(yt);
+                p.push(yp);
+                s.push(sv);
+            }
+        };
+        push(14, 1, 1, 1);
+        push(2, 1, 0, 1);
+        push(6, 0, 1, 1);
+        push(38, 0, 0, 1);
+        push(7, 1, 1, 0);
+        push(3, 1, 0, 0);
+        push(2, 0, 1, 0);
+        push(28, 0, 0, 0);
+        (y, p, s)
+    }
+
+    #[test]
+    fn figure4_overall_statistics() {
+        let (y, p, _) = figure4();
+        let m = ConfusionMatrix::from_predictions(&y, &p);
+        assert_eq!(m.total(), 100);
+        assert_eq!(m.tp, 21);
+        assert_eq!(m.fp, 8);
+        assert_eq!(m.fn_, 5);
+        assert_eq!(m.tn, 66);
+        // The paper reports 87 % accuracy and 78 % F1 in Example 1 (over the
+        // training data); the table itself yields:
+        assert!((m.accuracy() - 0.87).abs() < 1e-12);
+        let f1 = m.f1();
+        assert!((f1 - 0.7636).abs() < 0.01, "F1 = {f1}");
+    }
+
+    #[test]
+    fn figure4_group_rates_match_example1() {
+        let (y, p, s) = figure4();
+        let male = ConfusionMatrix::from_predictions_group(&y, &p, &s, 1);
+        let female = ConfusionMatrix::from_predictions_group(&y, &p, &s, 0);
+        // Example 1, DISCRIMINATION-2: female TPR 70 %, male TPR 87.5 %.
+        assert!((female.tpr() - 0.70).abs() < 1e-12);
+        assert!((male.tpr() - 14.0 / 16.0).abs() < 1e-12);
+        // DISCRIMINATION-1: positive prediction rates ~23 % vs ~33 %.
+        assert!((female.positive_rate() - 9.0 / 40.0).abs() < 1e-12);
+        assert!((male.positive_rate() - 20.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let m = ConfusionMatrix::from_predictions(&[], &[]);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1, 0, 1, 0];
+        let m = ConfusionMatrix::from_predictions(&y, &y);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.fpr(), 0.0);
+        assert_eq!(m.fnr(), 0.0);
+    }
+
+    #[test]
+    fn complementary_rates_sum_to_one() {
+        let (y, p, _) = figure4();
+        let m = ConfusionMatrix::from_predictions(&y, &p);
+        assert!((m.tpr() + m.fnr() - 1.0).abs() < 1e-12);
+        assert!((m.tnr() + m.fpr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fdr_complements_precision() {
+        let (y, p, _) = figure4();
+        let m = ConfusionMatrix::from_predictions(&y, &p);
+        assert!((m.fdr() + m.precision() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn non_binary_labels_rejected() {
+        let _ = ConfusionMatrix::from_predictions(&[2], &[1]);
+    }
+}

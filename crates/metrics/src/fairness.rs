@@ -1,0 +1,153 @@
+//! Group non-causal fairness metrics: DI, TPRB, TNRB (paper Fig. 6).
+
+use crate::confusion::ConfusionMatrix;
+
+/// Disparate impact: `Pr(Ŷ=1 | S=0) / Pr(Ŷ=1 | S=1)`.
+///
+/// `DI = 1` is perfect demographic parity; `< 1` favours the privileged
+/// group. Returns `f64::INFINITY` when the privileged group receives no
+/// positive predictions but the unprivileged one does, and `1.0` when
+/// neither group receives any (no evidence of disparity).
+pub fn disparate_impact(y_pred: &[u8], sensitive: &[u8]) -> f64 {
+    let rate = |g: u8| -> f64 {
+        let (pos, tot) = y_pred
+            .iter()
+            .zip(sensitive.iter())
+            .filter(|&(_, &s)| s == g)
+            .fold((0usize, 0usize), |(p, t), (&yp, _)| (p + yp as usize, t + 1));
+        if tot == 0 {
+            f64::NAN
+        } else {
+            pos as f64 / tot as f64
+        }
+    };
+    let r0 = rate(0);
+    let r1 = rate(1);
+    if r0.is_nan() || r1.is_nan() {
+        return 1.0; // a single-group dataset carries no disparity evidence
+    }
+    if r1 == 0.0 {
+        if r0 == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        r0 / r1
+    }
+}
+
+/// The paper's normalised disparate impact `DI* = min(DI, 1/DI) ∈ [0, 1]`.
+pub fn di_star(y_pred: &[u8], sensitive: &[u8]) -> f64 {
+    let di = disparate_impact(y_pred, sensitive);
+    if di == 0.0 || di.is_infinite() {
+        0.0
+    } else {
+        di.min(1.0 / di)
+    }
+}
+
+/// True positive rate balance:
+/// `TPRB = Pr(Ŷ=1|Y=1,S=1) − Pr(Ŷ=1|Y=1,S=0)`.
+///
+/// Positive values mean the classifier misses the unprivileged group's
+/// positives more often (half of equalized odds).
+pub fn tpr_balance(y_true: &[u8], y_pred: &[u8], sensitive: &[u8]) -> f64 {
+    let priv_ = ConfusionMatrix::from_predictions_group(y_true, y_pred, sensitive, 1);
+    let unpriv = ConfusionMatrix::from_predictions_group(y_true, y_pred, sensitive, 0);
+    priv_.tpr() - unpriv.tpr()
+}
+
+/// True negative rate balance:
+/// `TNRB = Pr(Ŷ=0|Y=0,S=1) − Pr(Ŷ=0|Y=0,S=0)` (the other half of
+/// equalized odds).
+pub fn tnr_balance(y_true: &[u8], y_pred: &[u8], sensitive: &[u8]) -> f64 {
+    let priv_ = ConfusionMatrix::from_predictions_group(y_true, y_pred, sensitive, 1);
+    let unpriv = ConfusionMatrix::from_predictions_group(y_true, y_pred, sensitive, 0);
+    priv_.tnr() - unpriv.tnr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Fig. 4 / Example 1 data (see `confusion::tests::figure4`).
+    fn figure4() -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        let mut y = Vec::new();
+        let mut p = Vec::new();
+        let mut s = Vec::new();
+        let mut push = |n: usize, yt: u8, yp: u8, sv: u8| {
+            for _ in 0..n {
+                y.push(yt);
+                p.push(yp);
+                s.push(sv);
+            }
+        };
+        push(14, 1, 1, 1);
+        push(2, 1, 0, 1);
+        push(6, 0, 1, 1);
+        push(38, 0, 0, 1);
+        push(7, 1, 1, 0);
+        push(3, 1, 0, 0);
+        push(2, 0, 1, 0);
+        push(28, 0, 0, 0);
+        (y, p, s)
+    }
+
+    #[test]
+    fn example1_di() {
+        let (_, p, s) = figure4();
+        // Paper: DI = (9/40) / (20/60) = 0.675 ≈ 0.67
+        let di = disparate_impact(&p, &s);
+        assert!((di - 0.675).abs() < 1e-12, "DI = {di}");
+        assert!((di_star(&p, &s) - 0.675).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example1_tprb_tnrb() {
+        let (y, p, s) = figure4();
+        // Paper: TPRB = 14/16 − 7/10 = 0.175 ≈ 0.18
+        let tprb = tpr_balance(&y, &p, &s);
+        assert!((tprb - 0.175).abs() < 1e-12, "TPRB = {tprb}");
+        // Paper: TNRB = 38/44 − 28/30 ≈ −0.07
+        let tnrb = tnr_balance(&y, &p, &s);
+        assert!((tnrb - (38.0 / 44.0 - 28.0 / 30.0)).abs() < 1e-12);
+        assert!((tnrb + 0.07).abs() < 0.005, "TNRB = {tnrb}");
+    }
+
+    #[test]
+    fn di_star_symmetric() {
+        // reverse discrimination maps to the same DI*
+        let p = [1, 1, 1, 0, 1, 0, 0, 0];
+        let s = [0, 0, 0, 0, 1, 1, 1, 1];
+        let di = disparate_impact(&p, &s); // 0.75 / 0.25 = 3
+        assert!((di - 3.0).abs() < 1e-12);
+        assert!((di_star(&p, &s) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn di_degenerate_cases() {
+        // privileged gets none, unprivileged some → ∞, DI* = 0
+        let p = [1, 0];
+        let s = [0, 1];
+        assert!(disparate_impact(&p, &s).is_infinite());
+        assert_eq!(di_star(&p, &s), 0.0);
+        // nobody positive → DI = 1 (fair)
+        let p = [0, 0];
+        assert_eq!(disparate_impact(&p, &s), 1.0);
+        assert_eq!(di_star(&p, &s), 1.0);
+        // only one group present → neutral
+        let s1 = [1, 1];
+        assert_eq!(disparate_impact(&[1, 0], &s1), 1.0);
+    }
+
+    #[test]
+    fn perfect_parity() {
+        let p = [1, 0, 1, 0];
+        let s = [0, 0, 1, 1];
+        assert_eq!(disparate_impact(&p, &s), 1.0);
+        let y = [1, 0, 1, 0];
+        assert_eq!(tpr_balance(&y, &p, &s), 0.0);
+        assert_eq!(tnr_balance(&y, &p, &s), 0.0);
+    }
+}

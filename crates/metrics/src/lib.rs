@@ -1,0 +1,42 @@
+//! # fairlens-metrics
+//!
+//! The paper's evaluation metrics (Section 2): four correctness metrics and
+//! five fairness metrics, plus the normalisations the paper reports.
+//!
+//! Correctness ([`confusion`]): accuracy, precision, recall, F₁ — all
+//! derived from the [`confusion::ConfusionMatrix`], which also exposes the
+//! group-conditional rates (TPR/TNR/FPR/FNR per sensitive group) that the
+//! fairness metrics are built from.
+//!
+//! Fairness ([`fairness`], [`cd`], [`crd`]):
+//!
+//! * **DI** — disparate impact, the demographic-parity ratio; reported as
+//!   `DI* = min(DI, 1/DI)` so both directions of unfairness map low;
+//! * **TPRB / TNRB** — equalized-odds balances; reported as `1 − |·|`;
+//! * **CD** — causal discrimination (individual, causal, interventional):
+//!   fraction of tuples whose prediction flips when `S` is flipped,
+//!   estimated on a Hoeffding-sized sample at 99 % confidence / 1 % error
+//!   (the paper's setting);
+//! * **CRD** — causal risk difference (group, causal, observational):
+//!   propensity-weighted risk difference given resolving attributes, the
+//!   propensity model being a from-scratch logistic regression.
+//!
+//! [`report`] aggregates everything into the per-approach row of Fig. 10,
+//! and [`notions`] encodes the paper's full Fig. 5 catalogue of 26 fairness
+//! notions with their granularity/association/methodology classification.
+
+pub mod cd;
+pub mod confusion;
+pub mod crd;
+pub mod fairness;
+pub mod notions;
+pub mod report;
+pub mod subgroups;
+
+pub use cd::{causal_discrimination, hoeffding_sample_size};
+pub use confusion::ConfusionMatrix;
+pub use crd::causal_risk_difference;
+pub use fairness::{di_star, disparate_impact, tnr_balance, tpr_balance};
+pub use notions::{FairnessNotion, NOTIONS};
+pub use report::MetricReport;
+pub use subgroups::{audit_subgroups, worst_weighted_gap, SubgroupSlice};

@@ -1,0 +1,181 @@
+//! Aggregated metric report: one Fig. 10 row per approach.
+
+use crate::confusion::ConfusionMatrix;
+use crate::fairness;
+
+/// All nine evaluation metrics for one approach on one dataset, in the
+/// paper's normalised form (higher = more correct / more fair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricReport {
+    /// Accuracy ∈ [0, 1].
+    pub accuracy: f64,
+    /// Precision ∈ [0, 1].
+    pub precision: f64,
+    /// Recall ∈ [0, 1].
+    pub recall: f64,
+    /// F₁ ∈ [0, 1].
+    pub f1: f64,
+    /// Normalised disparate impact `DI* = min(DI, 1/DI)` ∈ [0, 1].
+    pub di_star: f64,
+    /// Raw disparate impact (kept for direction analysis).
+    pub di_raw: f64,
+    /// `1 − |TPRB|` ∈ [0, 1].
+    pub tprb_fair: f64,
+    /// Raw TPRB (signed; negative = reverse discrimination).
+    pub tprb_raw: f64,
+    /// `1 − |TNRB|` ∈ [0, 1].
+    pub tnrb_fair: f64,
+    /// Raw TNRB (signed).
+    pub tnrb_raw: f64,
+    /// `1 − CD` ∈ [0, 1].
+    pub cd_fair: f64,
+    /// Raw CD ∈ [0, 1].
+    pub cd_raw: f64,
+    /// `1 − |CRD|` ∈ [0, 1].
+    pub crd_fair: f64,
+    /// Raw CRD (signed).
+    pub crd_raw: f64,
+}
+
+impl MetricReport {
+    /// Assemble a report from predictions plus the two causal metrics
+    /// (computed separately because they need the model / resolving
+    /// attributes, not just predictions).
+    pub fn from_predictions(
+        y_true: &[u8],
+        y_pred: &[u8],
+        sensitive: &[u8],
+        cd_raw: f64,
+        crd_raw: f64,
+    ) -> Self {
+        let m = ConfusionMatrix::from_predictions(y_true, y_pred);
+        let di_raw = fairness::disparate_impact(y_pred, sensitive);
+        let tprb_raw = fairness::tpr_balance(y_true, y_pred, sensitive);
+        let tnrb_raw = fairness::tnr_balance(y_true, y_pred, sensitive);
+        Self {
+            accuracy: m.accuracy(),
+            precision: m.precision(),
+            recall: m.recall(),
+            f1: m.f1(),
+            di_star: fairness::di_star(y_pred, sensitive),
+            di_raw,
+            tprb_fair: 1.0 - tprb_raw.abs(),
+            tprb_raw,
+            tnrb_fair: 1.0 - tnrb_raw.abs(),
+            tnrb_raw,
+            cd_fair: 1.0 - cd_raw,
+            cd_raw,
+            crd_fair: 1.0 - crd_raw.abs(),
+            crd_raw,
+        }
+    }
+
+    /// The paper marks bars red when the *direction* of remaining
+    /// discrimination favours the unprivileged group ("reverse"
+    /// discrimination). True when any signed metric points that way.
+    pub fn reverse_discrimination(&self) -> ReverseFlags {
+        ReverseFlags {
+            di: self.di_raw > 1.0,
+            tprb: self.tprb_raw < 0.0,
+            tnrb: self.tnrb_raw < 0.0,
+            crd: self.crd_raw < 0.0,
+        }
+    }
+
+    /// The nine normalised metric values in presentation order
+    /// (Acc, Prec, Rec, F1, DI*, 1−|TPRB|, 1−|TNRB|, 1−CD, 1−|CRD|).
+    pub fn values(&self) -> [f64; 9] {
+        [
+            self.accuracy,
+            self.precision,
+            self.recall,
+            self.f1,
+            self.di_star,
+            self.tprb_fair,
+            self.tnrb_fair,
+            self.cd_fair,
+            self.crd_fair,
+        ]
+    }
+
+    /// Column headers matching [`Self::values`].
+    pub fn headers() -> [&'static str; 9] {
+        [
+            "Acc", "Prec", "Rec", "F1", "DI*", "1-|TPRB|", "1-|TNRB|", "1-CD", "1-|CRD|",
+        ]
+    }
+}
+
+/// Per-metric reverse-discrimination flags (the red stripes of Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReverseFlags {
+    /// DI > 1: unprivileged group receives positives more often.
+    pub di: bool,
+    /// TPRB < 0: unprivileged TPR exceeds privileged.
+    pub tprb: bool,
+    /// TNRB < 0.
+    pub tnrb: bool,
+    /// CRD < 0.
+    pub crd: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure4() -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+        let mut y = Vec::new();
+        let mut p = Vec::new();
+        let mut s = Vec::new();
+        let mut push = |n: usize, yt: u8, yp: u8, sv: u8| {
+            for _ in 0..n {
+                y.push(yt);
+                p.push(yp);
+                s.push(sv);
+            }
+        };
+        push(14, 1, 1, 1);
+        push(2, 1, 0, 1);
+        push(6, 0, 1, 1);
+        push(38, 0, 0, 1);
+        push(7, 1, 1, 0);
+        push(3, 1, 0, 0);
+        push(2, 0, 1, 0);
+        push(28, 0, 0, 0);
+        (y, p, s)
+    }
+
+    #[test]
+    fn report_matches_example1() {
+        let (y, p, s) = figure4();
+        let r = MetricReport::from_predictions(&y, &p, &s, 0.0, 0.0);
+        assert!((r.accuracy - 0.87).abs() < 1e-12);
+        assert!((r.di_star - 0.675).abs() < 1e-12);
+        assert!((r.tprb_fair - (1.0 - 0.175)).abs() < 1e-12);
+        assert_eq!(r.cd_fair, 1.0);
+        assert_eq!(r.crd_fair, 1.0);
+        let flags = r.reverse_discrimination();
+        assert!(!flags.di);
+        assert!(!flags.tprb);
+        assert!(flags.tnrb); // TNRB is slightly negative in Example 1
+    }
+
+    #[test]
+    fn values_align_with_headers() {
+        let (y, p, s) = figure4();
+        let r = MetricReport::from_predictions(&y, &p, &s, 0.1, -0.2);
+        let v = r.values();
+        assert_eq!(v.len(), MetricReport::headers().len());
+        assert!((v[7] - 0.9).abs() < 1e-12); // 1 − CD
+        assert!((v[8] - 0.8).abs() < 1e-12); // 1 − |CRD|
+    }
+
+    #[test]
+    fn all_values_in_unit_interval() {
+        let (y, p, s) = figure4();
+        let r = MetricReport::from_predictions(&y, &p, &s, 0.3, 0.5);
+        for v in r.values() {
+            assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-subgroup metric breakdowns — the audit view behind Kearns et al.'s
+//! "fairness gerrymandering" concern: marginal group fairness can mask
+//! discrimination against structured subgroups (e.g. *young unprivileged
+//! women*). This module slices any prediction vector by attribute-defined
+//! subgroups and reports the full confusion statistics per slice.
+
+use fairlens_frame::{Column, Dataset};
+
+use crate::confusion::ConfusionMatrix;
+
+/// One audited subgroup: a human-readable description plus its row mask.
+#[derive(Debug, Clone)]
+pub struct SubgroupSlice {
+    /// e.g. `"sex=0 ∧ occupation=service"`.
+    pub description: String,
+    /// Membership per row.
+    pub member: Vec<bool>,
+    /// The slice's confusion matrix.
+    pub confusion: ConfusionMatrix,
+    /// Positive-prediction rate within the slice.
+    pub positive_rate: f64,
+    /// Fraction of the dataset in the slice (`α(g)` in Kearns et al.).
+    pub mass: f64,
+}
+
+/// Audit `preds` on `data` over every subgroup defined by one categorical
+/// level or numeric median split, each optionally intersected with the
+/// sensitive groups. Slices with fewer than `min_size` rows are dropped.
+pub fn audit_subgroups(
+    data: &Dataset,
+    preds: &[u8],
+    intersect_sensitive: bool,
+    min_size: usize,
+) -> Vec<SubgroupSlice> {
+    assert_eq!(preds.len(), data.n_rows(), "audit: prediction length mismatch");
+    let mut masks: Vec<(String, Vec<bool>)> = Vec::new();
+    // marginal sensitive groups
+    for g in 0..2u8 {
+        masks.push((
+            format!("{}={g}", data.sensitive_name()),
+            data.sensitive().iter().map(|&s| s == g).collect(),
+        ));
+    }
+    for (col, name) in data.columns().iter().zip(data.attr_names()) {
+        let base: Vec<(String, Vec<bool>)> = match col {
+            Column::Categorical { codes, levels } => (0..levels.len() as u32)
+                .map(|l| {
+                    (
+                        format!("{name}={}", levels[l as usize]),
+                        codes.iter().map(|&c| c == l).collect(),
+                    )
+                })
+                .collect(),
+            Column::Numeric(v) => {
+                let mut sorted = v.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let median = sorted[sorted.len() / 2];
+                vec![
+                    (format!("{name}<{median:.3}"), v.iter().map(|&x| x < median).collect()),
+                    (format!("{name}>={median:.3}"), v.iter().map(|&x| x >= median).collect()),
+                ]
+            }
+        };
+        for (desc, mask) in base {
+            if intersect_sensitive {
+                for g in 0..2u8 {
+                    let inter: Vec<bool> = mask
+                        .iter()
+                        .zip(data.sensitive().iter())
+                        .map(|(&m, &s)| m && s == g)
+                        .collect();
+                    masks.push((format!("{desc} ∧ {}={g}", data.sensitive_name()), inter));
+                }
+            }
+            masks.push((desc, mask));
+        }
+    }
+
+    let n = data.n_rows() as f64;
+    masks
+        .into_iter()
+        .filter_map(|(description, member)| {
+            let size = member.iter().filter(|&&m| m).count();
+            if size < min_size {
+                return None;
+            }
+            let (yt, yp): (Vec<u8>, Vec<u8>) = data
+                .labels()
+                .iter()
+                .zip(preds.iter())
+                .zip(member.iter())
+                .filter(|&(_, &m)| m)
+                .map(|((&t, &p), _)| (t, p))
+                .unzip();
+            let confusion = ConfusionMatrix::from_predictions(&yt, &yp);
+            Some(SubgroupSlice {
+                description,
+                positive_rate: confusion.positive_rate(),
+                mass: size as f64 / n,
+                member,
+                confusion,
+            })
+        })
+        .collect()
+}
+
+/// The worst weighted statistic gap across slices:
+/// `max_g α(g)·|stat(g) − stat(D)|` where `stat` is picked by the closure —
+/// the quantity Kearns et al.'s auditor bounds by γ.
+pub fn worst_weighted_gap<F: Fn(&ConfusionMatrix) -> f64>(
+    slices: &[SubgroupSlice],
+    overall: &ConfusionMatrix,
+    stat: F,
+) -> Option<(usize, f64)> {
+    let base = stat(overall);
+    slices
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i, s.mass * (stat(&s.confusion) - base).abs()))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Dataset, Vec<u8>) {
+        let n = 400;
+        let mut age = Vec::new();
+        let mut job = Vec::new();
+        let mut s = Vec::new();
+        let mut y = Vec::new();
+        let mut preds = Vec::new();
+        for i in 0..n {
+            let si = (i % 2) as u8;
+            let old = (i / 2) % 2 == 1;
+            age.push(if old { 60.0 } else { 25.0 });
+            job.push(((i / 4) % 2) as u32);
+            s.push(si);
+            y.push(u8::from(i % 3 == 0));
+            // hidden gerrymandering: young unprivileged always rejected
+            preds.push(u8::from(!(si == 0 && !old) && i % 3 == 0));
+        }
+        let d = Dataset::builder("aud")
+            .numeric("age", age)
+            .categorical("job", job, vec!["a".into(), "b".into()])
+            .sensitive("sex", s)
+            .labels("y", y)
+            .build()
+            .unwrap();
+        (d, preds)
+    }
+
+    #[test]
+    fn audit_finds_all_slices() {
+        let (d, preds) = toy();
+        let plain = audit_subgroups(&d, &preds, false, 10);
+        // 2 sensitive + 2 age splits + 2 job levels
+        assert_eq!(plain.len(), 6);
+        let intersected = audit_subgroups(&d, &preds, true, 10);
+        assert!(intersected.len() > plain.len());
+        for s in &intersected {
+            assert!(s.mass > 0.0 && s.mass <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gerrymandered_slice_has_worst_gap() {
+        let (d, preds) = toy();
+        let slices = audit_subgroups(&d, &preds, true, 10);
+        let overall = ConfusionMatrix::from_predictions(d.labels(), &preds);
+        let (_, gap) =
+            worst_weighted_gap(&slices, &overall, |m| m.positive_rate()).unwrap();
+        assert!(gap > 0.04, "gap {gap}");
+        // The young-unprivileged intersection gets zero positives and the
+        // audit must surface it among the large-gap slices.
+        let young_unpriv = slices
+            .iter()
+            .find(|s| s.description.contains("age<") && s.description.contains("sex=0"))
+            .expect("young-unprivileged slice present");
+        assert_eq!(young_unpriv.positive_rate, 0.0);
+        let yu_gap =
+            young_unpriv.mass * (young_unpriv.positive_rate - overall.positive_rate()).abs();
+        assert!(yu_gap > 0.5 * gap, "gerrymandered gap {yu_gap} vs worst {gap}");
+    }
+
+    #[test]
+    fn min_size_filters_small_slices() {
+        let (d, preds) = toy();
+        let all = audit_subgroups(&d, &preds, true, 1);
+        let filtered = audit_subgroups(&d, &preds, true, 150);
+        assert!(filtered.len() < all.len());
+        assert!(filtered.iter().all(|s| s.mass * 400.0 >= 150.0));
+    }
+}

@@ -1,0 +1,23 @@
+//! # fairlens-model
+//!
+//! The classifier substrate of the FairLens workspace: logistic regression,
+//! matching the paper's experimental setting. The paper pairs every
+//! pre-processing repair with a logistic-regression classifier, uses an
+//! unconstrained logistic regression (`LR`) as the fairness-unaware baseline,
+//! and most of the in-processing approaches (Zafar, Celis, Kearns, Thomas)
+//! are constrained or reweighted logistic models.
+//!
+//! * [`LogisticRegression`] — the fitted model: IRLS (Newton) solver with a
+//!   gradient-descent fallback, L2 regularisation, per-sample weights
+//!   (needed by the cost-sensitive learners inside Kearns and Celis), signed
+//!   decision function (the quantity Zafar's covariance proxy uses), and
+//!   calibrated probabilities (the quantity Kam-Kar and Pleiss manipulate).
+//! * [`loss::LogisticLoss`] — the same negative log-likelihood exposed as a
+//!   `fairlens_optim::Objective`, so constrained solvers can minimise it
+//!   under fairness constraints.
+
+pub mod logistic;
+pub mod loss;
+
+pub use logistic::{FitError, LogisticOptions, LogisticRegression, Solver};
+pub use loss::LogisticLoss;

@@ -1,0 +1,131 @@
+//! Adam first-order optimiser (Kingma & Ba), used by the adversarial
+//! in-processing approach (Zha-Le) whose saddle-point objective is a poor
+//! fit for line-search methods.
+
+use crate::Objective;
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone)]
+pub struct AdamOptions {
+    /// Number of iterations (Adam has no natural convergence test; the
+    /// caller budgets steps, as in the original adversarial-debiasing code).
+    pub iterations: usize,
+    /// Step size `α`.
+    pub lr: f64,
+    /// First-moment decay `β₁`.
+    pub beta1: f64,
+    /// Second-moment decay `β₂`.
+    pub beta2: f64,
+    /// Numerical fuzz `ε`.
+    pub eps: f64,
+}
+
+impl Default for AdamOptions {
+    fn default() -> Self {
+        Self { iterations: 500, lr: 0.05, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+/// Stateful Adam stepper: callers drive it with externally-computed
+/// gradients (needed by the adversarial training loop, where the "gradient"
+/// is a projected combination of two networks' gradients).
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: usize,
+    opts: AdamOptions,
+}
+
+impl AdamState {
+    /// Fresh state for a parameter vector of length `dim`.
+    pub fn new(dim: usize, opts: AdamOptions) -> Self {
+        Self { m: vec![0.0; dim], v: vec![0.0; dim], t: 0, opts }
+    }
+
+    /// Apply one Adam update of `params` along `grad` (a descent step).
+    pub fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        debug_assert_eq!(params.len(), grad.len(), "adam: dimension mismatch");
+        self.t += 1;
+        let b1 = self.opts.beta1;
+        let b2 = self.opts.beta2;
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = b1 * self.m[i] + (1.0 - b1) * grad[i];
+            self.v[i] = b2 * self.v[i] + (1.0 - b2) * grad[i] * grad[i];
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= self.opts.lr * mhat / (vhat.sqrt() + self.opts.eps);
+        }
+    }
+}
+
+/// Minimise `obj` from `x0` with Adam for a fixed budget of iterations.
+/// Returns the best iterate seen (not necessarily the last).
+pub fn minimize(obj: &dyn Objective, x0: &[f64], opts: &AdamOptions) -> (Vec<f64>, f64) {
+    assert_eq!(x0.len(), obj.dim(), "adam minimize: x0 dimension mismatch");
+    let mut x = x0.to_vec();
+    let mut state = AdamState::new(x.len(), opts.clone());
+    let mut best = x.clone();
+    let mut best_val = obj.value(&x);
+    for _ in 0..opts.iterations {
+        let g = obj.gradient(&x);
+        state.step(&mut x, &g);
+        let v = obj.value(&x);
+        if v.is_finite() && v < best_val {
+            best_val = v;
+            best.copy_from_slice(&x);
+        }
+    }
+    (best, best_val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Quartic;
+    impl Objective for Quartic {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            x[0].powi(4) + (x[1] - 3.0).powi(2)
+        }
+        fn gradient(&self, x: &[f64]) -> Vec<f64> {
+            vec![4.0 * x[0].powi(3), 2.0 * (x[1] - 3.0)]
+        }
+    }
+
+    #[test]
+    fn adam_reaches_minimum() {
+        let opts = AdamOptions { iterations: 3000, lr: 0.05, ..Default::default() };
+        let (x, v) = minimize(&Quartic, &[2.0, -2.0], &opts);
+        assert!(v < 1e-3, "value {v}");
+        assert!((x[1] - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn stepper_moves_downhill_on_average() {
+        let q = Quartic;
+        let mut x = vec![1.0, 0.0];
+        let mut st = AdamState::new(2, AdamOptions::default());
+        let start = q.value(&x);
+        for _ in 0..200 {
+            let g = q.gradient(&x);
+            st.step(&mut x, &g);
+        }
+        assert!(q.value(&x) < start);
+    }
+
+    #[test]
+    fn best_iterate_is_returned() {
+        // Huge lr makes Adam overshoot; the best-seen iterate must still be
+        // no worse than the start.
+        let opts = AdamOptions { iterations: 50, lr: 5.0, ..Default::default() };
+        let start = Quartic.value(&[2.0, -2.0]);
+        let (_, v) = minimize(&Quartic, &[2.0, -2.0], &opts);
+        assert!(v <= start);
+    }
+}

@@ -1,0 +1,150 @@
+//! Gradient descent with Armijo backtracking line search.
+
+use fairlens_linalg::vector;
+
+use crate::Objective;
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone)]
+pub struct GdOptions {
+    /// Maximum number of descent iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the gradient ℓ∞ norm.
+    pub grad_tol: f64,
+    /// Initial trial step size for the line search.
+    pub init_step: f64,
+    /// Armijo sufficient-decrease constant (typically 1e-4).
+    pub armijo_c: f64,
+    /// Backtracking shrink factor in `(0, 1)`.
+    pub shrink: f64,
+}
+
+impl Default for GdOptions {
+    fn default() -> Self {
+        Self { max_iter: 500, grad_tol: 1e-6, init_step: 1.0, armijo_c: 1e-4, shrink: 0.5 }
+    }
+}
+
+/// Result of a gradient-descent run.
+#[derive(Debug, Clone)]
+pub struct GdResult {
+    /// The final iterate.
+    pub x: Vec<f64>,
+    /// Objective value at the final iterate.
+    pub value: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the gradient tolerance was reached.
+    pub converged: bool,
+}
+
+/// Minimise `obj` from `x0` by steepest descent with backtracking.
+///
+/// Deterministic and allocation-light: a fresh gradient per iteration plus a
+/// scratch trial point. Suitable for the smooth convex losses used across
+/// the workspace (logistic loss, penalised variants).
+pub fn minimize(obj: &dyn Objective, x0: &[f64], opts: &GdOptions) -> GdResult {
+    assert_eq!(x0.len(), obj.dim(), "minimize: x0 dimension mismatch");
+    let mut x = x0.to_vec();
+    let (mut fx, mut g) = obj.value_grad(&x);
+    let mut trial = vec![0.0; x.len()];
+    for it in 0..opts.max_iter {
+        let gnorm = vector::norm_inf(&g);
+        if gnorm <= opts.grad_tol {
+            return GdResult { x, value: fx, iterations: it, converged: true };
+        }
+        // Backtracking along -g.
+        let g2 = vector::dot(&g, &g);
+        let mut step = opts.init_step;
+        let mut accepted = false;
+        for _ in 0..60 {
+            for (t, (xi, gi)) in trial.iter_mut().zip(x.iter().zip(g.iter())) {
+                *t = xi - step * gi;
+            }
+            let ft = obj.value(&trial);
+            if ft.is_finite() && ft <= fx - opts.armijo_c * step * g2 {
+                accepted = true;
+                break;
+            }
+            step *= opts.shrink;
+        }
+        if !accepted {
+            // Line search failed: we are at numerical stationarity.
+            return GdResult { x, value: fx, iterations: it, converged: false };
+        }
+        std::mem::swap(&mut x, &mut trial);
+        let vg = obj.value_grad(&x);
+        fx = vg.0;
+        g = vg.1;
+    }
+    GdResult { x, value: fx, iterations: opts.max_iter, converged: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Rosenbrock;
+    impl Objective for Rosenbrock {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        }
+        fn gradient(&self, x: &[f64]) -> Vec<f64> {
+            vec![
+                -2.0 * (1.0 - x[0]) - 400.0 * x[0] * (x[1] - x[0] * x[0]),
+                200.0 * (x[1] - x[0] * x[0]),
+            ]
+        }
+    }
+
+    struct Quadratic;
+    impl Objective for Quadratic {
+        fn dim(&self) -> usize {
+            3
+        }
+        fn value(&self, x: &[f64]) -> f64 {
+            x.iter().enumerate().map(|(i, v)| (i + 1) as f64 * v * v).sum()
+        }
+        fn gradient(&self, x: &[f64]) -> Vec<f64> {
+            x.iter().enumerate().map(|(i, v)| 2.0 * (i + 1) as f64 * v).collect()
+        }
+    }
+
+    #[test]
+    fn quadratic_converges_to_origin() {
+        let r = minimize(&Quadratic, &[5.0, -3.0, 2.0], &GdOptions::default());
+        assert!(r.converged);
+        for v in &r.x {
+            assert!(v.abs() < 1e-5, "expected ~0, got {v}");
+        }
+    }
+
+    #[test]
+    fn rosenbrock_descends_substantially() {
+        let opts = GdOptions { max_iter: 20_000, grad_tol: 1e-8, ..Default::default() };
+        let r = minimize(&Rosenbrock, &[-1.2, 1.0], &opts);
+        // Rosenbrock is hard for plain GD; we require near-optimality, not
+        // exact convergence.
+        assert!(r.value < 1e-3, "value {}", r.value);
+        assert!((r.x[0] - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn monotone_decrease() {
+        let q = Quadratic;
+        let r1 = minimize(&q, &[1.0, 1.0, 1.0], &GdOptions { max_iter: 1, ..Default::default() });
+        let r5 = minimize(&q, &[1.0, 1.0, 1.0], &GdOptions { max_iter: 5, ..Default::default() });
+        assert!(r5.value <= r1.value);
+        assert!(r1.value <= q.value(&[1.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn already_optimal_converges_immediately() {
+        let r = minimize(&Quadratic, &[0.0, 0.0, 0.0], &GdOptions::default());
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Scalar (one-dimensional) solvers: bisection root finding and golden-
+//! section minimisation.
+//!
+//! These back the threshold tuners of the post-processing approaches
+//! (Kam-Kar's critical-region width θ, Pleiss's withholding rate α) and the
+//! intercept calibration of the synthetic dataset generators, which must hit
+//! the paper's documented group-conditional positive rates exactly.
+
+/// Find a root of `f` in `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs; returns the best
+/// midpoint after `max_iter` halvings or when the bracket is narrower than
+/// `tol`. Returns `None` if the bracket does not straddle a sign change.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Option<f64> {
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Some(lo);
+    }
+    if fhi == 0.0 {
+        return Some(hi);
+    }
+    if flo * fhi > 0.0 {
+        return None;
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo < tol {
+            return Some(mid);
+        }
+        let fmid = f(mid);
+        if fmid == 0.0 {
+            return Some(mid);
+        }
+        if flo * fmid < 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fmid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Minimise a unimodal scalar function on `[lo, hi]` by golden-section
+/// search; returns `(argmin, min)`.
+pub fn golden_section_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> (f64, f64) {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut a = hi - INV_PHI * (hi - lo);
+    let mut b = lo + INV_PHI * (hi - lo);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    for _ in 0..max_iter {
+        if hi - lo < tol {
+            break;
+        }
+        if fa < fb {
+            hi = b;
+            b = a;
+            fb = fa;
+            a = hi - INV_PHI * (hi - lo);
+            fa = f(a);
+        } else {
+            lo = a;
+            a = b;
+            fa = fb;
+            b = lo + INV_PHI * (hi - lo);
+            fb = f(b);
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    let fx = f(x);
+    if fa <= fb && fa <= fx {
+        (a, fa)
+    } else if fb <= fx {
+        (b, fb)
+    } else {
+        (x, fx)
+    }
+}
+
+/// Exhaustive minimisation of `f` over an explicit grid; returns the best
+/// `(x, f(x))`. Used when the objective is cheap and non-unimodal (fairness
+/// thresholds with plateau structure).
+pub fn grid_min<F: FnMut(f64) -> f64>(mut f: F, grid: &[f64]) -> Option<(f64, f64)> {
+    let mut best: Option<(f64, f64)> = None;
+    for &x in grid {
+        let v = f(x);
+        if !v.is_finite() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v >= bv => {}
+            _ => best = Some((x, v)),
+        }
+    }
+    best
+}
+
+/// An evenly spaced grid of `n ≥ 2` points covering `[lo, hi]` inclusive.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n).map(|i| lo + step * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9, 100).is_none());
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 5.0, 1e-9, 10), Some(0.0));
+    }
+
+    #[test]
+    fn golden_section_quadratic() {
+        let (x, v) = golden_section_min(|x| (x - 1.3).powi(2), -5.0, 5.0, 1e-9, 200);
+        assert!((x - 1.3).abs() < 1e-6);
+        assert!(v < 1e-10);
+    }
+
+    #[test]
+    fn grid_min_picks_smallest() {
+        let g = linspace(0.0, 1.0, 11);
+        let (x, _) = grid_min(|x| (x - 0.5).abs(), &g).unwrap();
+        assert!((x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_min_skips_nan() {
+        let got = grid_min(
+            |x| if x < 0.5 { f64::NAN } else { x },
+            &[0.0, 0.25, 0.5, 0.75],
+        )
+        .unwrap();
+        assert_eq!(got.0, 0.5);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let g = linspace(2.0, 4.0, 5);
+        assert_eq!(g.first().copied(), Some(2.0));
+        assert_eq!(g.last().copied(), Some(4.0));
+        assert_eq!(g.len(), 5);
+    }
+}

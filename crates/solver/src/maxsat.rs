@@ -1,0 +1,385 @@
+//! Weighted partial MaxSAT.
+//!
+//! A problem is a set of clauses over boolean variables; each clause is
+//! either *hard* (must be satisfied) or *soft* with a positive weight. A
+//! solution maximises the total weight of satisfied soft clauses subject to
+//! all hard clauses holding.
+//!
+//! Two engines:
+//! * exact branch-and-bound with unit-propagation-free bounding, used when
+//!   the variable count is small (`solve` dispatches below
+//!   [`EXACT_VAR_LIMIT`]);
+//! * WalkSAT-style weighted stochastic local search with restarts for
+//!   larger instances — the classic incomplete approach for repair-style
+//!   encodings like Salimi's.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A literal: variable index plus polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lit {
+    /// Zero-based variable index.
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal of `var`.
+    pub fn pos(var: usize) -> Self {
+        Self { var, positive: true }
+    }
+
+    /// Negative literal of `var`.
+    pub fn neg(var: usize) -> Self {
+        Self { var, positive: false }
+    }
+
+    #[inline]
+    fn satisfied_by(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+/// A clause: a disjunction of literals with a hard/soft weight.
+#[derive(Debug, Clone)]
+pub struct Clause {
+    /// The disjuncts.
+    pub lits: Vec<Lit>,
+    /// `None` = hard clause; `Some(w)` = soft clause of weight `w > 0`.
+    pub weight: Option<f64>,
+}
+
+impl Clause {
+    /// A hard clause.
+    pub fn hard(lits: Vec<Lit>) -> Self {
+        Self { lits, weight: None }
+    }
+
+    /// A soft clause with weight `w`.
+    ///
+    /// # Panics
+    /// Panics if `w <= 0`.
+    pub fn soft(lits: Vec<Lit>, w: f64) -> Self {
+        assert!(w > 0.0, "soft clause weight must be positive");
+        Self { lits, weight: Some(w) }
+    }
+
+    #[inline]
+    fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        self.lits.iter().any(|l| l.satisfied_by(assignment))
+    }
+}
+
+/// A weighted partial MaxSAT instance.
+#[derive(Debug, Clone, Default)]
+pub struct MaxSatProblem {
+    n_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+/// Result of a MaxSAT solve.
+#[derive(Debug, Clone)]
+pub struct MaxSatSolution {
+    /// Truth assignment per variable.
+    pub assignment: Vec<bool>,
+    /// Total satisfied soft weight.
+    pub soft_weight: f64,
+    /// Whether all hard clauses are satisfied.
+    pub hard_ok: bool,
+}
+
+/// Instances at or below this variable count are solved exactly.
+pub const EXACT_VAR_LIMIT: usize = 18;
+
+impl MaxSatProblem {
+    /// Empty problem with `n_vars` variables.
+    pub fn new(n_vars: usize) -> Self {
+        Self { n_vars, clauses: Vec::new() }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of clauses.
+    pub fn n_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Add a clause.
+    ///
+    /// # Panics
+    /// Panics on an empty clause or out-of-range variable.
+    pub fn add(&mut self, clause: Clause) {
+        assert!(!clause.lits.is_empty(), "empty clause");
+        for l in &clause.lits {
+            assert!(l.var < self.n_vars, "literal variable out of range");
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Total weight of all soft clauses.
+    pub fn total_soft_weight(&self) -> f64 {
+        self.clauses.iter().filter_map(|c| c.weight).sum()
+    }
+
+    fn evaluate(&self, assignment: &[bool]) -> (f64, bool) {
+        let mut soft = 0.0;
+        let mut hard_ok = true;
+        for c in &self.clauses {
+            let sat = c.satisfied_by(assignment);
+            match c.weight {
+                Some(w) if sat => soft += w,
+                Some(_) => {}
+                None if !sat => hard_ok = false,
+                None => {}
+            }
+        }
+        (soft, hard_ok)
+    }
+
+    /// Solve: exact when small, local search otherwise. `seed` controls the
+    /// local-search randomness (exact solves ignore it).
+    pub fn solve(&self, seed: u64) -> MaxSatSolution {
+        if self.n_vars <= EXACT_VAR_LIMIT {
+            self.solve_exact()
+        } else {
+            self.solve_local_search(seed, 40 * self.n_vars.max(250), 6)
+        }
+    }
+
+    /// Exhaustive exact solve (≤ [`EXACT_VAR_LIMIT`] variables).
+    pub fn solve_exact(&self) -> MaxSatSolution {
+        assert!(
+            self.n_vars <= EXACT_VAR_LIMIT,
+            "exact solve limited to {EXACT_VAR_LIMIT} variables"
+        );
+        let mut best: Option<MaxSatSolution> = None;
+        let mut assignment = vec![false; self.n_vars];
+        let combos = 1u64 << self.n_vars;
+        for mask in 0..combos {
+            for (v, a) in assignment.iter_mut().enumerate() {
+                *a = (mask >> v) & 1 == 1;
+            }
+            let (soft, hard_ok) = self.evaluate(&assignment);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (hard_ok && !b.hard_ok) || (hard_ok == b.hard_ok && soft > b.soft_weight)
+                }
+            };
+            if better {
+                best = Some(MaxSatSolution {
+                    assignment: assignment.clone(),
+                    soft_weight: soft,
+                    hard_ok,
+                });
+            }
+        }
+        best.unwrap_or(MaxSatSolution { assignment, soft_weight: 0.0, hard_ok: true })
+    }
+
+    /// Weighted WalkSAT with restarts.
+    ///
+    /// Hard clauses get an effective weight larger than the total soft
+    /// weight, so the search always prefers restoring hard feasibility.
+    pub fn solve_local_search(&self, seed: u64, flips: usize, restarts: usize) -> MaxSatSolution {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hard_w = self.total_soft_weight() + 1.0;
+        let eff = |c: &Clause| c.weight.unwrap_or(hard_w);
+
+        // var -> clauses containing it
+        let mut occurs: Vec<Vec<usize>> = vec![Vec::new(); self.n_vars];
+        for (ci, c) in self.clauses.iter().enumerate() {
+            for l in &c.lits {
+                occurs[l.var].push(ci);
+            }
+        }
+
+        let mut best: Option<MaxSatSolution> = None;
+        let consider = |best: &mut Option<MaxSatSolution>,
+                            assignment: &[bool],
+                            soft: f64,
+                            hard_ok: bool| {
+            let better = match best.as_ref() {
+                None => true,
+                Some(b) => {
+                    (hard_ok && !b.hard_ok) || (hard_ok == b.hard_ok && soft > b.soft_weight)
+                }
+            };
+            if better {
+                *best = Some(MaxSatSolution {
+                    assignment: assignment.to_vec(),
+                    soft_weight: soft,
+                    hard_ok,
+                });
+            }
+        };
+        for _ in 0..restarts.max(1) {
+            let mut assignment: Vec<bool> = (0..self.n_vars).map(|_| rng.gen()).collect();
+            let mut sat_count: Vec<usize> = self
+                .clauses
+                .iter()
+                .map(|c| c.lits.iter().filter(|l| l.satisfied_by(&assignment)).count())
+                .collect();
+            let (s0, h0) = self.evaluate(&assignment);
+            consider(&mut best, &assignment, s0, h0);
+
+            for _ in 0..flips {
+                // Pick a random unsatisfied clause, weighted toward heavy ones.
+                let unsat: Vec<usize> = (0..self.clauses.len())
+                    .filter(|&ci| sat_count[ci] == 0)
+                    .collect();
+                if unsat.is_empty() {
+                    break;
+                }
+                let total_w: f64 = unsat.iter().map(|&ci| eff(&self.clauses[ci])).sum();
+                let mut pick = rng.gen::<f64>() * total_w;
+                let mut chosen = unsat[0];
+                for &ci in &unsat {
+                    pick -= eff(&self.clauses[ci]);
+                    if pick <= 0.0 {
+                        chosen = ci;
+                        break;
+                    }
+                }
+
+                // Either a noisy random flip or the greedy best flip.
+                let flip_var = if rng.gen::<f64>() < 0.2 {
+                    self.clauses[chosen].lits[rng.gen_range(0..self.clauses[chosen].lits.len())]
+                        .var
+                } else {
+                    // Greedy: pick the literal whose flip loses the least.
+                    let mut best_var = self.clauses[chosen].lits[0].var;
+                    let mut best_delta = f64::NEG_INFINITY;
+                    for l in &self.clauses[chosen].lits {
+                        let mut delta = 0.0;
+                        for &ci in &occurs[l.var] {
+                            let c = &self.clauses[ci];
+                            let was_sat = sat_count[ci] > 0;
+                            // After flipping l.var, does ci change status?
+                            let lit_in_c = c.lits.iter().find(|x| x.var == l.var).unwrap();
+                            let lit_now = lit_in_c.satisfied_by(&assignment);
+                            let new_sat = if lit_now {
+                                sat_count[ci] - 1 > 0
+                            } else {
+                                true
+                            };
+                            if was_sat && !new_sat {
+                                delta -= eff(c);
+                            } else if !was_sat && new_sat {
+                                delta += eff(c);
+                            }
+                        }
+                        if delta > best_delta {
+                            best_delta = delta;
+                            best_var = l.var;
+                        }
+                    }
+                    best_var
+                };
+
+                // Flip and refresh the affected satisfaction counts.
+                assignment[flip_var] = !assignment[flip_var];
+                for &ci in &occurs[flip_var] {
+                    sat_count[ci] = self.clauses[ci]
+                        .lits
+                        .iter()
+                        .filter(|l| l.satisfied_by(&assignment))
+                        .count();
+                }
+                let (soft, hard_ok) = self.evaluate(&assignment);
+                consider(&mut best, &assignment, soft, hard_ok);
+            }
+        }
+        best.expect("at least one restart ran")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_simple_instance() {
+        // hard: x0 ∨ x1; soft: ¬x0 (w=2), ¬x1 (w=1) → best: x1 true, x0 false
+        let mut p = MaxSatProblem::new(2);
+        p.add(Clause::hard(vec![Lit::pos(0), Lit::pos(1)]));
+        p.add(Clause::soft(vec![Lit::neg(0)], 2.0));
+        p.add(Clause::soft(vec![Lit::neg(1)], 1.0));
+        let s = p.solve_exact();
+        assert!(s.hard_ok);
+        assert_eq!(s.assignment, vec![false, true]);
+        assert_eq!(s.soft_weight, 2.0);
+    }
+
+    #[test]
+    fn exact_prefers_hard_feasibility() {
+        // hard: x0; soft: ¬x0 with giant weight — hard must still win.
+        let mut p = MaxSatProblem::new(1);
+        p.add(Clause::hard(vec![Lit::pos(0)]));
+        p.add(Clause::soft(vec![Lit::neg(0)], 1e9));
+        let s = p.solve_exact();
+        assert!(s.hard_ok);
+        assert!(s.assignment[0]);
+        assert_eq!(s.soft_weight, 0.0);
+    }
+
+    #[test]
+    fn local_search_matches_exact_on_small() {
+        let mut p = MaxSatProblem::new(6);
+        // chain of implications as hard clauses + soft preferences
+        for v in 0..5 {
+            p.add(Clause::hard(vec![Lit::neg(v), Lit::pos(v + 1)])); // v → v+1
+        }
+        p.add(Clause::soft(vec![Lit::pos(0)], 3.0));
+        p.add(Clause::soft(vec![Lit::neg(5)], 1.0));
+        let exact = p.solve_exact();
+        let ls = p.solve_local_search(1, 2000, 8);
+        assert!(ls.hard_ok);
+        assert!((ls.soft_weight - exact.soft_weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_dispatches_to_local_search_for_large() {
+        let n = 40;
+        let mut p = MaxSatProblem::new(n);
+        for v in 0..n {
+            p.add(Clause::soft(vec![Lit::pos(v)], 1.0));
+        }
+        let s = p.solve(123);
+        // all-soft instance: everything satisfiable
+        assert!(s.hard_ok);
+        assert!((s.soft_weight - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsatisfiable_hard_reported() {
+        let mut p = MaxSatProblem::new(1);
+        p.add(Clause::hard(vec![Lit::pos(0)]));
+        p.add(Clause::hard(vec![Lit::neg(0)]));
+        let s = p.solve_exact();
+        assert!(!s.hard_ok);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty clause")]
+    fn empty_clause_rejected() {
+        let mut p = MaxSatProblem::new(1);
+        p.add(Clause::hard(vec![]));
+    }
+
+    #[test]
+    fn weights_bias_solution() {
+        // x0 in conflict between soft(+x0, 5) and soft(-x0, 1)
+        let mut p = MaxSatProblem::new(1);
+        p.add(Clause::soft(vec![Lit::pos(0)], 5.0));
+        p.add(Clause::soft(vec![Lit::neg(0)], 1.0));
+        let s = p.solve_exact();
+        assert!(s.assignment[0]);
+        assert_eq!(s.soft_weight, 5.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Non-negative matrix factorisation (Lee & Seung multiplicative updates).
+//!
+//! Factorises a non-negative `n × m` matrix `V ≈ W H` with `W : n × k`,
+//! `H : k × m`, minimising the Frobenius reconstruction error. Salimi's
+//! MatFac repair variant uses rank-1 NMF of per-stratum contingency tables:
+//! the best rank-1 non-negative approximation of a count table is exactly
+//! the closest *independent* (Y ⊥ I) table, i.e. the repair target.
+
+use fairlens_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for [`nmf`].
+#[derive(Debug, Clone)]
+pub struct NmfOptions {
+    /// Factorisation rank `k ≥ 1`.
+    pub rank: usize,
+    /// Maximum multiplicative-update iterations.
+    pub max_iter: usize,
+    /// Stop when the relative error improvement drops below this.
+    pub tol: f64,
+    /// RNG seed for the random initialisation.
+    pub seed: u64,
+}
+
+impl Default for NmfOptions {
+    fn default() -> Self {
+        Self { rank: 1, max_iter: 500, tol: 1e-9, seed: 0 }
+    }
+}
+
+/// Result of an NMF run.
+#[derive(Debug, Clone)]
+pub struct NmfResult {
+    /// Left factor `W : n × k` (non-negative).
+    pub w: Matrix,
+    /// Right factor `H : k × m` (non-negative).
+    pub h: Matrix,
+    /// Final Frobenius reconstruction error `‖V − WH‖_F`.
+    pub error: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+impl NmfResult {
+    /// The reconstruction `W H`.
+    pub fn reconstruct(&self) -> Matrix {
+        self.w.matmul(&self.h)
+    }
+}
+
+/// Run NMF on `v` (all entries must be ≥ 0).
+///
+/// # Panics
+/// Panics if `v` has a negative entry or `rank == 0`.
+pub fn nmf(v: &Matrix, opts: &NmfOptions) -> NmfResult {
+    assert!(opts.rank >= 1, "nmf rank must be at least 1");
+    assert!(
+        v.data().iter().all(|&x| x >= 0.0),
+        "nmf requires a non-negative matrix"
+    );
+    let (n, m) = v.shape();
+    let k = opts.rank;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let scale = (v.sum() / ((n * m).max(1) as f64)).max(1e-6).sqrt();
+
+    let mut w = Matrix::zeros(n, k);
+    let mut h = Matrix::zeros(k, m);
+    for i in 0..n {
+        for j in 0..k {
+            w.set(i, j, rng.gen::<f64>() * scale + 1e-6);
+        }
+    }
+    for i in 0..k {
+        for j in 0..m {
+            h.set(i, j, rng.gen::<f64>() * scale + 1e-6);
+        }
+    }
+
+    const EPS: f64 = 1e-12;
+    let mut prev_err = f64::INFINITY;
+    let mut iterations = 0;
+    for it in 0..opts.max_iter {
+        iterations = it + 1;
+        // H ← H ∘ (WᵀV) / (WᵀWH)
+        let wt = w.transpose();
+        let wtv = wt.matmul(v);
+        let wtwh = wt.matmul(&w).matmul(&h);
+        for i in 0..k {
+            for j in 0..m {
+                let val = h.get(i, j) * wtv.get(i, j) / (wtwh.get(i, j) + EPS);
+                h.set(i, j, val);
+            }
+        }
+        // W ← W ∘ (VHᵀ) / (WHHᵀ)
+        let ht = h.transpose();
+        let vht = v.matmul(&ht);
+        let whht = w.matmul(&h).matmul(&ht);
+        for i in 0..n {
+            for j in 0..k {
+                let val = w.get(i, j) * vht.get(i, j) / (whht.get(i, j) + EPS);
+                w.set(i, j, val);
+            }
+        }
+
+        let rec = w.matmul(&h);
+        let mut err = 0.0;
+        for i in 0..n {
+            for j in 0..m {
+                let d = v.get(i, j) - rec.get(i, j);
+                err += d * d;
+            }
+        }
+        let err = err.sqrt();
+        if prev_err.is_finite() && (prev_err - err).abs() <= opts.tol * prev_err.max(1.0) {
+            prev_err = err;
+            break;
+        }
+        prev_err = err;
+    }
+
+    NmfResult { error: prev_err, iterations, w, h }
+}
+
+/// Closed-form best rank-1 *independent table* approximation of a
+/// non-negative count table: `T̂[i][j] = row_i · col_j / total`.
+///
+/// For contingency tables this is the maximum-likelihood independent table
+/// with the same margins; Salimi's MatFac repair uses it as the repair
+/// target when the iterative NMF is unnecessary.
+pub fn independent_table(v: &Matrix) -> Matrix {
+    let (n, m) = v.shape();
+    let total = v.sum();
+    let mut out = Matrix::zeros(n, m);
+    if total <= 0.0 {
+        return out;
+    }
+    let row_sums: Vec<f64> = (0..n).map(|i| v.row(i).iter().sum()).collect();
+    let col_sums: Vec<f64> = (0..m).map(|j| v.column(j).iter().sum()).collect();
+    for i in 0..n {
+        for j in 0..m {
+            out.set(i, j, row_sums[i] * col_sums[j] / total);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank1_recovers_outer_product() {
+        // V = u vᵀ exactly rank 1
+        let u = [1.0, 2.0, 3.0];
+        let vv = [4.0, 5.0];
+        let mut v = Matrix::zeros(3, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                v.set(i, j, u[i] * vv[j]);
+            }
+        }
+        let r = nmf(&v, &NmfOptions { rank: 1, max_iter: 2000, ..Default::default() });
+        assert!(r.error < 1e-4, "error {}", r.error);
+        let rec = r.reconstruct();
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((rec.get(i, j) - v.get(i, j)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn factors_stay_nonnegative() {
+        let v = Matrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 1.0]]);
+        let r = nmf(&v, &NmfOptions { rank: 2, max_iter: 300, ..Default::default() });
+        assert!(r.w.data().iter().all(|&x| x >= 0.0));
+        assert!(r.h.data().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn higher_rank_fits_at_least_as_well() {
+        let v = Matrix::from_rows(&[
+            vec![5.0, 1.0, 0.0],
+            vec![1.0, 4.0, 2.0],
+            vec![0.0, 2.0, 6.0],
+        ]);
+        let r1 = nmf(&v, &NmfOptions { rank: 1, max_iter: 800, seed: 3, ..Default::default() });
+        let r3 = nmf(&v, &NmfOptions { rank: 3, max_iter: 800, seed: 3, ..Default::default() });
+        assert!(r3.error <= r1.error + 1e-6);
+    }
+
+    #[test]
+    fn independent_table_preserves_margins() {
+        let v = Matrix::from_rows(&[vec![10.0, 5.0], vec![2.0, 8.0]]);
+        let t = independent_table(&v);
+        // margins preserved
+        assert!((t.row(0).iter().sum::<f64>() - 15.0).abs() < 1e-9);
+        assert!((t.column(1).iter().sum::<f64>() - 13.0).abs() < 1e-9);
+        // rank 1: determinant zero
+        let det = t.get(0, 0) * t.get(1, 1) - t.get(0, 1) * t.get(1, 0);
+        assert!(det.abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_table_is_fixed_point_when_already_independent() {
+        // 2x2 independent table: rows (3, 1) x cols (0.5, 0.5) scaled
+        let v = Matrix::from_rows(&[vec![3.0, 3.0], vec![1.0, 1.0]]);
+        let t = independent_table(&v);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((t.get(i, j) - v.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_matrix_is_handled() {
+        let v = Matrix::zeros(2, 2);
+        let t = independent_table(&v);
+        assert_eq!(t.sum(), 0.0);
+        let r = nmf(&v, &NmfOptions::default());
+        assert!(r.error < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_entries_rejected() {
+        let v = Matrix::from_rows(&[vec![1.0, -1.0]]);
+        let _ = nmf(&v, &NmfOptions::default());
+    }
+}

@@ -1,0 +1,368 @@
+//! Two-phase dense simplex for small linear programs.
+//!
+//! Solves `min cᵀx` subject to a mix of `≤` and `=` constraints with
+//! `x ≥ 0`, via the classic two-phase tableau method with Bland's
+//! anti-cycling rule. Sized for the workspace's needs — Hardt's
+//! equalized-odds post-processor is a 4-variable LP; Celis's dual search and
+//! several tests use slightly larger ones.
+
+/// Builder/solver for a linear program over non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    n: usize,
+    c: Vec<f64>,
+    rows_le: Vec<(Vec<f64>, f64)>,
+    rows_eq: Vec<(Vec<f64>, f64)>,
+}
+
+/// A solved LP.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal variable values (length = number of original variables).
+    pub x: Vec<f64>,
+    /// Optimal objective value `cᵀx`.
+    pub objective: f64,
+}
+
+/// LP failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl LinearProgram {
+    /// Start a minimisation of `cᵀx` over `x ≥ 0`.
+    pub fn minimize(c: Vec<f64>) -> Self {
+        let n = c.len();
+        Self { n, c, rows_le: Vec::new(), rows_eq: Vec::new() }
+    }
+
+    /// Add a constraint `a·x ≤ b`.
+    ///
+    /// # Panics
+    /// Panics if `a.len()` differs from the variable count.
+    pub fn le(mut self, a: Vec<f64>, b: f64) -> Self {
+        assert_eq!(a.len(), self.n, "le: coefficient length mismatch");
+        self.rows_le.push((a, b));
+        self
+    }
+
+    /// Add a constraint `a·x ≥ b` (stored as `−a·x ≤ −b`).
+    pub fn ge(self, a: Vec<f64>, b: f64) -> Self {
+        let neg: Vec<f64> = a.iter().map(|v| -v).collect();
+        self.le(neg, -b)
+    }
+
+    /// Add a constraint `a·x = b`.
+    ///
+    /// # Panics
+    /// Panics if `a.len()` differs from the variable count.
+    pub fn eq(mut self, a: Vec<f64>, b: f64) -> Self {
+        assert_eq!(a.len(), self.n, "eq: coefficient length mismatch");
+        self.rows_eq.push((a, b));
+        self
+    }
+
+    /// Solve with the two-phase simplex method.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        // --- Build standard form rows with b >= 0 ------------------------
+        // Each row: (coefs over n vars, b, kind) where kind tells which
+        // auxiliary columns it needs after sign normalisation.
+        enum Kind {
+            Slack,             // a·x ≤ b, b ≥ 0 → +slack (basic)
+            SurplusArtificial, // a·x ≥ b, b ≥ 0 → −surplus, +artificial (basic)
+            Artificial,        // a·x = b, b ≥ 0 → +artificial (basic)
+        }
+        let mut rows: Vec<(Vec<f64>, f64, Kind)> = Vec::new();
+        for (a, b) in &self.rows_le {
+            if *b >= 0.0 {
+                rows.push((a.clone(), *b, Kind::Slack));
+            } else {
+                // −a·x ≥ −b with −b ≥ 0
+                rows.push((a.iter().map(|v| -v).collect(), -b, Kind::SurplusArtificial));
+            }
+        }
+        for (a, b) in &self.rows_eq {
+            if *b >= 0.0 {
+                rows.push((a.clone(), *b, Kind::Artificial));
+            } else {
+                rows.push((a.iter().map(|v| -v).collect(), -b, Kind::Artificial));
+            }
+        }
+
+        let m = rows.len();
+        let n = self.n;
+        // Column layout: [x (n)] [slack/surplus (m at most)] [artificial (m at most)]
+        let mut n_aux = 0usize;
+        let mut n_art = 0usize;
+        for (_, _, k) in &rows {
+            match k {
+                Kind::Slack => n_aux += 1,
+                Kind::SurplusArtificial => {
+                    n_aux += 1;
+                    n_art += 1;
+                }
+                Kind::Artificial => n_art += 1,
+            }
+        }
+        let total = n + n_aux + n_art;
+
+        // Tableau: m rows × (total + 1); last column is RHS.
+        let mut t = vec![vec![0.0; total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut aux_next = n;
+        let mut art_next = n + n_aux;
+        let mut artificial_cols = Vec::with_capacity(n_art);
+
+        for (i, (a, b, k)) in rows.iter().enumerate() {
+            t[i][..n].copy_from_slice(a);
+            t[i][total] = *b;
+            match k {
+                Kind::Slack => {
+                    t[i][aux_next] = 1.0;
+                    basis[i] = aux_next;
+                    aux_next += 1;
+                }
+                Kind::SurplusArtificial => {
+                    t[i][aux_next] = -1.0;
+                    aux_next += 1;
+                    t[i][art_next] = 1.0;
+                    basis[i] = art_next;
+                    artificial_cols.push(art_next);
+                    art_next += 1;
+                }
+                Kind::Artificial => {
+                    t[i][art_next] = 1.0;
+                    basis[i] = art_next;
+                    artificial_cols.push(art_next);
+                    art_next += 1;
+                }
+            }
+        }
+
+        const TOL: f64 = 1e-9;
+
+        // --- Phase 1: minimise the sum of artificials --------------------
+        if n_art > 0 {
+            let mut cost1 = vec![0.0; total];
+            for &ac in &artificial_cols {
+                cost1[ac] = 1.0;
+            }
+            let obj = run_simplex(&mut t, &mut basis, &cost1, total)?;
+            if obj > 1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            // Drive any remaining artificial out of the basis (degenerate).
+            for i in 0..m {
+                if artificial_cols.contains(&basis[i]) {
+                    // pivot on any non-artificial column with nonzero entry
+                    if let Some(j) = (0..n + n_aux).find(|&j| t[i][j].abs() > TOL) {
+                        pivot(&mut t, &mut basis, i, j, total);
+                    }
+                    // else: the row is all-zero — redundant; leave it.
+                }
+            }
+        }
+
+        // --- Phase 2: original objective ---------------------------------
+        // Forbid artificial columns by giving them a prohibitive cost and
+        // zeroing their tableau columns so they can never re-enter.
+        for &ac in &artificial_cols {
+            for row in t.iter_mut() {
+                row[ac] = 0.0;
+            }
+        }
+        let mut cost2 = vec![0.0; total];
+        cost2[..n].copy_from_slice(&self.c);
+        run_simplex(&mut t, &mut basis, &cost2, total)?;
+
+        let mut x = vec![0.0; n];
+        for (i, &b) in basis.iter().enumerate() {
+            if b < n {
+                x[b] = t[i][total];
+            }
+        }
+        let objective = self
+            .c
+            .iter()
+            .zip(x.iter())
+            .map(|(ci, xi)| ci * xi)
+            .sum();
+        Ok(LpSolution { x, objective })
+    }
+}
+
+/// Pivot the tableau at `(row, col)`, updating the basis.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let p = t[row][col];
+    for j in 0..=total {
+        t[row][j] /= p;
+    }
+    for i in 0..t.len() {
+        if i != row && t[i][col].abs() > 0.0 {
+            let f = t[i][col];
+            for j in 0..=total {
+                t[i][j] -= f * t[row][j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+/// Primal simplex iterations with Bland's rule; returns the objective value.
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    total: usize,
+) -> Result<f64, LpError> {
+    const TOL: f64 = 1e-9;
+    let m = t.len();
+    loop {
+        // reduced costs: r_j = c_j − c_B B⁻¹ A_j (computed from tableau)
+        let mut entering = None;
+        for j in 0..total {
+            let mut r = cost[j];
+            for i in 0..m {
+                r -= cost[basis[i]] * t[i][j];
+            }
+            if r < -TOL {
+                entering = Some(j); // Bland: first improving column
+                break;
+            }
+        }
+        let Some(col) = entering else {
+            // optimal
+            let mut obj = 0.0;
+            for i in 0..m {
+                obj += cost[basis[i]] * t[i][total];
+            }
+            return Ok(obj);
+        };
+        // ratio test (Bland: smallest basis index on ties)
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if t[i][col] > TOL {
+                let ratio = t[i][total] / t[i][col];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - TOL || (ratio < lr + TOL && basis[i] < basis[li]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((row, _)) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(t, basis, row, col, total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_maximisation() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), value 36
+        let lp = LinearProgram::minimize(vec![-3.0, -5.0])
+            .le(vec![1.0, 0.0], 4.0)
+            .le(vec![0.0, 2.0], 12.0)
+            .le(vec![3.0, 2.0], 18.0);
+        let s = lp.solve().unwrap();
+        assert!((s.x[0] - 2.0).abs() < 1e-7);
+        assert!((s.x[1] - 6.0).abs() < 1e-7);
+        assert!((s.objective + 36.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 2, x ≤ 1.5 → any point on segment; obj = 2
+        let lp = LinearProgram::minimize(vec![1.0, 1.0])
+            .eq(vec![1.0, 1.0], 2.0)
+            .le(vec![1.0, 0.0], 1.5);
+        let s = lp.solve().unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-7);
+        assert!((s.x[0] + s.x[1] - 2.0).abs() < 1e-7);
+        assert!(s.x[0] <= 1.5 + 1e-9);
+    }
+
+    #[test]
+    fn ge_constraints_via_negation() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → (3 or more combos); optimum x=4,y=0? cost 8
+        let lp = LinearProgram::minimize(vec![2.0, 3.0])
+            .ge(vec![1.0, 1.0], 4.0)
+            .ge(vec![1.0, 0.0], 1.0);
+        let s = lp.solve().unwrap();
+        assert!((s.objective - 8.0).abs() < 1e-7, "objective {}", s.objective);
+        assert!((s.x[0] - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let lp = LinearProgram::minimize(vec![1.0])
+            .le(vec![1.0], 1.0)
+            .ge(vec![1.0], 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min −x, x ≥ 0, no upper bound
+        let lp = LinearProgram::minimize(vec![-1.0]);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let lp = LinearProgram::minimize(vec![-1.0, -1.0])
+            .le(vec![1.0, 0.0], 1.0)
+            .le(vec![0.0, 1.0], 1.0)
+            .le(vec![1.0, 1.0], 2.0);
+        let s = lp.solve().unwrap();
+        assert!((s.objective + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn box_constrained_probabilities() {
+        // the Hardt-style structure: p ∈ [0,1]⁴, equality mixing constraint
+        // min p0 + p1 − p2 − p3 s.t. p0 + p2 = 1, p1 + p3 = 1, p ≤ 1
+        let lp = LinearProgram::minimize(vec![1.0, 1.0, -1.0, -1.0])
+            .eq(vec![1.0, 0.0, 1.0, 0.0], 1.0)
+            .eq(vec![0.0, 1.0, 0.0, 1.0], 1.0)
+            .le(vec![1.0, 0.0, 0.0, 0.0], 1.0)
+            .le(vec![0.0, 1.0, 0.0, 0.0], 1.0)
+            .le(vec![0.0, 0.0, 1.0, 0.0], 1.0)
+            .le(vec![0.0, 0.0, 0.0, 1.0], 1.0);
+        let s = lp.solve().unwrap();
+        assert!((s.objective + 2.0).abs() < 1e-7);
+        assert!((s.x[2] - 1.0).abs() < 1e-7);
+        assert!((s.x[3] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_rhs_le_handled() {
+        // x − y ≤ −1 i.e. y ≥ x + 1; min y → need feasibility machinery
+        let lp = LinearProgram::minimize(vec![0.0, 1.0]).le(vec![1.0, -1.0], -1.0);
+        let s = lp.solve().unwrap();
+        assert!((s.x[1] - 1.0).abs() < 1e-7, "y = {}", s.x[1]);
+    }
+}

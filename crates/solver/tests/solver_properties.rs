@@ -1,0 +1,122 @@
+//! Property-based tests for the solver substrates.
+
+use fairlens_linalg::Matrix;
+use fairlens_solver::{nmf, Clause, LinearProgram, Lit, MaxSatProblem, NmfOptions};
+use proptest::prelude::*;
+
+/// Random small weighted MaxSAT instances (≤ 10 vars so the exact solver
+/// can act as the oracle).
+fn maxsat_strategy() -> impl Strategy<Value = MaxSatProblem> {
+    (2usize..10).prop_flat_map(|n_vars| {
+        prop::collection::vec(
+            (
+                prop::collection::vec((0..n_vars, any::<bool>()), 1..4),
+                prop::option::of(0.5f64..5.0),
+            ),
+            1..12,
+        )
+        .prop_map(move |clauses| {
+            let mut p = MaxSatProblem::new(n_vars);
+            for (lits, weight) in clauses {
+                let lits: Vec<Lit> = lits
+                    .into_iter()
+                    .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
+                    .collect();
+                match weight {
+                    Some(w) => p.add(Clause::soft(lits, w)),
+                    None => p.add(Clause::hard(lits)),
+                }
+            }
+            p
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn local_search_never_beats_exact(p in maxsat_strategy()) {
+        let exact = p.solve_exact();
+        let ls = p.solve_local_search(7, 1500, 6);
+        if exact.hard_ok {
+            // optimality of the exact solver
+            prop_assert!(ls.soft_weight <= exact.soft_weight + 1e-9 || !ls.hard_ok);
+            // the local search must also find hard feasibility on these
+            // tiny instances
+            prop_assert!(ls.hard_ok, "local search missed a feasible assignment");
+        }
+    }
+
+    #[test]
+    fn exact_solution_weight_is_consistent(p in maxsat_strategy()) {
+        let sol = p.solve_exact();
+        // recompute the weight from the assignment
+        prop_assert!(sol.soft_weight >= 0.0);
+        prop_assert!(sol.soft_weight <= p.total_soft_weight() + 1e-9);
+    }
+
+    #[test]
+    fn nmf_error_non_increasing_in_rank(
+        rows in 2usize..5,
+        cols in 2usize..6,
+        seed in 0u64..50,
+        data in prop::collection::vec(0.0f64..20.0, 30),
+    ) {
+        let mut v = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                v.set(i, j, data[(i * cols + j) % data.len()]);
+            }
+        }
+        let e1 = nmf::nmf(&v, &NmfOptions { rank: 1, max_iter: 300, seed, ..Default::default() });
+        let e2 = nmf::nmf(&v, &NmfOptions { rank: 2, max_iter: 300, seed, ..Default::default() });
+        // multiplicative updates are monotone per run; across ranks allow
+        // small slack for local optima
+        prop_assert!(e2.error <= e1.error + 0.15 * e1.error.max(1.0));
+        prop_assert!(e1.w.data().iter().all(|&x| x >= 0.0));
+        prop_assert!(e1.h.data().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn independent_table_is_rank_one_with_same_margins(
+        data in prop::collection::vec(0.0f64..50.0, 8),
+    ) {
+        let v = Matrix::from_vec(2, 4, data);
+        let t = fairlens_solver::nmf::independent_table(&v);
+        // margins
+        for i in 0..2 {
+            let a: f64 = (0..4).map(|j| v.get(i, j)).sum();
+            let b: f64 = (0..4).map(|j| t.get(i, j)).sum();
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        // rank 1: every 2x2 minor vanishes
+        for j in 0..4 {
+            for k in (j + 1)..4 {
+                let det = t.get(0, j) * t.get(1, k) - t.get(0, k) * t.get(1, j);
+                prop_assert!(det.abs() < 1e-6, "minor ({j},{k}) = {det}");
+            }
+        }
+    }
+
+    #[test]
+    fn lp_box_solutions_are_feasible(
+        c in prop::collection::vec(-3.0f64..3.0, 3),
+        ub in prop::collection::vec(0.5f64..4.0, 3),
+    ) {
+        // min cᵀx over the box 0 ≤ x ≤ ub: solution is at a vertex
+        let mut lp = LinearProgram::minimize(c.clone());
+        for (i, &u) in ub.iter().enumerate() {
+            let mut row = vec![0.0; 3];
+            row[i] = 1.0;
+            lp = lp.le(row, u);
+        }
+        let sol = lp.solve().expect("boxes are always feasible and bounded");
+        for (i, &x) in sol.x.iter().enumerate() {
+            prop_assert!(x >= -1e-9 && x <= ub[i] + 1e-9, "x[{i}] = {x}");
+            // vertex optimality: each coordinate at a bound matching the sign
+            let expect = if c[i] < 0.0 { ub[i] } else { 0.0 };
+            prop_assert!((x - expect).abs() < 1e-7, "x[{i}] = {x}, expect {expect}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Intercept calibration: hit the paper's documented group-conditional
+//! positive rates exactly (in expectation).
+//!
+//! Each generator produces a raw score `z_i` per tuple from its structural
+//! model; labels are then drawn `Y_i ~ Bern(σ(z_i + b_{S_i}))` where the
+//! group intercept `b_s` is found by bisection so that the *mean* predicted
+//! probability within group `s` equals the documented rate.
+
+use fairlens_linalg::vector::sigmoid;
+use fairlens_optim::scalar::bisect;
+
+/// Find `b` such that `mean_i σ(scores_i + b) = target`.
+///
+/// `target` must be in `(0, 1)`; the solution is unique because the mean
+/// sigmoid is strictly increasing in `b`.
+pub fn calibrate_intercept(scores: &[f64], target: f64) -> f64 {
+    assert!(!scores.is_empty(), "calibrate_intercept: empty scores");
+    assert!(
+        target > 0.0 && target < 1.0,
+        "calibrate_intercept: target must be in (0, 1)"
+    );
+    let mean_prob = |b: f64| -> f64 {
+        scores.iter().map(|&z| sigmoid(z + b)).sum::<f64>() / scores.len() as f64
+    };
+    bisect(|b| mean_prob(b) - target, -60.0, 60.0, 1e-10, 200)
+        .expect("sigmoid mean is monotone; the bracket always straddles")
+}
+
+/// Calibrate per-group intercepts and draw labels.
+///
+/// `scores[i]` is tuple `i`'s structural score, `sensitive[i] ∈ {0, 1}` its
+/// group, and `rates = (rate_unprivileged, rate_privileged)` the target
+/// `P(Y = 1 | S = s)`. Returns `(labels, intercepts)`.
+pub fn draw_labels<R: rand::Rng + ?Sized>(
+    scores: &[f64],
+    sensitive: &[u8],
+    rates: (f64, f64),
+    rng: &mut R,
+) -> (Vec<u8>, [f64; 2]) {
+    assert_eq!(scores.len(), sensitive.len(), "draw_labels: length mismatch");
+    let mut intercepts = [0.0f64; 2];
+    for s in 0..2u8 {
+        let group: Vec<f64> = scores
+            .iter()
+            .zip(sensitive.iter())
+            .filter(|&(_, &si)| si == s)
+            .map(|(&z, _)| z)
+            .collect();
+        let target = if s == 0 { rates.0 } else { rates.1 };
+        intercepts[s as usize] = if group.is_empty() {
+            0.0
+        } else {
+            calibrate_intercept(&group, target)
+        };
+    }
+    let labels = scores
+        .iter()
+        .zip(sensitive.iter())
+        .map(|(&z, &s)| u8::from(rng.gen::<f64>() < sigmoid(z + intercepts[s as usize])))
+        .collect();
+    (labels, intercepts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn calibration_hits_target() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scores: Vec<f64> = (0..5000)
+            .map(|_| crate::dist::normal(&mut rng, 0.3, 1.2))
+            .collect();
+        for &target in &[0.1, 0.24, 0.5, 0.9] {
+            let b = calibrate_intercept(&scores, target);
+            let mean: f64 =
+                scores.iter().map(|&z| sigmoid(z + b)).sum::<f64>() / scores.len() as f64;
+            assert!((mean - target).abs() < 1e-8, "target {target}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn draw_labels_matches_group_rates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 40_000;
+        let scores: Vec<f64> = (0..n)
+            .map(|_| crate::dist::normal(&mut rng, 0.0, 1.0))
+            .collect();
+        let sensitive: Vec<u8> = (0..n).map(|i| (i % 3 == 0) as u8).collect();
+        let (labels, _) = draw_labels(&scores, &sensitive, (0.11, 0.32), &mut rng);
+        let rate = |s: u8| {
+            let (pos, tot) = labels
+                .iter()
+                .zip(sensitive.iter())
+                .filter(|&(_, &si)| si == s)
+                .fold((0usize, 0usize), |(p, t), (&y, _)| (p + y as usize, t + 1));
+            pos as f64 / tot as f64
+        };
+        assert!((rate(0) - 0.11).abs() < 0.01, "unpriv rate {}", rate(0));
+        assert!((rate(1) - 0.32).abs() < 0.01, "priv rate {}", rate(1));
+    }
+
+    #[test]
+    fn extreme_targets_are_reachable() {
+        let scores = vec![0.0; 100];
+        let b = calibrate_intercept(&scores, 0.999);
+        assert!((sigmoid(b) - 0.999).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in")]
+    fn rejects_degenerate_target() {
+        let _ = calibrate_intercept(&[0.0], 1.0);
+    }
+}

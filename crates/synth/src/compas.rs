@@ -1,0 +1,184 @@
+//! COMPAS (ProPublica recidivism) synthetic generator.
+//!
+//! Mirrors the paper's Fig. 9 row: 7 214 tuples, 11 attributes, sensitive
+//! attribute `race` (African-American = unprivileged), task = *does not*
+//! recidivate within two years (positive = no recidivism). Recidivism rates
+//! are 51 % for African-Americans vs 39 % for others, i.e. positive rates
+//! `P(Y=1|S=0) = 0.49`, `P(Y=1|S=1) = 0.61`, overall ≈ 0.56.
+//!
+//! The main structural pathway reflects the paper's discussion of COMPAS
+//! bias: over-policing inflates `priors_count` for the unprivileged group,
+//! and priors drive the recidivism prediction.
+
+use fairlens_frame::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::calibrate::draw_labels;
+use crate::dist::{bernoulli, categorical, count, lognormal, normal_clamped};
+
+/// Paper-documented default row count.
+pub const DEFAULT_ROWS: usize = 7_214;
+/// Fraction of the unprivileged group (African-American), per ProPublica.
+pub const UNPRIVILEGED_FRAC: f64 = 0.51;
+/// Target `P(Y = 1 | S = s)` — `(African-American, others)`.
+pub const GROUP_POS_RATES: (f64, f64) = (0.49, 0.61);
+
+/// Generate `n` rows with the given seed.
+pub fn compas(n: usize, seed: u64) -> Dataset {
+    assert!(n > 0, "compas: need at least one row");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut sensitive = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut priors = Vec::with_capacity(n);
+    let mut juv_fel = Vec::with_capacity(n);
+    let mut juv_misd = Vec::with_capacity(n);
+    let mut charge_degree = Vec::with_capacity(n);
+    let mut charge_cat = Vec::with_capacity(n);
+    let mut sex = Vec::with_capacity(n);
+    let mut age_cat = Vec::with_capacity(n);
+    let mut marital = Vec::with_capacity(n);
+    let mut custody_days = Vec::with_capacity(n);
+    let mut employment = Vec::with_capacity(n);
+    let mut scores = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        // S: 0 = African-American (unprivileged), 1 = others.
+        let s = u8::from(!bernoulli(&mut rng, UNPRIVILEGED_FRAC));
+        sensitive.push(s);
+
+        // Defendants skew young; the unprivileged group slightly younger.
+        let a = if s == 0 {
+            normal_clamped(&mut rng, 30.0, 10.0, 18.0, 70.0)
+        } else {
+            normal_clamped(&mut rng, 34.0, 11.5, 18.0, 70.0)
+        };
+        age.push(a);
+        age_cat.push(if a < 25.0 { 0 } else if a < 45.0 { 1 } else { 2 });
+
+        // Over-policing pathway: more recorded priors for S = 0.
+        let p = count(&mut rng, if s == 0 { 3.4 } else { 2.0 }).min(30.0);
+        priors.push(p);
+        juv_fel.push(count(&mut rng, if s == 0 { 0.14 } else { 0.06 }).min(5.0));
+        juv_misd.push(count(&mut rng, if s == 0 { 0.20 } else { 0.10 }).min(6.0));
+
+        // Felony charges correlate with the prior record.
+        let felony_p = 0.55 + 0.02 * p.min(10.0);
+        charge_degree.push(u32::from(!bernoulli(&mut rng, felony_p.min(0.9))));
+        charge_cat.push(categorical(&mut rng, &[0.25, 0.20, 0.18, 0.15, 0.12, 0.10]));
+
+        sex.push(u32::from(bernoulli(&mut rng, 0.19))); // 0 = male, 1 = female
+        marital.push(categorical(&mut rng, &[0.55, 0.25, 0.12, 0.08]));
+
+        let cd = lognormal(&mut rng, 2.0 + 0.12 * p.min(10.0), 1.0).min(800.0);
+        custody_days.push(cd);
+
+        let emp = categorical(&mut rng, &[0.45, 0.35, 0.20]);
+        employment.push(emp);
+
+        // Score for Y = 1 (no recidivism): fewer priors, older age,
+        // misdemeanour charge and employment push positive.
+        let z = -0.28 * (1.0 + p).ln() * 1.8
+            - 0.5 * juv_fel.last().unwrap()
+            - 0.25 * juv_misd.last().unwrap()
+            + 0.03 * (a - 32.0)
+            + if charge_degree.last() == Some(&1) { 0.35 } else { -0.2 }
+            + match emp {
+                0 => 0.3,  // employed
+                1 => -0.1, // unemployed
+                _ => 0.0,  // other
+            }
+            - 0.1 * (cd / 100.0).min(4.0);
+        scores.push(z);
+    }
+
+    let (labels, _) = draw_labels(&scores, &sensitive, GROUP_POS_RATES, &mut rng);
+
+    Dataset::builder("compas")
+        .numeric("age", age)
+        .numeric("priors_count", priors)
+        .numeric("juv_fel_count", juv_fel)
+        .numeric("juv_misd_count", juv_misd)
+        .categorical(
+            "charge_degree",
+            charge_degree,
+            vec!["felony".into(), "misdemeanor".into()],
+        )
+        .categorical(
+            "charge_category",
+            charge_cat,
+            vec![
+                "drug".into(),
+                "theft".into(),
+                "assault".into(),
+                "driving".into(),
+                "fraud".into(),
+                "other".into(),
+            ],
+        )
+        .categorical("sex", sex, vec!["male".into(), "female".into()])
+        .categorical(
+            "age_category",
+            age_cat,
+            vec!["under25".into(), "25to45".into(), "over45".into()],
+        )
+        .categorical(
+            "marital_status",
+            marital,
+            vec![
+                "single".into(),
+                "married".into(),
+                "divorced".into(),
+                "other".into(),
+            ],
+        )
+        .numeric("days_in_custody", custody_days)
+        .categorical(
+            "employment",
+            employment,
+            vec!["employed".into(), "unemployed".into(), "other".into()],
+        )
+        .sensitive("race", sensitive)
+        .labels("no_recidivism", labels)
+        .build()
+        .expect("compas generator produces a consistent dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documented_statistics_hold() {
+        let d = compas(20_000, 5);
+        assert_eq!(d.n_attrs(), 11);
+        assert_eq!(d.sensitive_name(), "race");
+        assert!((d.group_pos_rate(0) - 0.49).abs() < 0.02, "{}", d.group_pos_rate(0));
+        assert!((d.group_pos_rate(1) - 0.61).abs() < 0.02, "{}", d.group_pos_rate(1));
+        assert!((d.pos_rate() - 0.55).abs() < 0.03, "{}", d.pos_rate());
+        let f = d.group_size(0) as f64 / d.n_rows() as f64;
+        assert!((f - UNPRIVILEGED_FRAC).abs() < 0.02, "{f}");
+    }
+
+    #[test]
+    fn priors_reflect_policing_bias() {
+        let d = compas(10_000, 2);
+        let priors = d.column_by_name("priors_count").unwrap().as_numeric().unwrap();
+        let s = d.sensitive();
+        let mean_of = |g: u8| {
+            let (sum, cnt) = priors
+                .iter()
+                .zip(s.iter())
+                .filter(|&(_, &si)| si == g)
+                .fold((0.0, 0usize), |(a, c), (&p, _)| (a + p, c + 1));
+            sum / cnt as f64
+        };
+        assert!(mean_of(0) > mean_of(1) + 0.8, "{} vs {}", mean_of(0), mean_of(1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(compas(300, 9), compas(300, 9));
+    }
+}

@@ -1,0 +1,129 @@
+//! Sampling primitives for the structural generators.
+//!
+//! `rand` provides uniform sampling; everything distribution-shaped
+//! (Gaussian via Box–Muller, categorical, truncated/lognormal helpers) is
+//! implemented here so the workspace needs no extra dependency.
+
+use rand::Rng;
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against u1 == 0 (ln(0) = −∞).
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal draw with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Normal draw clamped to `[lo, hi]` (clipping, not rejection — adequate for
+/// demographic-style attributes).
+pub fn normal_clamped<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, std).clamp(lo, hi)
+}
+
+/// Log-normal draw: `exp(N(mu, sigma))` — used for heavy-tailed monetary
+/// attributes (capital gains, credit amounts).
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Bernoulli draw.
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+/// Categorical draw from unnormalised non-negative weights.
+///
+/// # Panics
+/// Panics if all weights are zero/negative or the slice is empty.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> u32 {
+    assert!(!weights.is_empty(), "categorical: empty weights");
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    assert!(total > 0.0, "categorical: weights must have positive mass");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w.max(0.0);
+        if u <= 0.0 {
+            return i as u32;
+        }
+    }
+    (weights.len() - 1) as u32
+}
+
+/// Poisson-ish non-negative count via inverse-CDF on a geometric mixture —
+/// a cheap stand-in for prior-arrest-count-style attributes. `mean` controls
+/// the expected value.
+pub fn count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    // Geometric with success prob p has mean (1-p)/p → p = 1/(1+mean)
+    let p = 1.0 / (1.0 + mean.max(0.0));
+    let mut k = 0u32;
+    while !bernoulli(rng, p) && k < 10_000 {
+        k += 1;
+    }
+    k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let m = fairlens_linalg::vector::mean(&xs);
+        let s = fairlens_linalg::vector::stddev(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((s - 1.0).abs() < 0.02, "std {s}");
+    }
+
+    #[test]
+    fn clamped_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = normal_clamped(&mut rng, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[categorical(&mut rng, &w) as usize] += 1;
+        }
+        assert!((counts[0] as f64 / 30_000.0 - 0.1).abs() < 0.02);
+        assert!((counts[2] as f64 / 30_000.0 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn count_mean_tracks_parameter() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| count(&mut rng, 3.0)).collect();
+        let m = fairlens_linalg::vector::mean(&xs);
+        assert!((m - 3.0).abs() < 0.2, "mean {m}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..20_000).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        assert!((hits as f64 / 20_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive mass")]
+    fn categorical_rejects_zero_mass() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = categorical(&mut rng, &[0.0, 0.0]);
+    }
+}

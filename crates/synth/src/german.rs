@@ -1,0 +1,186 @@
+//! German credit synthetic generator.
+//!
+//! Mirrors the paper's Fig. 9 row: 1 000 tuples, 9 attributes, sensitive
+//! attribute `sex` (female = unprivileged), task = low credit risk
+//! (positive). Positive rates: 65 % for females vs 71 % for males — the
+//! paper repeatedly notes this dataset carries *low* gender bias, which is
+//! why even the fairness-unaware LR scores well on all fairness metrics and
+//! Thomas gets near-perfect scores here.
+
+use fairlens_frame::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::calibrate::draw_labels;
+use crate::dist::{bernoulli, categorical, lognormal, normal_clamped};
+
+/// Paper-documented default row count.
+pub const DEFAULT_ROWS: usize = 1_000;
+/// Fraction of the unprivileged group (female), per UCI German (~31 %).
+pub const UNPRIVILEGED_FRAC: f64 = 0.31;
+/// Target `P(Y = 1 | S = s)` — `(female, male)`.
+pub const GROUP_POS_RATES: (f64, f64) = (0.65, 0.71);
+
+/// Generate `n` rows with the given seed.
+pub fn german(n: usize, seed: u64) -> Dataset {
+    assert!(n > 0, "german: need at least one row");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut sensitive = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut credit_amount = Vec::with_capacity(n);
+    let mut duration = Vec::with_capacity(n);
+    let mut checking = Vec::with_capacity(n);
+    let mut savings = Vec::with_capacity(n);
+    let mut employment = Vec::with_capacity(n);
+    let mut housing = Vec::with_capacity(n);
+    let mut purpose = Vec::with_capacity(n);
+    let mut job = Vec::with_capacity(n);
+    let mut scores = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let s = u8::from(!bernoulli(&mut rng, UNPRIVILEGED_FRAC));
+        sensitive.push(s);
+
+        let a = normal_clamped(&mut rng, 35.5, 11.0, 19.0, 75.0);
+        age.push(a);
+
+        let amount = lognormal(&mut rng, 7.9, 0.75).clamp(250.0, 20_000.0);
+        credit_amount.push(amount);
+
+        let dur = normal_clamped(&mut rng, 21.0, 12.0, 4.0, 72.0).round();
+        duration.push(dur);
+
+        // checking-account status: 0=none, 1=negative, 2=low, 3=healthy
+        let chk = categorical(&mut rng, &[0.39, 0.27, 0.27, 0.07]);
+        checking.push(chk);
+        // savings: 0=unknown .. 4=large
+        let sav = categorical(&mut rng, &[0.18, 0.60, 0.10, 0.07, 0.05]);
+        savings.push(sav);
+        // employment tenure: 0=unemployed .. 4=7+ years (older → longer)
+        let emp_shift = ((a - 25.0) / 25.0).clamp(0.0, 1.0);
+        let emp = categorical(
+            &mut rng,
+            &[
+                0.06,
+                0.17 - 0.05 * emp_shift,
+                0.34 - 0.05 * emp_shift,
+                0.18 + 0.03 * emp_shift,
+                0.25 + 0.07 * emp_shift,
+            ],
+        );
+        employment.push(emp);
+
+        housing.push(categorical(&mut rng, &[0.71, 0.18, 0.11]));
+        purpose.push(categorical(
+            &mut rng,
+            &[0.28, 0.23, 0.18, 0.10, 0.09, 0.05, 0.04, 0.03],
+        ));
+        job.push(categorical(&mut rng, &[0.02, 0.20, 0.63, 0.15]));
+
+        // Low-risk score: healthy accounts, long employment, small and
+        // short credits, and age all help.
+        let z = 0.45 * (chk as f64 - 1.4)
+            + 0.25 * (sav as f64 - 1.2)
+            + 0.22 * (emp as f64 - 2.4)
+            - 0.35 * ((amount / 2800.0).ln())
+            - 0.025 * (dur - 21.0)
+            + 0.012 * (a - 35.0);
+        scores.push(z);
+    }
+
+    let (labels, _) = draw_labels(&scores, &sensitive, GROUP_POS_RATES, &mut rng);
+
+    Dataset::builder("german")
+        .numeric("age", age)
+        .numeric("credit_amount", credit_amount)
+        .numeric("duration_months", duration)
+        .categorical(
+            "checking_status",
+            checking,
+            vec!["none".into(), "negative".into(), "low".into(), "healthy".into()],
+        )
+        .categorical(
+            "savings",
+            savings,
+            vec![
+                "unknown".into(),
+                "small".into(),
+                "medium".into(),
+                "large".into(),
+                "very-large".into(),
+            ],
+        )
+        .categorical(
+            "employment_since",
+            employment,
+            vec![
+                "unemployed".into(),
+                "lt-1y".into(),
+                "1-4y".into(),
+                "4-7y".into(),
+                "gt-7y".into(),
+            ],
+        )
+        .categorical(
+            "housing",
+            housing,
+            vec!["own".into(), "rent".into(), "free".into()],
+        )
+        .categorical(
+            "purpose",
+            purpose,
+            vec![
+                "car".into(),
+                "radio-tv".into(),
+                "furniture".into(),
+                "business".into(),
+                "education".into(),
+                "repairs".into(),
+                "vacation".into(),
+                "other".into(),
+            ],
+        )
+        .categorical(
+            "job",
+            job,
+            vec![
+                "unskilled-nonres".into(),
+                "unskilled".into(),
+                "skilled".into(),
+                "management".into(),
+            ],
+        )
+        .sensitive("sex", sensitive)
+        .labels("low_credit_risk", labels)
+        .build()
+        .expect("german generator produces a consistent dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documented_statistics_hold() {
+        let d = german(20_000, 4);
+        assert_eq!(d.n_attrs(), 9);
+        assert!((d.group_pos_rate(0) - 0.65).abs() < 0.02, "{}", d.group_pos_rate(0));
+        assert!((d.group_pos_rate(1) - 0.71).abs() < 0.02, "{}", d.group_pos_rate(1));
+        assert!((d.pos_rate() - 0.70).abs() < 0.03, "{}", d.pos_rate());
+    }
+
+    #[test]
+    fn gender_gap_is_small() {
+        // The defining property of German: low bias.
+        let d = german(30_000, 8);
+        let gap = d.group_pos_rate(1) - d.group_pos_rate(0);
+        assert!(gap > 0.0 && gap < 0.10, "gap {gap}");
+    }
+
+    #[test]
+    fn default_size_matches_paper() {
+        let d = german(DEFAULT_ROWS, 1);
+        assert_eq!(d.n_rows(), 1_000);
+    }
+}

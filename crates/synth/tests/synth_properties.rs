@@ -1,0 +1,63 @@
+//! Property-based tests for the dataset generators: every generator must
+//! satisfy its documented statistics at any size and seed.
+
+use fairlens_synth::{DatasetKind, ALL_DATASETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generators_hit_documented_rates(seed in 0u64..1_000) {
+        // one proptest case covers all four generators at a size large
+        // enough for tight Monte-Carlo bounds
+        for kind in ALL_DATASETS {
+            let d = kind.generate(20_000, seed);
+            let (r0, r1) = match kind {
+                DatasetKind::Adult => (0.11, 0.32),
+                DatasetKind::Compas => (0.49, 0.61),
+                DatasetKind::German => (0.65, 0.71),
+                DatasetKind::Credit => (0.56, 0.75),
+            };
+            prop_assert!(
+                (d.group_pos_rate(0) - r0).abs() < 0.025,
+                "{}: unprivileged rate {} (target {r0})",
+                kind.name(),
+                d.group_pos_rate(0)
+            );
+            prop_assert!(
+                (d.group_pos_rate(1) - r1).abs() < 0.025,
+                "{}: privileged rate {} (target {r1})",
+                kind.name(),
+                d.group_pos_rate(1)
+            );
+        }
+    }
+
+    #[test]
+    fn generators_valid_at_any_size(n in 1usize..600, seed in 0u64..100) {
+        for kind in ALL_DATASETS {
+            let d = kind.generate(n, seed);
+            prop_assert_eq!(d.n_rows(), n);
+            prop_assert!(d.sensitive().iter().all(|&s| s <= 1));
+            prop_assert!(d.labels().iter().all(|&y| y <= 1));
+            for col in d.columns() {
+                prop_assert_eq!(col.len(), n);
+                if let Some(v) = col.as_numeric() {
+                    prop_assert!(v.iter().all(|x| x.is_finite()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_reproducible_and_distinct(n in 50usize..200, seed in 0u64..100) {
+        for kind in ALL_DATASETS {
+            let a = kind.generate(n, seed);
+            let b = kind.generate(n, seed);
+            prop_assert_eq!(&a, &b, "{} not reproducible", kind.name());
+            let c = kind.generate(n, seed + 1);
+            prop_assert_ne!(&a, &c, "{} ignores the seed", kind.name());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Credit-scoring repair-level sweep: the correctness–fairness tradeoff of
+//! pre-processing (paper Sections 4.2 and 5).
+//!
+//! The paper notes that unlike in-processing (which controls the tradeoff
+//! through its constraint), pre-processing has *no direct mapping* between
+//! the extent of repair and the accuracy compromise — "pre-processing
+//! approaches require appropriate tuning of the level of repair to achieve
+//! the desired correctness-fairness balance". Feld's λ parameter is the one
+//! explicit repair-level knob among the evaluated approaches (the paper
+//! evaluates λ = 1.0 and λ = 0.6); this example sweeps it on the Credit
+//! dataset and prints the induced tradeoff curve, alongside the Zafar
+//! accuracy-constrained in-processing point for contrast.
+//!
+//! Run with: `cargo run --release --example loan_repair_sweep`
+
+use std::sync::Arc;
+
+use fairlens::core::inproc::{Zafar, ZafarVariant};
+use fairlens::core::pre::Feld;
+use fairlens::core::{Approach, ApproachKind, Stage};
+use fairlens::metrics::di_star;
+use fairlens::prelude::*;
+use fairlens_frame::split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let kind = DatasetKind::Credit;
+    let data = kind.generate(8_000, 42);
+    println!("{}", data.summary());
+    println!();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let (train, test) = split::train_test_split(&data, 0.3, &mut rng);
+
+    println!("{:<24} {:>10} {:>8}", "configuration", "accuracy", "DI*");
+
+    let baseline = baseline_approach().fit(&train, 1).expect("LR trains");
+    let preds = baseline.predict(&test);
+    println!(
+        "{:<24} {:>10.3} {:>8.3}",
+        "LR (no repair)",
+        accuracy(&preds, test.labels()),
+        di_star(&preds, test.sensitive())
+    );
+
+    // --- the pre-processing knob: Feld's λ --------------------------------
+    for lambda in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let approach = Approach {
+            name: "Feld^DP(sweep)",
+            stage: Stage::Pre,
+            targets: &["DI"],
+            kind: ApproachKind::Pre(Arc::new(Feld::new(lambda))),
+        };
+        let fitted = approach.fit(&train, 1).expect("Feld trains");
+        let preds = fitted.predict(&test);
+        println!(
+            "{:<24} {:>10.3} {:>8.3}",
+            format!("Feld λ = {lambda:.1}"),
+            accuracy(&preds, test.labels()),
+            di_star(&preds, test.sensitive())
+        );
+    }
+
+    // --- the in-processing contrast: Zafar's explicit accuracy budget -----
+    let zafar = Approach {
+        name: "Zafar^DP_Acc",
+        stage: Stage::In,
+        targets: &["DI"],
+        kind: ApproachKind::In(Arc::new(Zafar::new(ZafarVariant::DpAcc))),
+    };
+    match zafar.fit(&train, 1) {
+        Ok(fitted) => {
+            let preds = fitted.predict(&test);
+            println!(
+                "{:<24} {:>10.3} {:>8.3}",
+                "Zafar^DP_Acc (γ = 0.10)",
+                accuracy(&preds, test.labels()),
+                di_star(&preds, test.sensitive())
+            );
+        }
+        Err(e) => println!("Zafar^DP_Acc failed: {e}"),
+    }
+
+    println!();
+    println!(
+        "Reading the curve: λ controls how far each attribute's group-conditional\n\
+marginals move towards the median distribution; fairness (DI*) rises with λ\n\
+but the accuracy cost is data-dependent — the tuning burden the paper assigns\n\
+to pre-processing, versus Zafar's directly-budgeted tradeoff."
+    );
+}
+
+fn accuracy(preds: &[u8], labels: &[u8]) -> f64 {
+    preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|&(p, t)| p == t)
+        .count() as f64
+        / labels.len().max(1) as f64
+}

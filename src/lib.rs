@@ -1,0 +1,68 @@
+//! # FairLens
+//!
+//! A from-scratch Rust reproduction of *"Through the Data Management Lens:
+//! Experimental Analysis and Evaluation of Fair Classification"* (Islam,
+//! Fariha & Meliou, SIGMOD 2022): 13 fair classification approaches
+//! (18 evaluated variants) across the pre-, in- and post-processing stages,
+//! the nine evaluation metrics, calibrated synthetic versions of the four
+//! benchmark datasets, and the full experiment harness that regenerates
+//! every figure of the paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fairlens::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A benchmark dataset (synthetic, calibrated to the paper's statistics).
+//! let data = DatasetKind::German.generate(600, 7);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (train, test) = fairlens::frame::split::train_test_split(&data, 0.3, &mut rng);
+//!
+//! // Fairness-unaware baseline vs a fair approach.
+//! let lr = baseline_approach().fit(&train, 1).unwrap();
+//! let fair = all_approaches(&[])
+//!     .into_iter()
+//!     .find(|a| a.name == "KamCal^DP")
+//!     .unwrap()
+//!     .fit(&train, 1)
+//!     .unwrap();
+//!
+//! let di_lr = fairlens::metrics::di_star(&lr.predict(&test), test.sensitive());
+//! let di_fair = fairlens::metrics::di_star(&fair.predict(&test), test.sensitive());
+//! assert!(di_fair >= di_lr - 0.15); // the repair should not hurt parity
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`frame`] | tabular datasets `(X, S; Y)`, splits, encoding, discretisation |
+//! | [`synth`] | calibrated Adult / COMPAS / German / Credit generators |
+//! | [`metrics`] | accuracy/precision/recall/F1 + DI, TPRB, TNRB, CD, CRD |
+//! | [`core`] | the 18 fair-classification variants and the pipeline |
+//! | [`model`] | logistic regression |
+//! | [`optim`] | GD, Adam, augmented Lagrangian, scalar solvers |
+//! | [`solver`] | weighted MaxSAT, NMF, simplex LP |
+//! | [`causal`] | χ² CI tests, PC-lite discovery, do-calculus effects |
+//! | [`linalg`] | dense vectors/matrices |
+
+pub use fairlens_causal as causal;
+pub use fairlens_core as core;
+pub use fairlens_frame as frame;
+pub use fairlens_linalg as linalg;
+pub use fairlens_metrics as metrics;
+pub use fairlens_model as model;
+pub use fairlens_optim as optim;
+pub use fairlens_solver as solver;
+pub use fairlens_synth as synth;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use fairlens_core::{
+        all_approaches, baseline_approach, Approach, ApproachKind, FittedPipeline, Stage,
+    };
+    pub use fairlens_frame::{Dataset, DatasetBuilder, Encoder};
+    pub use fairlens_metrics::MetricReport;
+    pub use fairlens_synth::{DatasetKind, ALL_DATASETS};
+}

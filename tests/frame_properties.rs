@@ -1,0 +1,107 @@
+//! Property-based tests on the data-management substrate: dataset
+//! invariants that every repair / split / encoding operation must preserve.
+
+use fairlens::frame::{split, Dataset, Discretizer, Encoder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random small mixed-schema dataset.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (6usize..80).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0f64..100.0, n),
+            prop::collection::vec(0u32..3, n),
+            prop::collection::vec(0u8..2, n),
+            prop::collection::vec(0u8..2, n),
+        )
+            .prop_map(|(x, c, s, y)| {
+                Dataset::builder("prop")
+                    .numeric("x", x)
+                    .categorical("c", c, vec!["a".into(), "b".into(), "c".into()])
+                    .sensitive("s", s)
+                    .labels("y", y)
+                    .build()
+                    .expect("valid by construction")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn split_partitions_rows(d in dataset_strategy(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = split::train_test_split(&d, 0.3, &mut rng);
+        prop_assert_eq!(train.n_rows() + test.n_rows(), d.n_rows());
+        prop_assert!(train.n_rows() >= 1 && test.n_rows() >= 1);
+        prop_assert_eq!(train.n_attrs(), d.n_attrs());
+    }
+
+    #[test]
+    fn weighted_sampling_preserves_schema(d in dataset_strategy(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = vec![1.0; d.n_rows()];
+        let s = d.sample_weighted(d.n_rows(), &w, &mut rng);
+        prop_assert_eq!(s.n_rows(), d.n_rows());
+        prop_assert_eq!(s.n_attrs(), d.n_attrs());
+        prop_assert_eq!(s.attr_names(), d.attr_names());
+        // sampled sensitive values are still binary
+        prop_assert!(s.sensitive().iter().all(|&v| v <= 1));
+    }
+
+    #[test]
+    fn flip_sensitive_is_involutive(d in dataset_strategy()) {
+        let f = d.flip_sensitive();
+        prop_assert_eq!(f.flip_sensitive(), d.clone());
+        for (a, b) in d.sensitive().iter().zip(f.sensitive().iter()) {
+            prop_assert_eq!(a + b, 1);
+        }
+        // everything else untouched
+        prop_assert_eq!(f.labels(), d.labels());
+        prop_assert_eq!(f.columns(), d.columns());
+    }
+
+    #[test]
+    fn encoder_shape_and_finiteness(d in dataset_strategy()) {
+        for include_s in [false, true] {
+            let enc = Encoder::fit(&d, include_s);
+            let f = enc.transform(&d);
+            prop_assert_eq!(f.matrix.rows(), d.n_rows());
+            prop_assert_eq!(f.matrix.cols(), enc.width());
+            prop_assert_eq!(f.names.len(), enc.width());
+            prop_assert!(f.matrix.data().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn discretizer_codes_in_range(d in dataset_strategy(), bins in 2usize..6) {
+        let view = Discretizer::fit(&d, bins).transform(&d);
+        prop_assert_eq!(view.n_rows(), d.n_rows());
+        for (col, &card) in view.columns.iter().zip(view.cards.iter()) {
+            prop_assert!(card >= 1);
+            prop_assert!(col.iter().all(|&c| c < card));
+        }
+    }
+
+    #[test]
+    fn select_rows_then_attrs_commute(d in dataset_strategy()) {
+        let rows: Vec<usize> = (0..d.n_rows()).step_by(2).collect();
+        let a = d.select_rows(&rows).select_attrs(&[1]);
+        let b = d.select_attrs(&[1]).select_rows(&rows);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn group_rates_are_consistent(d in dataset_strategy()) {
+        let n0 = d.group_size(0) as f64;
+        let n1 = d.group_size(1) as f64;
+        let total = d.n_rows() as f64;
+        prop_assert!((n0 + n1 - total).abs() < 1e-12);
+        if n0 > 0.0 && n1 > 0.0 {
+            let overall = (d.group_pos_rate(0) * n0 + d.group_pos_rate(1) * n1) / total;
+            prop_assert!((overall - d.pos_rate()).abs() < 1e-12);
+        }
+    }
+}

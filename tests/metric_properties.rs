@@ -1,0 +1,93 @@
+//! Property-based tests on the evaluation metrics: range, normalisation and
+//! symmetry invariants that must hold for *any* prediction vector.
+
+use fairlens::metrics::{
+    di_star, disparate_impact, tnr_balance, tpr_balance, ConfusionMatrix, MetricReport,
+};
+use proptest::prelude::*;
+
+/// Random binary triples (y, ŷ, s) with both groups present.
+fn labelled_predictions() -> impl Strategy<Value = (Vec<u8>, Vec<u8>, Vec<u8>)> {
+    (4usize..200).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0u8..2, n),
+            prop::collection::vec(0u8..2, n),
+            prop::collection::vec(0u8..2, n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn confusion_matrix_counts_partition((y, p, _s) in labelled_predictions()) {
+        let m = ConfusionMatrix::from_predictions(&y, &p);
+        prop_assert_eq!(m.total(), y.len());
+        prop_assert_eq!(m.tp + m.fn_, y.iter().filter(|&&v| v == 1).count());
+        prop_assert_eq!(m.fp + m.tn, y.iter().filter(|&&v| v == 0).count());
+    }
+
+    #[test]
+    fn correctness_metrics_in_unit_interval((y, p, _s) in labelled_predictions()) {
+        let m = ConfusionMatrix::from_predictions(&y, &p);
+        for v in [m.accuracy(), m.precision(), m.recall(), m.f1(), m.tpr(), m.tnr(), m.fpr(), m.fnr()] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        }
+        // complements
+        prop_assert!((m.tpr() + m.fnr() - 1.0).abs() < 1e-9 || m.tp + m.fn_ == 0);
+        prop_assert!((m.tnr() + m.fpr() - 1.0).abs() < 1e-9 || m.tn + m.fp == 0);
+    }
+
+    #[test]
+    fn di_star_is_normalised((_y, p, s) in labelled_predictions()) {
+        let v = di_star(&p, &s);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "DI* = {v}");
+        let di = disparate_impact(&p, &s);
+        if di.is_finite() && di > 0.0 {
+            prop_assert!((v - di.min(1.0 / di)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn balances_are_bounded_and_antisymmetric((y, p, s) in labelled_predictions()) {
+        let tprb = tpr_balance(&y, &p, &s);
+        let tnrb = tnr_balance(&y, &p, &s);
+        prop_assert!((-1.0..=1.0).contains(&tprb));
+        prop_assert!((-1.0..=1.0).contains(&tnrb));
+        // swapping group labels flips the sign
+        let s_flip: Vec<u8> = s.iter().map(|&v| 1 - v).collect();
+        prop_assert!((tpr_balance(&y, &p, &s_flip) + tprb).abs() < 1e-12);
+        prop_assert!((tnr_balance(&y, &p, &s_flip) + tnrb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_values_always_normalised(
+        (y, p, s) in labelled_predictions(),
+        cd in 0.0f64..=1.0,
+        crd in -1.0f64..=1.0,
+    ) {
+        let r = MetricReport::from_predictions(&y, &p, &s, cd, crd);
+        for v in r.values() {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "{v}");
+        }
+        prop_assert!((r.cd_fair - (1.0 - cd)).abs() < 1e-12);
+        prop_assert!((r.crd_fair - (1.0 - crd.abs())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions_have_perfect_correctness((y, _p, s) in labelled_predictions()) {
+        let r = MetricReport::from_predictions(&y, &y, &s, 0.0, 0.0);
+        if y.iter().any(|&v| v == 1) && y.iter().any(|&v| v == 0) {
+            prop_assert_eq!(r.accuracy, 1.0);
+            prop_assert_eq!(r.f1, 1.0);
+        }
+        // Perfect equalized odds additionally needs every (S, Y) cell
+        // populated — an empty cell makes one group's rate degenerate.
+        let cell = |sv: u8, yv: u8| {
+            s.iter().zip(y.iter()).any(|(&si, &yi)| si == sv && yi == yv)
+        };
+        if cell(0, 0) && cell(0, 1) && cell(1, 0) && cell(1, 1) {
+            prop_assert_eq!(r.tprb_fair, 1.0);
+            prop_assert_eq!(r.tnrb_fair, 1.0);
+        }
+    }
+}

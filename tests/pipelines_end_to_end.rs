@@ -1,0 +1,120 @@
+//! End-to-end integration: every registered approach trains and predicts on
+//! (small versions of) all four benchmark datasets.
+
+use fairlens::prelude::*;
+use fairlens_frame::split;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Small-but-representative benchmark instances.
+fn small(kind: DatasetKind) -> (fairlens::frame::Dataset, fairlens::frame::Dataset) {
+    let n = match kind {
+        DatasetKind::German => 1_000,
+        _ => 1_600,
+    };
+    let data = kind.generate(n, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+    split::train_test_split(&data, 0.3, &mut rng)
+}
+
+#[test]
+fn every_approach_runs_on_every_dataset() {
+    for kind in ALL_DATASETS {
+        let (train, test) = small(kind);
+        let mut approaches = vec![baseline_approach()];
+        approaches.extend(all_approaches(kind.inadmissible_attrs()));
+        for approach in &approaches {
+            // The one sanctioned failure: Calmon on Credit's 26 attributes
+            // (the paper had to drop to 22 there as well) — covered by
+            // `calmon_rejects_credit_at_full_width_but_accepts_22`.
+            if approach.name == "Calmon^DP" && kind == DatasetKind::Credit {
+                continue;
+            }
+            let fitted = approach
+                .fit(&train, 1)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", approach.name, kind.name()));
+            let preds = fitted.predict(&test);
+            assert_eq!(preds.len(), test.n_rows(), "{}", approach.name);
+            assert!(
+                preds.iter().all(|&p| p <= 1),
+                "{} produced non-binary predictions",
+                approach.name
+            );
+            // Degenerate constant predictors are allowed for some
+            // post-processing solutions, but accuracy must beat the
+            // worst-constant bound minus slack.
+            let acc = preds
+                .iter()
+                .zip(test.labels())
+                .filter(|&(p, t)| p == t)
+                .count() as f64
+                / test.n_rows() as f64;
+            let majority = test.pos_rate().max(1.0 - test.pos_rate());
+            assert!(
+                acc >= (1.0 - majority) - 0.15,
+                "{} on {}: accuracy {acc} below sanity floor",
+                approach.name,
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelines_are_deterministic_per_seed() {
+    let kind = DatasetKind::German;
+    let (train, test) = small(kind);
+    for approach in all_approaches(kind.inadmissible_attrs()) {
+        let a = approach.fit(&train, 11).unwrap().predict(&test);
+        let b = approach.fit(&train, 11).unwrap().predict(&test);
+        assert_eq!(a, b, "{} is not deterministic", approach.name);
+    }
+}
+
+#[test]
+fn predictions_respond_to_training_seed_or_match() {
+    // Different seeds may legitimately coincide for deterministic
+    // approaches; the pipeline must at minimum stay valid.
+    let kind = DatasetKind::Compas;
+    let (train, test) = small(kind);
+    for approach in all_approaches(kind.inadmissible_attrs()) {
+        let a = approach.fit(&train, 1).unwrap().predict(&test);
+        let b = approach.fit(&train, 2).unwrap().predict(&test);
+        assert_eq!(a.len(), b.len());
+    }
+}
+
+#[test]
+fn pre_processing_keeps_test_schema_usable() {
+    // Repairs change the training data but the fitted pipeline must still
+    // accept the *raw* test schema (same columns/levels).
+    let kind = DatasetKind::Adult;
+    let (train, test) = small(kind);
+    for approach in all_approaches(kind.inadmissible_attrs()) {
+        if approach.stage != fairlens::core::Stage::Pre {
+            continue;
+        }
+        let fitted = approach.fit(&train, 3).unwrap();
+        let preds = fitted.predict(&test);
+        assert_eq!(preds.len(), test.n_rows(), "{}", approach.name);
+        // and on the interventional twin (the CD metric's access pattern)
+        let flipped = fitted.predict(&test.flip_sensitive());
+        assert_eq!(flipped.len(), test.n_rows());
+    }
+}
+
+#[test]
+fn calmon_rejects_credit_at_full_width_but_accepts_22() {
+    // The paper: Calmon fails on Credit's 26 attributes; 22 is the most it
+    // could handle.
+    let kind = DatasetKind::Credit;
+    let data = kind.generate(1_200, 5);
+    let calmon = all_approaches(kind.inadmissible_attrs())
+        .into_iter()
+        .find(|a| a.name == "Calmon^DP")
+        .unwrap();
+    assert!(calmon.fit(&data, 1).is_err(), "26 attributes must be rejected");
+    let idx: Vec<usize> = (0..22).collect();
+    let narrowed = data.select_attrs(&idx);
+    assert!(calmon.fit(&narrowed, 1).is_ok(), "22 attributes must work");
+}
