@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p fairlens-bench --bin ablations [-- zafar|salimi|cd|thomas|all]
+//! cargo run --release -p fairlens-bench --bin ablations \
+//!     [-- [--threads N] [--seed S] [--out DIR] [zafar|salimi|cd|thomas|all]]
 //! ```
 //!
 //! * `zafar`  — the covariance-tolerance knob `c`: the accuracy↔parity
@@ -15,71 +16,117 @@
 //!   size vs estimate spread across seeds;
 //! * `thomas` — the Seldonian tolerance: when does the safety test start
 //!   returning NSF.
+//!
+//! The Zafar and Thomas sweeps are expressed as `Custom` approach grids
+//! and executed by the parallel runner (their records land in
+//! `<out>/ablations.jsonl`); the Salimi and CD studies probe internals the
+//! cell protocol doesn't capture (repair row deltas, estimator spread) and
+//! stay direct.
 
 use std::sync::Arc;
 use std::time::Instant;
 
+use fairlens_bench::{
+    ApproachSelector, CommonArgs, ExperimentSpec, RunRecord, Runner, ScaleSpec,
+};
 use fairlens_core::inproc::{Thomas, ThomasNotion, Zafar, ZafarVariant};
 use fairlens_core::pipeline::Preprocessor;
 use fairlens_core::pre::{Salimi, SalimiEngine};
 use fairlens_core::{baseline_approach, Approach, ApproachKind, Stage};
-use fairlens_frame::split;
-use fairlens_metrics::{causal_discrimination, di_star, hoeffding_sample_size};
+use fairlens_metrics::{causal_discrimination, hoeffding_sample_size};
 use fairlens_synth::DatasetKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+const USAGE: &str = "ablations [--threads N] [--seed S] [--out DIR] [zafar|salimi|cd|thomas|all]";
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args = CommonArgs::from_env(USAGE);
+    let which = args.rest.first().map(String::as_str).unwrap_or("all").to_string();
+    let runner = Runner::new(args.threads);
+    let mut records: Vec<RunRecord> = Vec::new();
+
     if which == "zafar" || which == "all" {
-        ablate_zafar();
+        ablate_zafar(&runner, args.seed, &mut records);
     }
     if which == "salimi" || which == "all" {
-        ablate_salimi();
+        ablate_salimi(args.seed);
     }
     if which == "cd" || which == "all" {
-        ablate_cd();
+        ablate_cd(args.seed);
     }
     if which == "thomas" || which == "all" {
-        ablate_thomas();
+        ablate_thomas(&runner, args.seed, &mut records);
+    }
+
+    if !records.is_empty() {
+        let out = args.out_file("ablations");
+        fairlens_bench::write_jsonl(&out, &records).expect("write results");
+        fairlens_bench::cli::announce_output("ablations", &out, records.len());
     }
 }
 
-fn accuracy(preds: &[u8], labels: &[u8]) -> f64 {
-    preds.iter().zip(labels).filter(|&(p, t)| p == t).count() as f64 / labels.len() as f64
+/// Run a `Custom` sweep on COMPAS (4 000 rows, 70/30 split) and return the
+/// records in sweep order. CD runs at a relaxed (90 %, 5 %) bound — the
+/// sweeps read accuracy and DI*, which the bound does not touch.
+fn run_sweep(
+    runner: &Runner,
+    seed: u64,
+    sweep: Vec<Approach>,
+    records: &mut Vec<RunRecord>,
+) -> Vec<Option<RunRecord>> {
+    let names: Vec<String> = sweep.iter().map(|a| a.name.to_string()).collect();
+    let spec = ExperimentSpec::new(seed)
+        .datasets([DatasetKind::Compas])
+        .scale(ScaleSpec::Rows(4_000))
+        .approaches(ApproachSelector::Custom(sweep))
+        .baseline(false)
+        .cd_bounds(0.9, 0.05);
+    let batch = runner.run(&spec);
+    for f in &batch.failures {
+        eprintln!("[ablations] {} failed: {}", f.approach, f.error);
+    }
+    records.extend(batch.records.iter().cloned());
+    names
+        .iter()
+        .map(|n| batch.records.iter().find(|r| &r.approach == n).cloned())
+        .collect()
+}
+
+fn leak_name(name: String) -> &'static str {
+    Box::leak(name.into_boxed_str())
 }
 
 /// Zafar^DP_Fair: the tolerance `c` of `|cov| ≤ c` traces the whole
 /// accuracy–parity frontier.
-fn ablate_zafar() {
+fn ablate_zafar(runner: &Runner, seed: u64, records: &mut Vec<RunRecord>) {
     println!("=== Ablation: Zafar covariance tolerance c ===");
-    let kind = DatasetKind::Compas;
-    let data = kind.generate(4_000, 42);
-    let mut rng = StdRng::seed_from_u64(7);
-    let (train, test) = split::train_test_split(&data, 0.3, &mut rng);
-
-    println!("{:<12} {:>10} {:>8} {:>10}", "c", "accuracy", "DI*", "fit(ms)");
-    for c in [1.0, 0.3, 0.1, 0.03, 0.01, 0.003, 0.001] {
-        let zafar = Zafar { cov_tol: c, ..Zafar::new(ZafarVariant::DpFair) };
-        let approach = Approach {
-            name: "Zafar^DP(sweep)",
+    const CS: [f64; 7] = [1.0, 0.3, 0.1, 0.03, 0.01, 0.003, 0.001];
+    let sweep: Vec<Approach> = CS
+        .iter()
+        .map(|&c| Approach {
+            name: leak_name(format!("Zafar^DP(c={c})")),
             stage: Stage::In,
             targets: &["DI"],
-            kind: ApproachKind::In(Arc::new(zafar)),
-        };
-        let t0 = Instant::now();
-        match approach.fit(&train, 1) {
-            Ok(f) => {
-                let preds = f.predict(&test);
-                println!(
-                    "{:<12} {:>10.3} {:>8.3} {:>10}",
-                    format!("{c:.3}"),
-                    accuracy(&preds, test.labels()),
-                    di_star(&preds, test.sensitive()),
-                    t0.elapsed().as_millis()
-                );
-            }
-            Err(e) => println!("{c:<12.3} failed: {e}"),
+            kind: ApproachKind::In(Arc::new(Zafar {
+                cov_tol: c,
+                ..Zafar::new(ZafarVariant::DpFair)
+            })),
+        })
+        .collect();
+    let results = run_sweep(runner, seed, sweep, records);
+
+    println!("{:<12} {:>10} {:>8} {:>10}", "c", "accuracy", "DI*", "fit(ms)");
+    for (c, r) in CS.iter().zip(results) {
+        match r {
+            Some(r) => println!(
+                "{:<12} {:>10.3} {:>8.3} {:>10.0}",
+                format!("{c:.3}"),
+                r.metric("accuracy").unwrap_or(f64::NAN),
+                r.metric("di_star").unwrap_or(f64::NAN),
+                r.fit_ms
+            ),
+            None => println!("{c:<12.3} failed"),
         }
     }
     println!();
@@ -88,10 +135,10 @@ fn ablate_zafar() {
 /// Salimi: force different stratification widths by varying dataset width
 /// (the repair stratifies on the strongest admissible attributes, bounded
 /// by the data budget).
-fn ablate_salimi() {
+fn ablate_salimi(seed: u64) {
     println!("=== Ablation: Salimi stratification / instance size ===");
     let kind = DatasetKind::Compas;
-    let full = kind.generate(6_000, 42);
+    let full = kind.generate(6_000, seed);
     println!(
         "{:<8} {:>12} {:>12} {:>12}",
         "attrs", "maxsat(ms)", "matfac(ms)", "rows Δ"
@@ -103,7 +150,7 @@ fn ablate_salimi() {
         let mut delta = 0usize;
         for engine in [SalimiEngine::MaxSat, SalimiEngine::MatFac] {
             let s = Salimi::new(engine, vec![]);
-            let mut rng = StdRng::seed_from_u64(1);
+            let mut rng = StdRng::seed_from_u64(seed ^ 1);
             let t0 = Instant::now();
             match s.repair(&data, &mut rng) {
                 Ok(r) => {
@@ -122,10 +169,10 @@ fn ablate_salimi() {
 
 /// CD: the paper's (99 %, 1 %) setting vs cheaper bounds — sample size and
 /// seed-to-seed spread.
-fn ablate_cd() {
+fn ablate_cd(seed: u64) {
     println!("=== Ablation: CD confidence/error bound ===");
     let kind = DatasetKind::Compas;
-    let data = kind.generate(6_000, 42);
+    let data = kind.generate(6_000, seed);
     let fitted = baseline_approach().fit(&data, 1).expect("LR trains");
 
     println!(
@@ -135,8 +182,8 @@ fn ablate_cd() {
     for (conf, err) in [(0.90, 0.05), (0.95, 0.02), (0.99, 0.01)] {
         let n = hoeffding_sample_size(conf, err);
         let mut estimates = Vec::new();
-        for seed in 0..5u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+        for offset in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(offset));
             estimates.push(causal_discrimination(
                 &data,
                 |d| fitted.predict(d),
@@ -163,33 +210,33 @@ fn ablate_cd() {
 
 /// Thomas: tolerance vs acceptance — at tight tolerances the safety test
 /// cannot pass and the NSF fallback is used.
-fn ablate_thomas() {
+fn ablate_thomas(runner: &Runner, seed: u64, records: &mut Vec<RunRecord>) {
     println!("=== Ablation: Thomas safety-test tolerance ===");
-    let kind = DatasetKind::Compas;
-    let data = kind.generate(4_000, 42);
-    let mut rng = StdRng::seed_from_u64(7);
-    let (train, test) = split::train_test_split(&data, 0.3, &mut rng);
-
-    println!("{:<12} {:>10} {:>8}", "tolerance", "accuracy", "DI*");
-    for tol in [0.20, 0.12, 0.08, 0.05, 0.02] {
-        let thomas = Thomas { tolerance: tol, ..Thomas::new(ThomasNotion::DemographicParity) };
-        let approach = Approach {
-            name: "Thomas^DP(sweep)",
+    const TOLS: [f64; 5] = [0.20, 0.12, 0.08, 0.05, 0.02];
+    let sweep: Vec<Approach> = TOLS
+        .iter()
+        .map(|&tol| Approach {
+            name: leak_name(format!("Thomas^DP(tol={tol})")),
             stage: Stage::In,
             targets: &["DI"],
-            kind: ApproachKind::In(Arc::new(thomas)),
-        };
-        match approach.fit(&train, 1) {
-            Ok(f) => {
-                let preds = f.predict(&test);
-                println!(
-                    "{:<12.2} {:>10.3} {:>8.3}",
-                    tol,
-                    accuracy(&preds, test.labels()),
-                    di_star(&preds, test.sensitive())
-                );
-            }
-            Err(e) => println!("{tol:<12.2} failed: {e}"),
+            kind: ApproachKind::In(Arc::new(Thomas {
+                tolerance: tol,
+                ..Thomas::new(ThomasNotion::DemographicParity)
+            })),
+        })
+        .collect();
+    let results = run_sweep(runner, seed, sweep, records);
+
+    println!("{:<12} {:>10} {:>8}", "tolerance", "accuracy", "DI*");
+    for (tol, r) in TOLS.iter().zip(results) {
+        match r {
+            Some(r) => println!(
+                "{:<12.2} {:>10.3} {:>8.3}",
+                tol,
+                r.metric("accuracy").unwrap_or(f64::NAN),
+                r.metric("di_star").unwrap_or(f64::NAN)
+            ),
+            None => println!("{tol:<12.2} failed"),
         }
     }
     println!();

@@ -4,102 +4,102 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p fairlens-bench --bin fig10_correctness_fairness [-- quick|paper [dataset]]
+//! cargo run --release -p fairlens-bench --bin fig10_correctness_fairness \
+//!     [-- [--threads N] [--seed S] [--scale quick|paper] [--out DIR] [dataset]]
 //! ```
 //!
-//! `quick` caps dataset sizes at 8 000 rows (same qualitative shape, much
-//! faster); `paper` uses the paper's documented sizes. An optional dataset
-//! name (`adult`/`compas`/`german`/`credit`) restricts the run to one panel.
+//! `--scale quick` caps dataset sizes at 8 000 rows (same qualitative
+//! shape, much faster); `paper` uses the paper's documented sizes. An
+//! optional dataset name (`adult`/`compas`/`german`/`credit`) restricts the
+//! run to one panel. Records land in `<out>/fig10_correctness_fairness.jsonl`.
 //!
 //! As in the paper: 70 %/30 % random train/test split, logistic regression
 //! under every pre-processing repair, metrics normalised so higher = more
 //! correct / more fair, and the Credit panel drops to 22 attributes for
-//! Calmon (the most it can handle).
+//! Calmon (the most it can handle — the runner applies the fallback).
 
-use fairlens_bench::{evaluate, print_fig10_table, scale_rows};
-use fairlens_core::{all_approaches, baseline_approach};
-use fairlens_frame::split;
+use fairlens_bench::{print_fig10_records, CommonArgs, ExperimentSpec, Runner};
+use fairlens_core::all_approaches;
 use fairlens_synth::{DatasetKind, ALL_DATASETS};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+const USAGE: &str =
+    "fig10_correctness_fairness [--threads N] [--seed S] [--scale quick|paper] [--out DIR] [dataset]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = args.first().map(String::as_str).unwrap_or("paper").to_string();
-    let only: Option<String> = args.get(1).map(|s| s.to_lowercase());
+    let args = CommonArgs::from_env(USAGE);
+    let only: Option<String> = args.rest.first().map(|s| s.to_lowercase());
 
-    for kind in ALL_DATASETS {
-        if let Some(o) = &only {
-            if !kind.name().to_lowercase().starts_with(o.as_str()) {
+    let datasets: Vec<DatasetKind> = ALL_DATASETS
+        .into_iter()
+        .filter(|k| match &only {
+            Some(o) => k.name().to_lowercase().starts_with(o.as_str()),
+            None => true,
+        })
+        .collect();
+    if datasets.is_empty() {
+        eprintln!(
+            "error: unknown dataset {:?} (expected adult|compas|german|credit)\nusage: {USAGE}",
+            only.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
+    }
+
+    let spec = ExperimentSpec::new(args.seed)
+        .datasets(datasets.iter().copied())
+        .scale(args.scale);
+    let runner = Runner::new(args.threads);
+    eprintln!(
+        "[fig10] {} dataset panel(s), {} worker thread(s), seed {}",
+        datasets.len(),
+        runner.threads(),
+        args.seed
+    );
+    let batch = runner.run(&spec);
+
+    for f in &batch.failures {
+        eprintln!("[fig10] {} on {} failed: {}", f.approach, f.dataset, f.error);
+    }
+
+    for kind in &datasets {
+        let rows: Vec<_> = batch.for_dataset(kind.name()).collect();
+        print_fig10_records(kind.name(), &rows);
+
+        // The paper's target-arrow check: does each approach improve the
+        // metric(s) it optimises, relative to LR?
+        let Some(baseline) = rows.iter().find(|r| r.approach == "LR") else {
+            continue;
+        };
+        println!("-- targeted-metric check (↑ = improved over LR) --");
+        let registry = all_approaches(kind.salimi_inadmissible());
+        for r in rows.iter().filter(|r| r.approach != "LR") {
+            let Some(approach) = registry.iter().find(|a| a.name == r.approach) else {
+                continue;
+            };
+            if approach.targets.is_empty() {
                 continue;
             }
-        }
-        run_panel(kind, &scale);
-    }
-}
-
-fn run_panel(kind: DatasetKind, scale: &str) {
-    let n = scale_rows(kind, scale);
-    let data = kind.generate(n, 42);
-    eprintln!("[fig10] {} ({n} rows)", kind.name());
-
-    let mut rng = StdRng::seed_from_u64(7);
-    let (train, test) = split::train_test_split(&data, 0.3, &mut rng);
-
-    let baseline = evaluate(&baseline_approach(), kind, &train, &test, 1)
-        .expect("baseline LR always trains");
-
-    let mut rows = Vec::new();
-    for approach in all_approaches(kind.inadmissible_attrs()) {
-        eprintln!("[fig10]   {}", approach.name);
-        match evaluate(&approach, kind, &train, &test, 1) {
-            Ok(e) => rows.push(e),
-            Err(e) if approach.name == "Calmon^DP" && kind == DatasetKind::Credit => {
-                // The paper: "Calmon failed to complete on the Credit dataset
-                // due to the large number of attributes (26); we display its
-                // performance over 22 attributes (the most it could handle)."
-                eprintln!("[fig10]   Calmon^DP on 26 attrs: {e}; retrying with 22 attributes");
-                let idx: Vec<usize> = (0..22).collect();
-                let train22 = train.select_attrs(&idx);
-                let test22 = test.select_attrs(&idx);
-                match evaluate(&approach, kind, &train22, &test22, 1) {
-                    Ok(e) => rows.push(e),
-                    Err(e) => eprintln!("[fig10]   Calmon^DP still failed: {e}"),
-                }
-            }
-            Err(e) => eprintln!("[fig10]   {} failed: {e}", approach.name),
+            let key = |t: &str| match t {
+                "DI" => "di_star",
+                "TPRB" => "tprb_fair",
+                "TNRB" => "tnrb_fair",
+                "CD" => "cd_fair",
+                "CRD" => "crd_fair",
+                _ => unreachable!("unknown target"),
+            };
+            let marks: Vec<String> = approach
+                .targets
+                .iter()
+                .map(|t| {
+                    let ours = r.metric(key(t)).unwrap_or(f64::NAN);
+                    let lr = baseline.metric(key(t)).unwrap_or(f64::NAN);
+                    format!("{t}:{}", if ours >= lr - 0.02 { "↑" } else { "✗" })
+                })
+                .collect();
+            println!("{:<19} {}", r.approach, marks.join("  "));
         }
     }
-    print_fig10_table(kind.name(), &rows, Some(&baseline));
 
-    // The paper's target-arrow check: does each approach improve the
-    // metric(s) it optimises, relative to LR?
-    println!("-- targeted-metric check (↑ = improved over LR) --");
-    for e in &rows {
-        let approach = all_approaches(kind.inadmissible_attrs())
-            .into_iter()
-            .find(|a| a.name == e.approach)
-            .expect("evaluated approach exists in registry");
-        if approach.targets.is_empty() {
-            continue;
-        }
-        let pick = |r: &fairlens_metrics::MetricReport, t: &str| match t {
-            "DI" => r.di_star,
-            "TPRB" => r.tprb_fair,
-            "TNRB" => r.tnrb_fair,
-            "CD" => r.cd_fair,
-            "CRD" => r.crd_fair,
-            _ => unreachable!("unknown target"),
-        };
-        let marks: Vec<String> = approach
-            .targets
-            .iter()
-            .map(|t| {
-                let ours = pick(&e.report, t);
-                let lr = pick(&baseline.report, t);
-                format!("{t}:{}", if ours >= lr - 0.02 { "↑" } else { "✗" })
-            })
-            .collect();
-        println!("{:<19} {}", e.approach, marks.join("  "));
-    }
+    let out = args.out_file("fig10_correctness_fairness");
+    batch.write_jsonl(&out).expect("write results");
+    fairlens_bench::cli::announce_output("fig10", &out, batch.records.len());
 }

@@ -8,24 +8,32 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p fairlens-bench --bin fig11_scalability [-- size|attrs|both [quick]]
+//! cargo run --release -p fairlens-bench --bin fig11_scalability \
+//!     [-- [--threads N] [--seed S] [--scale quick|paper] [--out DIR] [size|attrs|both]]
 //! ```
 //!
-//! `quick` halves the sweep (sizes up to 10 K, attributes up to 22) for
-//! smoke runs. As in the paper, the reported value is
+//! `--scale quick` halves the sweep (sizes up to 10 K, attributes up to 22)
+//! for smoke runs. As in the paper, the reported value is
 //! `total pipeline time − LR time`, so pure-overhead comparisons across
-//! stages are meaningful; everything is single-threaded.
+//! stages are meaningful. Every timing cell runs single-threaded on one
+//! worker (the runner never parallelises *within* a cell), so `--threads`
+//! only overlaps different cells; use `--threads 1` for the least-noisy
+//! timings. Records land in `<out>/fig11_scalability.jsonl` with their
+//! `rows` / `attrs` coordinates.
 
-use std::time::Duration;
-
-use fairlens_bench::time_fit;
-use fairlens_core::{all_approaches, baseline_approach, Stage};
+use fairlens_bench::{CommonArgs, ExperimentSpec, RunRecord, Runner, ScaleSpec};
+use fairlens_core::{all_approaches, Stage};
 use fairlens_synth::DatasetKind;
 
+const USAGE: &str =
+    "fig11_scalability [--threads N] [--seed S] [--scale quick|paper] [--out DIR] [size|attrs|both]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mode = args.first().map(String::as_str).unwrap_or("both").to_string();
-    let quick = args.iter().any(|a| a == "quick");
+    let args = CommonArgs::from_env(USAGE);
+    let mode = args.rest.first().map(String::as_str).unwrap_or("both").to_string();
+    let quick = args.scale == ScaleSpec::Quick;
+    let runner = Runner::new(args.threads);
+    let mut all_records: Vec<RunRecord> = Vec::new();
 
     if mode == "size" || mode == "both" {
         let sizes: &[usize] = if quick {
@@ -33,7 +41,7 @@ fn main() {
         } else {
             &[1_000, 2_000, 5_000, 10_000, 20_000, 40_000]
         };
-        size_sweep(sizes);
+        size_sweep(&runner, args.seed, sizes, &mut all_records);
     }
     if mode == "attrs" || mode == "both" {
         let attrs: &[usize] = if quick {
@@ -41,16 +49,60 @@ fn main() {
         } else {
             &[2, 6, 10, 14, 18, 22, 26]
         };
-        attr_sweep(attrs);
+        attr_sweep(&runner, args.seed, attrs, &mut all_records);
+    }
+
+    let out = args.out_file("fig11_scalability");
+    fairlens_bench::write_jsonl(&out, &all_records).expect("write results");
+    fairlens_bench::cli::announce_output("fig11", &out, all_records.len());
+}
+
+/// Run one timing-only spec per sweep point; cells within a point are
+/// spread over the pool, each cell itself single-threaded.
+fn run_points(
+    runner: &Runner,
+    label: &str,
+    specs: Vec<ExperimentSpec>,
+    all_records: &mut Vec<RunRecord>,
+) -> Vec<Vec<RunRecord>> {
+    specs
+        .into_iter()
+        .map(|spec| {
+            let batch = runner.run(&spec);
+            for f in &batch.failures {
+                // Calmon beyond 22 attributes reports Unsupported — the
+                // paper's "did not converge for more than 22 attributes".
+                eprintln!("[{label}] {} on {}: {}", f.approach, f.dataset, f.error);
+            }
+            all_records.extend(batch.records.iter().cloned());
+            batch.records
+        })
+        .collect()
+}
+
+fn overhead_cell(records: &[RunRecord], name: &str, lr_ms: Option<f64>) -> String {
+    match (records.iter().find(|r| r.approach == name), lr_ms) {
+        (Some(r), Some(lr)) => format!("{:.0}", (r.fit_ms - lr).max(0.0)),
+        _ => "-".into(),
     }
 }
 
 /// Fig. 11(a–c): vary |D| on Adult.
-fn size_sweep(sizes: &[usize]) {
+fn size_sweep(runner: &Runner, seed: u64, sizes: &[usize], all_records: &mut Vec<RunRecord>) {
     println!("=== Fig. 11(a–c) — runtime overhead vs data size (Adult) ===");
     println!("(milliseconds of overhead over LR; '-' = failed/unsupported)");
     let kind = DatasetKind::Adult;
-    let approaches = all_approaches(kind.inadmissible_attrs());
+
+    let specs = sizes
+        .iter()
+        .map(|&n| {
+            ExperimentSpec::new(seed)
+                .datasets([kind])
+                .scale(ScaleSpec::Rows(n))
+                .timing_only(true)
+        })
+        .collect();
+    let per_point = run_points(runner, "fig11/size", specs, all_records);
 
     print!("{:<6} {:<19}", "stage", "approach");
     for n in sizes {
@@ -59,47 +111,53 @@ fn size_sweep(sizes: &[usize]) {
     println!();
 
     // Baseline LR times per size (subtracted from everything).
-    let mut lr_ms = Vec::new();
-    for &n in sizes {
-        let data = kind.generate(n, 9);
-        let t = time_fit(&baseline_approach(), &data, 1).expect("LR trains");
-        lr_ms.push(t);
-    }
+    let lr_ms: Vec<Option<f64>> = per_point
+        .iter()
+        .map(|records| records.iter().find(|r| r.approach == "LR").map(|r| r.fit_ms))
+        .collect();
     print!("{:<6} {:<19}", "base", "LR (absolute)");
     for t in &lr_ms {
-        print!(" {:>9}", t.as_millis());
+        match t {
+            Some(ms) => print!(" {ms:>9.0}"),
+            None => print!(" {:>9}", "-"),
+        }
     }
     println!();
 
     for stage in [Stage::Pre, Stage::In, Stage::Post] {
-        for approach in approaches.iter().filter(|a| a.stage == stage) {
+        for approach in all_approaches(kind.salimi_inadmissible())
+            .iter()
+            .filter(|a| a.stage == stage)
+        {
             print!("{:<6} {:<19}", stage.label(), approach.name);
-            for (i, &n) in sizes.iter().enumerate() {
-                let data = kind.generate(n, 9);
-                match time_fit(approach, &data, 1) {
-                    Ok(t) => {
-                        let overhead = t.saturating_sub(lr_ms[i]);
-                        print!(" {:>9}", overhead.as_millis());
-                    }
-                    Err(_) => print!(" {:>9}", "-"),
-                }
+            for (records, lr) in per_point.iter().zip(&lr_ms) {
+                print!(" {:>9}", overhead_cell(records, approach.name, *lr));
             }
             println!();
-            eprintln!("[fig11/size] {} done", approach.name);
         }
     }
 }
 
 /// Fig. 11(d–f): vary |X| on Credit.
-fn attr_sweep(attr_counts: &[usize]) {
+fn attr_sweep(runner: &Runner, seed: u64, attr_counts: &[usize], all_records: &mut Vec<RunRecord>) {
     println!();
     println!("=== Fig. 11(d–f) — runtime overhead vs #attributes (Credit) ===");
     println!("(milliseconds of overhead over LR; '-' = failed/unsupported)");
     let kind = DatasetKind::Credit;
     // The paper uses the Credit dataset at its natural size for this sweep.
-    let n = 20_651.min(kind.default_rows());
-    let full = kind.generate(n, 11);
-    let approaches = all_approaches(kind.inadmissible_attrs());
+    let n = kind.default_rows();
+
+    let specs = attr_counts
+        .iter()
+        .map(|&a| {
+            ExperimentSpec::new(seed)
+                .datasets([kind])
+                .scale(ScaleSpec::Rows(n))
+                .attrs(a)
+                .timing_only(true)
+        })
+        .collect();
+    let per_point = run_points(runner, "fig11/attrs", specs, all_records);
 
     print!("{:<6} {:<19}", "stage", "approach");
     for a in attr_counts {
@@ -107,36 +165,29 @@ fn attr_sweep(attr_counts: &[usize]) {
     }
     println!();
 
-    let mut lr_ms: Vec<Duration> = Vec::new();
-    for &a in attr_counts {
-        let idx: Vec<usize> = (0..a).collect();
-        let data = full.select_attrs(&idx);
-        lr_ms.push(time_fit(&baseline_approach(), &data, 1).expect("LR trains"));
-    }
+    let lr_ms: Vec<Option<f64>> = per_point
+        .iter()
+        .map(|records| records.iter().find(|r| r.approach == "LR").map(|r| r.fit_ms))
+        .collect();
     print!("{:<6} {:<19}", "base", "LR (absolute)");
     for t in &lr_ms {
-        print!(" {:>9}", t.as_millis());
+        match t {
+            Some(ms) => print!(" {ms:>9.0}"),
+            None => print!(" {:>9}", "-"),
+        }
     }
     println!();
 
     for stage in [Stage::Pre, Stage::In, Stage::Post] {
-        for approach in approaches.iter().filter(|a| a.stage == stage) {
+        for approach in all_approaches(kind.salimi_inadmissible())
+            .iter()
+            .filter(|a| a.stage == stage)
+        {
             print!("{:<6} {:<19}", stage.label(), approach.name);
-            for (i, &a) in attr_counts.iter().enumerate() {
-                let idx: Vec<usize> = (0..a).collect();
-                let data = full.select_attrs(&idx);
-                match time_fit(approach, &data, 1) {
-                    Ok(t) => {
-                        let overhead = t.saturating_sub(lr_ms[i]);
-                        print!(" {:>9}", overhead.as_millis());
-                    }
-                    // Calmon beyond 22 attributes reports Unsupported — the
-                    // paper's "did not converge for more than 22 attributes".
-                    Err(_) => print!(" {:>9}", "-"),
-                }
+            for (records, lr) in per_point.iter().zip(&lr_ms) {
+                print!(" {:>9}", overhead_cell(records, approach.name, *lr));
             }
             println!();
-            eprintln!("[fig11/attrs] {} done", approach.name);
         }
     }
 }

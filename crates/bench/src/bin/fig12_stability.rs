@@ -8,36 +8,76 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p fairlens-bench --bin fig12_stability [-- adult|compas|german|credit|all [--headline] [quick]]
+//! cargo run --release -p fairlens-bench --bin fig12_stability \
+//!     [-- [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
+//!         [adult|compas|german|credit|all] [--headline]]
 //! ```
+//!
+//! The (approach × fold) grid is evaluated by the parallel runner; every
+//! cell's randomness is seeded from its coordinates, so `--threads 8`
+//! reproduces `--threads 1` exactly. Records land in
+//! `<out>/fig12_stability.jsonl`.
 
-use fairlens_bench::{evaluate, scale_rows, summarize, Summary};
-use fairlens_core::{all_approaches, baseline_approach, Approach};
-use fairlens_frame::split;
+use fairlens_bench::{summarize, CommonArgs, ExperimentSpec, RunRecord, Runner, Summary};
 use fairlens_synth::{DatasetKind, ALL_DATASETS};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const FOLDS: usize = 10;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("adult").to_string();
-    let headline = args.iter().any(|a| a == "--headline");
-    let scale = if args.iter().any(|a| a == "quick") { "quick" } else { "paper" };
+const USAGE: &str = "fig12_stability [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
+                     [adult|compas|german|credit|all] [--headline]";
 
-    for kind in ALL_DATASETS {
-        let name = kind.name().to_lowercase();
-        if which != "all" && !name.starts_with(&which.to_lowercase()) {
-            continue;
-        }
-        run_dataset(kind, headline, scale);
+fn main() {
+    let args = CommonArgs::from_env(USAGE);
+    let headline = args.rest.iter().any(|a| a == "--headline");
+    let which = args
+        .rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "adult".into());
+
+    let datasets: Vec<DatasetKind> = ALL_DATASETS
+        .into_iter()
+        .filter(|k| which == "all" || k.name().to_lowercase().starts_with(&which.to_lowercase()))
+        .collect();
+    if datasets.is_empty() {
+        eprintln!("error: unknown dataset {which:?} (expected adult|compas|german|credit|all)\nusage: {USAGE}");
+        std::process::exit(2);
     }
+
+    let spec = ExperimentSpec::new(args.seed)
+        .datasets(datasets.iter().copied())
+        .folds(FOLDS)
+        // paper: 66.67 % training, the rest testing
+        .test_frac(1.0 / 3.0)
+        .scale(args.scale);
+    let runner = Runner::new(args.threads);
+    eprintln!(
+        "[stability] {} dataset(s) × {FOLDS} folds, {} worker thread(s), seed {}",
+        datasets.len(),
+        runner.threads(),
+        args.seed
+    );
+    let batch = runner.run(&spec);
+    for f in &batch.failures {
+        eprintln!(
+            "[stability] {} on {} fold {} failed: {}",
+            f.approach, f.dataset, f.fold, f.error
+        );
+    }
+
+    for kind in &datasets {
+        let records: Vec<&RunRecord> = batch.for_dataset(kind.name()).collect();
+        print_panel(*kind, &records, headline);
+    }
+
+    let out = args.out_file("fig12_stability");
+    batch.write_jsonl(&out).expect("write results");
+    fairlens_bench::cli::announce_output("stability", &out, batch.records.len());
 }
 
-fn run_dataset(kind: DatasetKind, headline: bool, scale: &str) {
-    let n = scale_rows(kind, scale);
-    let data = kind.generate(n, 21);
+fn print_panel(kind: DatasetKind, records: &[&RunRecord], headline: bool) {
+    let n = records.first().map(|r| r.rows).unwrap_or(0);
     println!();
     println!(
         "=== Stability — {} ({n} rows, {FOLDS} random 2/3 folds) ===",
@@ -64,43 +104,37 @@ fn run_dataset(kind: DatasetKind, headline: bool, scale: &str) {
     }
     println!();
 
-    let mut approaches: Vec<Approach> = vec![baseline_approach()];
-    approaches.extend(all_approaches(kind.inadmissible_attrs()));
+    // Preserve cell order (baseline first, then Fig. 8 registry order)
+    // while grouping each approach's folds together.
+    let mut order: Vec<&str> = Vec::new();
+    for r in records {
+        if !order.contains(&r.approach.as_str()) {
+            order.push(&r.approach);
+        }
+    }
 
-    for approach in &approaches {
+    for name in order {
         let mut per_metric: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
-        for fold in 0..FOLDS {
-            let mut rng = StdRng::seed_from_u64(1000 + fold as u64);
-            // paper: 66.67 % training, the rest testing
-            let (mut train, mut test) = split::train_test_split(&data, 1.0 / 3.0, &mut rng);
-            // Calmon cannot handle Credit's 26 attributes; evaluate it over
-            // 22, the most it can handle (as the paper does in Fig. 10/16).
-            if approach.name == "Calmon^DP" && kind == DatasetKind::Credit {
-                let idx: Vec<usize> = (0..22).collect();
-                train = train.select_attrs(&idx);
-                test = test.select_attrs(&idx);
-            }
-            match evaluate(approach, kind, &train, &test, fold as u64) {
-                Ok(e) => {
-                    for (m, v) in e.report.values().into_iter().enumerate() {
-                        per_metric[m].push(v);
-                    }
+        for r in records.iter().filter(|r| r.approach == name) {
+            if let Some(values) = r.metrics {
+                for (m, v) in values.into_iter().enumerate() {
+                    per_metric[m].push(v);
                 }
-                Err(err) => eprintln!(
-                    "[stability] {} fold {fold} failed: {err}",
-                    approach.name
-                ),
             }
         }
-        print!("{:<19}", approach.name);
+        print!("{name:<19}");
+        let mut skipped = 0usize;
         for &m in &metric_idx {
             let s: Summary = summarize(&per_metric[m]);
+            skipped += s.skipped;
             print!(
                 " {:>24}",
                 format!("{:.3}±{:.3} [{:.2},{:.2}]", s.mean, s.std, s.min, s.max)
             );
         }
         println!();
-        eprintln!("[stability] {} done", approach.name);
+        if skipped > 0 {
+            eprintln!("[stability] {name}: {skipped} non-finite metric value(s) skipped");
+        }
     }
 }

@@ -1,0 +1,146 @@
+//! The CLI layer shared by the four figure binaries.
+//!
+//! Every binary accepts the same execution flags:
+//!
+//! ```text
+//! --threads N     worker threads (default 0 = one per hardware thread)
+//! --seed S        experiment master seed (default 42)
+//! --scale quick|paper
+//! --out DIR       directory for JSON-lines results (default results/)
+//! ```
+//!
+//! Bare `quick` / `paper` positionals are still honoured (the pre-runner
+//! invocation style), and anything unrecognised is passed through in
+//! [`CommonArgs::rest`] for binary-specific selectors (dataset names,
+//! sweep modes, `--headline`, …).
+
+use std::path::{Path, PathBuf};
+
+use crate::spec::ScaleSpec;
+
+/// Parsed shared flags plus the untouched remainder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    /// `--threads` (0 = one worker per hardware thread).
+    pub threads: usize,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--scale` (or a bare `quick` / `paper` positional).
+    pub scale: ScaleSpec,
+    /// `--out` results directory.
+    pub out: PathBuf,
+    /// Arguments the shared layer did not consume, in order.
+    pub rest: Vec<String>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            seed: 42,
+            scale: ScaleSpec::Paper,
+            out: PathBuf::from("results"),
+            rest: Vec::new(),
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parse from an argument iterator (without the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value_of = |flag: &str| {
+                it.next().ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--threads" => {
+                    let v = value_of("--threads")?;
+                    out.threads = v
+                        .parse()
+                        .map_err(|_| format!("--threads: not a number: {v:?}"))?;
+                }
+                "--seed" => {
+                    let v = value_of("--seed")?;
+                    out.seed = v.parse().map_err(|_| format!("--seed: not a number: {v:?}"))?;
+                }
+                "--scale" => out.scale = ScaleSpec::parse(&value_of("--scale")?)?,
+                "--out" => out.out = PathBuf::from(value_of("--out")?),
+                "quick" | "paper" => out.scale = ScaleSpec::parse(&arg)?,
+                _ => out.rest.push(arg),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process arguments, exiting with `usage` on error.
+    pub fn from_env(usage: &str) -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// `<out>/<name>.jsonl` — where a binary writes its records.
+    pub fn out_file(&self, name: &str) -> PathBuf {
+        self.out.join(format!("{name}.jsonl"))
+    }
+
+    /// Human-readable scale tag for file names / log lines.
+    pub fn scale_tag(&self) -> &'static str {
+        match self.scale {
+            ScaleSpec::Quick => "quick",
+            _ => "paper",
+        }
+    }
+}
+
+/// Log a standard "wrote results" line so every binary reports its output
+/// location the same way.
+pub fn announce_output(binary: &str, path: &Path, records: usize) {
+    eprintln!("[{binary}] wrote {records} records to {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CommonArgs {
+        CommonArgs::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.threads, 0);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.scale, ScaleSpec::Paper);
+        assert_eq!(a.out, PathBuf::from("results"));
+        assert!(a.rest.is_empty());
+    }
+
+    #[test]
+    fn flags_and_positionals() {
+        let a = parse(&[
+            "--threads", "4", "quick", "--seed", "7", "german", "--out", "tmp/r", "--headline",
+        ]);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.scale, ScaleSpec::Quick);
+        assert_eq!(a.out, PathBuf::from("tmp/r"));
+        assert_eq!(a.rest, vec!["german".to_string(), "--headline".to_string()]);
+        assert_eq!(a.out_file("fig12_stability"), PathBuf::from("tmp/r/fig12_stability.jsonl"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(CommonArgs::parse(["--threads".to_string()]).is_err());
+        assert!(CommonArgs::parse(["--threads".to_string(), "x".to_string()]).is_err());
+        assert!(CommonArgs::parse(["--scale".to_string(), "huge".to_string()]).is_err());
+    }
+}

@@ -8,13 +8,25 @@
 //! | `fig10_correctness_fairness` | Fig. 10(a–d): 4 correctness + 5 fairness metrics × 19 approaches × 4 datasets |
 //! | `fig11_scalability` | Fig. 11(a–c): runtime vs data size; Fig. 11(d–f): runtime vs #attributes |
 //! | `fig12_stability` | Fig. 12 (headline) and Figs. 13–16 (full): metric variance over 10 random folds |
+//! | `ablations` | DESIGN.md's knob sweeps (Zafar `c`, Salimi strata, CD bounds, Thomas tolerance) |
 //!
-//! Criterion micro-benchmarks (`cargo bench -p fairlens-bench`) cover
-//! per-approach training latency and the solver kernels.
+//! All four binaries are built on the same three-layer API:
 //!
-//! This library crate holds the shared machinery: the evaluation runner
-//! (train → predict → all nine metrics, with wall-clock timing), plain-text
-//! table/series printers, and summary statistics for the stability runs.
+//! 1. [`spec::ExperimentSpec`] — a builder describing *what* to run
+//!    (datasets, approaches, folds, scale, CD bounds);
+//! 2. [`runner::Runner`] — a work-stealing thread pool that evaluates every
+//!    (approach × dataset × fold) cell with per-cell deterministic seeding,
+//!    so `--threads N` and `--threads 1` produce identical numbers;
+//! 3. [`record::RunRecord`] — one structured result row per cell,
+//!    serialised as JSON-lines under `results/`.
+//!
+//! [`cli::CommonArgs`] gives the binaries a shared `--threads/--seed/
+//! --scale/--out` surface. Criterion micro-benchmarks
+//! (`cargo bench -p fairlens-bench`) cover per-approach training latency
+//! and the solver kernels.
+//!
+//! The pre-runner entry points ([`evaluate`], [`evaluate_fitted`],
+//! [`time_fit`]) remain as deprecated wrappers over the same internals.
 
 use std::time::{Duration, Instant};
 
@@ -24,6 +36,44 @@ use fairlens_metrics::{causal_discrimination, causal_risk_difference, MetricRepo
 use fairlens_synth::DatasetKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+pub mod cli;
+pub mod record;
+pub mod runner;
+pub mod spec;
+
+pub use cli::CommonArgs;
+pub use record::{read_jsonl, write_jsonl, RunRecord, METRIC_KEYS};
+pub use runner::{CellFailure, RunBatch, Runner};
+pub use spec::{cell_seed, ApproachSelector, ExperimentSpec, ScaleSpec};
+
+/// The paper's CD estimation bound: 99 % confidence, 1 % error.
+pub const PAPER_CD_BOUNDS: (f64, f64) = (0.99, 0.01);
+
+/// The full metric suite for a fitted pipeline and its predictions on
+/// `test`: confusion-matrix metrics, DI*, TPR/TNR balance, interventional
+/// CD (re-predicting through the pipeline with `S` flipped, RNG seeded
+/// from `cd_seed ^ 0xCD`) and CRD with the dataset's resolving attributes.
+/// Shared by the runner and the deprecated free functions.
+pub(crate) fn metric_suite(
+    fitted: &FittedPipeline,
+    kind: DatasetKind,
+    test: &Dataset,
+    preds: &[u8],
+    cd_seed: u64,
+    cd_bounds: (f64, f64),
+) -> MetricReport {
+    let mut cd_rng = StdRng::seed_from_u64(cd_seed ^ 0xCD);
+    let cd = causal_discrimination(
+        test,
+        |d| fitted.predict(d),
+        cd_bounds.0,
+        cd_bounds.1,
+        &mut cd_rng,
+    );
+    let crd = causal_risk_difference(test, preds, kind.resolving_attrs());
+    MetricReport::from_predictions(test.labels(), preds, test.sensitive(), cd, crd)
+}
 
 /// One evaluated cell of Fig. 10: the nine metrics plus the fit time.
 #[derive(Debug, Clone)]
@@ -40,6 +90,10 @@ pub struct Evaluation {
 
 /// Train `approach` on `train`, evaluate on `test` with the paper's metric
 /// suite (CD at 99 %/1 %, CRD with the dataset's resolving attributes).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a spec::ExperimentSpec and evaluate it with runner::Runner::run"
+)]
 pub fn evaluate(
     approach: &Approach,
     kind: DatasetKind,
@@ -50,7 +104,8 @@ pub fn evaluate(
     let t0 = Instant::now();
     let fitted = approach.fit(train, seed)?;
     let fit_time = t0.elapsed();
-    let report = evaluate_fitted(&fitted, kind, test, seed);
+    let preds = fitted.predict(test);
+    let report = metric_suite(&fitted, kind, test, &preds, seed, PAPER_CD_BOUNDS);
     Ok(Evaluation {
         approach: approach.name,
         stage: approach.stage.label(),
@@ -60,6 +115,10 @@ pub fn evaluate(
 }
 
 /// Metric suite for an already-fitted pipeline.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a spec::ExperimentSpec and evaluate it with runner::Runner::run"
+)]
 pub fn evaluate_fitted(
     fitted: &FittedPipeline,
     kind: DatasetKind,
@@ -67,18 +126,46 @@ pub fn evaluate_fitted(
     seed: u64,
 ) -> MetricReport {
     let preds = fitted.predict(test);
-    let mut cd_rng = StdRng::seed_from_u64(seed ^ 0xCD);
-    let cd = causal_discrimination(test, |d| fitted.predict(d), 0.99, 0.01, &mut cd_rng);
-    let crd = causal_risk_difference(test, &preds, kind.resolving_attrs());
-    MetricReport::from_predictions(test.labels(), &preds, test.sensitive(), cd, crd)
+    metric_suite(fitted, kind, test, &preds, seed, PAPER_CD_BOUNDS)
 }
 
 /// Time just the training of an approach (the Fig. 11 quantity, before
 /// baseline subtraction).
+#[deprecated(
+    since = "0.2.0",
+    note = "use a timing_only spec::ExperimentSpec with runner::Runner::run"
+)]
 pub fn time_fit(approach: &Approach, train: &Dataset, seed: u64) -> Result<Duration, CoreError> {
     let t0 = Instant::now();
     let _ = approach.fit(train, seed)?;
     Ok(t0.elapsed())
+}
+
+/// Render one Fig. 10 panel as a plain-text table from runner records.
+pub fn print_fig10_records(dataset: &str, rows: &[&RunRecord]) {
+    println!();
+    println!("=== Fig. 10 — {dataset} ===");
+    print!("{:<9} {:<19}", "stage", "approach");
+    for h in MetricReport::headers() {
+        print!(" {h:>9}");
+    }
+    println!(" {:>9}", "fit(ms)");
+    for r in rows {
+        print!("{:<9} {:<19}", r.stage, r.approach);
+        match &r.metrics {
+            Some(values) => {
+                for v in values {
+                    print!(" {v:>9.3}");
+                }
+            }
+            None => {
+                for _ in MetricReport::headers() {
+                    print!(" {:>9}", "-");
+                }
+            }
+        }
+        println!(" {:>9.0}", r.fit_ms);
+    }
 }
 
 /// Render one Fig. 10 panel as a plain-text table.
@@ -105,8 +192,8 @@ pub fn print_fig10_table(dataset: &str, rows: &[Evaluation], baseline: Option<&E
     }
 }
 
-/// Mean / std / min / max over a sample (population std, as the paper's
-/// box plots summarise observed folds).
+/// Mean / std / min / max over the finite portion of a sample (population
+/// std, as the paper's box plots summarise observed folds).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Arithmetic mean.
@@ -117,21 +204,29 @@ pub struct Summary {
     pub min: f64,
     /// Maximum.
     pub max: f64,
+    /// Number of non-finite values (NaN / ±∞) excluded from the sample —
+    /// e.g. precision of an all-negative predictor, or a failed fold's
+    /// placeholder.
+    pub skipped: usize,
 }
 
-/// Summarise a sample; zeroes for the empty sample.
+/// Summarise a sample, skipping NaN / ±∞ (counted in `skipped` rather than
+/// poisoning every statistic); zeroes for an empty or all-non-finite
+/// sample.
 pub fn summarize(values: &[f64]) -> Summary {
-    if values.is_empty() {
-        return Summary { mean: 0.0, std: 0.0, min: 0.0, max: 0.0 };
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let skipped = values.len() - finite.len();
+    if finite.is_empty() {
+        return Summary { mean: 0.0, std: 0.0, min: 0.0, max: 0.0, skipped };
     }
-    let mean = fairlens_linalg::vector::mean(values);
-    let std = fairlens_linalg::vector::stddev(values);
+    let mean = fairlens_linalg::vector::mean(&finite);
+    let std = fairlens_linalg::vector::stddev(&finite);
     let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
-    for &v in values {
+    for &v in &finite {
         min = min.min(v);
         max = max.max(v);
     }
-    Summary { mean, std, min, max }
+    Summary { mean, std, min, max, skipped }
 }
 
 /// Parse a `--scale` style CLI argument shared by the binaries.
@@ -139,10 +234,7 @@ pub fn summarize(values: &[f64]) -> Summary {
 /// * `paper` (default) — the paper's documented dataset sizes;
 /// * `quick` — sizes capped at 8 000 rows, for smoke runs and CI.
 pub fn scale_rows(kind: DatasetKind, scale: &str) -> usize {
-    match scale {
-        "quick" => kind.default_rows().min(8_000),
-        _ => kind.default_rows(),
-    }
+    ScaleSpec::parse(scale).unwrap_or(ScaleSpec::Paper).rows(kind)
 }
 
 #[cfg(test)]
@@ -152,6 +244,7 @@ mod tests {
     use fairlens_frame::split;
 
     #[test]
+    #[allow(deprecated)] // the wrappers must keep working until removal
     fn evaluate_baseline_on_german() {
         let kind = DatasetKind::German;
         let data = kind.generate(800, 3);
@@ -166,13 +259,41 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_agree_with_each_other() {
+        let kind = DatasetKind::German;
+        let data = kind.generate(400, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = split::train_test_split(&data, 0.3, &mut rng);
+        let approach = baseline_approach();
+        let e = evaluate(&approach, kind, &train, &test, 9).unwrap();
+        let fitted = approach.fit(&train, 9).unwrap();
+        let r = evaluate_fitted(&fitted, kind, &test, 9);
+        assert_eq!(e.report.values(), r.values());
+        assert!(time_fit(&approach, &train, 9).is_ok());
+    }
+
+    #[test]
     fn summary_statistics() {
         let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(s.mean, 2.5);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
         assert!((s.std - (1.25_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.skipped, 0);
         assert_eq!(summarize(&[]).mean, 0.0);
+    }
+
+    #[test]
+    fn summary_skips_non_finite() {
+        let s = summarize(&[1.0, f64::NAN, 3.0, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.skipped, 3);
+        let all_bad = summarize(&[f64::NAN, f64::NAN]);
+        assert_eq!(all_bad.mean, 0.0);
+        assert_eq!(all_bad.skipped, 2);
     }
 
     #[test]

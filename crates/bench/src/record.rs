@@ -1,0 +1,530 @@
+//! Machine-readable experiment results.
+//!
+//! Every evaluated (approach × dataset × fold) cell yields one
+//! [`RunRecord`]; batches serialize to JSON-lines files under `results/`
+//! through a small hand-rolled serializer (the workspace has no serde).
+//! The format is one flat JSON object per line:
+//!
+//! ```json
+//! {"approach":"KamCal^DP","stage":"pre","dataset":"German","fold":0,
+//!  "seed":1234,"rows":1000,"attrs":9,"fit_ms":12.5,"predict_ms":0.8,
+//!  "metrics":{"accuracy":0.71,...,"crd_fair":0.98}}
+//! ```
+//!
+//! `metrics` is `null` for timing-only cells (the Fig. 11 sweeps); an
+//! individual metric that came out non-finite serializes as `null` and
+//! parses back as NaN. Metric floats round-trip bit-exactly (shortest
+//! round-trip formatting), which is what lets the determinism test compare
+//! a parallel run against a sequential one byte for byte.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// JSON keys of the nine normalised metrics, in
+/// [`fairlens_metrics::MetricReport::values`] order.
+pub const METRIC_KEYS: [&str; 9] = [
+    "accuracy",
+    "precision",
+    "recall",
+    "f1",
+    "di_star",
+    "tprb_fair",
+    "tnrb_fair",
+    "cd_fair",
+    "crd_fair",
+];
+
+/// One evaluated cell of an experiment grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Approach display name (registry name, e.g. `"KamCal^DP"`).
+    pub approach: String,
+    /// Stage label: `baseline` / `pre` / `in` / `post`.
+    pub stage: String,
+    /// Dataset display name (`Adult` / `COMPAS` / `German` / `Credit`).
+    pub dataset: String,
+    /// Fold index within the spec (0-based).
+    pub fold: usize,
+    /// The cell's derived deterministic seed.
+    pub seed: u64,
+    /// Rows of the generated dataset the cell ran on (the Fig. 11 size
+    /// sweep varies this between otherwise-identical cells).
+    pub rows: usize,
+    /// Attributes of the data the cell actually used (the Fig. 11
+    /// attribute sweep and the Calmon-on-Credit 22-attribute fallback
+    /// vary this).
+    pub attrs: usize,
+    /// The nine normalised metrics ([`METRIC_KEYS`] order); `None` for
+    /// timing-only cells.
+    pub metrics: Option<[f64; 9]>,
+    /// Wall-clock training time (repair + train + adjuster fit), ms.
+    pub fit_ms: f64,
+    /// Wall-clock prediction time over the evaluation rows, ms.
+    pub predict_ms: f64,
+}
+
+impl RunRecord {
+    /// Metric value by key, if this record carries metrics.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        let idx = METRIC_KEYS.iter().position(|&k| k == key)?;
+        self.metrics.map(|m| m[idx])
+    }
+
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        push_str_field(&mut s, "approach", &self.approach);
+        s.push(',');
+        push_str_field(&mut s, "stage", &self.stage);
+        s.push(',');
+        push_str_field(&mut s, "dataset", &self.dataset);
+        let _ = write!(s, ",\"fold\":{},\"seed\":{}", self.fold, self.seed);
+        let _ = write!(s, ",\"rows\":{},\"attrs\":{}", self.rows, self.attrs);
+        let _ = write!(s, ",\"fit_ms\":{}", fmt_f64(self.fit_ms));
+        let _ = write!(s, ",\"predict_ms\":{}", fmt_f64(self.predict_ms));
+        match &self.metrics {
+            None => s.push_str(",\"metrics\":null"),
+            Some(values) => {
+                s.push_str(",\"metrics\":{");
+                for (i, (key, v)) in METRIC_KEYS.iter().zip(values).enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "\"{key}\":{}", fmt_f64(*v));
+                }
+                s.push('}');
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSON line produced by [`Self::to_json`] (field order is
+    /// not significant; unknown fields are rejected).
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let value = Parser::new(line).parse()?;
+        let obj = match value {
+            Value::Object(o) => o,
+            _ => return Err("record line is not a JSON object".into()),
+        };
+        let mut approach = None;
+        let mut stage = None;
+        let mut dataset = None;
+        let mut fold = None;
+        let mut seed = None;
+        let mut rows = None;
+        let mut attrs = None;
+        let mut fit_ms = None;
+        let mut predict_ms = None;
+        let mut metrics: Option<Option<[f64; 9]>> = None;
+        for (key, v) in obj {
+            match key.as_str() {
+                "approach" => approach = Some(v.into_string()?),
+                "stage" => stage = Some(v.into_string()?),
+                "dataset" => dataset = Some(v.into_string()?),
+                "fold" => fold = Some(v.into_f64()? as usize),
+                "seed" => seed = Some(v.into_u64()?),
+                "rows" => rows = Some(v.into_u64()? as usize),
+                "attrs" => attrs = Some(v.into_u64()? as usize),
+                "fit_ms" => fit_ms = Some(v.into_f64()?),
+                "predict_ms" => predict_ms = Some(v.into_f64()?),
+                "metrics" => match v {
+                    Value::Null => metrics = Some(None),
+                    Value::Object(m) => {
+                        let mut out = [f64::NAN; 9];
+                        let mut seen = 0usize;
+                        for (mk, mv) in m {
+                            let idx = METRIC_KEYS
+                                .iter()
+                                .position(|&k| k == mk)
+                                .ok_or_else(|| format!("unknown metric key {mk:?}"))?;
+                            out[idx] = mv.into_f64()?;
+                            seen += 1;
+                        }
+                        if seen != METRIC_KEYS.len() {
+                            return Err(format!("expected 9 metrics, got {seen}"));
+                        }
+                        metrics = Some(Some(out));
+                    }
+                    _ => return Err("metrics must be an object or null".into()),
+                },
+                other => return Err(format!("unknown record field {other:?}")),
+            }
+        }
+        Ok(RunRecord {
+            approach: approach.ok_or("missing approach")?,
+            stage: stage.ok_or("missing stage")?,
+            dataset: dataset.ok_or("missing dataset")?,
+            fold: fold.ok_or("missing fold")?,
+            seed: seed.ok_or("missing seed")?,
+            rows: rows.ok_or("missing rows")?,
+            attrs: attrs.ok_or("missing attrs")?,
+            metrics: metrics.ok_or("missing metrics")?,
+            fit_ms: fit_ms.ok_or("missing fit_ms")?,
+            predict_ms: predict_ms.ok_or("missing predict_ms")?,
+        })
+    }
+}
+
+/// Shortest round-trip float formatting; non-finite → `null`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's Debug for f64 is the shortest string that parses back to
+        // the same bits — exactly the JSON-compatible round-trip we need.
+        format!("{v:?}")
+    } else {
+        "null".into()
+    }
+}
+
+fn push_str_field(s: &mut String, key: &str, value: &str) {
+    let _ = write!(s, "\"{key}\":");
+    push_json_string(s, value);
+}
+
+fn push_json_string(s: &mut String, value: &str) {
+    s.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Minimal JSON value for the flat record format. Unsigned integers are
+/// kept exact rather than routed through `f64` — the 64-bit cell seeds
+/// exceed `f64`'s 53-bit mantissa.
+enum Value {
+    Null,
+    Integer(u64),
+    Number(f64),
+    String(String),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn into_string(self) -> Result<String, String> {
+        match self {
+            Value::String(s) => Ok(s),
+            _ => Err("expected string".into()),
+        }
+    }
+
+    fn into_f64(self) -> Result<f64, String> {
+        match self {
+            Value::Number(n) => Ok(n),
+            Value::Integer(n) => Ok(n as f64),
+            // a non-finite metric was serialized as null
+            Value::Null => Ok(f64::NAN),
+            _ => Err("expected number".into()),
+        }
+    }
+
+    fn into_u64(self) -> Result<u64, String> {
+        match self {
+            Value::Integer(n) => Ok(n),
+            Value::Number(n) if n >= 0.0 && n.fract() == 0.0 && n < 2f64.powi(53) => Ok(n as u64),
+            _ => Err("expected unsigned integer".into()),
+        }
+    }
+}
+
+/// Recursive-descent parser for the subset of JSON the records use
+/// (objects, strings, numbers, null; no arrays, no bool).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn parse(mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Value::Null)
+                } else {
+                    Err(format!("bad literal at offset {}", self.pos))
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(
+                                char::from_u32(code).ok_or("invalid \\u escape")?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 character
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?;
+        // digits-only → exact u64 (cell seeds don't fit f64's mantissa)
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Integer(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+/// Write records as JSON-lines, creating parent directories as needed.
+pub fn write_jsonl(path: &Path, records: &[RunRecord]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    for r in records {
+        writeln!(w, "{}", r.to_json())?;
+    }
+    w.flush()
+}
+
+/// Read a JSON-lines result file back into records (blank lines skipped).
+pub fn read_jsonl(path: &Path) -> Result<Vec<RunRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, l)| RunRecord::from_json(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        RunRecord {
+            approach: "KamCal^DP".into(),
+            stage: "pre".into(),
+            dataset: "German".into(),
+            fold: 3,
+            seed: 0xDEAD_BEEF_1234,
+            rows: 1_000,
+            attrs: 9,
+            metrics: Some([0.71, 0.55, 0.1 + 0.2, 0.62, 0.9, 1.0, 0.0, 0.33, 0.98]),
+            fit_ms: 12.625,
+            predict_ms: 0.25,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let r = sample();
+        let parsed = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.approach, r.approach);
+        assert_eq!(parsed.seed, r.seed);
+        let (a, b) = (r.metrics.unwrap(), parsed.metrics.unwrap());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(parsed.fit_ms.to_bits(), r.fit_ms.to_bits());
+        // and the serialized text itself is stable
+        assert_eq!(parsed.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn nan_metric_serializes_as_null() {
+        let mut r = sample();
+        let mut m = r.metrics.unwrap();
+        m[4] = f64::NAN;
+        r.metrics = Some(m);
+        let line = r.to_json();
+        assert!(line.contains("\"di_star\":null"), "{line}");
+        let parsed = RunRecord::from_json(&line).unwrap();
+        assert!(parsed.metrics.unwrap()[4].is_nan());
+    }
+
+    #[test]
+    fn timing_only_records_have_null_metrics() {
+        let mut r = sample();
+        r.metrics = None;
+        let line = r.to_json();
+        assert!(line.contains("\"metrics\":null"), "{line}");
+        let parsed = RunRecord::from_json(&line).unwrap();
+        assert_eq!(parsed.metrics, None);
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let mut r = sample();
+        r.approach = "weird\"name\\with\tescapes".into();
+        let parsed = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.approach, r.approach);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(RunRecord::from_json("{").is_err());
+        assert!(RunRecord::from_json("[]").is_err());
+        assert!(RunRecord::from_json("{\"approach\":\"x\"}").is_err());
+        let with_unknown = sample().to_json().replace("\"fold\"", "\"bold\"");
+        assert!(RunRecord::from_json(&with_unknown).is_err());
+    }
+
+    #[test]
+    fn jsonl_file_round_trip() {
+        let dir = std::env::temp_dir().join("fairlens_record_test");
+        let path = dir.join("batch.jsonl");
+        let records = vec![sample(), {
+            let mut r = sample();
+            r.fold = 4;
+            r.metrics = None;
+            r
+        }];
+        write_jsonl(&path, &records).unwrap();
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back, records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seeds_beyond_f64_mantissa_round_trip_exactly() {
+        let mut r = sample();
+        r.seed = u64::MAX - 41; // needs all 64 bits; f64 would round it
+        let parsed = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.seed, r.seed);
+    }
+
+    #[test]
+    fn metric_lookup_by_key() {
+        let r = sample();
+        assert_eq!(r.metric("accuracy"), Some(0.71));
+        assert_eq!(r.metric("crd_fair"), Some(0.98));
+        assert_eq!(r.metric("nope"), None);
+    }
+}

@@ -1,0 +1,373 @@
+//! The parallel experiment executor.
+//!
+//! [`Runner::run`] evaluates every (approach × dataset × fold) cell of an
+//! [`ExperimentSpec`](crate::spec::ExperimentSpec) on a work-stealing pool
+//! of scoped worker threads (`std::thread::scope` over a shared atomic
+//! queue — no external dependencies). Determinism is structural, not
+//! accidental:
+//!
+//! * each cell's PRNG seed is derived from the experiment seed and the
+//!   cell's coordinates ([`crate::spec::cell_seed`]), never from which
+//!   worker happened to claim it;
+//! * datasets and fold splits are materialised once, up front, and shared
+//!   across workers by reference (scoped threads borrow them — no clones);
+//! * results are reported in canonical cell order regardless of completion
+//!   order.
+//!
+//! So `--threads 8` and `--threads 1` produce byte-identical
+//! [`RunRecord`]s. Each cell itself is single-threaded (the paper times
+//! everything single-threaded); parallelism only spreads *different* cells
+//! across cores, which also keeps the Fig. 11 timing protocol honest:
+//! every timing measurement is one approach on one thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use fairlens_core::Approach;
+use fairlens_frame::{split, Dataset};
+use fairlens_synth::DatasetKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::record::RunRecord;
+use crate::spec::{dataset_seed, fold_seed, Cell, ExperimentSpec};
+
+/// A cell that could not produce a record (training failure or an unknown
+/// approach name in the spec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Approach display name (`"<unresolved>"` for unknown names — the
+    /// requested name is in `error`).
+    pub approach: String,
+    /// Dataset display name.
+    pub dataset: String,
+    /// Fold index.
+    pub fold: usize,
+    /// What went wrong.
+    pub error: String,
+}
+
+/// Everything one [`Runner::run`] produced: records in canonical cell
+/// order, failures likewise.
+#[derive(Debug, Clone, Default)]
+pub struct RunBatch {
+    /// One record per successful cell, dataset-major / fold / approach.
+    pub records: Vec<RunRecord>,
+    /// Cells that failed (the paper's Calmon-on-Credit fallback is applied
+    /// before a failure is declared).
+    pub failures: Vec<CellFailure>,
+}
+
+impl RunBatch {
+    /// Serialise the records to a JSON-lines file (see
+    /// [`crate::record::write_jsonl`]).
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        crate::record::write_jsonl(path.as_ref(), &self.records)
+    }
+
+    /// Records for one dataset, in cell order.
+    pub fn for_dataset<'a>(&'a self, dataset: &'a str) -> impl Iterator<Item = &'a RunRecord> {
+        self.records.iter().filter(move |r| r.dataset == dataset)
+    }
+}
+
+/// The thread-pool executor. `threads` is the pool width; the pool exists
+/// only for the duration of one [`Runner::run`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Runner {
+    /// A runner with `threads` workers; `0` means one worker per available
+    /// hardware thread.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// The resolved pool width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluate every cell of `spec`.
+    pub fn run(&self, spec: &ExperimentSpec) -> RunBatch {
+        let cells = spec.cells();
+        let contexts = prepare_contexts(spec);
+
+        let outcomes: Vec<Outcome> = if self.threads <= 1 || cells.len() <= 1 {
+            // Sequential reference path: same per-cell code, no pool.
+            cells.iter().map(|c| run_cell(spec, c, &contexts)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let collected: Mutex<Vec<(usize, Outcome)>> =
+                Mutex::new(Vec::with_capacity(cells.len()));
+            std::thread::scope(|s| {
+                for _ in 0..self.threads.min(cells.len()) {
+                    s.spawn(|| {
+                        // Claim cells off the shared queue until it drains;
+                        // buffer outcomes locally so the mutex is touched
+                        // once per worker, not once per cell.
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= cells.len() {
+                                break;
+                            }
+                            local.push((i, run_cell(spec, &cells[i], &contexts)));
+                        }
+                        collected.lock().unwrap().extend(local);
+                    });
+                }
+            });
+            let mut indexed = collected.into_inner().unwrap();
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, o)| o).collect()
+        };
+
+        let mut batch = RunBatch::default();
+        for outcome in outcomes {
+            match outcome {
+                Ok(record) => batch.records.push(record),
+                Err(failure) => batch.failures.push(failure),
+            }
+        }
+        batch
+    }
+}
+
+type Outcome = Result<RunRecord, CellFailure>;
+
+/// Per-dataset shared inputs: the generated dataset and its fold splits,
+/// borrowed (not cloned) by every worker.
+struct DataContext {
+    kind: DatasetKind,
+    full: Dataset,
+    folds: Vec<(Dataset, Dataset)>,
+}
+
+/// Materialise every dataset and fold split once, before the pool starts.
+/// Generation/split seeds exclude the approach name, so all approaches in
+/// a fold compare on identical data.
+fn prepare_contexts(spec: &ExperimentSpec) -> Vec<DataContext> {
+    let mut out: Vec<DataContext> = Vec::new();
+    for &kind in spec.dataset_list() {
+        if out.iter().any(|c| c.kind == kind) {
+            continue;
+        }
+        let n = spec.scale_spec().rows(kind);
+        let mut full = kind.generate(n, dataset_seed(spec.seed, kind.name()));
+        if let Some(k) = spec.attr_limit() {
+            let idx: Vec<usize> = (0..k.min(full.n_attrs())).collect();
+            full = full.select_attrs(&idx);
+        }
+        let folds = if spec.is_timing_only() {
+            Vec::new() // timing cells train on the full dataset
+        } else {
+            (0..spec.fold_count())
+                .map(|fold| {
+                    let mut rng =
+                        StdRng::seed_from_u64(fold_seed(spec.seed, kind.name(), fold));
+                    split::train_test_split(&full, spec.test_fraction(), &mut rng)
+                })
+                .collect()
+        };
+        out.push(DataContext { kind, full, folds });
+    }
+    out
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn timed_fit(
+    approach: &Approach,
+    train: &Dataset,
+    seed: u64,
+) -> Result<(fairlens_core::FittedPipeline, f64), String> {
+    let t0 = Instant::now();
+    match approach.fit(train, seed) {
+        Ok(fitted) => Ok((fitted, ms(t0.elapsed()))),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Evaluate one cell. Runs entirely on the claiming worker; every random
+/// draw comes from the cell's own derived seed.
+fn run_cell(spec: &ExperimentSpec, cell: &Cell, contexts: &[DataContext]) -> Outcome {
+    let dataset_name = cell.dataset.name();
+    let approach = match &cell.approach {
+        Ok(a) => a,
+        Err(e) => {
+            return Err(CellFailure {
+                approach: "<unresolved>".into(),
+                dataset: dataset_name.into(),
+                fold: cell.fold,
+                error: e.clone(),
+            })
+        }
+    };
+    let fail = |error: String| CellFailure {
+        approach: approach.name.to_string(),
+        dataset: dataset_name.to_string(),
+        fold: cell.fold,
+        error,
+    };
+    let ctx = contexts
+        .iter()
+        .find(|c| c.kind == cell.dataset)
+        .expect("context prepared for every spec dataset");
+
+    if spec.is_timing_only() {
+        // Fig. 11 protocol: time training (and one prediction pass) on the
+        // full dataset, no metric suite. The fold index distinguishes
+        // repeated measurements (each with its own derived seed).
+        let (fitted, fit_ms) = timed_fit(approach, &ctx.full, cell.seed).map_err(fail)?;
+        let t0 = Instant::now();
+        let _ = fitted.predict(&ctx.full);
+        return Ok(RunRecord {
+            approach: approach.name.into(),
+            stage: approach.stage.label().into(),
+            dataset: dataset_name.into(),
+            fold: cell.fold,
+            seed: cell.seed,
+            rows: ctx.full.n_rows(),
+            attrs: ctx.full.n_attrs(),
+            metrics: None,
+            fit_ms,
+            predict_ms: ms(t0.elapsed()),
+        });
+    }
+
+    let (train, test) = &ctx.folds[cell.fold];
+
+    // The paper: "Calmon failed to complete on the Credit dataset due to
+    // the large number of attributes (26); we display its performance over
+    // 22 attributes (the most it could handle)."
+    let mut projected_test: Option<Dataset> = None;
+    let (fitted, fit_ms) = match timed_fit(approach, train, cell.seed) {
+        Ok(ok) => ok,
+        Err(first_err)
+            if approach.name == "Calmon^DP"
+                && cell.dataset == DatasetKind::Credit
+                && spec.attr_limit().is_none() =>
+        {
+            let idx: Vec<usize> = (0..22).collect();
+            let train22 = train.select_attrs(&idx);
+            projected_test = Some(test.select_attrs(&idx));
+            timed_fit(approach, &train22, cell.seed)
+                .map_err(|e| fail(format!("{first_err}; 22-attr retry: {e}")))?
+        }
+        Err(e) => return Err(fail(e)),
+    };
+    let test = projected_test.as_ref().unwrap_or(test);
+
+    let t0 = Instant::now();
+    let preds = fitted.predict(test);
+    let predict_ms = ms(t0.elapsed());
+
+    let report = crate::metric_suite(
+        &fitted,
+        cell.dataset,
+        test,
+        &preds,
+        cell.seed,
+        spec.cd_bound_values(),
+    );
+
+    Ok(RunRecord {
+        approach: approach.name.into(),
+        stage: approach.stage.label().into(),
+        dataset: dataset_name.into(),
+        fold: cell.fold,
+        seed: cell.seed,
+        rows: ctx.full.n_rows(),
+        attrs: test.n_attrs(), // 22 under the Calmon-on-Credit fallback
+        metrics: Some(report.values()),
+        fit_ms,
+        predict_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ApproachSelector, ScaleSpec};
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec::new(11)
+            .datasets([DatasetKind::German])
+            .approaches(ApproachSelector::Named(vec![
+                "KamCal^DP".into(),
+                "Hardt^EO".into(),
+            ]))
+            .scale(ScaleSpec::Rows(300))
+            .folds(2)
+            .cd_bounds(0.9, 0.08)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_byte_for_byte() {
+        let spec = tiny_spec();
+        let sequential = Runner::new(1).run(&spec);
+        let parallel = Runner::new(4).run(&spec);
+        assert_eq!(sequential.records.len(), 3 * 2); // (LR + 2) × 2 folds
+        assert!(sequential.failures.is_empty(), "{:?}", sequential.failures);
+        // Everything except the wall-clock fields must match bit-for-bit;
+        // timings legitimately vary run to run.
+        let key = |r: &RunRecord| {
+            (
+                r.approach.clone(),
+                r.stage.clone(),
+                r.dataset.clone(),
+                r.fold,
+                r.seed,
+                r.metrics.map(|m| m.map(f64::to_bits)),
+            )
+        };
+        let a: Vec<_> = sequential.records.iter().map(key).collect();
+        let b: Vec<_> = parallel.records.iter().map(key).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timing_only_cells_skip_metrics() {
+        let spec = ExperimentSpec::new(3)
+            .datasets([DatasetKind::German])
+            .approaches(ApproachSelector::Named(vec!["KamCal^DP".into()]))
+            .scale(ScaleSpec::Rows(200))
+            .timing_only(true);
+        let batch = Runner::new(2).run(&spec);
+        assert_eq!(batch.records.len(), 2); // LR + KamCal
+        for r in &batch.records {
+            assert!(r.metrics.is_none());
+            assert!(r.fit_ms >= 0.0 && r.predict_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_approach_becomes_failure_not_panic() {
+        let spec = ExperimentSpec::new(3)
+            .datasets([DatasetKind::German])
+            .approaches(ApproachSelector::Named(vec!["NoSuch".into()]))
+            .scale(ScaleSpec::Rows(150))
+            .baseline(false);
+        let batch = Runner::new(2).run(&spec);
+        assert!(batch.records.is_empty());
+        assert_eq!(batch.failures.len(), 1);
+        assert!(batch.failures[0].error.contains("NoSuch"));
+    }
+
+    #[test]
+    fn runner_zero_resolves_to_hardware_threads() {
+        assert!(Runner::new(0).threads() >= 1);
+        assert_eq!(Runner::new(3).threads(), 3);
+    }
+}

@@ -1,0 +1,402 @@
+//! Declarative experiment grids.
+//!
+//! An [`ExperimentSpec`] names *what* to evaluate — datasets, approaches,
+//! folds, scale — and the [`crate::runner::Runner`] decides *how* (how many
+//! worker threads). Every (approach × dataset × fold) cell carries a
+//! deterministic seed derived from the experiment seed and the cell's
+//! coordinates, so a parallel run and a sequential run of the same spec
+//! produce identical numbers in identical order.
+
+use fairlens_core::{all_approaches, baseline_approach, Approach, Stage};
+use fairlens_synth::DatasetKind;
+
+/// Which approaches a spec evaluates (always resolved per dataset, so the
+/// Salimi variants pick up `DatasetKind::salimi_inadmissible()`).
+#[derive(Clone)]
+pub enum ApproachSelector {
+    /// The full registry: all 18 evaluated variants.
+    All,
+    /// Registry variants enforcing fairness at one stage.
+    Stage(Stage),
+    /// Registry variants by display name (unknown names are reported as
+    /// cell failures, not silently dropped).
+    Named(Vec<String>),
+    /// Explicit approach instances (ablation sweeps build these).
+    Custom(Vec<Approach>),
+}
+
+/// Dataset sizing: the paper's documented sizes, the CI-friendly cap, or an
+/// explicit row count (the Fig. 11 size sweep).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleSpec {
+    /// `DatasetKind::default_rows()`.
+    Paper,
+    /// Sizes capped at 8 000 rows.
+    Quick,
+    /// Exactly this many rows.
+    Rows(usize),
+}
+
+impl ScaleSpec {
+    /// Parse a `--scale` CLI value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "paper" => Ok(ScaleSpec::Paper),
+            "quick" => Ok(ScaleSpec::Quick),
+            other => Err(format!("unknown scale {other:?} (expected quick|paper)")),
+        }
+    }
+
+    /// Concrete row count for one dataset.
+    pub fn rows(self, kind: DatasetKind) -> usize {
+        match self {
+            ScaleSpec::Paper => kind.default_rows(),
+            ScaleSpec::Quick => kind.default_rows().min(8_000),
+            ScaleSpec::Rows(n) => n,
+        }
+    }
+}
+
+/// A full experiment grid, built fluently:
+///
+/// ```
+/// use fairlens_bench::spec::{ExperimentSpec, ScaleSpec};
+/// use fairlens_synth::DatasetKind;
+///
+/// let spec = ExperimentSpec::new(42)
+///     .datasets([DatasetKind::German])
+///     .folds(10)
+///     .test_frac(1.0 / 3.0)
+///     .scale(ScaleSpec::Quick);
+/// assert_eq!(spec.cells().len(), 10 * 19); // LR + 18 variants, 10 folds
+/// ```
+#[derive(Clone)]
+pub struct ExperimentSpec {
+    /// Experiment master seed; every cell seed is derived from it.
+    pub seed: u64,
+    pub(crate) datasets: Vec<DatasetKind>,
+    pub(crate) selector: ApproachSelector,
+    pub(crate) folds: usize,
+    pub(crate) test_frac: f64,
+    pub(crate) scale: ScaleSpec,
+    pub(crate) attrs: Option<usize>,
+    pub(crate) include_baseline: bool,
+    pub(crate) timing_only: bool,
+    pub(crate) cd_bounds: (f64, f64),
+}
+
+impl ExperimentSpec {
+    /// A spec with the paper's defaults: every approach (baseline
+    /// included), one 70 %/30 % fold, paper-scale datasets, CD at
+    /// (99 %, 1 %).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            datasets: Vec::new(),
+            selector: ApproachSelector::All,
+            folds: 1,
+            test_frac: 0.3,
+            scale: ScaleSpec::Paper,
+            attrs: None,
+            include_baseline: true,
+            timing_only: false,
+            cd_bounds: (0.99, 0.01),
+        }
+    }
+
+    /// Datasets to evaluate, in order.
+    pub fn datasets(mut self, kinds: impl IntoIterator<Item = DatasetKind>) -> Self {
+        self.datasets = kinds.into_iter().collect();
+        self
+    }
+
+    /// Restrict the approach set.
+    pub fn approaches(mut self, selector: ApproachSelector) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Number of random folds (re-splits) per dataset.
+    pub fn folds(mut self, k: usize) -> Self {
+        assert!(k >= 1, "folds must be >= 1");
+        self.folds = k;
+        self
+    }
+
+    /// Test fraction of each random split (paper: 0.3 for Fig. 10, 1/3 for
+    /// the stability folds).
+    pub fn test_frac(mut self, frac: f64) -> Self {
+        assert!(frac > 0.0 && frac < 1.0, "test_frac must be in (0, 1)");
+        self.test_frac = frac;
+        self
+    }
+
+    /// Dataset sizing.
+    pub fn scale(mut self, scale: ScaleSpec) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Project every dataset to its first `k` attributes (the Fig. 11
+    /// attribute sweep).
+    pub fn attrs(mut self, k: usize) -> Self {
+        self.attrs = Some(k);
+        self
+    }
+
+    /// Whether the fairness-unaware LR baseline runs alongside (default
+    /// true).
+    pub fn baseline(mut self, include: bool) -> Self {
+        self.include_baseline = include;
+        self
+    }
+
+    /// Skip the metric suite and only record fit/predict wall-clock (the
+    /// Fig. 11 efficiency cells). Timing cells train on the *full* dataset
+    /// rather than a split, matching the paper's efficiency protocol.
+    pub fn timing_only(mut self, timing: bool) -> Self {
+        self.timing_only = timing;
+        self
+    }
+
+    /// Confidence / error bound of the causal-discrimination estimate.
+    pub fn cd_bounds(mut self, confidence: f64, error: f64) -> Self {
+        self.cd_bounds = (confidence, error);
+        self
+    }
+
+    /// Datasets in evaluation order.
+    pub fn dataset_list(&self) -> &[DatasetKind] {
+        &self.datasets
+    }
+
+    /// The configured number of folds.
+    pub fn fold_count(&self) -> usize {
+        self.folds
+    }
+
+    /// The configured test fraction.
+    pub fn test_fraction(&self) -> f64 {
+        self.test_frac
+    }
+
+    /// The configured scale.
+    pub fn scale_spec(&self) -> ScaleSpec {
+        self.scale
+    }
+
+    /// The attribute cap, if any.
+    pub fn attr_limit(&self) -> Option<usize> {
+        self.attrs
+    }
+
+    /// Whether this spec only measures wall-clock.
+    pub fn is_timing_only(&self) -> bool {
+        self.timing_only
+    }
+
+    /// The configured CD (confidence, error) bound.
+    pub fn cd_bound_values(&self) -> (f64, f64) {
+        self.cd_bounds
+    }
+
+    /// Resolve the approach list for one dataset. Named selectors resolve
+    /// against the dataset-configured registry, so e.g.
+    /// `"Salimi^JF(MaxSAT)"` picks up the dataset's inadmissible
+    /// attributes; unknown names yield an `Err` entry.
+    pub(crate) fn approaches_for(
+        &self,
+        kind: DatasetKind,
+    ) -> Vec<Result<Approach, String>> {
+        let mut out: Vec<Result<Approach, String>> = Vec::new();
+        if self.include_baseline {
+            out.push(Ok(baseline_approach()));
+        }
+        let registry = || all_approaches(kind.salimi_inadmissible());
+        match &self.selector {
+            ApproachSelector::All => out.extend(registry().into_iter().map(Ok)),
+            ApproachSelector::Stage(stage) => {
+                out.extend(registry().into_iter().filter(|a| a.stage == *stage).map(Ok));
+            }
+            ApproachSelector::Named(names) => {
+                let pool = registry();
+                for name in names {
+                    match pool.iter().find(|a| a.name == name) {
+                        Some(a) => out.push(Ok(a.clone())),
+                        None if name == "LR" => out.push(Ok(baseline_approach())),
+                        None => out.push(Err(format!("unknown approach {name:?}"))),
+                    }
+                }
+            }
+            ApproachSelector::Custom(list) => out.extend(list.iter().cloned().map(Ok)),
+        }
+        out
+    }
+
+    /// Enumerate the grid in its canonical deterministic order:
+    /// dataset-major, then fold, then approach (baseline first).
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for &kind in &self.datasets {
+            let approaches = self.approaches_for(kind);
+            for fold in 0..self.folds {
+                for approach in &approaches {
+                    cells.push(Cell {
+                        dataset: kind,
+                        fold,
+                        approach: approach.clone(),
+                        seed: match approach {
+                            Ok(a) => cell_seed(self.seed, a.name, kind.name(), fold),
+                            Err(_) => 0,
+                        },
+                    });
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One unit of runner work: an approach on one fold of one dataset.
+#[derive(Clone)]
+pub struct Cell {
+    /// Dataset the cell runs on.
+    pub dataset: DatasetKind,
+    /// Fold index.
+    pub fold: usize,
+    /// The resolved approach, or the resolution error for unknown names.
+    pub approach: Result<Approach, String>,
+    /// Derived deterministic seed (see [`cell_seed`]).
+    pub seed: u64,
+}
+
+/// FNV-1a over a length-prefixed encoding of the coordinates — collisions
+/// across any realistic grid are ruled out by the unit tests, and the
+/// length prefixes keep `("ab", "c")` distinct from `("a", "bc")`.
+fn fnv1a(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for part in parts {
+        eat(&(part.len() as u64).to_le_bytes());
+        eat(part);
+    }
+    h
+}
+
+/// The deterministic seed of one (approach × dataset × fold) cell:
+/// `hash(experiment_seed, approach_name, dataset, fold)`. Exposed so tests
+/// can assert grid-wide uniqueness.
+pub fn cell_seed(experiment_seed: u64, approach: &str, dataset: &str, fold: usize) -> u64 {
+    fnv1a(&[
+        b"cell",
+        &experiment_seed.to_le_bytes(),
+        approach.as_bytes(),
+        dataset.as_bytes(),
+        &(fold as u64).to_le_bytes(),
+    ])
+}
+
+/// The seed of one fold's train/test split. It deliberately excludes the
+/// approach name: every approach within a fold sees the *same* split, as
+/// the paper's per-fold comparisons require.
+pub fn fold_seed(experiment_seed: u64, dataset: &str, fold: usize) -> u64 {
+    fnv1a(&[
+        b"fold",
+        &experiment_seed.to_le_bytes(),
+        dataset.as_bytes(),
+        &(fold as u64).to_le_bytes(),
+    ])
+}
+
+/// The seed of a dataset's synthetic generation.
+pub fn dataset_seed(experiment_seed: u64, dataset: &str) -> u64 {
+    fnv1a(&[b"data", &experiment_seed.to_le_bytes(), dataset.as_bytes()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairlens_synth::ALL_DATASETS;
+
+    #[test]
+    fn builder_defaults_and_grid_shape() {
+        let spec = ExperimentSpec::new(1)
+            .datasets([DatasetKind::German, DatasetKind::Compas])
+            .folds(3);
+        // (LR + 18) × 2 datasets × 3 folds
+        assert_eq!(spec.cells().len(), 19 * 2 * 3);
+    }
+
+    #[test]
+    fn stage_selector_narrows_the_grid() {
+        let spec = ExperimentSpec::new(1)
+            .datasets([DatasetKind::German])
+            .approaches(ApproachSelector::Stage(Stage::Post))
+            .baseline(false);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 3);
+        for c in &cells {
+            assert_eq!(c.approach.as_ref().unwrap().stage, Stage::Post);
+        }
+    }
+
+    #[test]
+    fn named_selector_resolves_and_reports_unknowns() {
+        let spec = ExperimentSpec::new(1)
+            .datasets([DatasetKind::Adult])
+            .approaches(ApproachSelector::Named(vec![
+                "KamCal^DP".into(),
+                "NoSuch".into(),
+            ]))
+            .baseline(false);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2);
+        assert!(cells[0].approach.is_ok());
+        assert!(cells[1].approach.is_err());
+    }
+
+    #[test]
+    fn cell_seeds_are_unique_across_the_full_paper_grid() {
+        // 19 approaches × 4 datasets × 10 folds — the Fig. 12 sweep.
+        let spec = ExperimentSpec::new(42).datasets(ALL_DATASETS).folds(10);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 19 * 4 * 10);
+        let mut seeds: Vec<u64> = cells.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), cells.len(), "cell seed collision in the grid");
+    }
+
+    #[test]
+    fn seeds_depend_on_every_coordinate() {
+        let base = cell_seed(1, "KamCal^DP", "German", 0);
+        assert_ne!(base, cell_seed(2, "KamCal^DP", "German", 0));
+        assert_ne!(base, cell_seed(1, "Hardt^EO", "German", 0));
+        assert_ne!(base, cell_seed(1, "KamCal^DP", "Adult", 0));
+        assert_ne!(base, cell_seed(1, "KamCal^DP", "German", 1));
+        // length-prefixing: shifting a byte between fields changes the hash
+        assert_ne!(cell_seed(1, "ab", "c", 0), cell_seed(1, "a", "bc", 0));
+    }
+
+    #[test]
+    fn fold_seed_shared_across_approaches_but_not_folds() {
+        assert_eq!(fold_seed(1, "German", 2), fold_seed(1, "German", 2));
+        assert_ne!(fold_seed(1, "German", 2), fold_seed(1, "German", 3));
+        assert_ne!(fold_seed(1, "German", 2), fold_seed(1, "Adult", 2));
+    }
+
+    #[test]
+    fn scale_spec_sizes() {
+        assert_eq!(ScaleSpec::Paper.rows(DatasetKind::Adult), 45_222);
+        assert_eq!(ScaleSpec::Quick.rows(DatasetKind::Adult), 8_000);
+        assert_eq!(ScaleSpec::Quick.rows(DatasetKind::German), 1_000);
+        assert_eq!(ScaleSpec::Rows(123).rows(DatasetKind::Credit), 123);
+        assert!(ScaleSpec::parse("nope").is_err());
+        assert_eq!(ScaleSpec::parse("quick").unwrap(), ScaleSpec::Quick);
+    }
+}

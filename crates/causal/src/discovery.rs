@@ -118,7 +118,7 @@ fn subsets(items: &[usize], size: usize) -> Vec<Vec<usize>> {
                 return out;
             }
             k -= 1;
-            if idx[k] + 1 <= items.len() - (size - k) {
+            if idx[k] < items.len() - (size - k) {
                 idx[k] += 1;
                 for j in (k + 1)..size {
                     idx[j] = idx[j - 1] + 1;

@@ -191,8 +191,8 @@ pub fn average_direct_effect(model: &CptModel, data: &CausalData, s: usize, y: u
     let mut assignment = vec![0u32; data.n_vars()];
     let mut total = 0.0;
     for r in 0..n {
-        for v in 0..data.n_vars() {
-            assignment[v] = data.columns[v][r];
+        for (slot, col) in assignment.iter_mut().zip(&data.columns) {
+            *slot = col[r];
         }
         assignment[s] = 1;
         let p1 = model.conditional(y, 1, &assignment);

@@ -126,12 +126,10 @@ impl InProcessor for Celis {
                     / y.len() as f64;
                 let ratio = parity_ratio(y, &preds, s);
 
-                if ratio >= self.tau {
-                    if best_feasible.as_ref().map_or(true, |(a, _)| acc > *a) {
-                        best_feasible = Some((acc, model.clone()));
-                    }
+                if ratio >= self.tau && best_feasible.as_ref().is_none_or(|(a, _)| acc > *a) {
+                    best_feasible = Some((acc, model.clone()));
                 }
-                if best_any.as_ref().map_or(true, |(r, _)| ratio > *r) {
+                if best_any.as_ref().is_none_or(|(r, _)| ratio > *r) {
                     best_any = Some((ratio, model));
                 }
             }

@@ -148,7 +148,7 @@ impl Objective for PenalisedLoss<'_> {
         // counts per (group, y_filter) cell
         let count = |group: u8, yf: Option<u8>| -> f64 {
             (0..p.len())
-                .filter(|&i| self.s[i] == group && yf.map_or(true, |v| self.y[i] == v))
+                .filter(|&i| self.s[i] == group && yf.is_none_or(|v| self.y[i] == v))
                 .count() as f64
         };
         let filters: Vec<Option<u8>> = match self.notion {
@@ -160,7 +160,7 @@ impl Objective for PenalisedLoss<'_> {
         for (gap, yf) in gaps.iter().zip(filters.iter()) {
             let c0 = count(0, *yf).max(1.0);
             let c1 = count(1, *yf).max(1.0);
-            for i in 0..p.len() {
+            for (i, &pi) in p.iter().enumerate() {
                 if let Some(v) = yf {
                     if self.y[i] != *v {
                         continue;
@@ -168,8 +168,8 @@ impl Objective for PenalisedLoss<'_> {
                 }
                 // d gap / d z_i = ±σ'(z_i)/|group|
                 let dgdz = match self.s[i] {
-                    0 => p[i] * (1.0 - p[i]) / c0,
-                    _ => -p[i] * (1.0 - p[i]) / c1,
+                    0 => pi * (1.0 - pi) / c0,
+                    _ => -pi * (1.0 - pi) / c1,
                 };
                 let coeff = self.mu * 2.0 * gap * dgdz;
                 if coeff != 0.0 {

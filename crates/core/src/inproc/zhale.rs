@@ -115,8 +115,8 @@ impl InProcessor for ZhaLe {
             let alpha_t = self.alpha / (1.0 + epoch as f64 / 50.0).sqrt();
             // Forward pass.
             let mut p = vec![0.0f64; n];
-            for i in 0..n {
-                p[i] = vector::sigmoid(vector::dot(x.row(i), &w[..d]) + w[d]);
+            for (i, pi) in p.iter_mut().enumerate() {
+                *pi = vector::sigmoid(vector::dot(x.row(i), &w[..d]) + w[d]);
             }
 
             // --- adversary step: minimise BCE(σ(a), s) ------------------

@@ -43,5 +43,8 @@ pub use pipeline::{
     Approach, ApproachKind, FittedPipeline, InProcessor, Postprocessor, PredictionAdjuster,
     Preprocessor, Stage, TrainedModel,
 };
-pub use registry::{all_approaches, baseline_approach, extended_approaches};
+pub use registry::{
+    all_approaches, approach_by_name, approaches_for_stage, baseline_approach,
+    extended_approaches,
+};
 pub use validate::{cross_validate, select_by_cv, CvResult, FoldScore};

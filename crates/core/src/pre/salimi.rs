@@ -153,8 +153,8 @@ impl Stratum {
         let mut ys = [[0.0f64; 2]; 2];
         for i in 0..n.cols() {
             let s_comp = self.s_of_col[i] as usize;
-            for y in 0..2 {
-                ys[y][s_comp] += n.get(y, i);
+            for (y, row) in ys.iter_mut().enumerate() {
+                row[s_comp] += n.get(y, i);
             }
         }
         let total: f64 = ys.iter().flatten().sum();

@@ -91,15 +91,15 @@ impl Preprocessor for ZhaWu {
             // would wreck recall).
             let mut assignment = vec![0u32; data.n_vars()];
             let mut per_cell: [Vec<(usize, f64)>; 2] = [Vec::new(), Vec::new()];
-            for r in 0..train.n_rows() {
-                let pair = (labels[r], train.sensitive()[r]);
+            for (r, &label) in labels.iter().enumerate() {
+                let pair = (label, train.sensitive()[r]);
                 let Some(cell) = flip_cells.iter().position(|&c| c == pair) else {
                     continue;
                 };
-                for v in 0..data.n_vars() {
-                    assignment[v] = data.columns[v][r];
+                for (slot, col) in assignment.iter_mut().zip(&data.columns) {
+                    *slot = col[r];
                 }
-                let support = model.conditional(y_idx, labels[r] as u32, &assignment);
+                let support = model.conditional(y_idx, label as u32, &assignment);
                 per_cell[cell].push((r, support));
             }
             if per_cell.iter().all(Vec::is_empty) {

@@ -138,6 +138,37 @@ pub fn all_approaches(salimi_inadmissible: &[&str]) -> Vec<Approach> {
     ]
 }
 
+/// Look up one variant by its display name.
+///
+/// Searches the baseline (`"LR"`), the 18 evaluated variants and the
+/// [`extended_approaches`]. The two Salimi variants are returned with an
+/// *empty* inadmissible-attribute list — dataset-specific Salimi
+/// configuration (`DatasetKind::salimi_inadmissible()` in `fairlens-synth`)
+/// is applied by the experiment runner, which resolves names against
+/// [`all_approaches`] per dataset.
+pub fn approach_by_name(name: &str) -> Option<Approach> {
+    if name == "LR" {
+        return Some(baseline_approach());
+    }
+    all_approaches(&[])
+        .into_iter()
+        .chain(extended_approaches())
+        .find(|a| a.name == name)
+}
+
+/// The evaluated variants enforcing fairness at `stage`, in Fig. 8 order.
+///
+/// Like [`approach_by_name`] this uses an empty Salimi inadmissible list;
+/// the runner re-resolves per dataset. `Stage::Baseline` yields just `LR`.
+pub fn approaches_for_stage(stage: Stage) -> impl Iterator<Item = Approach> {
+    let pool: Vec<Approach> = if stage == Stage::Baseline {
+        vec![baseline_approach()]
+    } else {
+        all_approaches(&[])
+    };
+    pool.into_iter().filter(move |a| a.stage == stage)
+}
+
 /// Extension variants beyond the paper's 18 — notions the paper mentions
 /// the approaches support but could not evaluate (e.g. Kearns^DP was
 /// missing from its AIF360 build; Thomas's single-sided notions were
@@ -218,5 +249,40 @@ mod tests {
     fn baseline_is_baseline() {
         assert_eq!(baseline_approach().stage, Stage::Baseline);
         assert_eq!(baseline_approach().name, "LR");
+    }
+
+    #[test]
+    fn lookup_by_name_finds_every_variant() {
+        for a in all_approaches(&[]).iter().chain(extended_approaches().iter()) {
+            let found = approach_by_name(a.name)
+                .unwrap_or_else(|| panic!("{} missing from lookup", a.name));
+            assert_eq!(found.name, a.name);
+            assert_eq!(found.stage, a.stage);
+        }
+        assert_eq!(approach_by_name("LR").unwrap().stage, Stage::Baseline);
+        assert!(approach_by_name("NoSuchApproach").is_none());
+    }
+
+    #[test]
+    fn stage_iterator_partitions_the_registry() {
+        let pre: Vec<_> = approaches_for_stage(Stage::Pre).collect();
+        let inp: Vec<_> = approaches_for_stage(Stage::In).collect();
+        let post: Vec<_> = approaches_for_stage(Stage::Post).collect();
+        assert_eq!(pre.len(), 7);
+        assert_eq!(inp.len(), 8);
+        assert_eq!(post.len(), 3);
+        assert!(pre.iter().all(|a| a.stage == Stage::Pre));
+        let base: Vec<_> = approaches_for_stage(Stage::Baseline).collect();
+        assert_eq!(base.len(), 1);
+        assert_eq!(base[0].name, "LR");
+    }
+
+    #[test]
+    fn approaches_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // The parallel runner moves these across worker threads; the trait
+        // objects inside carry `Send + Sync` supertrait bounds.
+        assert_send_sync::<Approach>();
+        assert_send_sync::<crate::pipeline::FittedPipeline>();
     }
 }

@@ -115,7 +115,7 @@ pub fn select_by_cv(
         match cross_validate(approach, data, k, seed) {
             Ok(cv) => {
                 let score = cv.mean_accuracy() + fairness_weight * cv.mean_di_star();
-                if best.as_ref().map_or(true, |(_, _, b)| score > *b) {
+                if best.as_ref().is_none_or(|(_, _, b)| score > *b) {
                     best = Some((i, cv, score));
                 }
             }

@@ -141,12 +141,12 @@ fn quantile_cuts(values: &[f64], bins: usize) -> Vec<f64> {
         // Cut at the *last element of the bin*, so that `value <= cut` lands
         // in the lower bin and quantile bins come out balanced.
         let c = sorted[(pos - 1).min(n - 1)];
-        if cuts.last().map_or(true, |&last| c > last) {
+        if cuts.last().is_none_or(|&last| c > last) {
             cuts.push(c);
         }
     }
     // Drop a trailing cut equal to the maximum: it would create an empty bin.
-    while cuts.last().map_or(false, |&c| c >= sorted[n - 1]) {
+    while cuts.last().is_some_and(|&c| c >= sorted[n - 1]) {
         cuts.pop();
     }
     cuts

@@ -57,8 +57,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[i];
-            for k in 0..i {
-                s -= self.l.get(i, k) * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                s -= self.l.get(i, k) * yk;
             }
             y[i] = s / self.l.get(i, i);
         }
@@ -66,8 +66,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for k in (i + 1)..n {
-                s -= self.l.get(k, i) * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l.get(k, i) * xk;
             }
             x[i] = s / self.l.get(i, i);
         }
@@ -132,8 +132,8 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut s = rhs[i];
-        for k in (i + 1)..n {
-            s -= m.get(i, k) * x[k];
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            s -= m.get(i, k) * xk;
         }
         x[i] = s / m.get(i, i);
     }

@@ -225,8 +225,8 @@ impl Matrix {
                 if wi == 0.0 {
                     continue;
                 }
-                for j in i..d {
-                    out.add_to(i, j, wi * row[j]);
+                for (j, &rj) in row.iter().enumerate().skip(i) {
+                    out.add_to(i, j, wi * rj);
                 }
             }
         }
@@ -280,9 +280,9 @@ impl Matrix {
     pub fn append_column(&self, col: &[f64]) -> Matrix {
         assert_eq!(col.len(), self.rows, "append_column: length mismatch");
         let mut out = Matrix::zeros(self.rows, self.cols + 1);
-        for r in 0..self.rows {
+        for (r, &cv) in col.iter().enumerate() {
             out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
-            out.set(r, self.cols, col[r]);
+            out.set(r, self.cols, cv);
         }
         out
     }

@@ -137,9 +137,9 @@ pub fn independent_table(v: &Matrix) -> Matrix {
     }
     let row_sums: Vec<f64> = (0..n).map(|i| v.row(i).iter().sum()).collect();
     let col_sums: Vec<f64> = (0..m).map(|j| v.column(j).iter().sum()).collect();
-    for i in 0..n {
-        for j in 0..m {
-            out.set(i, j, row_sums[i] * col_sums[j] / total);
+    for (i, &rs) in row_sums.iter().enumerate() {
+        for (j, &cs) in col_sums.iter().enumerate() {
+            out.set(i, j, rs * cs / total);
         }
     }
     out

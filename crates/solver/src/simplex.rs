@@ -209,14 +209,15 @@ impl LinearProgram {
 /// Pivot the tableau at `(row, col)`, updating the basis.
 fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
     let p = t[row][col];
-    for j in 0..=total {
-        t[row][j] /= p;
+    for v in t[row][..=total].iter_mut() {
+        *v /= p;
     }
-    for i in 0..t.len() {
-        if i != row && t[i][col].abs() > 0.0 {
-            let f = t[i][col];
-            for j in 0..=total {
-                t[i][j] -= f * t[row][j];
+    let pivot_row: Vec<f64> = t[row][..=total].to_vec();
+    for (i, tr) in t.iter_mut().enumerate() {
+        if i != row && tr[col].abs() > 0.0 {
+            let f = tr[col];
+            for (v, &pv) in tr[..=total].iter_mut().zip(&pivot_row) {
+                *v -= f * pv;
             }
         }
     }

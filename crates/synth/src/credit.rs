@@ -78,11 +78,11 @@ pub fn credit(n: usize, seed: u64) -> Dataset {
         // 0 = revolving, 1.. = months delayed).
         let mut st = (stress * 1.2).round().clamp(-1.0, 4.0);
         let mut mean_status = 0.0;
-        for m in 0..6 {
+        for month in pay_status.iter_mut() {
             st = (0.7 * st + 0.5 * stress + normal(&mut rng, 0.0, 0.6))
                 .round()
                 .clamp(-1.0, 8.0);
-            pay_status[m].push(st);
+            month.push(st);
             mean_status += st;
         }
         mean_status /= 6.0;

@@ -76,13 +76,22 @@ impl DatasetKind {
     /// Inadmissible attributes `I` for Salimi's justifiable fairness — the
     /// paper uses race / gender / marital-relationship status whenever
     /// applicable; everything else is admissible.
-    pub fn inadmissible_attrs(self) -> &'static [&'static str] {
+    ///
+    /// This is the per-dataset configuration the experiment runner applies
+    /// when instantiating the two Salimi variants, so callers no longer
+    /// thread an `&[&str]` through every registry call.
+    pub fn salimi_inadmissible(self) -> &'static [&'static str] {
         match self {
             DatasetKind::Adult => &["race", "marital_status", "relationship"],
             DatasetKind::Compas => &["sex", "marital_status"],
             DatasetKind::German => &["housing"],
             DatasetKind::Credit => &["marriage"],
         }
+    }
+
+    /// Alias for [`Self::salimi_inadmissible`], kept for existing callers.
+    pub fn inadmissible_attrs(self) -> &'static [&'static str] {
+        self.salimi_inadmissible()
     }
 }
 
@@ -117,13 +126,20 @@ mod tests {
                     kind.name()
                 );
             }
-            for attr in kind.inadmissible_attrs() {
+            for attr in kind.salimi_inadmissible() {
                 assert!(
                     d.column_by_name(attr).is_ok(),
                     "{}: missing inadmissible attr {attr}",
                     kind.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn inadmissible_alias_agrees() {
+        for kind in ALL_DATASETS {
+            assert_eq!(kind.inadmissible_attrs(), kind.salimi_inadmissible());
         }
     }
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every commit.
+#
+#   ./scripts/check.sh           # build + tests + clippy + fig10 smoke
+#   SKIP_SMOKE=1 ./scripts/check.sh   # skip the runner smoke (fast iteration)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
+    echo "==> fig10 quick smoke (German panel, parallel runner)"
+    smoke_out="$(mktemp -d)"
+    trap 'rm -rf "$smoke_out"' EXIT
+    cargo run --release -p fairlens-bench --bin fig10_correctness_fairness -- \
+        german --scale quick --threads 2 --out "$smoke_out" >/dev/null
+    records="$(wc -l < "$smoke_out/fig10_correctness_fairness.jsonl")"
+    if [[ "$records" -lt 19 ]]; then
+        echo "smoke FAILED: expected >=19 records, got $records" >&2
+        exit 1
+    fi
+    echo "    ok: $records records"
+fi
+
+echo "All checks passed."
