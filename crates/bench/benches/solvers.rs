@@ -12,14 +12,14 @@ fn maxsat_instance(n_vars: usize, seed: u64) -> MaxSatProblem {
     let mut p = MaxSatProblem::new(n_vars);
     // implication chains (hard) + random soft preferences — repair-shaped
     for v in 0..n_vars - 1 {
-        p.add(Clause::hard(vec![Lit::neg(v), Lit::pos(v + 1)]));
+        p.add(Clause::hard(vec![Lit::neg(v), Lit::pos(v + 1)])).unwrap();
     }
     for v in 0..n_vars {
         let w = 1.0 + rng.gen::<f64>() * 3.0;
         if rng.gen::<bool>() {
-            p.add(Clause::soft(vec![Lit::pos(v)], w));
+            p.add(Clause::soft(vec![Lit::pos(v)], w).unwrap()).unwrap();
         } else {
-            p.add(Clause::soft(vec![Lit::neg(v)], w));
+            p.add(Clause::soft(vec![Lit::neg(v)], w).unwrap()).unwrap();
         }
     }
     p

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p fairlens-bench --bin ablations \
-//!     [-- [--threads N] [--seed S] [--out DIR] [zafar|salimi|cd|thomas|all]]
+//!     [-- [--threads N] [--seed S] [--out DIR] [--cell-timeout SECS] \
+//!         [--retries N] [--resume PATH] [zafar|salimi|cd|thomas|all]]
 //! ```
 //!
 //! * `zafar`  — the covariance-tolerance knob `c`: the accuracy↔parity
@@ -27,7 +28,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fairlens_bench::{
-    ApproachSelector, CommonArgs, ExperimentSpec, RunRecord, Runner, ScaleSpec,
+    ApproachSelector, CommonArgs, ExperimentSpec, RunBatch, RunPolicy, RunRecord, Runner,
+    ScaleSpec,
 };
 use fairlens_core::inproc::{Thomas, ThomasNotion, Zafar, ZafarVariant};
 use fairlens_core::pipeline::Preprocessor;
@@ -38,16 +40,29 @@ use fairlens_synth::DatasetKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const USAGE: &str = "ablations [--threads N] [--seed S] [--out DIR] [zafar|salimi|cd|thomas|all]";
+const USAGE: &str = "ablations [--threads N] [--seed S] [--out DIR] [--cell-timeout SECS] \
+                     [--retries N] [--resume PATH] [zafar|salimi|cd|thomas|all]";
 
 fn main() {
     let args = CommonArgs::from_env(USAGE);
     let which = args.rest.first().map(String::as_str).unwrap_or("all").to_string();
     let runner = Runner::new(args.threads);
-    let mut records: Vec<RunRecord> = Vec::new();
+    // The Salimi and CD studies don't go through the runner; only prepare
+    // the checkpoint file when a runner-backed sweep will write to it.
+    let needs_runner = matches!(which.as_str(), "zafar" | "thomas" | "all");
+    let out = args.out_file("ablations");
+    let policy = if needs_runner {
+        args.run_policy(&out).unwrap_or_else(|e| {
+            eprintln!("error: {e}\nusage: {USAGE}");
+            std::process::exit(2);
+        })
+    } else {
+        RunPolicy::default()
+    };
+    let mut agg = RunBatch::default();
 
     if which == "zafar" || which == "all" {
-        ablate_zafar(&runner, args.seed, &mut records);
+        ablate_zafar(&runner, args.seed, &policy, &mut agg);
     }
     if which == "salimi" || which == "all" {
         ablate_salimi(args.seed);
@@ -56,24 +71,25 @@ fn main() {
         ablate_cd(args.seed);
     }
     if which == "thomas" || which == "all" {
-        ablate_thomas(&runner, args.seed, &mut records);
+        ablate_thomas(&runner, args.seed, &policy, &mut agg);
     }
 
-    if !records.is_empty() {
-        let out = args.out_file("ablations");
-        fairlens_bench::write_jsonl(&out, &records).expect("write results");
-        fairlens_bench::cli::announce_output("ablations", &out, records.len());
+    if needs_runner {
+        fairlens_bench::cli::announce_run("ablations", &out, &agg);
     }
 }
 
 /// Run a `Custom` sweep on COMPAS (4 000 rows, 70/30 split) and return the
 /// records in sweep order. CD runs at a relaxed (90 %, 5 %) bound — the
-/// sweeps read accuracy and DI*, which the bound does not touch.
+/// sweeps read accuracy and DI*, which the bound does not touch. Both
+/// sweeps checkpoint into the shared results file — the runner carries the
+/// other sweep's rows through each finalize.
 fn run_sweep(
     runner: &Runner,
     seed: u64,
     sweep: Vec<Approach>,
-    records: &mut Vec<RunRecord>,
+    policy: &RunPolicy,
+    agg: &mut RunBatch,
 ) -> Vec<Option<RunRecord>> {
     let names: Vec<String> = sweep.iter().map(|a| a.name.to_string()).collect();
     let spec = ExperimentSpec::new(seed)
@@ -82,11 +98,13 @@ fn run_sweep(
         .approaches(ApproachSelector::Custom(sweep))
         .baseline(false)
         .cd_bounds(0.9, 0.05);
-    let batch = runner.run(&spec);
+    let batch = runner.run_with(&spec, policy);
     for f in &batch.failures {
-        eprintln!("[ablations] {} failed: {}", f.approach, f.error);
+        eprintln!("[ablations] FAILED {f}");
     }
-    records.extend(batch.records.iter().cloned());
+    agg.records.extend(batch.records.iter().cloned());
+    agg.failures.extend(batch.failures.iter().cloned());
+    agg.resumed += batch.resumed;
     names
         .iter()
         .map(|n| batch.records.iter().find(|r| &r.approach == n).cloned())
@@ -99,7 +117,7 @@ fn leak_name(name: String) -> &'static str {
 
 /// Zafar^DP_Fair: the tolerance `c` of `|cov| ≤ c` traces the whole
 /// accuracy–parity frontier.
-fn ablate_zafar(runner: &Runner, seed: u64, records: &mut Vec<RunRecord>) {
+fn ablate_zafar(runner: &Runner, seed: u64, policy: &RunPolicy, agg: &mut RunBatch) {
     println!("=== Ablation: Zafar covariance tolerance c ===");
     const CS: [f64; 7] = [1.0, 0.3, 0.1, 0.03, 0.01, 0.003, 0.001];
     let sweep: Vec<Approach> = CS
@@ -114,7 +132,7 @@ fn ablate_zafar(runner: &Runner, seed: u64, records: &mut Vec<RunRecord>) {
             })),
         })
         .collect();
-    let results = run_sweep(runner, seed, sweep, records);
+    let results = run_sweep(runner, seed, sweep, policy, agg);
 
     println!("{:<12} {:>10} {:>8} {:>10}", "c", "accuracy", "DI*", "fit(ms)");
     for (c, r) in CS.iter().zip(results) {
@@ -210,7 +228,7 @@ fn ablate_cd(seed: u64) {
 
 /// Thomas: tolerance vs acceptance — at tight tolerances the safety test
 /// cannot pass and the NSF fallback is used.
-fn ablate_thomas(runner: &Runner, seed: u64, records: &mut Vec<RunRecord>) {
+fn ablate_thomas(runner: &Runner, seed: u64, policy: &RunPolicy, agg: &mut RunBatch) {
     println!("=== Ablation: Thomas safety-test tolerance ===");
     const TOLS: [f64; 5] = [0.20, 0.12, 0.08, 0.05, 0.02];
     let sweep: Vec<Approach> = TOLS
@@ -225,7 +243,7 @@ fn ablate_thomas(runner: &Runner, seed: u64, records: &mut Vec<RunRecord>) {
             })),
         })
         .collect();
-    let results = run_sweep(runner, seed, sweep, records);
+    let results = run_sweep(runner, seed, sweep, policy, agg);
 
     println!("{:<12} {:>10} {:>8}", "tolerance", "accuracy", "DI*");
     for (tol, r) in TOLS.iter().zip(results) {

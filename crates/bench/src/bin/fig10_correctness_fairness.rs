@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run --release -p fairlens-bench --bin fig10_correctness_fairness \
-//!     [-- [--threads N] [--seed S] [--scale quick|paper] [--out DIR] [dataset]]
+//!     [-- [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
+//!         [--cell-timeout SECS] [--retries N] [--resume PATH] [dataset]]
 //! ```
 //!
 //! `--scale quick` caps dataset sizes at 8 000 rows (same qualitative
@@ -22,8 +23,8 @@ use fairlens_bench::{print_fig10_records, CommonArgs, ExperimentSpec, Runner};
 use fairlens_core::all_approaches;
 use fairlens_synth::{DatasetKind, ALL_DATASETS};
 
-const USAGE: &str =
-    "fig10_correctness_fairness [--threads N] [--seed S] [--scale quick|paper] [--out DIR] [dataset]";
+const USAGE: &str = "fig10_correctness_fairness [--threads N] [--seed S] [--scale quick|paper] \
+                     [--out DIR] [--cell-timeout SECS] [--retries N] [--resume PATH] [dataset]";
 
 fn main() {
     let args = CommonArgs::from_env(USAGE);
@@ -48,16 +49,21 @@ fn main() {
         .datasets(datasets.iter().copied())
         .scale(args.scale);
     let runner = Runner::new(args.threads);
+    let out = args.out_file("fig10_correctness_fairness");
+    let policy = args.run_policy(&out).unwrap_or_else(|e| {
+        eprintln!("error: {e}\nusage: {USAGE}");
+        std::process::exit(2);
+    });
     eprintln!(
         "[fig10] {} dataset panel(s), {} worker thread(s), seed {}",
         datasets.len(),
         runner.threads(),
         args.seed
     );
-    let batch = runner.run(&spec);
+    let batch = runner.run_with(&spec, &policy);
 
     for f in &batch.failures {
-        eprintln!("[fig10] {} on {} failed: {}", f.approach, f.dataset, f.error);
+        eprintln!("[fig10] FAILED {f}");
     }
 
     for kind in &datasets {
@@ -99,7 +105,5 @@ fn main() {
         }
     }
 
-    let out = args.out_file("fig10_correctness_fairness");
-    batch.write_jsonl(&out).expect("write results");
-    fairlens_bench::cli::announce_output("fig10", &out, batch.records.len());
+    fairlens_bench::cli::announce_run("fig10", &out, &batch);
 }

@@ -9,7 +9,8 @@
 //!
 //! ```text
 //! cargo run --release -p fairlens-bench --bin fig11_scalability \
-//!     [-- [--threads N] [--seed S] [--scale quick|paper] [--out DIR] [size|attrs|both]]
+//!     [-- [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
+//!         [--cell-timeout SECS] [--retries N] [--resume PATH] [size|attrs|both]]
 //! ```
 //!
 //! `--scale quick` halves the sweep (sizes up to 10 K, attributes up to 22)
@@ -18,22 +19,29 @@
 //! stages are meaningful. Every timing cell runs single-threaded on one
 //! worker (the runner never parallelises *within* a cell), so `--threads`
 //! only overlaps different cells; use `--threads 1` for the least-noisy
-//! timings. Records land in `<out>/fig11_scalability.jsonl` with their
-//! `rows` / `attrs` coordinates.
+//! timings. Records stream to `<out>/fig11_scalability.jsonl` with their
+//! `rows` / `attrs` coordinates; every sweep point checkpoints into the
+//! same file, so an interrupted sweep continues with `--resume <that file>`
+//! (note that resumed timing cells keep their originally measured times).
 
-use fairlens_bench::{CommonArgs, ExperimentSpec, RunRecord, Runner, ScaleSpec};
+use fairlens_bench::{CommonArgs, ExperimentSpec, RunBatch, RunPolicy, RunRecord, Runner, ScaleSpec};
 use fairlens_core::{all_approaches, Stage};
 use fairlens_synth::DatasetKind;
 
-const USAGE: &str =
-    "fig11_scalability [--threads N] [--seed S] [--scale quick|paper] [--out DIR] [size|attrs|both]";
+const USAGE: &str = "fig11_scalability [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
+                     [--cell-timeout SECS] [--retries N] [--resume PATH] [size|attrs|both]";
 
 fn main() {
     let args = CommonArgs::from_env(USAGE);
     let mode = args.rest.first().map(String::as_str).unwrap_or("both").to_string();
     let quick = args.scale == ScaleSpec::Quick;
     let runner = Runner::new(args.threads);
-    let mut all_records: Vec<RunRecord> = Vec::new();
+    let out = args.out_file("fig11_scalability");
+    let policy = args.run_policy(&out).unwrap_or_else(|e| {
+        eprintln!("error: {e}\nusage: {USAGE}");
+        std::process::exit(2);
+    });
+    let mut agg = RunBatch::default();
 
     if mode == "size" || mode == "both" {
         let sizes: &[usize] = if quick {
@@ -41,7 +49,7 @@ fn main() {
         } else {
             &[1_000, 2_000, 5_000, 10_000, 20_000, 40_000]
         };
-        size_sweep(&runner, args.seed, sizes, &mut all_records);
+        size_sweep(&runner, args.seed, sizes, &policy, &mut agg);
     }
     if mode == "attrs" || mode == "both" {
         let attrs: &[usize] = if quick {
@@ -49,32 +57,35 @@ fn main() {
         } else {
             &[2, 6, 10, 14, 18, 22, 26]
         };
-        attr_sweep(&runner, args.seed, attrs, &mut all_records);
+        attr_sweep(&runner, args.seed, attrs, &policy, &mut agg);
     }
 
-    let out = args.out_file("fig11_scalability");
-    fairlens_bench::write_jsonl(&out, &all_records).expect("write results");
-    fairlens_bench::cli::announce_output("fig11", &out, all_records.len());
+    fairlens_bench::cli::announce_run("fig11", &out, &agg);
 }
 
 /// Run one timing-only spec per sweep point; cells within a point are
-/// spread over the pool, each cell itself single-threaded.
+/// spread over the pool, each cell itself single-threaded. Every point
+/// checkpoints into the shared results file — the runner carries earlier
+/// points' rows through each finalize.
 fn run_points(
     runner: &Runner,
     label: &str,
     specs: Vec<ExperimentSpec>,
-    all_records: &mut Vec<RunRecord>,
+    policy: &RunPolicy,
+    agg: &mut RunBatch,
 ) -> Vec<Vec<RunRecord>> {
     specs
         .into_iter()
         .map(|spec| {
-            let batch = runner.run(&spec);
+            let batch = runner.run_with(&spec, policy);
             for f in &batch.failures {
                 // Calmon beyond 22 attributes reports Unsupported — the
                 // paper's "did not converge for more than 22 attributes".
-                eprintln!("[{label}] {} on {}: {}", f.approach, f.dataset, f.error);
+                eprintln!("[{label}] FAILED {f}");
             }
-            all_records.extend(batch.records.iter().cloned());
+            agg.records.extend(batch.records.iter().cloned());
+            agg.failures.extend(batch.failures.iter().cloned());
+            agg.resumed += batch.resumed;
             batch.records
         })
         .collect()
@@ -88,7 +99,7 @@ fn overhead_cell(records: &[RunRecord], name: &str, lr_ms: Option<f64>) -> Strin
 }
 
 /// Fig. 11(a–c): vary |D| on Adult.
-fn size_sweep(runner: &Runner, seed: u64, sizes: &[usize], all_records: &mut Vec<RunRecord>) {
+fn size_sweep(runner: &Runner, seed: u64, sizes: &[usize], policy: &RunPolicy, agg: &mut RunBatch) {
     println!("=== Fig. 11(a–c) — runtime overhead vs data size (Adult) ===");
     println!("(milliseconds of overhead over LR; '-' = failed/unsupported)");
     let kind = DatasetKind::Adult;
@@ -102,7 +113,7 @@ fn size_sweep(runner: &Runner, seed: u64, sizes: &[usize], all_records: &mut Vec
                 .timing_only(true)
         })
         .collect();
-    let per_point = run_points(runner, "fig11/size", specs, all_records);
+    let per_point = run_points(runner, "fig11/size", specs, policy, agg);
 
     print!("{:<6} {:<19}", "stage", "approach");
     for n in sizes {
@@ -139,7 +150,13 @@ fn size_sweep(runner: &Runner, seed: u64, sizes: &[usize], all_records: &mut Vec
 }
 
 /// Fig. 11(d–f): vary |X| on Credit.
-fn attr_sweep(runner: &Runner, seed: u64, attr_counts: &[usize], all_records: &mut Vec<RunRecord>) {
+fn attr_sweep(
+    runner: &Runner,
+    seed: u64,
+    attr_counts: &[usize],
+    policy: &RunPolicy,
+    agg: &mut RunBatch,
+) {
     println!();
     println!("=== Fig. 11(d–f) — runtime overhead vs #attributes (Credit) ===");
     println!("(milliseconds of overhead over LR; '-' = failed/unsupported)");
@@ -157,7 +174,7 @@ fn attr_sweep(runner: &Runner, seed: u64, attr_counts: &[usize], all_records: &m
                 .timing_only(true)
         })
         .collect();
-    let per_point = run_points(runner, "fig11/attrs", specs, all_records);
+    let per_point = run_points(runner, "fig11/attrs", specs, policy, agg);
 
     print!("{:<6} {:<19}", "stage", "approach");
     for a in attr_counts {

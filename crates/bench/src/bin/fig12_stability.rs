@@ -10,13 +10,16 @@
 //! ```text
 //! cargo run --release -p fairlens-bench --bin fig12_stability \
 //!     [-- [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
+//!         [--cell-timeout SECS] [--retries N] [--resume PATH] \
 //!         [adult|compas|german|credit|all] [--headline]]
 //! ```
 //!
 //! The (approach × fold) grid is evaluated by the parallel runner; every
 //! cell's randomness is seeded from its coordinates, so `--threads 8`
-//! reproduces `--threads 1` exactly. Records land in
-//! `<out>/fig12_stability.jsonl`.
+//! reproduces `--threads 1` exactly. Records stream to
+//! `<out>/fig12_stability.jsonl` as cells complete (failed cells to the
+//! `.failures.jsonl` sidecar), so a killed run can be continued with
+//! `--resume <that file>`.
 
 use fairlens_bench::{summarize, CommonArgs, ExperimentSpec, RunRecord, Runner, Summary};
 use fairlens_synth::{DatasetKind, ALL_DATASETS};
@@ -24,6 +27,7 @@ use fairlens_synth::{DatasetKind, ALL_DATASETS};
 const FOLDS: usize = 10;
 
 const USAGE: &str = "fig12_stability [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
+                     [--cell-timeout SECS] [--retries N] [--resume PATH] \
                      [adult|compas|german|credit|all] [--headline]";
 
 fn main() {
@@ -52,18 +56,20 @@ fn main() {
         .test_frac(1.0 / 3.0)
         .scale(args.scale);
     let runner = Runner::new(args.threads);
+    let out = args.out_file("fig12_stability");
+    let policy = args.run_policy(&out).unwrap_or_else(|e| {
+        eprintln!("error: {e}\nusage: {USAGE}");
+        std::process::exit(2);
+    });
     eprintln!(
         "[stability] {} dataset(s) × {FOLDS} folds, {} worker thread(s), seed {}",
         datasets.len(),
         runner.threads(),
         args.seed
     );
-    let batch = runner.run(&spec);
+    let batch = runner.run_with(&spec, &policy);
     for f in &batch.failures {
-        eprintln!(
-            "[stability] {} on {} fold {} failed: {}",
-            f.approach, f.dataset, f.fold, f.error
-        );
+        eprintln!("[stability] FAILED {f}");
     }
 
     for kind in &datasets {
@@ -71,9 +77,7 @@ fn main() {
         print_panel(*kind, &records, headline);
     }
 
-    let out = args.out_file("fig12_stability");
-    batch.write_jsonl(&out).expect("write results");
-    fairlens_bench::cli::announce_output("stability", &out, batch.records.len());
+    fairlens_bench::cli::announce_run("stability", &out, &batch);
 }
 
 fn print_panel(kind: DatasetKind, records: &[&RunRecord], headline: bool) {

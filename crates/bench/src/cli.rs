@@ -3,19 +3,30 @@
 //! Every binary accepts the same execution flags:
 //!
 //! ```text
-//! --threads N     worker threads (default 0 = one per hardware thread)
-//! --seed S        experiment master seed (default 42)
+//! --threads N         worker threads (default 0 = one per hardware thread)
+//! --seed S            experiment master seed (default 42)
 //! --scale quick|paper
-//! --out DIR       directory for JSON-lines results (default results/)
+//! --out DIR           directory for JSON-lines results (default results/)
+//! --cell-timeout SECS wall-clock budget per cell attempt (default: none)
+//! --retries N         extra attempts after a transient failure (default 0)
+//! --resume PATH       partial results file from an interrupted run
 //! ```
 //!
 //! Bare `quick` / `paper` positionals are still honoured (the pre-runner
 //! invocation style), and anything unrecognised is passed through in
 //! [`CommonArgs::rest`] for binary-specific selectors (dataset names,
 //! sweep modes, `--headline`, …).
+//!
+//! [`CommonArgs::run_policy`] turns the fault-tolerance flags into a
+//! [`RunPolicy`] wired to a binary's output file: results stream to the
+//! file as each cell completes, so a killed run can be continued with
+//! `--resume <that file>`.
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
+use crate::record::failures_path;
+use crate::runner::RunPolicy;
 use crate::spec::ScaleSpec;
 
 /// Parsed shared flags plus the untouched remainder.
@@ -29,6 +40,12 @@ pub struct CommonArgs {
     pub scale: ScaleSpec,
     /// `--out` results directory.
     pub out: PathBuf,
+    /// `--cell-timeout` wall-clock budget per cell attempt.
+    pub cell_timeout: Option<Duration>,
+    /// `--retries` extra attempts after a transient failure.
+    pub retries: u32,
+    /// `--resume` partial results file from an interrupted run.
+    pub resume: Option<PathBuf>,
     /// Arguments the shared layer did not consume, in order.
     pub rest: Vec<String>,
 }
@@ -40,6 +57,9 @@ impl Default for CommonArgs {
             seed: 42,
             scale: ScaleSpec::Paper,
             out: PathBuf::from("results"),
+            cell_timeout: None,
+            retries: 0,
+            resume: None,
             rest: Vec::new(),
         }
     }
@@ -67,6 +87,22 @@ impl CommonArgs {
                 }
                 "--scale" => out.scale = ScaleSpec::parse(&value_of("--scale")?)?,
                 "--out" => out.out = PathBuf::from(value_of("--out")?),
+                "--cell-timeout" => {
+                    let v = value_of("--cell-timeout")?;
+                    let secs: f64 = v
+                        .parse()
+                        .map_err(|_| format!("--cell-timeout: not a number: {v:?}"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(format!("--cell-timeout: must be positive, got {v:?}"));
+                    }
+                    out.cell_timeout = Some(Duration::from_secs_f64(secs));
+                }
+                "--retries" => {
+                    let v = value_of("--retries")?;
+                    out.retries =
+                        v.parse().map_err(|_| format!("--retries: not a number: {v:?}"))?;
+                }
+                "--resume" => out.resume = Some(PathBuf::from(value_of("--resume")?)),
                 "quick" | "paper" => out.scale = ScaleSpec::parse(&arg)?,
                 _ => out.rest.push(arg),
             }
@@ -91,6 +127,70 @@ impl CommonArgs {
         self.out.join(format!("{name}.jsonl"))
     }
 
+    /// Build the [`RunPolicy`] for a binary whose results live at
+    /// `out_file`, preparing the checkpoint file on disk:
+    ///
+    /// * fresh run — any stale `out_file` (and its failures sidecar) from a
+    ///   previous run is removed, so streamed appends start clean;
+    /// * `--resume PATH` — `PATH` (and its sidecar) is first copied over
+    ///   `out_file` when the two differ, so the run always continues in,
+    ///   and streams to, its own output file.
+    ///
+    /// Either way the returned policy checkpoints to *and* resumes from
+    /// `out_file`. Resuming from the file being written is what lets the
+    /// multi-spec binaries (Fig. 11, ablations) aggregate several
+    /// [`crate::runner::Runner::run_with`] calls into one results file:
+    /// each call carries the earlier specs' rows through its finalize.
+    pub fn run_policy(&self, out_file: &Path) -> Result<RunPolicy, String> {
+        if let Some(parent) = out_file.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        match &self.resume {
+            Some(src) => {
+                if !src.exists() {
+                    return Err(format!("--resume: no such file: {}", src.display()));
+                }
+                if src != out_file {
+                    std::fs::copy(src, out_file).map_err(|e| {
+                        format!("--resume: cannot copy {} over {}: {e}", src.display(), out_file.display())
+                    })?;
+                    let (src_sc, dst_sc) = (failures_path(src), failures_path(out_file));
+                    if src_sc.exists() {
+                        std::fs::copy(&src_sc, &dst_sc).map_err(|e| {
+                            format!("--resume: cannot copy failures sidecar: {e}")
+                        })?;
+                    } else if let Err(e) = std::fs::remove_file(&dst_sc) {
+                        if e.kind() != std::io::ErrorKind::NotFound {
+                            return Err(format!("cannot remove stale {}: {e}", dst_sc.display()));
+                        }
+                    }
+                }
+            }
+            None => {
+                for stale in [out_file.to_owned(), failures_path(out_file)] {
+                    if let Err(e) = std::fs::remove_file(&stale) {
+                        if e.kind() != std::io::ErrorKind::NotFound {
+                            return Err(format!("cannot remove stale {}: {e}", stale.display()));
+                        }
+                    }
+                }
+            }
+        }
+        // The struct update is load-bearing under `cfg(test)` / the
+        // `fault-inject` feature, where RunPolicy grows a `faults` field.
+        #[allow(clippy::needless_update)]
+        Ok(RunPolicy {
+            cell_timeout: self.cell_timeout,
+            retries: self.retries,
+            checkpoint: Some(out_file.to_owned()),
+            resume: Some(out_file.to_owned()),
+            ..RunPolicy::default()
+        })
+    }
+
     /// Human-readable scale tag for file names / log lines.
     pub fn scale_tag(&self) -> &'static str {
         match self.scale {
@@ -104,6 +204,22 @@ impl CommonArgs {
 /// location the same way.
 pub fn announce_output(binary: &str, path: &Path, records: usize) {
     eprintln!("[{binary}] wrote {records} records to {}", path.display());
+}
+
+/// End-of-run report for a fault-tolerant batch: records written, cells
+/// resumed from the checkpoint, failures recorded in the sidecar.
+pub fn announce_run(binary: &str, path: &Path, batch: &crate::runner::RunBatch) {
+    announce_output(binary, path, batch.records.len());
+    if batch.resumed > 0 {
+        eprintln!("[{binary}] resumed {} cell(s) from {}", batch.resumed, path.display());
+    }
+    if !batch.failures.is_empty() {
+        eprintln!(
+            "[{binary}] {} cell(s) failed — see {}",
+            batch.failures.len(),
+            failures_path(path).display()
+        );
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +258,65 @@ mod tests {
         assert!(CommonArgs::parse(["--threads".to_string()]).is_err());
         assert!(CommonArgs::parse(["--threads".to_string(), "x".to_string()]).is_err());
         assert!(CommonArgs::parse(["--scale".to_string(), "huge".to_string()]).is_err());
+    }
+
+    #[test]
+    fn fault_tolerance_flags() {
+        let a = parse(&["--cell-timeout", "2.5", "--retries", "3", "--resume", "old/run.jsonl"]);
+        assert_eq!(a.cell_timeout, Some(Duration::from_millis(2500)));
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.resume, Some(PathBuf::from("old/run.jsonl")));
+        let d = parse(&[]);
+        assert_eq!(d.cell_timeout, None);
+        assert_eq!(d.retries, 0);
+        assert_eq!(d.resume, None);
+        for bad in [
+            vec!["--cell-timeout", "0"],
+            vec!["--cell-timeout", "-1"],
+            vec!["--cell-timeout", "inf"],
+            vec!["--cell-timeout", "soon"],
+            vec!["--retries", "-1"],
+            vec!["--resume"],
+        ] {
+            assert!(
+                CommonArgs::parse(bad.iter().map(|s| s.to_string())).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn run_policy_prepares_the_checkpoint_file() {
+        let dir = std::env::temp_dir().join("fairlens_cli_policy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("fig.jsonl");
+        let sidecar = failures_path(&out);
+
+        // Fresh run: stale output and sidecar are cleared.
+        std::fs::write(&out, "stale\n").unwrap();
+        std::fs::write(&sidecar, "stale\n").unwrap();
+        let fresh = parse(&["--retries", "2"]);
+        let policy = fresh.run_policy(&out).unwrap();
+        assert!(!out.exists() && !sidecar.exists());
+        assert_eq!(policy.retries, 2);
+        assert_eq!(policy.cell_timeout, None);
+        assert_eq!(policy.checkpoint.as_deref(), Some(out.as_path()));
+        assert_eq!(policy.resume.as_deref(), Some(out.as_path()));
+
+        // Resume from another file: it is copied over the output first.
+        let old = dir.join("interrupted.jsonl");
+        std::fs::write(&old, "{\"partial\":1}\n").unwrap();
+        let mut resuming = CommonArgs::default();
+        resuming.resume = Some(old.clone());
+        let policy = resuming.run_policy(&out).unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), "{\"partial\":1}\n");
+        assert_eq!(policy.resume.as_deref(), Some(out.as_path()));
+
+        // Resuming from a missing file is an error, not a silent fresh run.
+        let mut missing = CommonArgs::default();
+        missing.resume = Some(dir.join("nope.jsonl"));
+        assert!(missing.run_policy(&out).unwrap_err().contains("no such file"));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -16,12 +16,17 @@
 //!    (datasets, approaches, folds, scale, CD bounds);
 //! 2. [`runner::Runner`] — a work-stealing thread pool that evaluates every
 //!    (approach × dataset × fold) cell with per-cell deterministic seeding,
-//!    so `--threads N` and `--threads 1` produce identical numbers;
+//!    so `--threads N` and `--threads 1` produce identical numbers; under a
+//!    [`runner::RunPolicy`] it additionally isolates panics, enforces
+//!    per-cell deadlines, retries transient failures with derived seeds,
+//!    and streams checkpoints so a killed run is resumable;
 //! 3. [`record::RunRecord`] — one structured result row per cell,
-//!    serialised as JSON-lines under `results/`.
+//!    serialised as JSON-lines under `results/`, with failed cells in a
+//!    `*.failures.jsonl` sidecar ([`record::CellFailure`]).
 //!
 //! [`cli::CommonArgs`] gives the binaries a shared `--threads/--seed/
-//! --scale/--out` surface. Criterion micro-benchmarks
+//! --scale/--out/--cell-timeout/--retries/--resume` surface.
+//! Criterion micro-benchmarks
 //! (`cargo bench -p fairlens-bench`) cover per-approach training latency
 //! and the solver kernels.
 //!
@@ -43,9 +48,14 @@ pub mod runner;
 pub mod spec;
 
 pub use cli::CommonArgs;
-pub use record::{read_jsonl, write_jsonl, RunRecord, METRIC_KEYS};
-pub use runner::{CellFailure, RunBatch, Runner};
-pub use spec::{cell_seed, ApproachSelector, ExperimentSpec, ScaleSpec};
+pub use record::{
+    failures_path, read_failures, read_jsonl, read_jsonl_lossy, write_jsonl, write_jsonl_atomic,
+    RunRecord, METRIC_KEYS,
+};
+pub use runner::{CellFailure, FailureKind, RunBatch, RunPolicy, Runner};
+#[cfg(any(test, feature = "fault-inject"))]
+pub use runner::{FaultKind, FaultSpec};
+pub use spec::{cell_seed, retry_seed, ApproachSelector, ExperimentSpec, ScaleSpec};
 
 /// The paper's CD estimation bound: 99 % confidence, 1 % error.
 pub const PAPER_CD_BOUNDS: (f64, f64) = (0.99, 0.01);

@@ -62,6 +62,9 @@ pub struct RunRecord {
     pub fit_ms: f64,
     /// Wall-clock prediction time over the evaluation rows, ms.
     pub predict_ms: f64,
+    /// How many attempts the cell took (1 = first try; >1 means transient
+    /// failures were retried with derived seeds).
+    pub attempts: u32,
 }
 
 impl RunRecord {
@@ -84,6 +87,7 @@ impl RunRecord {
         let _ = write!(s, ",\"rows\":{},\"attrs\":{}", self.rows, self.attrs);
         let _ = write!(s, ",\"fit_ms\":{}", fmt_f64(self.fit_ms));
         let _ = write!(s, ",\"predict_ms\":{}", fmt_f64(self.predict_ms));
+        let _ = write!(s, ",\"attempts\":{}", self.attempts);
         match &self.metrics {
             None => s.push_str(",\"metrics\":null"),
             Some(values) => {
@@ -118,6 +122,7 @@ impl RunRecord {
         let mut attrs = None;
         let mut fit_ms = None;
         let mut predict_ms = None;
+        let mut attempts = None;
         let mut metrics: Option<Option<[f64; 9]>> = None;
         for (key, v) in obj {
             match key.as_str() {
@@ -130,6 +135,7 @@ impl RunRecord {
                 "attrs" => attrs = Some(v.into_u64()? as usize),
                 "fit_ms" => fit_ms = Some(v.into_f64()?),
                 "predict_ms" => predict_ms = Some(v.into_f64()?),
+                "attempts" => attempts = Some(v.into_u64()? as u32),
                 "metrics" => match v {
                     Value::Null => metrics = Some(None),
                     Value::Object(m) => {
@@ -164,6 +170,143 @@ impl RunRecord {
             metrics: metrics.ok_or("missing metrics")?,
             fit_ms: fit_ms.ok_or("missing fit_ms")?,
             predict_ms: predict_ms.ok_or("missing predict_ms")?,
+            // absent in pre-fault-tolerance files: those cells ran once
+            attempts: attempts.unwrap_or(1),
+        })
+    }
+}
+
+/// Why a cell produced no record: the failure taxonomy persisted to the
+/// `*.failures.jsonl` sidecar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The cell's code panicked; the panic was isolated to the cell.
+    Panicked,
+    /// The cell exceeded `--cell-timeout` and was cancelled cooperatively.
+    TimedOut,
+    /// Training returned a non-transient error (infeasible, unsupported,
+    /// bad input — deterministic in the data, never retried).
+    TrainError,
+    /// Every attempt failed with a transient numeric error.
+    ExhaustedRetries,
+}
+
+impl FailureKind {
+    /// The JSON wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Panicked => "panicked",
+            Self::TimedOut => "timed_out",
+            Self::TrainError => "train_error",
+            Self::ExhaustedRetries => "exhausted_retries",
+        }
+    }
+
+}
+
+impl std::str::FromStr for FailureKind {
+    type Err = String;
+
+    /// Parse the JSON wire name.
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "panicked" => Ok(Self::Panicked),
+            "timed_out" => Ok(Self::TimedOut),
+            "train_error" => Ok(Self::TrainError),
+            "exhausted_retries" => Ok(Self::ExhaustedRetries),
+            other => Err(format!("unknown failure kind {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A cell that produced no [`RunRecord`], with enough context to re-run it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// Approach display name (or the registry-lookup string that failed).
+    pub approach: String,
+    /// Dataset display name.
+    pub dataset: String,
+    /// Fold index within the spec.
+    pub fold: usize,
+    /// Failure classification.
+    pub kind: FailureKind,
+    /// Human-readable error (panic message, training error, …).
+    pub error: String,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+    /// Wall-clock spent on the cell across all attempts, ms (partial
+    /// timing — recorded even when the cell timed out or panicked).
+    pub elapsed_ms: f64,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} on {} fold {}: [{}] {} ({} attempt(s), {:.0} ms)",
+            self.approach, self.dataset, self.fold, self.kind, self.error, self.attempts,
+            self.elapsed_ms
+        )
+    }
+}
+
+impl CellFailure {
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(192);
+        s.push('{');
+        push_str_field(&mut s, "approach", &self.approach);
+        s.push(',');
+        push_str_field(&mut s, "dataset", &self.dataset);
+        let _ = write!(s, ",\"fold\":{},\"kind\":\"{}\"", self.fold, self.kind.as_str());
+        s.push(',');
+        push_str_field(&mut s, "error", &self.error);
+        let _ = write!(s, ",\"attempts\":{}", self.attempts);
+        let _ = write!(s, ",\"elapsed_ms\":{}", fmt_f64(self.elapsed_ms));
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSON line produced by [`Self::to_json`].
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let value = Parser::new(line).parse()?;
+        let obj = match value {
+            Value::Object(o) => o,
+            _ => return Err("failure line is not a JSON object".into()),
+        };
+        let mut approach = None;
+        let mut dataset = None;
+        let mut fold = None;
+        let mut kind = None;
+        let mut error = None;
+        let mut attempts = None;
+        let mut elapsed_ms = None;
+        for (key, v) in obj {
+            match key.as_str() {
+                "approach" => approach = Some(v.into_string()?),
+                "dataset" => dataset = Some(v.into_string()?),
+                "fold" => fold = Some(v.into_u64()? as usize),
+                "kind" => kind = Some(v.into_string()?.parse::<FailureKind>()?),
+                "error" => error = Some(v.into_string()?),
+                "attempts" => attempts = Some(v.into_u64()? as u32),
+                "elapsed_ms" => elapsed_ms = Some(v.into_f64()?),
+                other => return Err(format!("unknown failure field {other:?}")),
+            }
+        }
+        Ok(CellFailure {
+            approach: approach.ok_or("missing approach")?,
+            dataset: dataset.ok_or("missing dataset")?,
+            fold: fold.ok_or("missing fold")?,
+            kind: kind.ok_or("missing kind")?,
+            error: error.ok_or("missing error")?,
+            attempts: attempts.ok_or("missing attempts")?,
+            elapsed_ms: elapsed_ms.ok_or("missing elapsed_ms")?,
         })
     }
 }
@@ -423,6 +566,95 @@ pub fn read_jsonl(path: &Path) -> Result<Vec<RunRecord>, String> {
         .collect()
 }
 
+/// Read a JSON-lines result file tolerantly: malformed lines (e.g. a line
+/// truncated when a run was killed mid-write) are skipped, not fatal.
+/// Returns the parseable records plus the count of skipped lines.
+pub fn read_jsonl_lossy(path: &Path) -> Result<(Vec<RunRecord>, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match RunRecord::from_json(line) {
+            Ok(r) => records.push(r),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((records, skipped))
+}
+
+/// The failures-sidecar path for a results file:
+/// `results/fig12_stability.jsonl` → `results/fig12_stability.failures.jsonl`.
+pub fn failures_path(results: &Path) -> std::path::PathBuf {
+    results.with_extension("failures.jsonl")
+}
+
+/// Write JSON lines atomically: write to a `.tmp` sibling, fsync it,
+/// rename over `path`, then fsync the directory so the rename is durable.
+/// A reader never observes a partially written file.
+fn write_lines_atomic(path: &Path, lines: impl Iterator<Item = String>) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            std::fs::create_dir_all(p)?;
+            Some(p)
+        }
+        _ => None,
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = std::io::BufWriter::new(file);
+        for line in lines {
+            writeln!(w, "{line}")?;
+        }
+        w.flush()?;
+        w.get_ref().sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = parent {
+        // Durable rename: fsync the containing directory (best-effort on
+        // platforms where directories cannot be opened for sync).
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Atomically (re)write a results file; see [`write_lines_atomic`].
+pub fn write_jsonl_atomic(path: &Path, records: &[RunRecord]) -> std::io::Result<()> {
+    write_lines_atomic(path, records.iter().map(RunRecord::to_json))
+}
+
+/// Atomically (re)write a failures sidecar. An empty failure list removes
+/// a stale sidecar instead, so a clean run leaves no sidecar behind.
+pub fn write_failures_atomic(path: &Path, failures: &[CellFailure]) -> std::io::Result<()> {
+    if failures.is_empty() {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    } else {
+        write_lines_atomic(path, failures.iter().map(CellFailure::to_json))
+    }
+}
+
+/// Read a failures sidecar back; a missing file is an empty list.
+pub fn read_failures(path: &Path) -> Result<Vec<CellFailure>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, l)| CellFailure::from_json(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +671,19 @@ mod tests {
             metrics: Some([0.71, 0.55, 0.1 + 0.2, 0.62, 0.9, 1.0, 0.0, 0.33, 0.98]),
             fit_ms: 12.625,
             predict_ms: 0.25,
+            attempts: 1,
+        }
+    }
+
+    fn sample_failure() -> CellFailure {
+        CellFailure {
+            approach: "Calmon^DP".into(),
+            dataset: "Credit".into(),
+            fold: 7,
+            kind: FailureKind::TimedOut,
+            error: "exceeded 30s deadline".into(),
+            attempts: 2,
+            elapsed_ms: 60000.5,
         }
     }
 
@@ -526,5 +771,98 @@ mod tests {
         assert_eq!(r.metric("accuracy"), Some(0.71));
         assert_eq!(r.metric("crd_fair"), Some(0.98));
         assert_eq!(r.metric("nope"), None);
+    }
+
+    #[test]
+    fn attempts_default_to_one_for_old_files() {
+        // pre-fault-tolerance lines carry no "attempts" field
+        let line = sample().to_json().replace(",\"attempts\":1", "");
+        let parsed = RunRecord::from_json(&line).unwrap();
+        assert_eq!(parsed.attempts, 1);
+    }
+
+    #[test]
+    fn retried_record_round_trips_attempts() {
+        let mut r = sample();
+        r.attempts = 3;
+        let line = r.to_json();
+        assert!(line.contains("\"attempts\":3"), "{line}");
+        assert_eq!(RunRecord::from_json(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn failure_json_round_trip() {
+        for kind in [
+            FailureKind::Panicked,
+            FailureKind::TimedOut,
+            FailureKind::TrainError,
+            FailureKind::ExhaustedRetries,
+        ] {
+            let mut f = sample_failure();
+            f.kind = kind;
+            f.error = "panic with \"quotes\"\nand newline".into();
+            let line = f.to_json();
+            assert!(line.contains(&format!("\"kind\":\"{}\"", kind.as_str())), "{line}");
+            assert_eq!(CellFailure::from_json(&line).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn failure_rejects_unknown_kind_and_fields() {
+        let bad_kind = sample_failure().to_json().replace("timed_out", "melted");
+        assert!(CellFailure::from_json(&bad_kind).is_err());
+        let bad_field = sample_failure().to_json().replace("\"fold\"", "\"gold\"");
+        assert!(CellFailure::from_json(&bad_field).is_err());
+    }
+
+    #[test]
+    fn failures_sidecar_file_round_trip() {
+        let dir = std::env::temp_dir().join("fairlens_failures_test");
+        let results = dir.join("fig12_stability.jsonl");
+        let sidecar = failures_path(&results);
+        assert_eq!(sidecar, dir.join("fig12_stability.failures.jsonl"));
+        let failures = vec![sample_failure(), {
+            let mut f = sample_failure();
+            f.kind = FailureKind::Panicked;
+            f.fold = 8;
+            f
+        }];
+        write_failures_atomic(&sidecar, &failures).unwrap();
+        assert_eq!(read_failures(&sidecar).unwrap(), failures);
+        // clean run: sidecar removed, missing file reads as empty
+        write_failures_atomic(&sidecar, &[]).unwrap();
+        assert!(!sidecar.exists());
+        assert_eq!(read_failures(&sidecar).unwrap(), Vec::new());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_matches_plain_write() {
+        let dir = std::env::temp_dir().join("fairlens_atomic_test");
+        let plain = dir.join("plain.jsonl");
+        let atomic = dir.join("atomic.jsonl");
+        let records = vec![sample()];
+        write_jsonl(&plain, &records).unwrap();
+        write_jsonl_atomic(&atomic, &records).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&plain).unwrap(),
+            std::fs::read_to_string(&atomic).unwrap()
+        );
+        assert!(!dir.join("atomic.jsonl.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lossy_read_skips_truncated_tail() {
+        let dir = std::env::temp_dir().join("fairlens_lossy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("killed.jsonl");
+        let good = sample().to_json();
+        let truncated = &good[..good.len() / 2]; // simulate a mid-write kill
+        std::fs::write(&path, format!("{good}\n{truncated}")).unwrap();
+        let (records, skipped) = read_jsonl_lossy(&path).unwrap();
+        assert_eq!(records, vec![sample()]);
+        assert_eq!(skipped, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,176 @@
+//! Fault tolerance, exercised through the public API only: checkpointed
+//! runs survive a mid-run kill and `resume` reproduces the uninterrupted
+//! results; failed cells land in the `*.failures.jsonl` sidecar; several
+//! specs can aggregate into one shared checkpoint file (the Fig. 11 /
+//! ablations pattern).
+
+use std::path::{Path, PathBuf};
+
+use fairlens_bench::{
+    failures_path, read_failures, read_jsonl, ApproachSelector, ExperimentSpec, FailureKind,
+    RunPolicy, RunRecord, Runner, ScaleSpec,
+};
+use fairlens_synth::DatasetKind;
+
+/// German at quick scale, four approaches × two folds: ten cells with the
+/// baseline, small enough for CI, big enough to interrupt halfway.
+fn german_quick_spec() -> ExperimentSpec {
+    ExperimentSpec::new(42)
+        .datasets([DatasetKind::German])
+        .approaches(ApproachSelector::Named(vec![
+            "KamCal^DP".into(),
+            "Feld^DP(1.0)".into(),
+            "KamKar^DP".into(),
+            "Hardt^EO".into(),
+        ]))
+        .scale(ScaleSpec::Quick)
+        .folds(2)
+        .cd_bounds(0.9, 0.08)
+}
+
+/// Everything except wall-clock, with metrics compared bit-for-bit.
+fn comparable(r: &RunRecord) -> (String, String, usize, u64, u32, Option<[u64; 9]>) {
+    (
+        r.approach.clone(),
+        r.dataset.clone(),
+        r.fold,
+        r.seed,
+        r.attempts,
+        r.metrics.map(|m| m.map(f64::to_bits)),
+    )
+}
+
+fn checkpoint_policy(path: &Path) -> RunPolicy {
+    RunPolicy {
+        checkpoint: Some(path.to_owned()),
+        resume: Some(path.to_owned()),
+        ..RunPolicy::default()
+    }
+}
+
+fn temp_file(dir_name: &str, file: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(dir_name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(file)
+}
+
+#[test]
+fn resume_after_interrupt_reproduces_uninterrupted_run() {
+    let spec = german_quick_spec();
+
+    // Reference: one uninterrupted checkpointed run.
+    let clean_path = temp_file("fairlens_ft_resume", "clean.jsonl");
+    let clean = Runner::new(2).run_with(&spec, &checkpoint_policy(&clean_path));
+    assert!(clean.failures.is_empty(), "{:?}", clean.failures);
+    assert_eq!(clean.resumed, 0);
+    assert_eq!(clean.records.len(), 10);
+
+    // Simulate a run killed at 50 %: keep the first half of the streamed
+    // lines plus one torn, partially-written line (a kill mid-`write`).
+    let interrupted_path = temp_file("fairlens_ft_resume", "interrupted.jsonl");
+    let _full = Runner::new(2).run_with(&spec, &checkpoint_policy(&interrupted_path));
+    let text = std::fs::read_to_string(&interrupted_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 10);
+    let keep = &lines[..5];
+    let torn = &lines[5][..lines[5].len() / 2];
+    std::fs::write(&interrupted_path, format!("{}\n{torn}", keep.join("\n"))).unwrap();
+
+    // Resume: the five surviving cells are reused (original timings and
+    // all), the torn line is discarded, the rest re-run.
+    let resumed = Runner::new(2).run_with(&spec, &checkpoint_policy(&interrupted_path));
+    assert_eq!(resumed.resumed, 5, "{:?}", resumed.failures);
+    assert!(resumed.failures.is_empty(), "{:?}", resumed.failures);
+    let a: Vec<_> = clean.records.iter().map(comparable).collect();
+    let b: Vec<_> = resumed.records.iter().map(comparable).collect();
+    assert_eq!(a, b, "resumed run diverged from the uninterrupted reference");
+
+    // Reused cells keep their originally measured wall-clock.
+    let surviving: Vec<RunRecord> =
+        keep.iter().map(|l| RunRecord::from_json(l).unwrap()).collect();
+    for orig in &surviving {
+        let reused = resumed
+            .records
+            .iter()
+            .find(|r| r.approach == orig.approach && r.fold == orig.fold)
+            .unwrap();
+        assert_eq!(orig.fit_ms.to_bits(), reused.fit_ms.to_bits());
+    }
+    // The finalized file matches the uninterrupted file, record for record.
+    let on_disk = read_jsonl(&interrupted_path).unwrap();
+    let clean_disk = read_jsonl(&clean_path).unwrap();
+    assert_eq!(
+        on_disk.iter().map(comparable).collect::<Vec<_>>(),
+        clean_disk.iter().map(comparable).collect::<Vec<_>>()
+    );
+    assert!(read_failures(&failures_path(&interrupted_path)).unwrap().is_empty());
+
+    std::fs::remove_dir_all(std::env::temp_dir().join("fairlens_ft_resume")).ok();
+}
+
+#[test]
+fn unresolvable_approach_lands_in_the_failures_sidecar() {
+    let spec = ExperimentSpec::new(7)
+        .datasets([DatasetKind::German])
+        .approaches(ApproachSelector::Named(vec![
+            "KamCal^DP".into(),
+            "NoSuchApproach".into(),
+        ]))
+        .scale(ScaleSpec::Quick)
+        .folds(1)
+        .cd_bounds(0.9, 0.08);
+    let path = temp_file("fairlens_ft_sidecar", "run.jsonl");
+    let batch = Runner::new(1).run_with(&spec, &checkpoint_policy(&path));
+
+    assert_eq!(batch.records.len(), 2); // LR + KamCal^DP
+    assert_eq!(batch.failures.len(), 1);
+    let sidecar = read_failures(&failures_path(&path)).unwrap();
+    assert_eq!(sidecar.len(), 1);
+    assert_eq!(sidecar[0], batch.failures[0]);
+    assert_eq!(sidecar[0].kind, FailureKind::TrainError);
+    assert!(sidecar[0].error.contains("NoSuchApproach"), "{}", sidecar[0].error);
+
+    // Resuming the finished run reuses everything and clears the sidecar
+    // entry only after the cell is re-attempted (it fails again, so the
+    // sidecar is rewritten with the fresh failure).
+    let again = Runner::new(1).run_with(&spec, &checkpoint_policy(&path));
+    assert_eq!(again.resumed, 2);
+    assert_eq!(again.failures.len(), 1);
+    assert_eq!(read_failures(&failures_path(&path)).unwrap().len(), 1);
+
+    std::fs::remove_dir_all(std::env::temp_dir().join("fairlens_ft_sidecar")).ok();
+}
+
+#[test]
+fn two_specs_aggregate_into_one_checkpoint_file() {
+    let path = temp_file("fairlens_ft_multispec", "shared.jsonl");
+    let policy = checkpoint_policy(&path);
+
+    let spec_a = ExperimentSpec::new(42)
+        .datasets([DatasetKind::German])
+        .approaches(ApproachSelector::Named(vec!["KamCal^DP".into()]))
+        .scale(ScaleSpec::Quick)
+        .folds(1)
+        .cd_bounds(0.9, 0.08);
+    let spec_b = ExperimentSpec::new(42)
+        .datasets([DatasetKind::German])
+        .approaches(ApproachSelector::Named(vec!["Hardt^EO".into()]))
+        .baseline(false)
+        .scale(ScaleSpec::Quick)
+        .folds(1)
+        .cd_bounds(0.9, 0.08);
+
+    let a = Runner::new(1).run_with(&spec_a, &policy);
+    let b = Runner::new(1).run_with(&spec_b, &policy);
+    assert_eq!((a.records.len(), b.records.len()), (2, 1));
+    assert_eq!(b.resumed, 0, "spec B shares no cells with spec A");
+
+    // Spec A's rows were carried through spec B's finalize: the shared
+    // file holds both specs, earlier spec first.
+    let on_disk = read_jsonl(&path).unwrap();
+    let expected: Vec<_> =
+        a.records.iter().chain(&b.records).map(comparable).collect();
+    assert_eq!(on_disk.iter().map(comparable).collect::<Vec<_>>(), expected);
+
+    std::fs::remove_dir_all(std::env::temp_dir().join("fairlens_ft_multispec")).ok();
+}

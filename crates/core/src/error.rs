@@ -1,6 +1,7 @@
 //! Error type shared by all approaches.
 
 use fairlens_model::FitError;
+use fairlens_solver::MaxSatError;
 
 /// Failure modes of training a fair classification pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,6 +17,18 @@ pub enum CoreError {
     Unsupported(String),
     /// A dataset invariant needed by the approach does not hold.
     BadInput(String),
+    /// A transient numeric failure (non-finite loss, singular
+    /// decomposition) that a retry with a derived seed may avoid.
+    Numeric(String),
+}
+
+impl CoreError {
+    /// Whether a retry with a different seed has a realistic chance of
+    /// succeeding. Structural failures (infeasible, unsupported, bad
+    /// input) are deterministic in the data and never retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CoreError::Numeric(_) | CoreError::Fit(FitError::Diverged))
+    }
 }
 
 impl std::fmt::Display for CoreError {
@@ -25,6 +38,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Infeasible(m) => write!(f, "infeasible: {m}"),
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
             CoreError::BadInput(m) => write!(f, "bad input: {m}"),
+            CoreError::Numeric(m) => write!(f, "numeric failure: {m}"),
         }
     }
 }
@@ -34,5 +48,11 @@ impl std::error::Error for CoreError {}
 impl From<FitError> for CoreError {
     fn from(e: FitError) -> Self {
         CoreError::Fit(e)
+    }
+}
+
+impl From<MaxSatError> for CoreError {
+    fn from(e: MaxSatError) -> Self {
+        CoreError::BadInput(format!("malformed MaxSAT encoding: {e}"))
     }
 }

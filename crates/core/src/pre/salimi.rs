@@ -235,7 +235,7 @@ impl Preprocessor for Salimi {
             }
             match self.engine {
                 SalimiEngine::MaxSat => {
-                    repair_stratum_maxsat(st, i_card, rng, &mut delete, &mut insertions, inadm_idx.len());
+                    repair_stratum_maxsat(st, i_card, rng, &mut delete, &mut insertions, inadm_idx.len())?;
                 }
                 SalimiEngine::MatFac => {
                     repair_stratum_matfac(st, i_card, rng, &mut delete, &mut insertions, inadm_idx.len());
@@ -309,7 +309,7 @@ fn repair_stratum_maxsat(
     delete: &mut [bool],
     insertions: &mut Vec<(usize, u8, u8)>,
     inadm_count: usize,
-) {
+) -> Result<(), CoreError> {
     // Variable layout: [cell vars (2 × i_card)] ++ [one var per tuple].
     // Tuple variables make the instance size proportional to the stratum
     // population — exactly Salimi et al.'s tuple-level encoding, and the
@@ -344,14 +344,14 @@ fn repair_stratum_maxsat(
                     Lit::neg(var(y, i1)),
                     Lit::neg(var(1 - y, i2)),
                     Lit::pos(var(y, i2)),
-                ]));
+                ]))?;
             }
         }
     }
     // Tuple–cell coupling: a kept tuple forces its cell on; an on cell must
     // retain at least one tuple (when it has any).
     for (t, &(y, i)) in tuple_cell.iter().enumerate() {
-        problem.add(Clause::hard(vec![Lit::neg(tvar(t)), Lit::pos(var(y, i))]));
+        problem.add(Clause::hard(vec![Lit::neg(tvar(t)), Lit::pos(var(y, i))]))?;
     }
     for y in 0..2 {
         for i in 0..i_card {
@@ -364,17 +364,17 @@ fn repair_stratum_maxsat(
                     lits.push(Lit::pos(tvar(t)));
                 }
             }
-            problem.add(Clause::hard(lits));
+            problem.add(Clause::hard(lits))?;
         }
     }
     // Soft preferences: keep every tuple; leave empty cells empty.
     for t in 0..tuple_rows.len() {
-        problem.add(Clause::soft(vec![Lit::pos(tvar(t))], 1.0));
+        problem.add(Clause::soft(vec![Lit::pos(tvar(t))], 1.0)?)?;
     }
     for i in 0..i_card {
         for y in 0..2 {
             if st.cells[y][i].is_empty() {
-                problem.add(Clause::soft(vec![Lit::neg(var(y, i))], 0.5));
+                problem.add(Clause::soft(vec![Lit::neg(var(y, i))], 0.5)?)?;
             }
         }
     }
@@ -384,7 +384,7 @@ fn repair_stratum_maxsat(
         // Fall back to wholesale deletion of the minority label per i-cell
         // (always MVD-consistent within the stratum).
         fallback_delete(st, i_card, delete);
-        return;
+        return Ok(());
     }
 
     // Phase 1 (the MaxSAT decision): which cells and tuples survive.
@@ -401,6 +401,7 @@ fn repair_stratum_maxsat(
     }
     let target = fairlens_solver::nmf::independent_table(&retained);
     level_to_target(st, &target, i_card, rng, delete, insertions, inadm_count);
+    Ok(())
 }
 
 /// Delete or duplicate tuples cell-by-cell until counts match `target`.

@@ -70,6 +70,7 @@ pub fn minimize(obj: &dyn Objective, x0: &[f64], opts: &AdamOptions) -> (Vec<f64
     let mut best = x.clone();
     let mut best_val = obj.value(&x);
     for _ in 0..opts.iterations {
+        fairlens_budget::checkpoint();
         let g = obj.gradient(&x);
         state.step(&mut x, &g);
         let v = obj.value(&x);

@@ -49,6 +49,7 @@ pub fn minimize(obj: &dyn Objective, x0: &[f64], opts: &GdOptions) -> GdResult {
     let (mut fx, mut g) = obj.value_grad(&x);
     let mut trial = vec![0.0; x.len()];
     for it in 0..opts.max_iter {
+        fairlens_budget::checkpoint();
         let gnorm = vector::norm_inf(&g);
         if gnorm <= opts.grad_tol {
             return GdResult { x, value: fx, iterations: it, converged: true };

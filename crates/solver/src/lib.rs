@@ -18,6 +18,6 @@ pub mod maxsat;
 pub mod nmf;
 pub mod simplex;
 
-pub use maxsat::{Clause, Lit, MaxSatProblem, MaxSatSolution};
+pub use maxsat::{Clause, Lit, MaxSatError, MaxSatProblem, MaxSatSolution};
 pub use nmf::{nmf, NmfOptions, NmfResult};
 pub use simplex::{LinearProgram, LpError, LpSolution};

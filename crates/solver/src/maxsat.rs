@@ -16,6 +16,37 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// A malformed clause or problem, reported at construction time so that
+/// bad encodings surface as recoverable training errors instead of panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaxSatError {
+    /// A soft clause was given a weight ≤ 0 (or NaN).
+    NonPositiveWeight,
+    /// A clause with no literals was added.
+    EmptyClause,
+    /// A literal referenced a variable ≥ the problem's variable count.
+    VarOutOfRange {
+        /// The offending variable index.
+        var: usize,
+        /// The problem's variable count.
+        n_vars: usize,
+    },
+}
+
+impl std::fmt::Display for MaxSatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonPositiveWeight => write!(f, "soft clause weight must be positive"),
+            Self::EmptyClause => write!(f, "empty clause"),
+            Self::VarOutOfRange { var, n_vars } => {
+                write!(f, "literal variable {var} out of range (n_vars = {n_vars})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaxSatError {}
+
 /// A literal: variable index plus polarity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Lit {
@@ -57,13 +88,12 @@ impl Clause {
         Self { lits, weight: None }
     }
 
-    /// A soft clause with weight `w`.
-    ///
-    /// # Panics
-    /// Panics if `w <= 0`.
-    pub fn soft(lits: Vec<Lit>, w: f64) -> Self {
-        assert!(w > 0.0, "soft clause weight must be positive");
-        Self { lits, weight: Some(w) }
+    /// A soft clause with weight `w`; rejects `w <= 0` (and NaN).
+    pub fn soft(lits: Vec<Lit>, w: f64) -> Result<Self, MaxSatError> {
+        if w.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(MaxSatError::NonPositiveWeight);
+        }
+        Ok(Self { lits, weight: Some(w) })
     }
 
     #[inline]
@@ -109,16 +139,18 @@ impl MaxSatProblem {
         self.clauses.len()
     }
 
-    /// Add a clause.
-    ///
-    /// # Panics
-    /// Panics on an empty clause or out-of-range variable.
-    pub fn add(&mut self, clause: Clause) {
-        assert!(!clause.lits.is_empty(), "empty clause");
+    /// Add a clause; rejects empty clauses and out-of-range variables.
+    pub fn add(&mut self, clause: Clause) -> Result<(), MaxSatError> {
+        if clause.lits.is_empty() {
+            return Err(MaxSatError::EmptyClause);
+        }
         for l in &clause.lits {
-            assert!(l.var < self.n_vars, "literal variable out of range");
+            if l.var >= self.n_vars {
+                return Err(MaxSatError::VarOutOfRange { var: l.var, n_vars: self.n_vars });
+            }
         }
         self.clauses.push(clause);
+        Ok(())
     }
 
     /// Total weight of all soft clauses.
@@ -161,6 +193,7 @@ impl MaxSatProblem {
         let mut assignment = vec![false; self.n_vars];
         let combos = 1u64 << self.n_vars;
         for mask in 0..combos {
+            fairlens_budget::checkpoint();
             for (v, a) in assignment.iter_mut().enumerate() {
                 *a = (mask >> v) & 1 == 1;
             }
@@ -229,6 +262,7 @@ impl MaxSatProblem {
             consider(&mut best, &assignment, s0, h0);
 
             for _ in 0..flips {
+                fairlens_budget::checkpoint();
                 // Pick a random unsatisfied clause, weighted toward heavy ones.
                 let unsat: Vec<usize> = (0..self.clauses.len())
                     .filter(|&ci| sat_count[ci] == 0)
@@ -307,9 +341,9 @@ mod tests {
     fn exact_simple_instance() {
         // hard: x0 ∨ x1; soft: ¬x0 (w=2), ¬x1 (w=1) → best: x1 true, x0 false
         let mut p = MaxSatProblem::new(2);
-        p.add(Clause::hard(vec![Lit::pos(0), Lit::pos(1)]));
-        p.add(Clause::soft(vec![Lit::neg(0)], 2.0));
-        p.add(Clause::soft(vec![Lit::neg(1)], 1.0));
+        p.add(Clause::hard(vec![Lit::pos(0), Lit::pos(1)])).unwrap();
+        p.add(Clause::soft(vec![Lit::neg(0)], 2.0).unwrap()).unwrap();
+        p.add(Clause::soft(vec![Lit::neg(1)], 1.0).unwrap()).unwrap();
         let s = p.solve_exact();
         assert!(s.hard_ok);
         assert_eq!(s.assignment, vec![false, true]);
@@ -320,8 +354,8 @@ mod tests {
     fn exact_prefers_hard_feasibility() {
         // hard: x0; soft: ¬x0 with giant weight — hard must still win.
         let mut p = MaxSatProblem::new(1);
-        p.add(Clause::hard(vec![Lit::pos(0)]));
-        p.add(Clause::soft(vec![Lit::neg(0)], 1e9));
+        p.add(Clause::hard(vec![Lit::pos(0)])).unwrap();
+        p.add(Clause::soft(vec![Lit::neg(0)], 1e9).unwrap()).unwrap();
         let s = p.solve_exact();
         assert!(s.hard_ok);
         assert!(s.assignment[0]);
@@ -333,10 +367,10 @@ mod tests {
         let mut p = MaxSatProblem::new(6);
         // chain of implications as hard clauses + soft preferences
         for v in 0..5 {
-            p.add(Clause::hard(vec![Lit::neg(v), Lit::pos(v + 1)])); // v → v+1
+            p.add(Clause::hard(vec![Lit::neg(v), Lit::pos(v + 1)])).unwrap(); // v → v+1
         }
-        p.add(Clause::soft(vec![Lit::pos(0)], 3.0));
-        p.add(Clause::soft(vec![Lit::neg(5)], 1.0));
+        p.add(Clause::soft(vec![Lit::pos(0)], 3.0).unwrap()).unwrap();
+        p.add(Clause::soft(vec![Lit::neg(5)], 1.0).unwrap()).unwrap();
         let exact = p.solve_exact();
         let ls = p.solve_local_search(1, 2000, 8);
         assert!(ls.hard_ok);
@@ -348,7 +382,7 @@ mod tests {
         let n = 40;
         let mut p = MaxSatProblem::new(n);
         for v in 0..n {
-            p.add(Clause::soft(vec![Lit::pos(v)], 1.0));
+            p.add(Clause::soft(vec![Lit::pos(v)], 1.0).unwrap()).unwrap();
         }
         let s = p.solve(123);
         // all-soft instance: everything satisfiable
@@ -359,25 +393,38 @@ mod tests {
     #[test]
     fn unsatisfiable_hard_reported() {
         let mut p = MaxSatProblem::new(1);
-        p.add(Clause::hard(vec![Lit::pos(0)]));
-        p.add(Clause::hard(vec![Lit::neg(0)]));
+        p.add(Clause::hard(vec![Lit::pos(0)])).unwrap();
+        p.add(Clause::hard(vec![Lit::neg(0)])).unwrap();
         let s = p.solve_exact();
         assert!(!s.hard_ok);
     }
 
     #[test]
-    #[should_panic(expected = "empty clause")]
-    fn empty_clause_rejected() {
+    fn malformed_clauses_rejected_as_errors() {
         let mut p = MaxSatProblem::new(1);
-        p.add(Clause::hard(vec![]));
+        assert_eq!(p.add(Clause::hard(vec![])), Err(MaxSatError::EmptyClause));
+        assert_eq!(
+            p.add(Clause::hard(vec![Lit::pos(3)])),
+            Err(MaxSatError::VarOutOfRange { var: 3, n_vars: 1 })
+        );
+        assert_eq!(
+            Clause::soft(vec![Lit::pos(0)], 0.0).unwrap_err(),
+            MaxSatError::NonPositiveWeight
+        );
+        assert_eq!(
+            Clause::soft(vec![Lit::pos(0)], f64::NAN).unwrap_err(),
+            MaxSatError::NonPositiveWeight
+        );
+        // rejected clauses must not have been recorded
+        assert_eq!(p.n_clauses(), 0);
     }
 
     #[test]
     fn weights_bias_solution() {
         // x0 in conflict between soft(+x0, 5) and soft(-x0, 1)
         let mut p = MaxSatProblem::new(1);
-        p.add(Clause::soft(vec![Lit::pos(0)], 5.0));
-        p.add(Clause::soft(vec![Lit::neg(0)], 1.0));
+        p.add(Clause::soft(vec![Lit::pos(0)], 5.0).unwrap()).unwrap();
+        p.add(Clause::soft(vec![Lit::neg(0)], 1.0).unwrap()).unwrap();
         let s = p.solve_exact();
         assert!(s.assignment[0]);
         assert_eq!(s.soft_weight, 5.0);

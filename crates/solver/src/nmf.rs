@@ -81,6 +81,7 @@ pub fn nmf(v: &Matrix, opts: &NmfOptions) -> NmfResult {
     let mut prev_err = f64::INFINITY;
     let mut iterations = 0;
     for it in 0..opts.max_iter {
+        fairlens_budget::checkpoint();
         iterations = it + 1;
         // H ← H ∘ (WᵀV) / (WᵀWH)
         let wt = w.transpose();

@@ -234,6 +234,7 @@ fn run_simplex(
     const TOL: f64 = 1e-9;
     let m = t.len();
     loop {
+        fairlens_budget::checkpoint();
         // reduced costs: r_j = c_j − c_B B⁻¹ A_j (computed from tableau)
         let mut entering = None;
         for j in 0..total {

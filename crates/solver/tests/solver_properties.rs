@@ -22,9 +22,12 @@ fn maxsat_strategy() -> impl Strategy<Value = MaxSatProblem> {
                     .into_iter()
                     .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
                     .collect();
+                // The strategy only emits well-formed clauses (non-empty,
+                // in-range vars, weights in 0.5..5), so construction and
+                // insertion cannot fail.
                 match weight {
-                    Some(w) => p.add(Clause::soft(lits, w)),
-                    None => p.add(Clause::hard(lits)),
+                    Some(w) => p.add(Clause::soft(lits, w).unwrap()).unwrap(),
+                    None => p.add(Clause::hard(lits)).unwrap(),
                 }
             }
             p

@@ -27,6 +27,47 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
         exit 1
     fi
     echo "    ok: $records records"
+
+    echo "==> fault-injection smoke (fig12 quick with panic + hang + flaky)"
+    # One panicking cell, one hanging cell (caught by the 8 s deadline) and
+    # one cell that needs a retry; the run must still exit 0 with every
+    # other cell recorded and the failures in the sidecar.
+    FAIRLENS_FAULT='panic:KamCal^DP:1;hang:Hardt^EO:0;flaky:1:KamKar^DP:2' \
+    cargo run --release -p fairlens-bench --features fault-inject \
+        --bin fig12_stability -- \
+        german --scale quick --threads 2 --retries 2 --cell-timeout 8 \
+        --out "$smoke_out" >/dev/null
+    results="$smoke_out/fig12_stability.jsonl"
+    sidecar="$smoke_out/fig12_stability.failures.jsonl"
+    records="$(wc -l < "$results")"
+    # German quick: 19 approaches (LR + 18 fair variants) over 10 folds =
+    # 190 cells, minus the panicked and the timed-out one.
+    if [[ "$records" -ne 188 ]]; then
+        echo "fault smoke FAILED: expected 188 records, got $records" >&2
+        exit 1
+    fi
+    grep -q '"kind":"panicked"'  "$sidecar" || { echo "fault smoke FAILED: no panicked entry" >&2; exit 1; }
+    grep -q '"kind":"timed_out"' "$sidecar" || { echo "fault smoke FAILED: no timed_out entry" >&2; exit 1; }
+    grep -q '"attempts":2' "$results" || { echo "fault smoke FAILED: flaky cell did not record a retry" >&2; exit 1; }
+    echo "    ok: $records records, $(wc -l < "$sidecar") failures in sidecar"
+
+    echo "==> resume smoke (kill fig12 at 50 %, resume, compare)"
+    # Reference run, then the same run truncated to its first half and
+    # resumed; modulo wall-clock the finalized files must agree.
+    ref="$smoke_out/ref.jsonl"
+    cargo run --release -p fairlens-bench --bin fig12_stability -- \
+        german --scale quick --threads 2 --out "$smoke_out" >/dev/null
+    mv "$smoke_out/fig12_stability.jsonl" "$ref"
+    half="$smoke_out/half.jsonl"
+    head -n 100 "$ref" > "$half"
+    cargo run --release -p fairlens-bench --bin fig12_stability -- \
+        german --scale quick --threads 2 --resume "$half" --out "$smoke_out" >/dev/null
+    strip_times() { sed 's/"fit_ms":[^,]*,//; s/"predict_ms":[^,]*,//' "$1"; }
+    if ! diff <(strip_times "$ref") <(strip_times "$smoke_out/fig12_stability.jsonl") >/dev/null; then
+        echo "resume smoke FAILED: resumed run diverged from the reference" >&2
+        exit 1
+    fi
+    echo "    ok: resumed run matches the reference"
 fi
 
 echo "All checks passed."
