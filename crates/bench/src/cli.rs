@@ -306,15 +306,14 @@ mod tests {
         // Resume from another file: it is copied over the output first.
         let old = dir.join("interrupted.jsonl");
         std::fs::write(&old, "{\"partial\":1}\n").unwrap();
-        let mut resuming = CommonArgs::default();
-        resuming.resume = Some(old.clone());
+        let resuming = CommonArgs { resume: Some(old.clone()), ..Default::default() };
         let policy = resuming.run_policy(&out).unwrap();
         assert_eq!(std::fs::read_to_string(&out).unwrap(), "{\"partial\":1}\n");
         assert_eq!(policy.resume.as_deref(), Some(out.as_path()));
 
         // Resuming from a missing file is an error, not a silent fresh run.
-        let mut missing = CommonArgs::default();
-        missing.resume = Some(dir.join("nope.jsonl"));
+        let missing =
+            CommonArgs { resume: Some(dir.join("nope.jsonl")), ..Default::default() };
         assert!(missing.run_policy(&out).unwrap_err().contains("no such file"));
 
         std::fs::remove_dir_all(&dir).ok();

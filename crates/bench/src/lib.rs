@@ -47,6 +47,10 @@ pub mod record;
 pub mod runner;
 pub mod spec;
 
+/// The shared JSON machinery the records are serialized with, re-exported
+/// so downstream result-file tooling keeps a single import root.
+pub use fairlens_json as json;
+
 pub use cli::CommonArgs;
 pub use record::{
     failures_path, read_failures, read_jsonl, read_jsonl_lossy, write_jsonl, write_jsonl_atomic,
@@ -64,8 +68,9 @@ pub const PAPER_CD_BOUNDS: (f64, f64) = (0.99, 0.01);
 /// `test`: confusion-matrix metrics, DI*, TPR/TNR balance, interventional
 /// CD (re-predicting through the pipeline with `S` flipped, RNG seeded
 /// from `cd_seed ^ 0xCD`) and CRD with the dataset's resolving attributes.
-/// Shared by the runner and the deprecated free functions.
-pub(crate) fn metric_suite(
+/// Shared by the runner, the model exporter and the deprecated free
+/// functions.
+pub fn metric_suite(
     fitted: &FittedPipeline,
     kind: DatasetKind,
     test: &Dataset,

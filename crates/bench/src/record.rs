@@ -16,10 +16,17 @@
 //! parses back as NaN. Metric floats round-trip bit-exactly (shortest
 //! round-trip formatting), which is what lets the determinism test compare
 //! a parallel run against a sequential one byte for byte.
+//!
+//! The JSON value model, parser and float formatting live in the shared
+//! [`fairlens_json`] crate (they are also what the `.flm` model artifacts
+//! and the `fairlens-serve` wire format are built on); this module keeps
+//! the record-specific field layout and file handling.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
+
+use fairlens_json::{escape_into, fmt_f64, parse, Value};
 
 /// JSON keys of the nine normalised metrics, in
 /// [`fairlens_metrics::MetricReport::values`] order.
@@ -108,8 +115,7 @@ impl RunRecord {
     /// Parse one JSON line produced by [`Self::to_json`] (field order is
     /// not significant; unknown fields are rejected).
     pub fn from_json(line: &str) -> Result<Self, String> {
-        let value = Parser::new(line).parse()?;
-        let obj = match value {
+        let obj = match parse(line)? {
             Value::Object(o) => o,
             _ => return Err("record line is not a JSON object".into()),
         };
@@ -275,8 +281,7 @@ impl CellFailure {
 
     /// Parse one JSON line produced by [`Self::to_json`].
     pub fn from_json(line: &str) -> Result<Self, String> {
-        let value = Parser::new(line).parse()?;
-        let obj = match value {
+        let obj = match parse(line)? {
             Value::Object(o) => o,
             _ => return Err("failure line is not a JSON object".into()),
         };
@@ -311,234 +316,9 @@ impl CellFailure {
     }
 }
 
-/// Shortest round-trip float formatting; non-finite → `null`.
-fn fmt_f64(v: f64) -> String {
-    if v.is_finite() {
-        // Rust's Debug for f64 is the shortest string that parses back to
-        // the same bits — exactly the JSON-compatible round-trip we need.
-        format!("{v:?}")
-    } else {
-        "null".into()
-    }
-}
-
 fn push_str_field(s: &mut String, key: &str, value: &str) {
     let _ = write!(s, "\"{key}\":");
-    push_json_string(s, value);
-}
-
-fn push_json_string(s: &mut String, value: &str) {
-    s.push('"');
-    for c in value.chars() {
-        match c {
-            '"' => s.push_str("\\\""),
-            '\\' => s.push_str("\\\\"),
-            '\n' => s.push_str("\\n"),
-            '\r' => s.push_str("\\r"),
-            '\t' => s.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(s, "\\u{:04x}", c as u32);
-            }
-            c => s.push(c),
-        }
-    }
-    s.push('"');
-}
-
-/// Minimal JSON value for the flat record format. Unsigned integers are
-/// kept exact rather than routed through `f64` — the 64-bit cell seeds
-/// exceed `f64`'s 53-bit mantissa.
-enum Value {
-    Null,
-    Integer(u64),
-    Number(f64),
-    String(String),
-    Object(Vec<(String, Value)>),
-}
-
-impl Value {
-    fn into_string(self) -> Result<String, String> {
-        match self {
-            Value::String(s) => Ok(s),
-            _ => Err("expected string".into()),
-        }
-    }
-
-    fn into_f64(self) -> Result<f64, String> {
-        match self {
-            Value::Number(n) => Ok(n),
-            Value::Integer(n) => Ok(n as f64),
-            // a non-finite metric was serialized as null
-            Value::Null => Ok(f64::NAN),
-            _ => Err("expected number".into()),
-        }
-    }
-
-    fn into_u64(self) -> Result<u64, String> {
-        match self {
-            Value::Integer(n) => Ok(n),
-            Value::Number(n) if n >= 0.0 && n.fract() == 0.0 && n < 2f64.powi(53) => Ok(n as u64),
-            _ => Err("expected unsigned integer".into()),
-        }
-    }
-}
-
-/// Recursive-descent parser for the subset of JSON the records use
-/// (objects, strings, numbers, null; no arrays, no bool).
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Self { bytes: s.as_bytes(), pos: 0 }
-    }
-
-    fn parse(mut self) -> Result<Value, String> {
-        let v = self.value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", self.pos));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at offset {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Value, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'"') => Ok(Value::String(self.string()?)),
-            Some(b'n') => {
-                if self.bytes[self.pos..].starts_with(b"null") {
-                    self.pos += 4;
-                    Ok(Value::Null)
-                } else {
-                    Err(format!("bad literal at offset {}", self.pos))
-                }
-            }
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Object(fields));
-                }
-                other => return Err(format!("expected ',' or '}}', got {other:?}")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(
-                                char::from_u32(code).ok_or("invalid \\u escape")?,
-                            );
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // consume one UTF-8 character
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Value, String> {
-        let start = self.pos;
-        while let Some(c) = self.peek() {
-            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| e.to_string())?;
-        // digits-only → exact u64 (cell seeds don't fit f64's mantissa)
-        if text.bytes().all(|b| b.is_ascii_digit()) {
-            if let Ok(n) = text.parse::<u64>() {
-                return Ok(Value::Integer(n));
-            }
-        }
-        text.parse::<f64>()
-            .map(Value::Number)
-            .map_err(|e| format!("bad number {text:?}: {e}"))
-    }
+    escape_into(s, value);
 }
 
 /// Write records as JSON-lines, creating parent directories as needed.

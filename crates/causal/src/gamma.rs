@@ -120,8 +120,8 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // Γ(n) = (n−1)!
-        for (n, f) in [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
-            assert!((ln_gamma(n) - (f as f64).ln()).abs() < 1e-10, "Γ({n})");
+        for (n, f) in [(1.0, 1.0_f64), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
+            assert!((ln_gamma(n) - f.ln()).abs() < 1e-10, "Γ({n})");
         }
     }
 

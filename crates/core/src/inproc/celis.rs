@@ -86,6 +86,14 @@ impl TrainedModel for CelisModel {
     fn predict(&self, data: &Dataset) -> Vec<u8> {
         self.model.predict(&self.encoder.transform(data).matrix)
     }
+
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        self.model.predict_proba(&self.encoder.transform(data).matrix)
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::ModelSnapshot> {
+        Some(crate::snapshot::ModelSnapshot::linear(&self.encoder, &self.model))
+    }
 }
 
 impl InProcessor for Celis {

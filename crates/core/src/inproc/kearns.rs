@@ -183,8 +183,9 @@ struct MixtureModel {
     members: Vec<LogisticRegression>,
 }
 
-impl TrainedModel for MixtureModel {
-    fn predict(&self, data: &Dataset) -> Vec<u8> {
+impl MixtureModel {
+    /// Mean member probability per row (the mixture's score).
+    fn mean_proba(&self, data: &Dataset) -> Vec<f64> {
         let x = self.encoder.transform(data).matrix;
         let n = x.rows();
         let mut acc = vec![0.0f64; n];
@@ -193,9 +194,22 @@ impl TrainedModel for MixtureModel {
                 *a += p;
             }
         }
-        acc.into_iter()
-            .map(|a| u8::from(a / self.members.len() as f64 >= 0.5))
-            .collect()
+        let k = self.members.len() as f64;
+        acc.into_iter().map(|a| a / k).collect()
+    }
+}
+
+impl TrainedModel for MixtureModel {
+    fn predict(&self, data: &Dataset) -> Vec<u8> {
+        self.mean_proba(data).into_iter().map(|p| u8::from(p >= 0.5)).collect()
+    }
+
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        self.mean_proba(data)
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::ModelSnapshot> {
+        Some(crate::snapshot::ModelSnapshot::mixture(&self.encoder, &self.members))
     }
 }
 

@@ -74,6 +74,14 @@ impl TrainedModel for ZhaLeModel {
     fn predict(&self, data: &Dataset) -> Vec<u8> {
         self.model.predict(&self.encoder.transform(data).matrix)
     }
+
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        self.model.predict_proba(&self.encoder.transform(data).matrix)
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::ModelSnapshot> {
+        Some(crate::snapshot::ModelSnapshot::linear(&self.encoder, &self.model))
+    }
 }
 
 /// Adversary features: `[p, p·y, y]` for equalized odds, `[p, 0, 0]` for

@@ -29,6 +29,7 @@
 //! interventional causal-discrimination metric can flip `S` and re-predict
 //! through exactly the same code path the benchmark uses.
 
+pub mod artifact;
 pub mod baseline;
 pub mod error;
 pub mod inproc;
@@ -36,9 +37,14 @@ pub mod pipeline;
 pub mod post;
 pub mod pre;
 pub mod registry;
+pub mod snapshot;
 pub mod validate;
 
+pub use artifact::{AttrSchema, AttrSchemaKind, DataSchema, ModelArtifact};
 pub use error::CoreError;
+pub use snapshot::{
+    AdjusterSnapshot, LinearParams, ModelParams, ModelSnapshot, PipelineSnapshot,
+};
 pub use pipeline::{
     Approach, ApproachKind, FittedPipeline, InProcessor, Postprocessor, PredictionAdjuster,
     Preprocessor, Stage, TrainedModel,

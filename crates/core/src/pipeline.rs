@@ -67,6 +67,23 @@ pub trait Preprocessor: Send + Sync {
 pub trait TrainedModel: Send + Sync {
     /// Hard 0/1 predictions on (possibly counterfactual) data.
     fn predict(&self, data: &Dataset) -> Vec<u8>;
+
+    /// Per-row scores `P(Y = 1 | x) ∈ [0, 1]`.
+    ///
+    /// The default degrades gracefully to the hard labels as 0/1 scores;
+    /// every in-tree model overrides this with its real probabilities.
+    /// Implementations must stay consistent with [`Self::predict`]
+    /// (`predict[i] == 1 ⇔ predict_proba[i] ≥ 0.5` under the model's own
+    /// thresholding).
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        self.predict(data).into_iter().map(f64::from).collect()
+    }
+
+    /// Persistable snapshot of the fitted state, or `None` when the state
+    /// is not expressible in the artifact format (see [`crate::snapshot`]).
+    fn snapshot(&self) -> Option<crate::snapshot::ModelSnapshot> {
+        None
+    }
 }
 
 /// An in-processing approach: constrained training.
@@ -80,6 +97,30 @@ pub trait InProcessor: Send + Sync {
 pub trait PredictionAdjuster: Send + Sync {
     /// Adjust predictions. `probs[i] = P(Y=1 | x_i)` from the base model.
     fn adjust(&self, probs: &[f64], sensitive: &[u8], rng: &mut StdRng) -> Vec<u8>;
+
+    /// Deterministic adjusted scores: `E[Ỹ_i] = Pr(Ỹ_i = 1)` under the
+    /// rule's own randomness. For deterministic rules this is exactly the
+    /// 0/1 adjusted prediction; for randomised rules it is the expected
+    /// adjusted label. Defaults to plain 0.5-thresholding of `probs`.
+    fn scores(&self, probs: &[f64], sensitive: &[u8]) -> Vec<f64> {
+        let _ = sensitive;
+        probs.iter().map(|&p| f64::from(u8::from(p >= 0.5))).collect()
+    }
+
+    /// Persistable snapshot of the fitted rule, or `None` when the rule is
+    /// not expressible in the artifact format (see [`crate::snapshot`]).
+    fn snapshot(&self) -> Option<crate::snapshot::AdjusterSnapshot> {
+        None
+    }
+
+    /// Whether [`Self::adjust`] consumes randomness. Stochastic rules make
+    /// the pipeline's hard predictions depend on the *composition* of the
+    /// batch they are called on (the RNG stream is shared across rows), so
+    /// callers that coalesce rows from different requests — the serving
+    /// batcher — must not merge batches for stochastic pipelines.
+    fn is_stochastic(&self) -> bool {
+        false
+    }
 }
 
 /// A post-processing approach: fits an adjuster from the base classifier's
@@ -157,6 +198,18 @@ impl LrClassifier {
         Ok(Self { encoder, model })
     }
 
+    /// Rebuild a trained classifier from persisted parts (the fitted
+    /// encoder plus logistic parameters) — the restore path of the model
+    /// artifact format.
+    pub fn from_parts(encoder: Encoder, model: LogisticRegression) -> Self {
+        Self { encoder, model }
+    }
+
+    /// The fitted feature encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
     /// `P(Y = 1 | x)` on a dataset.
     pub fn proba(&self, data: &Dataset) -> Vec<f64> {
         self.model.predict_proba(&self.encoder.transform(data).matrix)
@@ -176,6 +229,14 @@ impl LrClassifier {
 impl TrainedModel for LrClassifier {
     fn predict(&self, data: &Dataset) -> Vec<u8> {
         self.model.predict(&self.encoder.transform(data).matrix)
+    }
+
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        self.proba(data)
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::ModelSnapshot> {
+        Some(crate::snapshot::ModelSnapshot::linear(&self.encoder, &self.model))
     }
 }
 
@@ -206,6 +267,32 @@ impl FittedPipeline {
                 let mut rng = StdRng::seed_from_u64(*seed ^ data.n_rows() as u64);
                 adjuster.adjust(&probs, data.sensitive(), &mut rng)
             }
+        }
+    }
+
+    /// Per-row scores `P(Y = 1 | x) ∈ [0, 1]`.
+    ///
+    /// For plain predictors this is the model's probability; for adjusted
+    /// pipelines it is the rule's deterministic score (the expected
+    /// adjusted label under the rule's own randomness) — so, unlike
+    /// [`Self::predict`], it never consumes randomness.
+    pub fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        match self {
+            FittedPipeline::Model(m) => m.predict_proba(data),
+            FittedPipeline::Adjusted { base, adjuster, .. } => {
+                adjuster.scores(&base.proba(data), data.sensitive())
+            }
+        }
+    }
+
+    /// Whether [`Self::predict`] draws randomness that couples rows within
+    /// a call (see [`PredictionAdjuster::is_stochastic`]). `false` means
+    /// per-row predictions are independent of batch composition, so a
+    /// serving layer may coalesce rows from different requests.
+    pub fn is_stochastic(&self) -> bool {
+        match self {
+            FittedPipeline::Model(_) => false,
+            FittedPipeline::Adjusted { adjuster, .. } => adjuster.is_stochastic(),
         }
     }
 }

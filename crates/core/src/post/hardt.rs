@@ -43,6 +43,23 @@ impl PredictionAdjuster for HardtRule {
             })
             .collect()
     }
+
+    fn scores(&self, probs: &[f64], sensitive: &[u8]) -> Vec<f64> {
+        // Pr(Ỹ = 1) is exactly the mixing probability of the (s, ŷ) cell.
+        probs
+            .iter()
+            .zip(sensitive.iter())
+            .map(|(&prob, &s)| self.p[s as usize][usize::from(prob >= 0.5)])
+            .collect()
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::AdjusterSnapshot> {
+        Some(crate::snapshot::AdjusterSnapshot::Hardt { p: self.p })
+    }
+
+    fn is_stochastic(&self) -> bool {
+        true
+    }
 }
 
 impl Hardt {

@@ -52,6 +52,25 @@ impl PredictionAdjuster for KamKarRule {
             })
             .collect()
     }
+
+    fn scores(&self, probs: &[f64], sensitive: &[u8]) -> Vec<f64> {
+        // The rule is deterministic, so the score is the adjusted label.
+        probs
+            .iter()
+            .zip(sensitive.iter())
+            .map(|(&p, &s)| {
+                if p.max(1.0 - p) < self.theta {
+                    f64::from(1 - s)
+                } else {
+                    f64::from(u8::from(p >= 0.5))
+                }
+            })
+            .collect()
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::AdjusterSnapshot> {
+        Some(crate::snapshot::AdjusterSnapshot::KamKar { theta: self.theta })
+    }
 }
 
 impl Postprocessor for KamKar {
@@ -144,7 +163,7 @@ mod tests {
         let probs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.9 } else { 0.1 }).collect();
         let s: Vec<u8> = (0..100).map(|i| ((i / 2) % 2) as u8).collect();
         let mut rng = StdRng::seed_from_u64(4);
-        let rule = KamKar::default().fit(&probs, &vec![0; 100], &s, &mut rng).unwrap();
+        let rule = KamKar::default().fit(&probs, &[0; 100], &s, &mut rng).unwrap();
         let adjusted = rule.adjust(&probs, &s, &mut rng);
         let plain: Vec<u8> = probs.iter().map(|&p| u8::from(p >= 0.5)).collect();
         assert_eq!(adjusted, plain);

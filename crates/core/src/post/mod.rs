@@ -5,6 +5,6 @@ pub mod hardt;
 pub mod kamkar;
 pub mod pleiss;
 
-pub use hardt::Hardt;
-pub use kamkar::KamKar;
-pub use pleiss::{Pleiss, PleissTarget};
+pub use hardt::{Hardt, HardtRule};
+pub use kamkar::{KamKar, KamKarRule};
+pub use pleiss::{Pleiss, PleissRule, PleissTarget};

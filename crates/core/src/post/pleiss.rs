@@ -76,6 +76,35 @@ impl PredictionAdjuster for PleissRule {
             })
             .collect()
     }
+
+    fn scores(&self, probs: &[f64], sensitive: &[u8]) -> Vec<f64> {
+        // Favoured tuples mix the thresholded prediction with a base-rate
+        // draw: Pr(Ỹ = 1) = (1 − α)·1[p ≥ 0.5] + α·μ.
+        probs
+            .iter()
+            .zip(sensitive.iter())
+            .map(|(&p, &s)| {
+                let hard = f64::from(u8::from(p >= 0.5));
+                if s == self.favoured {
+                    (1.0 - self.alpha) * hard + self.alpha * self.mu
+                } else {
+                    hard
+                }
+            })
+            .collect()
+    }
+
+    fn snapshot(&self) -> Option<crate::snapshot::AdjusterSnapshot> {
+        Some(crate::snapshot::AdjusterSnapshot::Pleiss {
+            favoured: self.favoured,
+            alpha: self.alpha,
+            mu: self.mu,
+        })
+    }
+
+    fn is_stochastic(&self) -> bool {
+        true
+    }
 }
 
 impl Postprocessor for Pleiss {

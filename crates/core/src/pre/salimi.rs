@@ -552,8 +552,8 @@ mod tests {
         for a in 0..2u32 {
             let mut pos = [0usize; 2];
             let mut tot = [0usize; 2];
-            for r in 0..d.n_rows() {
-                if codes[r] != a {
+            for (r, &code) in codes.iter().enumerate() {
+                if code != a {
                     continue;
                 }
                 let s = d.sensitive()[r] as usize;

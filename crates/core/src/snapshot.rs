@@ -1,0 +1,587 @@
+//! Persistable snapshots of fitted pipelines.
+//!
+//! Every trained pipeline in the workspace bottoms out in a small set of
+//! concrete states: a fitted [`Encoder`] plus logistic parameters (the
+//! baseline, every pre-processing pipeline, and the linear in-processing
+//! models), a mixture of logistic members (Kearns), and the three fitted
+//! post-processing rules (Hardt's mixing matrix, Pleiss's withholding
+//! rule, Kam-Kar's confidence threshold). The snapshot types here capture
+//! exactly that state, convert it to/from [`fairlens_json::Value`] trees
+//! with bit-exact floats, and [`PipelineSnapshot::restore`] rebuilds a
+//! [`FittedPipeline`] whose `predict` / `predict_proba` reproduce the
+//! original pipeline byte for byte.
+//!
+//! The traits' `snapshot` hooks ([`crate::TrainedModel::snapshot`],
+//! [`crate::PredictionAdjuster::snapshot`]) return `None` for states the
+//! format cannot express; [`FittedPipeline::snapshot`] surfaces that as
+//! [`CoreError::Unsupported`] so callers (the `export_models` exporter)
+//! can report it per cell instead of panicking.
+
+use fairlens_frame::{AttrEncoding, Dataset, Encoder};
+use fairlens_json::{object, Value};
+use fairlens_model::LogisticRegression;
+
+use crate::error::CoreError;
+use crate::pipeline::{FittedPipeline, LrClassifier, PredictionAdjuster, TrainedModel};
+use crate::post::{HardtRule, KamKarRule, PleissRule};
+
+/// Fitted logistic parameters: `P(Y=1|x) = σ(w·x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearParams {
+    /// Feature weights `w` (one per encoded column).
+    pub weights: Vec<f64>,
+    /// Intercept `b`.
+    pub intercept: f64,
+}
+
+impl LinearParams {
+    /// Capture a fitted regression model.
+    pub fn of(model: &LogisticRegression) -> Self {
+        Self { weights: model.weights().to_vec(), intercept: model.intercept() }
+    }
+
+    /// Rebuild the regression model.
+    pub fn to_model(&self) -> LogisticRegression {
+        LogisticRegression::from_params(self.weights.clone(), self.intercept)
+    }
+
+    fn to_value(&self) -> Value {
+        object([
+            ("weights", Value::from_f64s(self.weights.iter().copied())),
+            ("intercept", Value::from_f64(self.intercept)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let weights = field(v, "weights")?.clone().into_f64s()?;
+        let intercept = field(v, "intercept")?.clone().into_f64()?;
+        if weights.iter().any(|w| !w.is_finite()) || !intercept.is_finite() {
+            return Err("non-finite linear parameters".into());
+        }
+        Ok(Self { weights, intercept })
+    }
+}
+
+/// The parameter family of a snapshotted predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelParams {
+    /// A single logistic model.
+    Linear(LinearParams),
+    /// An averaged mixture of logistic members (Kearns's learner). The
+    /// prediction averages member probabilities and thresholds at 0.5, in
+    /// member order — the restore path replays the identical float
+    /// reduction so results stay bit-exact.
+    Mixture(Vec<LinearParams>),
+}
+
+/// A snapshotted predictor: fitted feature encoding + parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    /// The fitted (training-data) feature encoder.
+    pub encoder: Encoder,
+    /// The fitted parameters.
+    pub params: ModelParams,
+}
+
+impl ModelSnapshot {
+    /// Snapshot a single-logistic predictor.
+    pub fn linear(encoder: &Encoder, model: &LogisticRegression) -> Self {
+        Self { encoder: encoder.clone(), params: ModelParams::Linear(LinearParams::of(model)) }
+    }
+
+    /// Snapshot a mixture-of-logistics predictor.
+    pub fn mixture<'a>(
+        encoder: &Encoder,
+        members: impl IntoIterator<Item = &'a LogisticRegression>,
+    ) -> Self {
+        Self {
+            encoder: encoder.clone(),
+            params: ModelParams::Mixture(members.into_iter().map(LinearParams::of).collect()),
+        }
+    }
+
+    /// Rebuild a live predictor from the snapshot.
+    pub fn restore(&self) -> Box<dyn TrainedModel> {
+        match &self.params {
+            ModelParams::Linear(p) => Box::new(RestoredLinear {
+                snapshot: self.clone(),
+                model: p.to_model(),
+            }),
+            ModelParams::Mixture(ps) => Box::new(RestoredMixture {
+                snapshot: self.clone(),
+                members: ps.iter().map(LinearParams::to_model).collect(),
+            }),
+        }
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_value(&self) -> Value {
+        let params = match &self.params {
+            ModelParams::Linear(p) => ("linear", p.to_value()),
+            ModelParams::Mixture(ps) => (
+                "mixture",
+                Value::Array(ps.iter().map(LinearParams::to_value).collect()),
+            ),
+        };
+        object([
+            ("encoder", encoder_to_value(&self.encoder)),
+            ("kind", Value::String(params.0.into())),
+            ("params", params.1),
+        ])
+    }
+
+    /// Parse back from a JSON value.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let encoder = encoder_from_value(field(v, "encoder")?)?;
+        let kind = field(v, "kind")?.as_str().ok_or("model kind must be a string")?;
+        let params = field(v, "params")?;
+        let params = match kind {
+            "linear" => ModelParams::Linear(LinearParams::from_value(params)?),
+            "mixture" => ModelParams::Mixture(
+                params
+                    .clone()
+                    .into_array()?
+                    .iter()
+                    .map(LinearParams::from_value)
+                    .collect::<Result<_, _>>()?,
+            ),
+            other => return Err(format!("unknown model kind {other:?}")),
+        };
+        let width = encoder.width();
+        let widths_ok = match &params {
+            ModelParams::Linear(p) => p.weights.len() == width,
+            ModelParams::Mixture(ps) => {
+                !ps.is_empty() && ps.iter().all(|p| p.weights.len() == width)
+            }
+        };
+        if !widths_ok {
+            return Err(format!("parameter width does not match encoder width {width}"));
+        }
+        Ok(Self { encoder, params })
+    }
+}
+
+/// A predictor restored from a [`ModelSnapshot`] (single logistic model).
+struct RestoredLinear {
+    snapshot: ModelSnapshot,
+    model: LogisticRegression,
+}
+
+impl TrainedModel for RestoredLinear {
+    fn predict(&self, data: &Dataset) -> Vec<u8> {
+        self.model.predict(&self.snapshot.encoder.transform(data).matrix)
+    }
+
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        self.model.predict_proba(&self.snapshot.encoder.transform(data).matrix)
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(self.snapshot.clone())
+    }
+}
+
+/// A predictor restored from a [`ModelSnapshot`] (mixture). The member
+/// reduction mirrors Kearns's `MixtureModel` exactly: accumulate member
+/// probabilities in order, divide once, threshold at 0.5.
+struct RestoredMixture {
+    snapshot: ModelSnapshot,
+    members: Vec<LogisticRegression>,
+}
+
+impl RestoredMixture {
+    fn mean_proba(&self, data: &Dataset) -> Vec<f64> {
+        let x = self.snapshot.encoder.transform(data).matrix;
+        let mut acc = vec![0.0f64; x.rows()];
+        for m in &self.members {
+            for (a, p) in acc.iter_mut().zip(m.predict_proba(&x)) {
+                *a += p;
+            }
+        }
+        let k = self.members.len() as f64;
+        acc.into_iter().map(|a| a / k).collect()
+    }
+}
+
+impl TrainedModel for RestoredMixture {
+    fn predict(&self, data: &Dataset) -> Vec<u8> {
+        self.mean_proba(data).into_iter().map(|p| u8::from(p >= 0.5)).collect()
+    }
+
+    fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
+        self.mean_proba(data)
+    }
+
+    fn snapshot(&self) -> Option<ModelSnapshot> {
+        Some(self.snapshot.clone())
+    }
+}
+
+/// A snapshotted post-processing rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdjusterSnapshot {
+    /// Hardt's derived predictor `p[s][ŷ] = Pr(Ỹ=1 | Ŷ=ŷ, S=s)`.
+    Hardt {
+        /// The four mixing probabilities.
+        p: [[f64; 2]; 2],
+    },
+    /// Pleiss's calibration-preserving withholding rule.
+    Pleiss {
+        /// The group whose predictions are withheld.
+        favoured: u8,
+        /// Withholding probability.
+        alpha: f64,
+        /// Base rate used for withheld draws.
+        mu: f64,
+    },
+    /// Kam-Kar's reject-option threshold.
+    KamKar {
+        /// Critical-region confidence threshold.
+        theta: f64,
+    },
+}
+
+impl AdjusterSnapshot {
+    /// Rebuild the live adjustment rule.
+    pub fn restore(&self) -> Box<dyn PredictionAdjuster> {
+        match *self {
+            AdjusterSnapshot::Hardt { p } => Box::new(HardtRule { p }),
+            AdjusterSnapshot::Pleiss { favoured, alpha, mu } => {
+                Box::new(PleissRule { favoured, alpha, mu })
+            }
+            AdjusterSnapshot::KamKar { theta } => Box::new(KamKarRule { theta }),
+        }
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_value(&self) -> Value {
+        match *self {
+            AdjusterSnapshot::Hardt { p } => object([
+                ("kind", Value::String("hardt".into())),
+                (
+                    "p",
+                    Value::Array(
+                        p.iter().map(|row| Value::from_f64s(row.iter().copied())).collect(),
+                    ),
+                ),
+            ]),
+            AdjusterSnapshot::Pleiss { favoured, alpha, mu } => object([
+                ("kind", Value::String("pleiss".into())),
+                ("favoured", Value::Integer(favoured as u64)),
+                ("alpha", Value::from_f64(alpha)),
+                ("mu", Value::from_f64(mu)),
+            ]),
+            AdjusterSnapshot::KamKar { theta } => object([
+                ("kind", Value::String("kamkar".into())),
+                ("theta", Value::from_f64(theta)),
+            ]),
+        }
+    }
+
+    /// Parse back from a JSON value.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let kind = field(v, "kind")?.as_str().ok_or("adjuster kind must be a string")?;
+        match kind {
+            "hardt" => {
+                let rows = field(v, "p")?.clone().into_array()?;
+                if rows.len() != 2 {
+                    return Err("hardt rule needs a 2×2 matrix".into());
+                }
+                let mut p = [[0.0f64; 2]; 2];
+                for (s, row) in rows.into_iter().enumerate() {
+                    let row = row.into_f64s()?;
+                    if row.len() != 2 {
+                        return Err("hardt rule needs a 2×2 matrix".into());
+                    }
+                    p[s] = [row[0], row[1]];
+                }
+                Ok(AdjusterSnapshot::Hardt { p })
+            }
+            "pleiss" => {
+                let favoured = field(v, "favoured")?.clone().into_u64()?;
+                if favoured > 1 {
+                    return Err("pleiss favoured group must be 0 or 1".into());
+                }
+                Ok(AdjusterSnapshot::Pleiss {
+                    favoured: favoured as u8,
+                    alpha: field(v, "alpha")?.clone().into_f64()?,
+                    mu: field(v, "mu")?.clone().into_f64()?,
+                })
+            }
+            "kamkar" => Ok(AdjusterSnapshot::KamKar {
+                theta: field(v, "theta")?.clone().into_f64()?,
+            }),
+            other => Err(format!("unknown adjuster kind {other:?}")),
+        }
+    }
+}
+
+/// A snapshotted end-to-end pipeline — the persistable mirror of
+/// [`FittedPipeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineSnapshot {
+    /// Baseline / pre / in: a plain predictor.
+    Model(ModelSnapshot),
+    /// Post: base classifier + adjustment rule + the prediction-time seed.
+    Adjusted {
+        /// The fairness-unaware base classifier.
+        base: ModelSnapshot,
+        /// The fitted adjustment rule.
+        adjuster: AdjusterSnapshot,
+        /// Seed for prediction-time randomness (kept so a restored
+        /// pipeline replays the exact random draws of the original).
+        seed: u64,
+    },
+}
+
+impl PipelineSnapshot {
+    /// Rebuild a live pipeline that predicts byte-identically to the
+    /// pipeline this snapshot was taken from.
+    pub fn restore(&self) -> FittedPipeline {
+        match self {
+            PipelineSnapshot::Model(m) => FittedPipeline::Model(m.restore()),
+            PipelineSnapshot::Adjusted { base, adjuster, seed } => {
+                let ModelParams::Linear(p) = &base.params else {
+                    unreachable!("adjusted snapshots always carry a linear base");
+                };
+                FittedPipeline::Adjusted {
+                    base: LrClassifier::from_parts(base.encoder.clone(), p.to_model()),
+                    adjuster: adjuster.restore(),
+                    seed: *seed,
+                }
+            }
+        }
+    }
+
+    /// Serialize to a JSON value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            PipelineSnapshot::Model(m) => object([
+                ("kind", Value::String("model".into())),
+                ("model", m.to_value()),
+            ]),
+            PipelineSnapshot::Adjusted { base, adjuster, seed } => object([
+                ("kind", Value::String("adjusted".into())),
+                ("base", base.to_value()),
+                ("adjuster", adjuster.to_value()),
+                ("seed", Value::Integer(*seed)),
+            ]),
+        }
+    }
+
+    /// Parse back from a JSON value.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let kind = field(v, "kind")?.as_str().ok_or("pipeline kind must be a string")?;
+        match kind {
+            "model" => Ok(PipelineSnapshot::Model(ModelSnapshot::from_value(field(
+                v, "model",
+            )?)?)),
+            "adjusted" => {
+                let base = ModelSnapshot::from_value(field(v, "base")?)?;
+                if !matches!(base.params, ModelParams::Linear(_)) {
+                    return Err("adjusted pipeline base must be linear".into());
+                }
+                Ok(PipelineSnapshot::Adjusted {
+                    base,
+                    adjuster: AdjusterSnapshot::from_value(field(v, "adjuster")?)?,
+                    seed: field(v, "seed")?.clone().into_u64()?,
+                })
+            }
+            other => Err(format!("unknown pipeline kind {other:?}")),
+        }
+    }
+}
+
+impl FittedPipeline {
+    /// Snapshot this pipeline for persistence.
+    ///
+    /// Fails with [`CoreError::Unsupported`] if a component's fitted state
+    /// is not expressible in the artifact format (no in-tree approach
+    /// produces such a state; the hook exists for external `TrainedModel`
+    /// implementations).
+    pub fn snapshot(&self) -> Result<PipelineSnapshot, CoreError> {
+        match self {
+            FittedPipeline::Model(m) => m.snapshot().map(PipelineSnapshot::Model).ok_or_else(
+                || CoreError::Unsupported("model state cannot be snapshotted".into()),
+            ),
+            FittedPipeline::Adjusted { base, adjuster, seed } => {
+                let base_snapshot = TrainedModel::snapshot(base).ok_or_else(|| {
+                    CoreError::Unsupported("base classifier cannot be snapshotted".into())
+                })?;
+                let adjuster = adjuster.snapshot().ok_or_else(|| {
+                    CoreError::Unsupported("adjustment rule cannot be snapshotted".into())
+                })?;
+                Ok(PipelineSnapshot::Adjusted { base: base_snapshot, adjuster, seed: *seed })
+            }
+        }
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn encoder_to_value(encoder: &Encoder) -> Value {
+    let attrs = encoder
+        .attr_encodings()
+        .iter()
+        .map(|a| match a {
+            AttrEncoding::Numeric { mean, std } => object([
+                ("kind", Value::String("numeric".into())),
+                ("mean", Value::from_f64(*mean)),
+                ("std", Value::from_f64(*std)),
+            ]),
+            AttrEncoding::OneHot { levels } => object([
+                ("kind", Value::String("one_hot".into())),
+                ("levels", Value::Integer(*levels as u64)),
+            ]),
+        })
+        .collect();
+    object([
+        ("include_sensitive", Value::Bool(encoder.includes_sensitive())),
+        ("attrs", Value::Array(attrs)),
+        (
+            "names",
+            Value::Array(
+                encoder.feature_names().iter().map(|n| Value::String(n.clone())).collect(),
+            ),
+        ),
+    ])
+}
+
+fn encoder_from_value(v: &Value) -> Result<Encoder, String> {
+    let include_sensitive = field(v, "include_sensitive")?.clone().into_bool()?;
+    let attrs = field(v, "attrs")?
+        .clone()
+        .into_array()?
+        .iter()
+        .map(|a| {
+            let kind = field(a, "kind")?.as_str().ok_or("encoding kind must be a string")?;
+            match kind {
+                "numeric" => Ok(AttrEncoding::Numeric {
+                    mean: field(a, "mean")?.clone().into_f64()?,
+                    std: field(a, "std")?.clone().into_f64()?,
+                }),
+                "one_hot" => Ok(AttrEncoding::OneHot {
+                    levels: field(a, "levels")?.clone().into_u64()? as usize,
+                }),
+                other => Err(format!("unknown encoding kind {other:?}")),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let names = field(v, "names")?
+        .clone()
+        .into_array()?
+        .into_iter()
+        .map(Value::into_string)
+        .collect::<Result<Vec<_>, _>>()?;
+    Encoder::from_parts(attrs, include_sensitive, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_approach;
+
+    fn toy(n: usize) -> Dataset {
+        let mut x = Vec::new();
+        let mut job = Vec::new();
+        let mut s = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let xi = (i % 10) as f64;
+            let si = (i % 2) as u8;
+            x.push(xi);
+            job.push((i % 3) as u32);
+            s.push(si);
+            y.push(u8::from(xi + 3.0 * si as f64 > 6.0));
+        }
+        Dataset::builder("toy")
+            .numeric("x", x)
+            .categorical("job", job, vec!["a".into(), "b".into(), "c".into()])
+            .sensitive("s", s)
+            .labels("y", y)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn baseline_snapshot_restores_bit_exactly() {
+        let d = toy(300);
+        let fitted = baseline_approach().fit(&d, 7).unwrap();
+        let snap = fitted.snapshot().unwrap();
+        let text = snap.to_value().to_json();
+        let back = PipelineSnapshot::from_value(&fairlens_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        let restored = back.restore();
+        assert_eq!(restored.predict(&d), fitted.predict(&d));
+        for (a, b) in restored.predict_proba(&d).iter().zip(fitted.predict_proba(&d)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn adjuster_snapshots_round_trip() {
+        for snap in [
+            AdjusterSnapshot::Hardt { p: [[0.25, 1.0], [0.0, 0.75]] },
+            AdjusterSnapshot::Pleiss { favoured: 1, alpha: 0.3, mu: 0.61 },
+            AdjusterSnapshot::KamKar { theta: 0.7 },
+        ] {
+            let text = snap.to_value().to_json();
+            let back =
+                AdjusterSnapshot::from_value(&fairlens_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, snap);
+            let _rule = back.restore();
+        }
+    }
+
+    #[test]
+    fn mixture_round_trips_and_matches_reduction() {
+        let d = toy(120);
+        let enc = Encoder::fit(&d, true);
+        let members = vec![
+            LogisticRegression::from_params(vec![0.2; enc.width()], -0.1),
+            LogisticRegression::from_params(vec![-0.4; enc.width()], 0.3),
+            LogisticRegression::from_params(vec![0.05; enc.width()], 0.0),
+        ];
+        let snap = ModelSnapshot::mixture(&enc, &members);
+        let text = snap.to_value().to_json();
+        let back = ModelSnapshot::from_value(&fairlens_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, snap);
+        let restored = back.restore();
+        // reference reduction: accumulate then divide, like Kearns
+        let x = enc.transform(&d).matrix;
+        let mut acc = vec![0.0f64; d.n_rows()];
+        for m in &members {
+            for (a, p) in acc.iter_mut().zip(m.predict_proba(&x)) {
+                *a += p;
+            }
+        }
+        let expect: Vec<u8> =
+            acc.iter().map(|a| u8::from(a / members.len() as f64 >= 0.5)).collect();
+        assert_eq!(restored.predict(&d), expect);
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected() {
+        for bad in [
+            "{\"kind\":\"model\"}",
+            "{\"kind\":\"warp\",\"model\":{}}",
+            "{\"kind\":\"adjusted\",\"base\":{},\"adjuster\":{},\"seed\":1}",
+        ] {
+            let v = fairlens_json::parse(bad).unwrap();
+            assert!(PipelineSnapshot::from_value(&v).is_err(), "{bad}");
+        }
+        // width mismatch between encoder and parameters
+        let d = toy(50);
+        let enc = Encoder::fit(&d, true);
+        let snap = ModelSnapshot::linear(
+            &enc,
+            &LogisticRegression::from_params(vec![0.0; enc.width()], 0.0),
+        );
+        let mut text = snap.to_value().to_json();
+        text = text.replacen("\"weights\":[", "\"weights\":[9.0,", 1);
+        let v = fairlens_json::parse(&text).unwrap();
+        assert!(ModelSnapshot::from_value(&v).is_err());
+    }
+}

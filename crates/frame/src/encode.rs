@@ -17,17 +17,37 @@ use fairlens_linalg::Matrix;
 use crate::column::Column;
 use crate::dataset::Dataset;
 
-/// Per-attribute fitted encoding state.
-#[derive(Debug, Clone)]
-enum AttrEncoding {
+/// Per-attribute fitted encoding state. Public so the model-persistence
+/// layer can snapshot a fitted encoder to disk and rebuild it with
+/// [`Encoder::from_parts`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrEncoding {
     /// z-standardisation with the training mean and std (std clamped ≥ 1e-9).
-    Numeric { mean: f64, std: f64 },
+    Numeric {
+        /// Training-set mean.
+        mean: f64,
+        /// Training-set standard deviation (clamped ≥ 1e-9 at fit time).
+        std: f64,
+    },
     /// One-hot over `levels` indicator columns.
-    OneHot { levels: usize },
+    OneHot {
+        /// Number of categorical levels (= indicator columns).
+        levels: usize,
+    },
+}
+
+impl AttrEncoding {
+    /// Encoded columns this attribute occupies.
+    fn width(&self) -> usize {
+        match self {
+            AttrEncoding::Numeric { .. } => 1,
+            AttrEncoding::OneHot { levels } => *levels,
+        }
+    }
 }
 
 /// A fitted feature encoder (see module docs).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Encoder {
     attrs: Vec<AttrEncoding>,
     include_sensitive: bool,
@@ -85,6 +105,48 @@ impl Encoder {
             None
         };
         Encoder { attrs, include_sensitive, width, names, sensitive_index }
+    }
+
+    /// Rebuild a fitted encoder from its persisted state (the inverse of
+    /// reading [`Self::attr_encodings`] / [`Self::feature_names`] /
+    /// [`Self::includes_sensitive`]). `names` must list one name per
+    /// encoded column, including the trailing sensitive column when
+    /// `include_sensitive` is set — exactly what a fitted encoder reports.
+    pub fn from_parts(
+        attrs: Vec<AttrEncoding>,
+        include_sensitive: bool,
+        names: Vec<String>,
+    ) -> Result<Encoder, String> {
+        let mut width: usize = attrs.iter().map(AttrEncoding::width).sum();
+        let sensitive_index = if include_sensitive {
+            width += 1;
+            Some(width - 1)
+        } else {
+            None
+        };
+        if names.len() != width {
+            return Err(format!(
+                "encoder state lists {} column names for width {width}",
+                names.len()
+            ));
+        }
+        if let Some(AttrEncoding::OneHot { levels: 0 }) =
+            attrs.iter().find(|a| matches!(a, AttrEncoding::OneHot { levels: 0 }))
+        {
+            return Err("one-hot encoding with zero levels".into());
+        }
+        Ok(Encoder { attrs, include_sensitive, width, names, sensitive_index })
+    }
+
+    /// The per-attribute fitted encoding state, in attribute order.
+    pub fn attr_encodings(&self) -> &[AttrEncoding] {
+        &self.attrs
+    }
+
+    /// Name of every encoded feature column (one-hot levels expanded;
+    /// includes the trailing sensitive column when encoded).
+    pub fn feature_names(&self) -> &[String] {
+        &self.names
     }
 
     /// Number of encoded feature columns.
@@ -230,6 +292,31 @@ mod tests {
         // uses *train* mean 35, std from train — row 0 age 20
         let train_std = fairlens_linalg::vector::stddev(&[20.0, 30.0, 40.0, 50.0]);
         assert!((f.matrix.get(0, 0) - (20.0 - 35.0) / train_std).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_parts_round_trips_fitted_state() {
+        let d = toy();
+        for include in [false, true] {
+            let enc = Encoder::fit(&d, include);
+            let rebuilt = Encoder::from_parts(
+                enc.attr_encodings().to_vec(),
+                enc.includes_sensitive(),
+                enc.feature_names().to_vec(),
+            )
+            .unwrap();
+            assert_eq!(rebuilt.width(), enc.width());
+            assert_eq!(rebuilt.sensitive_index(), enc.sensitive_index());
+            assert_eq!(rebuilt.attr_encodings(), enc.attr_encodings());
+            assert!(rebuilt.transform(&d).matrix == enc.transform(&d).matrix);
+        }
+        // one name too few for the declared width
+        assert!(Encoder::from_parts(
+            vec![AttrEncoding::Numeric { mean: 0.0, std: 1.0 }],
+            true,
+            vec!["x".into()],
+        )
+        .is_err());
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub use column::{Column, ColumnKind};
 pub use csv::{read_csv_file, read_csv_str, write_csv_str, CsvError, CsvOptions};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use discretize::{DiscreteView, Discretizer};
-pub use encode::{EncodedFeatures, Encoder};
+pub use encode::{AttrEncoding, EncodedFeatures, Encoder};
 pub use error::FrameError;

@@ -1,0 +1,525 @@
+//! # fairlens-json
+//!
+//! The workspace's shared JSON machinery (there is no serde): a small
+//! [`Value`] model, a recursive-descent [`parse`] function and a
+//! deterministic serializer ([`Value::to_json`]).
+//!
+//! Originally private to `fairlens-bench`'s JSON-lines result records, the
+//! model was lifted into this crate when the `.flm` model-artifact format
+//! and the `fairlens-serve` request/response bodies started needing the
+//! same guarantees:
+//!
+//! * **Bit-exact floats.** Finite `f64`s serialize with Rust's shortest
+//!   round-trip formatting ([`fmt_f64`]) and parse back to identical bits;
+//!   non-finite values serialize as `null` and parse back as NaN. This is
+//!   what lets a saved model artifact predict byte-identically to the
+//!   in-memory pipeline it snapshotted, and a parallel benchmark run diff
+//!   cleanly against a sequential one.
+//! * **Exact u64 integers.** Digits-only numbers are kept as [`Value::Integer`]
+//!   rather than routed through `f64` — 64-bit experiment seeds exceed the
+//!   53-bit mantissa.
+//! * **Deterministic output.** Object fields serialize in insertion order
+//!   (the model stores them as a `Vec`, not a map), so serializing the same
+//!   value twice yields the same bytes.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order; integers are exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also the wire form of non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A digits-only number, kept exact (seeds need all 64 bits).
+    Integer(u64),
+    /// Any other number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as an ordered field list.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Serialize to compact JSON (no whitespace). Deterministic: the same
+    /// value always yields the same bytes.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, s: &mut String) {
+        match self {
+            Value::Null => s.push_str("null"),
+            Value::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+            Value::Integer(n) => {
+                let _ = write!(s, "{n}");
+            }
+            Value::Number(v) => s.push_str(&fmt_f64(*v)),
+            Value::String(v) => escape_into(s, v),
+            Value::Array(items) => {
+                s.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    item.write(s);
+                }
+                s.push(']');
+            }
+            Value::Object(fields) => {
+                s.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    escape_into(s, key);
+                    s.push(':');
+                    value.write(s);
+                }
+                s.push('}');
+            }
+        }
+    }
+
+    /// A float value with the serializer's non-finite convention applied
+    /// (NaN / ±∞ become [`Value::Null`]).
+    pub fn from_f64(v: f64) -> Value {
+        if v.is_finite() {
+            Value::Number(v)
+        } else {
+            Value::Null
+        }
+    }
+
+    /// An array of floats (non-finite entries become `null`).
+    pub fn from_f64s(values: impl IntoIterator<Item = f64>) -> Value {
+        Value::Array(values.into_iter().map(Value::from_f64).collect())
+    }
+
+    /// Consume as a string.
+    pub fn into_string(self) -> Result<String, String> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(format!("expected string, got {}", other.kind_name())),
+        }
+    }
+
+    /// Consume as a float. `null` parses as NaN (the non-finite wire form);
+    /// exact integers convert.
+    pub fn into_f64(self) -> Result<f64, String> {
+        match self {
+            Value::Number(n) => Ok(n),
+            Value::Integer(n) => Ok(n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(format!("expected number, got {}", other.kind_name())),
+        }
+    }
+
+    /// Consume as an exact unsigned integer (accepts integral floats below
+    /// 2⁵³ for tolerance with hand-written inputs).
+    pub fn into_u64(self) -> Result<u64, String> {
+        match self {
+            Value::Integer(n) => Ok(n),
+            Value::Number(n) if n >= 0.0 && n.fract() == 0.0 && n < 2f64.powi(53) => Ok(n as u64),
+            other => Err(format!("expected unsigned integer, got {}", other.kind_name())),
+        }
+    }
+
+    /// Consume as a bool.
+    pub fn into_bool(self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            other => Err(format!("expected bool, got {}", other.kind_name())),
+        }
+    }
+
+    /// Consume as an array.
+    pub fn into_array(self) -> Result<Vec<Value>, String> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(format!("expected array, got {}", other.kind_name())),
+        }
+    }
+
+    /// Consume as an object field list.
+    pub fn into_object(self) -> Result<Vec<(String, Value)>, String> {
+        match self {
+            Value::Object(fields) => Ok(fields),
+            other => Err(format!("expected object, got {}", other.kind_name())),
+        }
+    }
+
+    /// Consume as an array of floats (`null` entries → NaN).
+    pub fn into_f64s(self) -> Result<Vec<f64>, String> {
+        self.into_array()?.into_iter().map(Value::into_f64).collect()
+    }
+
+    /// Borrow a field of an object by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The human-readable kind, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Integer(_) | Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Convenience: build an object value from `(key, value)` pairs.
+pub fn object(fields: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Shortest round-trip float formatting; non-finite → `null`.
+///
+/// Rust's `Debug` for `f64` is the shortest decimal string that parses back
+/// to the same bits — exactly the JSON-compatible round-trip the result
+/// files and model artifacts rely on.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Append `value` to `s` as a quoted, escaped JSON string.
+pub fn escape_into(s: &mut String, value: &str) {
+    s.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Parse a complete JSON document (trailing non-whitespace is an error).
+pub fn parse(text: &str) -> Result<Value, String> {
+    Parser::new(text).parse()
+}
+
+/// Recursive-descent parser for the JSON subset the workspace emits
+/// (objects, arrays, strings, numbers, bools, null).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Nesting bound: model artifacts are ~4 levels deep; a parser consuming
+/// untrusted request bodies must not recurse unboundedly.
+const MAX_DEPTH: usize = 64;
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self { bytes: s.as_bytes(), pos: 0, depth: 0 }
+    }
+
+    fn parse(mut self) -> Result<Value, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &'static [u8], v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        if self.depth >= MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'n') => self.literal(b"null", Value::Null),
+            Some(b't') => self.literal(b"true", Value::Bool(true)),
+            Some(b'f') => self.literal(b"false", Value::Bool(false)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.depth += 1;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.depth += 1;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 character
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        // digits-only → exact u64 (cell seeds don't fit f64's mantissa)
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Integer(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "42", "-1.5", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(v.to_json(), text, "{text}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [0.1 + 0.2, 1e-300, -0.0, 12.625, f64::MAX, 5e-324] {
+            let text = Value::Number(v).to_json();
+            let back = parse(&text).unwrap().into_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(Value::from_f64(f64::NAN).to_json(), "null");
+        assert_eq!(Value::from_f64(f64::INFINITY).to_json(), "null");
+        assert!(parse("null").unwrap().into_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn integers_keep_all_64_bits() {
+        let n = u64::MAX - 41;
+        let text = Value::Integer(n).to_json();
+        assert_eq!(parse(&text).unwrap().into_u64().unwrap(), n);
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        let v = Value::Array(vec![
+            Value::Integer(1),
+            Value::Null,
+            Value::Array(vec![Value::Bool(true)]),
+            Value::String("x".into()),
+        ]);
+        let text = v.to_json();
+        assert_eq!(text, "[1,null,[true],\"x\"]");
+        assert_eq!(parse(&text).unwrap(), v);
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("[ 1 , 2 ]").unwrap().into_f64s().unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn objects_preserve_field_order() {
+        let v = object([("b", Value::Integer(1)), ("a", Value::Integer(2))]);
+        assert_eq!(v.to_json(), "{\"b\":1,\"a\":2}");
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+        assert_eq!(v.get("a"), Some(&Value::Integer(2)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "weird\"name\\with\tescapes\nand\u{1}control";
+        let text = Value::String(s.into()).to_json();
+        assert_eq!(parse(&text).unwrap().into_string().unwrap(), s);
+        assert_eq!(parse("\"\\u00e9\"").unwrap().as_str(), Some("é"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "}", "[1,", "{\"a\":}", "tru", "nul", "1 2", "\"abc", "{\"a\" 1}",
+            "[1 2]", "\"\\q\"", "--3", "+",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(32) + &"]".repeat(32);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn typed_accessors_report_mismatches() {
+        assert!(parse("3").unwrap().into_string().is_err());
+        assert!(parse("\"x\"").unwrap().into_f64().is_err());
+        assert!(parse("-3").unwrap().into_u64().is_err());
+        assert!(parse("3.5").unwrap().into_u64().is_err());
+        assert!(parse("3.0").unwrap().into_u64().is_ok());
+        assert!(parse("{}").unwrap().into_array().is_err());
+        assert!(parse("[]").unwrap().into_object().is_err());
+        assert!(parse("1").unwrap().into_bool().is_err());
+    }
+}

@@ -339,8 +339,8 @@ mod tests {
         for i in 0..2 {
             for j in 0..2 {
                 let mut expect = 0.0;
-                for r in 0..3 {
-                    expect += w[r] * m.get(r, i) * m.get(r, j);
+                for (r, &wr) in w.iter().enumerate() {
+                    expect += wr * m.get(r, i) * m.get(r, j);
                 }
                 assert!((g.get(i, j) - expect).abs() < 1e-12);
             }

@@ -139,7 +139,7 @@ mod tests {
             s.push(si);
             y.push(u8::from(i % 3 == 0));
             // hidden gerrymandering: young unprivileged always rejected
-            preds.push(u8::from(!(si == 0 && !old) && i % 3 == 0));
+            preds.push(u8::from((old || si != 0) && i % 3 == 0));
         }
         let d = Dataset::builder("aud")
             .numeric("age", age)

@@ -288,7 +288,6 @@ mod tests {
                 solver: Solver::GradientDescent,
                 max_iter: 5000,
                 tol: 1e-9,
-                ..Default::default()
             },
         )
         .unwrap();

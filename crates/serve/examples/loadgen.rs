@@ -1,0 +1,245 @@
+//! Keep-alive load generator for the prediction server.
+//!
+//! Discovers a model from `GET /v1/models` (or takes `--model`), generates
+//! schema-valid rows from the model's source synthetic dataset, and drives
+//! a deterministic mix of single-row and batch predict requests over
+//! several persistent connections, counting statuses. Exits non-zero on
+//! any non-2xx response or transport error, so it doubles as the smoke
+//! check in `scripts/check.sh`.
+//!
+//! ```text
+//! cargo run -p fairlens-serve --example loadgen -- \
+//!     --addr 127.0.0.1:8484 [--model ID] [--requests 1000] [--conns 4] \
+//!     [--seed 42] [--shutdown]
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::exit;
+
+use fairlens_frame::{Column, Dataset};
+use fairlens_json::{object, parse, Value};
+use fairlens_synth::{DatasetKind, ALL_DATASETS};
+
+struct Args {
+    addr: String,
+    model: Option<String>,
+    requests: usize,
+    conns: usize,
+    seed: u64,
+    shutdown: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        model: None,
+        requests: 1000,
+        conns: 4,
+        seed: 42,
+        shutdown: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", argv[i]);
+                exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(i),
+            "--model" => args.model = Some(value(i)),
+            "--requests" => args.requests = value(i).parse().expect("--requests"),
+            "--conns" => args.conns = value(i).parse().expect("--conns"),
+            "--seed" => args.seed = value(i).parse().expect("--seed"),
+            "--shutdown" => {
+                args.shutdown = true;
+                i += 1;
+                continue;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                exit(2);
+            }
+        }
+        i += 2;
+    }
+    if args.addr.is_empty() {
+        eprintln!("--addr is required");
+        exit(2);
+    }
+    args
+}
+
+/// A minimal keep-alive HTTP/1.1 client connection.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len(),
+        )?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad status line {line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header)?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap_or(0);
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    }
+}
+
+/// One schema-shaped JSON row from a synthetic dataset.
+fn row_json(data: &Dataset, r: usize) -> Value {
+    let mut fields: Vec<(String, Value)> = data
+        .columns()
+        .iter()
+        .zip(data.attr_names())
+        .map(|(col, name)| {
+            let v = match col {
+                Column::Numeric(xs) => Value::Number(xs[r]),
+                Column::Categorical { codes, levels } => {
+                    Value::String(levels[codes[r] as usize].clone())
+                }
+            };
+            (name.clone(), v)
+        })
+        .collect();
+    fields.push((
+        data.sensitive_name().to_string(),
+        Value::Integer(u64::from(data.sensitive()[r])),
+    ));
+    Value::Object(fields)
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Discover the target model and its source dataset.
+    let mut conn = Conn::open(&args.addr).expect("connect for model discovery");
+    let (status, body) = conn.request("GET", "/v1/models", "").expect("list models");
+    assert_eq!(status, 200, "model listing failed: {body}");
+    let listing = parse(&body).expect("models JSON");
+    let models = listing.get("models").cloned().unwrap().into_array().unwrap();
+    let chosen = match &args.model {
+        Some(id) => models
+            .iter()
+            .find(|m| m.get("id").and_then(Value::as_str) == Some(id))
+            .unwrap_or_else(|| {
+                eprintln!("model {id:?} not served");
+                exit(2);
+            }),
+        None => models.first().unwrap_or_else(|| {
+            eprintln!("server has no models");
+            exit(2);
+        }),
+    };
+    let model_id = chosen.get("id").and_then(Value::as_str).unwrap().to_string();
+    let dataset = chosen.get("dataset").and_then(Value::as_str).unwrap().to_string();
+    let kind: DatasetKind = *ALL_DATASETS
+        .iter()
+        .find(|k| k.name() == dataset)
+        .unwrap_or_else(|| panic!("unknown source dataset {dataset:?}"));
+    let pool = kind.generate(512, args.seed);
+    let rows: Vec<Value> = (0..pool.n_rows()).map(|r| row_json(&pool, r)).collect();
+    eprintln!(
+        "[loadgen] {} requests over {} connection(s) against {model_id} ({dataset})",
+        args.requests, args.conns
+    );
+
+    // Deterministic single/batch mix, fanned over keep-alive connections.
+    let counts: BTreeMap<u16, usize> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..args.conns.max(1) {
+            let addr = &args.addr;
+            let rows = &rows;
+            let model_id = &model_id;
+            handles.push(scope.spawn(move || {
+                let mut counts: BTreeMap<u16, usize> = BTreeMap::new();
+                let mut conn = Conn::open(addr).expect("connect");
+                let mut i = c;
+                while i < args.requests {
+                    // Mix: every 4th request is single-row; the rest are
+                    // batches of 2..=9 rows starting at a rolling offset.
+                    let body = if i % 4 == 0 {
+                        object([
+                            ("model", Value::String(model_id.clone())),
+                            ("row", rows[i % rows.len()].clone()),
+                        ])
+                    } else {
+                        let n = 2 + (i % 8);
+                        let batch: Vec<Value> =
+                            (0..n).map(|j| rows[(i + j) % rows.len()].clone()).collect();
+                        object([
+                            ("model", Value::String(model_id.clone())),
+                            ("rows", Value::Array(batch)),
+                        ])
+                    };
+                    let (status, body) = conn
+                        .request("POST", "/v1/predict", &body.to_json())
+                        .expect("predict request");
+                    if status != 200 {
+                        eprintln!("[loadgen] HTTP {status}: {body}");
+                    }
+                    *counts.entry(status).or_insert(0) += 1;
+                    i += args.conns;
+                }
+                counts
+            }));
+        }
+        let mut total = BTreeMap::new();
+        for h in handles {
+            for (status, n) in h.join().expect("connection thread") {
+                *total.entry(status).or_insert(0) += n;
+            }
+        }
+        total
+    });
+
+    let sent: usize = counts.values().sum();
+    let ok = counts.get(&200).copied().unwrap_or(0);
+    eprintln!("[loadgen] {sent} requests: {counts:?}");
+
+    if args.shutdown {
+        let mut conn = Conn::open(&args.addr).expect("connect for shutdown");
+        let (status, body) = conn.request("POST", "/v1/shutdown", "").expect("shutdown");
+        assert_eq!(status, 200, "shutdown failed: {body}");
+        eprintln!("[loadgen] shutdown acknowledged");
+    }
+
+    if ok != sent {
+        eprintln!("[loadgen] FAILED: {} non-200 response(s)", sent - ok);
+        exit(1);
+    }
+    eprintln!("[loadgen] all {ok} requests returned 200");
+}

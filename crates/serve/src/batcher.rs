@@ -1,0 +1,324 @@
+//! Per-model micro-batching executor.
+//!
+//! Each loaded model owns one executor thread. Request handlers validate
+//! rows against the artifact schema, then submit a [`PredictJob`] carrying
+//! the pre-built [`Dataset`]; the executor coalesces whatever jobs arrive
+//! within a short window (flushing at `max_batch` rows or after
+//! `batch_wait`) and runs **one** pipeline pass over the concatenated
+//! rows, slicing the outputs back per job.
+//!
+//! Two invariants shape the flush logic:
+//!
+//! * **Bit-exactness.** Hard labels come from `FittedPipeline::predict`
+//!   on the coalesced dataset — never re-derived from scores — so batched
+//!   predictions are byte-identical to an offline `predict` over the same
+//!   rows (thresholding scores would disagree with the model's raw-margin
+//!   decision for |z| within rounding of the sigmoid's 0.5 crossing).
+//! * **Stochastic pipelines never coalesce.** Hardt and Pleiss consume
+//!   seeded randomness keyed on the batch's row count, so merging
+//!   requests would change every participant's predictions. Pipelines
+//!   reporting [`FittedPipeline::is_stochastic`] flush one job at a time;
+//!   deterministic pipelines are invariant under concatenation.
+//!
+//! Deadlines ride on [`fairlens_budget::Budget`]: the handler cancels the
+//! job's budget when its deadline expires, the executor drops cancelled
+//! jobs at dequeue, and single-job flushes install the budget so any
+//! `checkpoint()` inside the pipeline unwinds early (merged flushes skip
+//! the install — one request's deadline must not abort its batchmates).
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fairlens_budget::{Budget, Interrupted};
+use fairlens_core::{DataSchema, FittedPipeline};
+use fairlens_frame::Dataset;
+
+use crate::error::{ErrorKind, ServeError};
+use crate::metrics::Metrics;
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Flush as soon as at least this many rows are queued.
+    pub max_batch: usize,
+    /// Flush after this long even if the batch is smaller.
+    pub batch_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { max_batch: 64, batch_wait: Duration::from_millis(2) }
+    }
+}
+
+/// The per-request output: hard labels plus pipeline scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictOutput {
+    /// Hard 0/1 predictions, one per submitted row.
+    pub labels: Vec<u8>,
+    /// Score per row (model probability, or the post rule's expected label).
+    pub scores: Vec<f64>,
+}
+
+/// One request's unit of work for the executor.
+pub struct PredictJob {
+    /// Rows already validated against the model's schema.
+    pub data: Dataset,
+    /// Where the executor sends the outcome.
+    pub reply: SyncSender<Result<PredictOutput, ServeError>>,
+    /// Cancelled by the handler on deadline expiry.
+    pub budget: Budget,
+}
+
+/// A loaded model wired to its executor thread. Dropping the worker drops
+/// the job channel and joins the executor, so LRU eviction (dropping the
+/// last `Arc<ModelWorker>`) drains in-flight jobs before unloading.
+pub struct ModelWorker {
+    /// Schema requests are validated against.
+    pub schema: DataSchema,
+    /// Whether the pipeline forbids cross-request coalescing.
+    pub stochastic: bool,
+    tx: Option<Sender<PredictJob>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ModelWorker {
+    /// Restore-and-spawn: the executor thread takes ownership of the
+    /// pipeline; the returned worker is the submission handle.
+    pub fn spawn(
+        model_id: &str,
+        schema: DataSchema,
+        pipeline: FittedPipeline,
+        cfg: BatchConfig,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        let stochastic = pipeline.is_stochastic();
+        let (tx, rx) = mpsc::channel::<PredictJob>();
+        let cfg = if stochastic { BatchConfig { max_batch: 1, ..cfg } } else { cfg };
+        let handle = std::thread::Builder::new()
+            .name(format!("flm-{model_id}"))
+            .spawn(move || executor_loop(&pipeline, &rx, cfg, &metrics))
+            .expect("spawn model executor");
+        Self { schema, stochastic, tx: Some(tx), handle: Some(handle) }
+    }
+
+    /// Queue a job. Fails only if the executor died (a panic that escaped
+    /// the flush guard), which clients see as an internal error.
+    pub fn submit(&self, job: PredictJob) -> Result<(), ServeError> {
+        self.tx
+            .as_ref()
+            .expect("worker submitted after drop")
+            .send(job)
+            .map_err(|_| ServeError::new(ErrorKind::Internal, "model executor is gone"))
+    }
+}
+
+impl Drop for ModelWorker {
+    fn drop(&mut self) {
+        // Closing the channel lets the executor drain queued jobs and
+        // exit; joining makes eviction and shutdown deterministic.
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Concatenate schema-identical datasets into one. The parts all come
+/// from `DataSchema::dataset_from_rows` on the same schema, so columns
+/// align by construction.
+pub fn concat_datasets(parts: &[&Dataset]) -> Dataset {
+    let mut merged = parts[0].clone();
+    for part in &parts[1..] {
+        for row in 0..part.n_rows() {
+            merged.push_row_from(part, row);
+        }
+    }
+    merged
+}
+
+fn executor_loop(
+    pipeline: &FittedPipeline,
+    rx: &Receiver<PredictJob>,
+    cfg: BatchConfig,
+    metrics: &Metrics,
+) {
+    loop {
+        // Block for the first job; channel closure is the stop signal.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let mut jobs = vec![first];
+        let mut rows = jobs[0].data.n_rows();
+        let deadline = Instant::now() + cfg.batch_wait;
+        // Coalesce until the row target or the wait window is hit.
+        while rows < cfg.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => {
+                    rows += job.data.n_rows();
+                    jobs.push(job);
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // A job whose deadline already fired has no listener; skip it
+        // rather than spend a matrix pass on it.
+        jobs.retain(|j| !j.budget.is_cancelled());
+        if jobs.is_empty() {
+            continue;
+        }
+        flush(pipeline, &jobs, metrics);
+    }
+}
+
+/// One coalesced pipeline pass; slices outputs back per job.
+fn flush(pipeline: &FittedPipeline, jobs: &[PredictJob], metrics: &Metrics) {
+    let total: usize = jobs.iter().map(|j| j.data.n_rows()).sum();
+    metrics.record_flush(total);
+    let merged;
+    let batch = if jobs.len() == 1 {
+        &jobs[0].data
+    } else {
+        let parts: Vec<&Dataset> = jobs.iter().map(|j| &j.data).collect();
+        merged = concat_datasets(&parts);
+        &merged
+    };
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        // Only a lone job may arm its budget: in a merged batch one
+        // request's expiry must not unwind its batchmates' pass.
+        let _guard = (jobs.len() == 1).then(|| jobs[0].budget.install());
+        let labels = pipeline.predict(batch);
+        let scores = pipeline.predict_proba(batch);
+        (labels, scores)
+    }));
+    match outcome {
+        Ok((labels, scores)) => {
+            let mut offset = 0;
+            for job in jobs {
+                let n = job.data.n_rows();
+                let out = PredictOutput {
+                    labels: labels[offset..offset + n].to_vec(),
+                    scores: scores[offset..offset + n].to_vec(),
+                };
+                offset += n;
+                let _ = job.reply.send(Ok(out));
+            }
+        }
+        Err(payload) => {
+            let err = if payload.downcast_ref::<Interrupted>().is_some() {
+                ServeError::new(ErrorKind::TimedOut, "prediction exceeded the request deadline")
+            } else {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                ServeError::new(ErrorKind::Internal, format!("prediction panicked: {msg}"))
+            };
+            for job in jobs {
+                let _ = job.reply.send(Err(err.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairlens_core::baseline_approach;
+    use fairlens_synth::DatasetKind;
+
+    fn fitted_german() -> (FittedPipeline, Dataset) {
+        let data = DatasetKind::German.generate(300, 7);
+        let fitted = baseline_approach().fit(&data, 7).unwrap();
+        (fitted, data)
+    }
+
+    fn submit(worker: &ModelWorker, data: Dataset) -> mpsc::Receiver<Result<PredictOutput, ServeError>> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        worker.submit(PredictJob { data, reply, budget: Budget::new() }).unwrap();
+        rx
+    }
+
+    #[test]
+    fn concat_preserves_rows() {
+        let data = DatasetKind::German.generate(50, 3);
+        let a = data.select_rows(&(0..20).collect::<Vec<_>>());
+        let b = data.select_rows(&(20..50).collect::<Vec<_>>());
+        let merged = concat_datasets(&[&a, &b]);
+        assert_eq!(merged.n_rows(), 50);
+        assert_eq!(merged.labels(), data.labels());
+        assert_eq!(merged.sensitive(), data.sensitive());
+    }
+
+    #[test]
+    fn coalesced_predictions_match_offline_predict() {
+        let (fitted, data) = fitted_german();
+        let expected = fitted.predict(&data);
+        let expected_scores = fitted.predict_proba(&data);
+        let metrics = Arc::new(Metrics::new());
+        // A generous wait so both jobs land in one flush.
+        let cfg = BatchConfig { max_batch: 1024, batch_wait: Duration::from_millis(200) };
+        let schema = DataSchema::of(&data);
+        let worker = ModelWorker::spawn("t", schema, fitted, cfg, metrics.clone());
+        let a = data.select_rows(&(0..120).collect::<Vec<_>>());
+        let b = data.select_rows(&(120..300).collect::<Vec<_>>());
+        let rx_a = submit(&worker, a);
+        let rx_b = submit(&worker, b);
+        let out_a = rx_a.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        let out_b = rx_b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(out_a.labels, expected[..120]);
+        assert_eq!(out_b.labels, expected[120..]);
+        let scores: Vec<f64> = out_a.scores.iter().chain(&out_b.scores).copied().collect();
+        assert_eq!(
+            scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            expected_scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        );
+        drop(worker);
+        assert!(metrics.render().contains("fairlens_batch_rows_count 1"));
+    }
+
+    #[test]
+    fn cancelled_jobs_are_dropped_at_dequeue() {
+        let (fitted, data) = fitted_german();
+        let metrics = Arc::new(Metrics::new());
+        let schema = DataSchema::of(&data);
+        let worker =
+            ModelWorker::spawn("t", schema, fitted, BatchConfig::default(), metrics.clone());
+        let budget = Budget::new();
+        budget.cancel();
+        let (reply, rx) = mpsc::sync_channel(1);
+        worker
+            .submit(PredictJob { data: data.select_rows(&[0, 1]), reply, budget })
+            .unwrap();
+        drop(worker); // join: executor saw and skipped the job
+        assert!(rx.try_recv().is_err());
+        assert!(metrics.render().contains("fairlens_batch_rows_count 0"));
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let (fitted, data) = fitted_german();
+        let worker = ModelWorker::spawn(
+            "t",
+            DataSchema::of(&data),
+            fitted,
+            BatchConfig::default(),
+            Arc::new(Metrics::new()),
+        );
+        let receivers: Vec<_> =
+            (0..8).map(|i| submit(&worker, data.select_rows(&[i, i + 8]))).collect();
+        drop(worker);
+        for rx in receivers {
+            assert!(rx.try_recv().expect("drained before join").is_ok());
+        }
+    }
+}

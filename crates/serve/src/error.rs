@@ -1,0 +1,131 @@
+//! The server's error taxonomy.
+//!
+//! Every failure a client can observe is one of a small closed set of
+//! kinds, serialized as a structured JSON body — mirroring the benchmark's
+//! failure-sidecar taxonomy (`panicked` / `timed_out` / …): a machine-
+//! readable `kind` for dashboards and retry logic, a human message for
+//! debugging. Malformed input never closes the connection and never
+//! panics a worker; it produces a 400 with the offending row spelled out.
+
+use fairlens_json::{object, Value};
+
+/// What went wrong, from the client's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Unparseable or invalid request (syntax, schema, row values).
+    BadRequest,
+    /// The requested model id is not in the registry.
+    UnknownModel,
+    /// No route matches the path.
+    NotFound,
+    /// The route exists but not for this method.
+    MethodNotAllowed,
+    /// Head or body exceeds the configured limits.
+    PayloadTooLarge,
+    /// The request's deadline expired before a prediction was produced.
+    TimedOut,
+    /// The server is draining and no longer takes new work.
+    ShuttingDown,
+    /// Unexpected server-side failure (a panic in the prediction path).
+    Internal,
+}
+
+impl ErrorKind {
+    /// HTTP status code for the kind.
+    pub fn status(self) -> u16 {
+        match self {
+            ErrorKind::BadRequest => 400,
+            ErrorKind::UnknownModel | ErrorKind::NotFound => 404,
+            ErrorKind::MethodNotAllowed => 405,
+            ErrorKind::PayloadTooLarge => 413,
+            ErrorKind::ShuttingDown => 503,
+            ErrorKind::TimedOut => 504,
+            ErrorKind::Internal => 500,
+        }
+    }
+
+    /// The stable wire name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownModel => "unknown_model",
+            ErrorKind::NotFound => "not_found",
+            ErrorKind::MethodNotAllowed => "method_not_allowed",
+            ErrorKind::PayloadTooLarge => "payload_too_large",
+            ErrorKind::TimedOut => "timed_out",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A client-visible error: kind + message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    /// The taxonomy kind.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Build an error of `kind` with a message.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self { kind, message: message.into() }
+    }
+
+    /// Shorthand for a [`ErrorKind::BadRequest`].
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::BadRequest, message)
+    }
+
+    /// The structured JSON body.
+    pub fn to_json(&self) -> String {
+        object([(
+            "error",
+            object([
+                ("kind", Value::String(self.kind.name().into())),
+                ("message", Value::String(self.message.clone())),
+            ]),
+        )])
+        .to_json()
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_are_structured() {
+        let e = ServeError::new(ErrorKind::UnknownModel, "no model \"x\"");
+        assert_eq!(e.kind.status(), 404);
+        let body = e.to_json();
+        let v = fairlens_json::parse(&body).unwrap();
+        let inner = v.get("error").unwrap();
+        assert_eq!(inner.get("kind").unwrap().as_str(), Some("unknown_model"));
+        assert!(inner.get("message").unwrap().as_str().unwrap().contains("x"));
+    }
+
+    #[test]
+    fn statuses_cover_the_taxonomy() {
+        for (kind, status) in [
+            (ErrorKind::BadRequest, 400),
+            (ErrorKind::UnknownModel, 404),
+            (ErrorKind::NotFound, 404),
+            (ErrorKind::MethodNotAllowed, 405),
+            (ErrorKind::PayloadTooLarge, 413),
+            (ErrorKind::Internal, 500),
+            (ErrorKind::ShuttingDown, 503),
+            (ErrorKind::TimedOut, 504),
+        ] {
+            assert_eq!(kind.status(), status, "{}", kind.name());
+        }
+    }
+}

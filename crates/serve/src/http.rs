@@ -1,0 +1,424 @@
+//! A minimal, defensive HTTP/1.1 layer over `std::io`.
+//!
+//! Hand-rolled on purpose — the workspace takes no external dependencies —
+//! and scoped to exactly what the prediction server needs: request-line +
+//! headers + `Content-Length` bodies, keep-alive with pipelining, and
+//! hard limits on head size, header count and body size so a misbehaving
+//! client cannot balloon memory. Anything outside that envelope is a
+//! structured [`ServeError`], never a panic and never a silently dropped
+//! connection.
+//!
+//! The parser is generic over [`BufRead`] so the negative paths (oversized
+//! heads, truncated bodies, pipelined garbage) are unit-testable on
+//! in-memory cursors without sockets.
+
+use std::io::{BufRead, Write};
+
+use crate::error::{ErrorKind, ServeError};
+
+/// Hard limits on a single request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes across the request line and all header lines.
+    pub max_head: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum `Content-Length`.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self { max_head: 16 * 1024, max_headers: 64, max_body: 1024 * 1024 }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component (query string split off into `query`).
+    pub path: String,
+    /// Raw query string, without the `?` (empty when absent).
+    pub query: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub close: bool,
+}
+
+impl Request {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why `read_request` returned without a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadOutcome {
+    /// A complete request was parsed.
+    Complete(Request),
+    /// Clean end of stream (or idle give-up) before any request byte.
+    Closed,
+}
+
+/// Read one request. `on_idle(started)` is invoked on every read timeout
+/// tick with whether any byte of the request has arrived; returning `true`
+/// abandons the read (the connection is closed by the caller). A timeout
+/// *mid-request* that `on_idle` abandons surfaces as `Closed` when nothing
+/// had arrived, or as a `bad_request` error when the request was cut off.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    limits: &Limits,
+    mut on_idle: impl FnMut(bool) -> bool,
+) -> Result<ReadOutcome, ServeError> {
+    let mut head_bytes = 0usize;
+    let mut started = false;
+
+    // Request line. Skip stray CRLFs between pipelined requests (RFC 7230
+    // §3.5 tolerance).
+    let line = loop {
+        match read_line(reader, limits.max_head, &mut on_idle, &mut started)? {
+            None => {
+                return if started {
+                    Err(truncated("request line"))
+                } else {
+                    Ok(ReadOutcome::Closed)
+                }
+            }
+            Some(l) if l.is_empty() => continue,
+            Some(l) => break l,
+        }
+    };
+    head_bytes += line.len();
+    let line = String::from_utf8(line)
+        .map_err(|_| ServeError::bad_request("request line is not UTF-8"))?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => return Err(ServeError::bad_request(format!("malformed request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::bad_request(format!("unsupported version {version:?}")));
+    }
+    let http10 = version == "HTTP/1.0";
+
+    // Headers.
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader, limits.max_head - head_bytes, &mut on_idle, &mut started)?
+        else {
+            return Err(truncated("headers"));
+        };
+        head_bytes += line.len() + 2;
+        if head_bytes > limits.max_head {
+            return Err(ServeError::new(
+                ErrorKind::PayloadTooLarge,
+                format!("request head exceeds {} bytes", limits.max_head),
+            ));
+        }
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ServeError::new(
+                ErrorKind::PayloadTooLarge,
+                format!("more than {} headers", limits.max_headers),
+            ));
+        }
+        let line = String::from_utf8(line)
+            .map_err(|_| ServeError::bad_request("header is not UTF-8"))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ServeError::bad_request(format!("malformed header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body.
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0usize,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ServeError::bad_request(format!("bad content-length {v:?}")))?,
+    };
+    if headers.iter().any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ServeError::bad_request("chunked transfer encoding is not supported"));
+    }
+    if content_length > limits.max_body {
+        return Err(ServeError::new(
+            ErrorKind::PayloadTooLarge,
+            format!("body of {content_length} bytes exceeds limit {}", limits.max_body),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    let mut read = 0usize;
+    while read < content_length {
+        match reader.fill_buf() {
+            Ok([]) => return Err(truncated("body")),
+            Ok(buf) => {
+                let take = buf.len().min(content_length - read);
+                body[read..read + take].copy_from_slice(&buf[..take]);
+                reader.consume(take);
+                read += take;
+            }
+            Err(e) if is_timeout(&e) => {
+                if on_idle(true) {
+                    return Err(truncated("body"));
+                }
+            }
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+        .unwrap_or_default();
+    let close = connection.contains("close") || (http10 && !connection.contains("keep-alive"));
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(ReadOutcome::Complete(Request { method, path, query, headers, body, close }))
+}
+
+/// Read up to CRLF (or bare LF), stripping the terminator. `None` on EOF
+/// or when `on_idle` abandons the wait before a terminator arrived.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    cap: usize,
+    on_idle: &mut impl FnMut(bool) -> bool,
+    started: &mut bool,
+) -> Result<Option<Vec<u8>>, ServeError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return Ok(None), // EOF
+            Ok(buf) => {
+                *started = true;
+                match buf.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        line.extend_from_slice(&buf[..pos]);
+                        reader.consume(pos + 1);
+                        if line.last() == Some(&b'\r') {
+                            line.pop();
+                        }
+                        if line.len() > cap {
+                            return Err(ServeError::new(
+                                ErrorKind::PayloadTooLarge,
+                                "request head line too long",
+                            ));
+                        }
+                        return Ok(Some(line));
+                    }
+                    None => {
+                        line.extend_from_slice(buf);
+                        let n = buf.len();
+                        reader.consume(n);
+                        if line.len() > cap {
+                            return Err(ServeError::new(
+                                ErrorKind::PayloadTooLarge,
+                                "request head line too long",
+                            ));
+                        }
+                    }
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                if on_idle(*started || !line.is_empty()) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+fn truncated(what: &str) -> ServeError {
+    ServeError::bad_request(format!("connection closed mid-request ({what})"))
+}
+
+fn io_error(e: std::io::Error) -> ServeError {
+    ServeError::bad_request(format!("read error: {e}"))
+}
+
+/// Reason-phrase for the statuses the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write a response with `Content-Length`, flushing the stream.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read(input: &[u8]) -> Result<ReadOutcome, ServeError> {
+        read_request(&mut Cursor::new(input.to_vec()), &Limits::default(), |_| false)
+    }
+
+    fn expect_request(input: &[u8]) -> Request {
+        match read(input).unwrap() {
+            ReadOutcome::Complete(r) => r,
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_get() {
+        let r = expect_request(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+        assert!(!r.close);
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let r = expect_request(
+            b"POST /v1/predict?debug=1 HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nwxyz",
+        );
+        assert_eq!(r.path, "/v1/predict");
+        assert_eq!(r.query, "debug=1");
+        assert_eq!(r.body, b"wxyz");
+        assert!(r.close);
+        assert_eq!(r.header("content-length"), Some("4"));
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let r = expect_request(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(r.close);
+        let r = expect_request(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(!r.close);
+    }
+
+    #[test]
+    fn keep_alive_pipelining_reads_in_sequence() {
+        let mut c = Cursor::new(
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi".to_vec(),
+        );
+        let l = Limits::default();
+        let ReadOutcome::Complete(a) = read_request(&mut c, &l, |_| false).unwrap() else {
+            panic!()
+        };
+        let ReadOutcome::Complete(b) = read_request(&mut c, &l, |_| false).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.path, "/a");
+        assert_eq!(b.path, "/b");
+        assert_eq!(b.body, b"hi");
+        assert_eq!(read_request(&mut c, &l, |_| false).unwrap(), ReadOutcome::Closed);
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_a_clean_close() {
+        assert_eq!(read(b"").unwrap(), ReadOutcome::Closed);
+    }
+
+    #[test]
+    fn pipelined_garbage_is_a_bad_request() {
+        for garbage in [
+            &b"x\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / HTTP/1.1 EXTRA\r\n\r\n",
+            b"GET / SPDY/9\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"\xff\xfe / HTTP/1.1\r\n\r\n",
+        ] {
+            let err = read(garbage).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{garbage:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_a_bad_request() {
+        let err = read(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.message.contains("body"), "{err}");
+        // ...and a cut-off head too
+        let err = read(b"POST / HTT").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut input = b"GET /".to_vec();
+        input.extend(std::iter::repeat_n(b'a', 20 * 1024));
+        input.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let err = read(&input).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::PayloadTooLarge);
+
+        let mut input = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..100 {
+            input.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        input.extend_from_slice(b"\r\n");
+        let err = read(&input).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::PayloadTooLarge);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_up_front() {
+        let err = read(b"POST / HTTP/1.1\r\ncontent-length: 9999999999\r\n\r\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::PayloadTooLarge);
+        let err = read(b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn responses_carry_length_and_connection() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "application/json", b"{}", true).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("connection: close"));
+    }
+}

@@ -1,0 +1,38 @@
+//! `fairlens-serve` — a batching HTTP prediction server over persisted
+//! FairLens model artifacts.
+//!
+//! The crate turns the benchmark's fitted fair-classification pipelines
+//! (exported as versioned `.flm` artifacts by the bench crate's
+//! `export_models` binary) into an online prediction service, with zero
+//! dependencies beyond the workspace:
+//!
+//! * [`http`] — a defensive hand-rolled HTTP/1.1 layer on `std::net`
+//!   (keep-alive, pipelining, hard head/body limits).
+//! * [`registry`] — artifact scan at startup, lazy pipeline restore,
+//!   LRU eviction bounded by `--max-loaded`.
+//! * [`batcher`] — the micro-batching core: one executor thread per
+//!   loaded model coalesces concurrent predict requests into a single
+//!   matrix pass, preserving bit-exactness with offline `predict` and
+//!   never merging batches for stochastic (Hardt/Pleiss) pipelines.
+//! * [`error`] — the closed client-visible error taxonomy; every failure
+//!   is a structured JSON body, never a dropped connection or a panic.
+//! * [`metrics`] — Prometheus text exposition: request/error counters,
+//!   latency and batch-size histograms, registry gauges.
+//! * [`server`] — listener + fixed worker pool + routing + graceful
+//!   drain (`POST /v1/shutdown`).
+//!
+//! Routes: `POST /v1/predict`, `GET /v1/models`, `GET /healthz`,
+//! `GET /metrics`, `POST /v1/shutdown`.
+
+pub mod batcher;
+pub mod error;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatchConfig, ModelWorker, PredictJob, PredictOutput};
+pub use error::{ErrorKind, ServeError};
+pub use metrics::Metrics;
+pub use registry::{ModelInfo, Registry};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,70 @@
+//! CLI entry point for the prediction server.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+use fairlens_serve::{ServeConfig, Server};
+
+const USAGE: &str = "\
+fairlens-serve [--addr HOST:PORT] [--models DIR] [--workers N]
+               [--max-batch ROWS] [--batch-wait-ms MS]
+               [--deadline-ms MS] [--max-loaded N]
+
+Serves predictions from the .flm artifacts in DIR (default: models).
+Port 0 binds an ephemeral port, announced on stderr as
+'[serve] listening on ...'. Stop with POST /v1/shutdown.";
+
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    let Some(value) = value else {
+        eprintln!("missing value for {flag}\n{USAGE}");
+        exit(2);
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {value:?} for {flag}\n{USAGE}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--addr" => cfg.addr = parse_flag("--addr", value),
+            "--models" => cfg.models_dir = parse_flag::<PathBuf>("--models", value),
+            "--workers" => cfg.workers = parse_flag("--workers", value),
+            "--max-batch" => cfg.max_batch = parse_flag("--max-batch", value),
+            "--batch-wait-ms" => {
+                cfg.batch_wait = Duration::from_millis(parse_flag("--batch-wait-ms", value));
+            }
+            "--deadline-ms" => {
+                cfg.deadline = Duration::from_millis(parse_flag("--deadline-ms", value));
+            }
+            "--max-loaded" => cfg.max_loaded = parse_flag("--max-loaded", value),
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    let server = match Server::bind(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[serve] cannot start on {} with models {}: {e}", cfg.addr, cfg.models_dir.display());
+            exit(1);
+        }
+    };
+    if let Err(e) = server.run() {
+        eprintln!("[serve] server error: {e}");
+        exit(1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Prometheus text-format metrics for the prediction server.
+//!
+//! Counters use a mutexed map keyed by label tuple (request handling is
+//! socket-bound, so one short lock per request is noise); histograms use
+//! fixed buckets over atomics so the batcher's hot path never takes a
+//! lock. Rendering follows the Prometheus exposition format v0.0.4:
+//! `# HELP` / `# TYPE` preambles, cumulative `_bucket{le=...}` counts,
+//! `_sum` and `_count` per histogram.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Latency buckets, seconds.
+const LATENCY_BUCKETS: [f64; 10] =
+    [0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0];
+/// Flush-size buckets, rows.
+const BATCH_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// A fixed-bucket histogram over atomics.
+struct Histogram<const N: usize> {
+    buckets: [AtomicU64; N],
+    overflow: AtomicU64,
+    /// Sum scaled by 1e6 (micro-units) to stay integral.
+    sum_micro: AtomicU64,
+    count: AtomicU64,
+    bounds: [f64; N],
+}
+
+impl<const N: usize> Histogram<N> {
+    fn new(bounds: [f64; N]) -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            sum_micro: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            bounds,
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        match self.bounds.iter().position(|&b| v <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum_micro.fetch_add((v.max(0.0) * 1e6) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn render(&self, out: &mut String, name: &str, help: &str) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, bucket) in self.bounds.iter().zip(&self.buckets) {
+            cumulative += bucket.load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.overflow.load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let sum = self.sum_micro.load(Ordering::Relaxed) as f64 / 1e6;
+        let _ = writeln!(out, "{name}_sum {sum}");
+        let _ = writeln!(out, "{name}_count {}", self.count.load(Ordering::Relaxed));
+    }
+}
+
+/// The server's metric registry.
+pub struct Metrics {
+    /// `(route, status)` → request count. BTreeMap keeps render order
+    /// deterministic.
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    /// Error-taxonomy kind → count.
+    errors: Mutex<BTreeMap<&'static str, u64>>,
+    latency: Histogram<10>,
+    batch_rows: Histogram<8>,
+    rows_total: AtomicU64,
+    models_loaded: AtomicU64,
+    model_evictions: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Self {
+            requests: Mutex::new(BTreeMap::new()),
+            errors: Mutex::new(BTreeMap::new()),
+            latency: Histogram::new(LATENCY_BUCKETS),
+            batch_rows: Histogram::new(BATCH_BUCKETS),
+            rows_total: AtomicU64::new(0),
+            models_loaded: AtomicU64::new(0),
+            model_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one handled request and its wall-clock latency.
+    pub fn record_request(&self, route: &str, status: u16, latency_secs: f64) {
+        *self
+            .requests
+            .lock()
+            .unwrap()
+            .entry((route.to_string(), status))
+            .or_insert(0) += 1;
+        self.latency.observe(latency_secs);
+    }
+
+    /// Count one taxonomy error.
+    pub fn record_error(&self, kind: &'static str) {
+        *self.errors.lock().unwrap().entry(kind).or_insert(0) += 1;
+    }
+
+    /// Record one batcher flush of `rows` rows.
+    pub fn record_flush(&self, rows: usize) {
+        self.batch_rows.observe(rows as f64);
+        self.rows_total.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// Track the number of resident models.
+    pub fn set_models_loaded(&self, n: usize) {
+        self.models_loaded.store(n as u64, Ordering::Relaxed);
+    }
+
+    /// Count one LRU eviction.
+    pub fn record_eviction(&self) {
+        self.model_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render the Prometheus text exposition.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(2048);
+
+        let _ = writeln!(out, "# HELP fairlens_requests_total Handled HTTP requests.");
+        let _ = writeln!(out, "# TYPE fairlens_requests_total counter");
+        for ((route, status), count) in self.requests.lock().unwrap().iter() {
+            let _ = writeln!(
+                out,
+                "fairlens_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}"
+            );
+        }
+
+        let _ = writeln!(out, "# HELP fairlens_errors_total Structured errors by taxonomy kind.");
+        let _ = writeln!(out, "# TYPE fairlens_errors_total counter");
+        for (kind, count) in self.errors.lock().unwrap().iter() {
+            let _ = writeln!(out, "fairlens_errors_total{{kind=\"{kind}\"}} {count}");
+        }
+
+        self.latency.render(
+            &mut out,
+            "fairlens_request_latency_seconds",
+            "Request wall-clock latency.",
+        );
+        self.batch_rows.render(
+            &mut out,
+            "fairlens_batch_rows",
+            "Rows per batcher flush (one matrix pass each).",
+        );
+
+        let _ = writeln!(out, "# HELP fairlens_predict_rows_total Predicted rows.");
+        let _ = writeln!(out, "# TYPE fairlens_predict_rows_total counter");
+        let _ = writeln!(
+            out,
+            "fairlens_predict_rows_total {}",
+            self.rows_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# HELP fairlens_models_loaded Models resident in the registry.");
+        let _ = writeln!(out, "# TYPE fairlens_models_loaded gauge");
+        let _ =
+            writeln!(out, "fairlens_models_loaded {}", self.models_loaded.load(Ordering::Relaxed));
+        let _ = writeln!(out, "# HELP fairlens_model_evictions_total LRU evictions.");
+        let _ = writeln!(out, "# TYPE fairlens_model_evictions_total counter");
+        let _ = writeln!(
+            out,
+            "fairlens_model_evictions_total {}",
+            self.model_evictions.load(Ordering::Relaxed)
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_render() {
+        let m = Metrics::new();
+        m.record_request("/v1/predict", 200, 0.003);
+        m.record_request("/v1/predict", 200, 0.3);
+        m.record_request("/v1/predict", 400, 0.0001);
+        m.record_error("bad_request");
+        m.record_flush(3);
+        m.record_flush(200);
+        m.set_models_loaded(2);
+        m.record_eviction();
+        let text = m.render();
+        assert!(text.contains(
+            "fairlens_requests_total{route=\"/v1/predict\",status=\"200\"} 2"
+        ));
+        assert!(text.contains(
+            "fairlens_requests_total{route=\"/v1/predict\",status=\"400\"} 1"
+        ));
+        assert!(text.contains("fairlens_errors_total{kind=\"bad_request\"} 1"));
+        assert!(text.contains("fairlens_request_latency_seconds_count 3"));
+        // 0.0001 and 0.003 fall below 0.005; 0.3 only in +Inf
+        assert!(text.contains("fairlens_request_latency_seconds_bucket{le=\"0.005\"} 2"));
+        assert!(text.contains("fairlens_request_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("fairlens_batch_rows_bucket{le=\"4\"} 1"));
+        assert!(text.contains("fairlens_batch_rows_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("fairlens_batch_rows_sum 203"));
+        assert!(text.contains("fairlens_predict_rows_total 203"));
+        assert!(text.contains("fairlens_models_loaded 2"));
+        assert!(text.contains("fairlens_model_evictions_total 1"));
+    }
+}

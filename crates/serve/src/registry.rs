@@ -1,0 +1,243 @@
+//! Model registry: startup scan, lazy load, LRU eviction.
+//!
+//! At startup the registry parses every `*.flm` artifact in the models
+//! directory once, keeping only provenance metadata (the listing for
+//! `GET /v1/models`). Pipelines are restored lazily on first use and held
+//! in an LRU of at most `max_loaded` workers; evicting a worker drops its
+//! job channel, which drains in-flight work and joins the executor thread
+//! before the pipeline is freed (see [`ModelWorker`]'s `Drop`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use fairlens_core::ModelArtifact;
+
+use crate::batcher::{BatchConfig, ModelWorker};
+use crate::error::{ErrorKind, ServeError};
+use crate::metrics::Metrics;
+
+/// Provenance surfaced by `GET /v1/models`, captured at scan time.
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// The serving id (the artifact's file stem).
+    pub id: String,
+    /// Artifact path, loaded on demand.
+    pub path: PathBuf,
+    /// Fair-classification approach name (e.g. `Hardt^EO`).
+    pub approach: String,
+    /// Intervention stage label (pre/in/post/baseline).
+    pub stage: String,
+    /// Source dataset name.
+    pub dataset: String,
+    /// The training seed.
+    pub seed: u64,
+    /// Training-set size.
+    pub train_rows: u64,
+    /// Held-out metric suite recorded at export time.
+    pub train_metrics: Vec<(String, f64)>,
+    /// Whether the pipeline's predictions depend on batch composition.
+    pub stochastic: bool,
+}
+
+struct LruState {
+    /// id → (last-use tick, worker).
+    map: HashMap<String, (u64, Arc<ModelWorker>)>,
+    tick: u64,
+}
+
+/// The server's model catalogue.
+pub struct Registry {
+    infos: BTreeMap<String, ModelInfo>,
+    loaded: Mutex<LruState>,
+    cfg: BatchConfig,
+    max_loaded: usize,
+    metrics: Arc<Metrics>,
+}
+
+impl Registry {
+    /// Scan `dir` for `*.flm` artifacts. Unreadable artifacts are reported
+    /// and skipped — one corrupt file must not take the server down.
+    pub fn scan(
+        dir: &Path,
+        cfg: BatchConfig,
+        max_loaded: usize,
+        metrics: Arc<Metrics>,
+    ) -> std::io::Result<Self> {
+        let mut infos = BTreeMap::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("flm") {
+                continue;
+            }
+            let Some(id) = path.file_stem().and_then(|s| s.to_str()).map(str::to_string)
+            else {
+                continue;
+            };
+            match ModelArtifact::load(&path) {
+                Ok(a) => {
+                    let stochastic = a.restore().is_stochastic();
+                    infos.insert(
+                        id.clone(),
+                        ModelInfo {
+                            id,
+                            path: path.clone(),
+                            approach: a.approach,
+                            stage: a.stage,
+                            dataset: a.dataset,
+                            seed: a.seed,
+                            train_rows: a.train_rows,
+                            train_metrics: a.train_metrics,
+                            stochastic,
+                        },
+                    );
+                }
+                Err(e) => eprintln!("[serve] skipping {}: {e}", path.display()),
+            }
+        }
+        Ok(Self {
+            infos,
+            loaded: Mutex::new(LruState { map: HashMap::new(), tick: 0 }),
+            cfg,
+            max_loaded: max_loaded.max(1),
+            metrics,
+        })
+    }
+
+    /// All known models, id-sorted.
+    pub fn list(&self) -> impl Iterator<Item = &ModelInfo> {
+        self.infos.values()
+    }
+
+    /// Number of artifacts discovered at scan.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Whether the scan found nothing.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Metadata for one model.
+    pub fn info(&self, id: &str) -> Option<&ModelInfo> {
+        self.infos.get(id)
+    }
+
+    /// The worker for `id`, loading the artifact (and evicting the
+    /// least-recently-used worker past capacity) if necessary. Loading
+    /// happens under the registry lock: a burst of first requests for the
+    /// same cold model deserializes it once, not once per request.
+    pub fn get(&self, id: &str) -> Result<Arc<ModelWorker>, ServeError> {
+        let info = self.infos.get(id).ok_or_else(|| {
+            ServeError::new(ErrorKind::UnknownModel, format!("no model {id:?}"))
+        })?;
+        let mut lru = self.loaded.lock().unwrap();
+        lru.tick += 1;
+        let tick = lru.tick;
+        if let Some((last_use, worker)) = lru.map.get_mut(id) {
+            *last_use = tick;
+            return Ok(worker.clone());
+        }
+        let artifact = ModelArtifact::load(&info.path).map_err(|e| {
+            ServeError::new(ErrorKind::Internal, format!("cannot load model {id:?}: {e}"))
+        })?;
+        let worker = Arc::new(ModelWorker::spawn(
+            id,
+            artifact.schema.clone(),
+            artifact.restore(),
+            self.cfg,
+            self.metrics.clone(),
+        ));
+        lru.map.insert(id.to_string(), (tick, worker.clone()));
+        while lru.map.len() > self.max_loaded {
+            let victim = lru
+                .map
+                .iter()
+                .min_by_key(|(_, (last_use, _))| *last_use)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty LRU");
+            // The worker is dropped outside any request's reply path; if
+            // a handler still holds its Arc, the executor survives until
+            // that request completes.
+            lru.map.remove(&victim);
+            self.metrics.record_eviction();
+        }
+        self.metrics.set_models_loaded(lru.map.len());
+        Ok(worker)
+    }
+
+    /// Unload everything, joining all executors. Called on drain.
+    pub fn shutdown(&self) {
+        let mut lru = self.loaded.lock().unwrap();
+        lru.map.clear();
+        self.metrics.set_models_loaded(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairlens_core::{baseline_approach, DataSchema};
+    use fairlens_synth::DatasetKind;
+
+    fn export(dir: &Path, id: &str, seed: u64) {
+        let data = DatasetKind::German.generate(200, seed);
+        let fitted = baseline_approach().fit(&data, seed).unwrap();
+        let artifact = ModelArtifact {
+            approach: "LR".into(),
+            stage: "baseline".into(),
+            dataset: "German".into(),
+            seed,
+            train_rows: data.n_rows() as u64,
+            train_metrics: vec![("accuracy".into(), 0.5)],
+            schema: DataSchema::of(&data),
+            pipeline: fitted.snapshot().unwrap(),
+        };
+        artifact.save(&dir.join(format!("{id}.flm"))).unwrap();
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("flm-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn scan_lists_and_skips_corrupt() {
+        let dir = temp_dir("scan");
+        export(&dir, "german-lr", 1);
+        export(&dir, "german-lr2", 2);
+        std::fs::write(dir.join("broken.flm"), "not json").unwrap();
+        std::fs::write(dir.join("ignored.txt"), "x").unwrap();
+        let reg =
+            Registry::scan(&dir, BatchConfig::default(), 4, Arc::new(Metrics::new())).unwrap();
+        let ids: Vec<&str> = reg.list().map(|i| i.id.as_str()).collect();
+        assert_eq!(ids, ["german-lr", "german-lr2"]);
+        assert_eq!(reg.info("german-lr").unwrap().approach, "LR");
+        assert!(reg.get("missing").is_err_and(|e| e.kind == ErrorKind::UnknownModel));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_worker() {
+        let dir = temp_dir("lru");
+        for (i, id) in ["a", "b", "c"].iter().enumerate() {
+            export(&dir, id, i as u64 + 1);
+        }
+        let metrics = Arc::new(Metrics::new());
+        let reg = Registry::scan(&dir, BatchConfig::default(), 2, metrics.clone()).unwrap();
+        let _a = reg.get("a").unwrap();
+        let _b = reg.get("b").unwrap();
+        let _a2 = reg.get("a").unwrap(); // refresh a: b is now coldest
+        let _c = reg.get("c").unwrap();
+        let text = metrics.render();
+        assert!(text.contains("fairlens_model_evictions_total 1"), "{text}");
+        assert!(text.contains("fairlens_models_loaded 2"), "{text}");
+        // The evicted model reloads transparently.
+        assert!(reg.get("b").is_ok());
+        reg.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

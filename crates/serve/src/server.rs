@@ -1,0 +1,365 @@
+//! The prediction server: listener, worker pool, routing, drain.
+//!
+//! Concurrency model: one blocking accept loop hands sockets to a fixed
+//! pool of connection workers over an mpsc channel (the receiver behind a
+//! mutex, the textbook `std` work queue); each worker speaks keep-alive
+//! HTTP/1.1 on its socket and blocks on the per-model executor for
+//! predictions. Sockets carry a 250 ms read timeout so idle keep-alive
+//! connections notice the shutdown flag promptly.
+//!
+//! Graceful shutdown (`POST /v1/shutdown` — `std` has no signal API, so
+//! the drain trigger is a route): set the flag, self-connect to wake the
+//! blocking accept, stop accepting, drop the queue sender so workers
+//! drain already-accepted connections, join the pool, unload the registry
+//! (joining every model executor), return `Ok(())`. In-flight requests
+//! complete and are answered; idle keep-alive connections close; new
+//! predict requests on draining connections get a structured 503.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fairlens_budget::Budget;
+use fairlens_json::{object, parse, Value};
+
+use crate::batcher::{BatchConfig, PredictJob};
+use crate::error::{ErrorKind, ServeError};
+use crate::http::{read_request, write_response, Limits, ReadOutcome, Request};
+use crate::metrics::Metrics;
+use crate::registry::{ModelInfo, Registry};
+
+const JSON: &str = "application/json";
+const PROM: &str = "text/plain; version=0.0.4";
+
+/// Server configuration (CLI flags map onto this one-to-one).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Directory of `.flm` artifacts.
+    pub models_dir: PathBuf,
+    /// Connection-worker threads.
+    pub workers: usize,
+    /// Batcher flush threshold, rows.
+    pub max_batch: usize,
+    /// Batcher flush window.
+    pub batch_wait: Duration,
+    /// Per-request prediction deadline.
+    pub deadline: Duration,
+    /// LRU capacity for resident models.
+    pub max_loaded: usize,
+    /// HTTP parsing limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8484".into(),
+            models_dir: PathBuf::from("models"),
+            workers: 4,
+            max_batch: 64,
+            batch_wait: Duration::from_millis(2),
+            deadline: Duration::from_secs(5),
+            max_loaded: 8,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Shared state for connection workers.
+struct Ctx {
+    registry: Registry,
+    metrics: Arc<Metrics>,
+    shutdown: AtomicBool,
+    deadline: Duration,
+    limits: Limits,
+    local_addr: SocketAddr,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<Ctx>,
+    workers: usize,
+}
+
+impl Server {
+    /// Bind the listener and scan the models directory.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Self> {
+        let metrics = Arc::new(Metrics::new());
+        let batch = BatchConfig { max_batch: cfg.max_batch.max(1), batch_wait: cfg.batch_wait };
+        let registry = Registry::scan(&cfg.models_dir, batch, cfg.max_loaded, metrics.clone())?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            ctx: Arc::new(Ctx {
+                registry,
+                metrics,
+                shutdown: AtomicBool::new(false),
+                deadline: cfg.deadline,
+                limits: cfg.limits,
+                local_addr,
+            }),
+            workers: cfg.workers.max(1),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.ctx.local_addr
+    }
+
+    /// The metric registry (shared with in-process tests).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.ctx.metrics.clone()
+    }
+
+    /// Serve until drained. Returns once a shutdown request has been
+    /// honoured: no accepting socket, no worker, no model executor left.
+    pub fn run(self) -> std::io::Result<()> {
+        eprintln!(
+            "[serve] listening on {} ({} model(s))",
+            self.ctx.local_addr,
+            self.ctx.registry.len(),
+        );
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::with_capacity(self.workers);
+        for i in 0..self.workers {
+            let rx = rx.clone();
+            let ctx = self.ctx.clone();
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-{i}"))
+                    .spawn(move || loop {
+                        // The temporary guard drops before handling, so
+                        // only the dequeue is serialized.
+                        let stream = match rx.lock().unwrap().recv() {
+                            Ok(s) => s,
+                            Err(_) => return,
+                        };
+                        handle_connection(stream, &ctx);
+                    })?,
+            );
+        }
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) => {
+                    if self.ctx.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    eprintln!("[serve] accept error: {e}");
+                    continue;
+                }
+            };
+            if self.ctx.shutdown.load(Ordering::SeqCst) {
+                // The self-connect wake (or a late client); stop accepting.
+                drop(stream);
+                break;
+            }
+            let _ = tx.send(stream);
+        }
+        drop(tx); // workers drain accepted connections, then exit
+        for h in pool {
+            let _ = h.join();
+        }
+        self.ctx.registry.shutdown(); // joins every model executor
+        eprintln!("[serve] drained, bye");
+        Ok(())
+    }
+}
+
+/// Speak keep-alive HTTP on one socket until close, error, or drain.
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    // The read timeout is the shutdown-poll tick for idle keep-alives.
+    if stream.set_read_timeout(Some(Duration::from_millis(250))).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let abandon_when_idle =
+            |started: bool| ctx.shutdown.load(Ordering::SeqCst) && !started;
+        match read_request(&mut reader, &ctx.limits, abandon_when_idle) {
+            Ok(ReadOutcome::Closed) => return,
+            Err(e) => {
+                // Framing errors poison the stream: answer, then close.
+                ctx.metrics.record_error(e.kind.name());
+                ctx.metrics.record_request("parse-error", e.kind.status(), 0.0);
+                let _ =
+                    write_response(&mut writer, e.kind.status(), JSON, e.to_json().as_bytes(), true);
+                return;
+            }
+            Ok(ReadOutcome::Complete(req)) => {
+                let t0 = Instant::now();
+                let (status, content_type, body) = match route(ctx, &req) {
+                    Ok((status, content_type, body)) => (status, content_type, body),
+                    Err(e) => {
+                        ctx.metrics.record_error(e.kind.name());
+                        (e.kind.status(), JSON, e.to_json())
+                    }
+                };
+                // Draining connections close after the in-flight answer.
+                let close = req.close || ctx.shutdown.load(Ordering::SeqCst);
+                ctx.metrics.record_request(
+                    route_label(&req.path),
+                    status,
+                    t0.elapsed().as_secs_f64(),
+                );
+                if write_response(&mut writer, status, content_type, body.as_bytes(), close)
+                    .is_err()
+                    || close
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Known paths keep their own metric label; the rest share one so a
+/// path-scanning client cannot explode series cardinality.
+fn route_label(path: &str) -> &str {
+    match path {
+        "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/shutdown" => path,
+        _ => "other",
+    }
+}
+
+fn route(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            Ok((200, JSON, object([("status", Value::String("ok".into()))]).to_json()))
+        }
+        ("GET", "/metrics") => Ok((200, PROM, ctx.metrics.render())),
+        ("GET", "/v1/models") => Ok((200, JSON, models_body(ctx))),
+        ("POST", "/v1/predict") => {
+            if ctx.shutdown.load(Ordering::SeqCst) {
+                return Err(ServeError::new(
+                    ErrorKind::ShuttingDown,
+                    "server is draining; no new predictions",
+                ));
+            }
+            predict(ctx, req)
+        }
+        ("POST", "/v1/shutdown") => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            // Wake the blocking accept so the drain starts immediately.
+            let _ = TcpStream::connect(ctx.local_addr);
+            Ok((200, JSON, object([("status", Value::String("shutting down".into()))]).to_json()))
+        }
+        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/shutdown") => {
+            Err(ServeError::new(
+                ErrorKind::MethodNotAllowed,
+                format!("{} does not support {}", req.path, req.method),
+            ))
+        }
+        _ => Err(ServeError::new(ErrorKind::NotFound, format!("no route {}", req.path))),
+    }
+}
+
+fn model_value(info: &ModelInfo) -> Value {
+    object([
+        ("id", Value::String(info.id.clone())),
+        ("approach", Value::String(info.approach.clone())),
+        ("stage", Value::String(info.stage.clone())),
+        ("dataset", Value::String(info.dataset.clone())),
+        ("seed", Value::Integer(info.seed)),
+        ("train_rows", Value::Integer(info.train_rows)),
+        ("stochastic", Value::Bool(info.stochastic)),
+        (
+            "train_metrics",
+            Value::Object(
+                info.train_metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from_f64(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn models_body(ctx: &Ctx) -> String {
+    let models: Vec<Value> = ctx.registry.list().map(model_value).collect();
+    object([
+        ("count", Value::Integer(models.len() as u64)),
+        ("models", Value::Array(models)),
+    ])
+    .to_json()
+}
+
+/// `POST /v1/predict`: `{"model": id, "rows": [...]}` (batch) or
+/// `{"model": id, "row": {...}}` (single).
+fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ServeError::bad_request("body is not UTF-8"))?;
+    let v = parse(text).map_err(|e| ServeError::bad_request(format!("invalid JSON: {e}")))?;
+    let model_id = v
+        .get("model")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::bad_request("missing string field \"model\""))?;
+    let (rows, singular) = match (v.get("row"), v.get("rows")) {
+        (Some(row), None) => (std::slice::from_ref(row).to_vec(), true),
+        (None, Some(Value::Array(rows))) => (rows.clone(), false),
+        (None, Some(other)) => {
+            return Err(ServeError::bad_request(format!(
+                "\"rows\" must be an array, got {}",
+                other.kind_name()
+            )))
+        }
+        (Some(_), Some(_)) => {
+            return Err(ServeError::bad_request("give either \"row\" or \"rows\", not both"))
+        }
+        (None, None) => Err(ServeError::bad_request("missing \"row\" or \"rows\""))?,
+    };
+    if rows.is_empty() {
+        return Err(ServeError::bad_request("\"rows\" is empty"));
+    }
+
+    let worker = ctx.registry.get(model_id)?;
+    let data = worker.schema.dataset_from_rows(&rows).map_err(ServeError::bad_request)?;
+    let budget = Budget::new();
+    let (reply, rx) = mpsc::sync_channel(1);
+    worker.submit(PredictJob { data, reply, budget: budget.clone() })?;
+    let out = match rx.recv_timeout(ctx.deadline) {
+        Ok(result) => result?,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // The executor skips the job at dequeue (or unwinds at the
+            // next checkpoint if it is mid-flush on this lone job).
+            budget.cancel();
+            return Err(ServeError::new(
+                ErrorKind::TimedOut,
+                format!("no prediction within {:.1}s", ctx.deadline.as_secs_f64()),
+            ));
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            return Err(ServeError::new(ErrorKind::Internal, "model executor is gone"))
+        }
+    };
+
+    let body = if singular {
+        object([
+            ("model", Value::String(model_id.into())),
+            ("prediction", Value::Integer(u64::from(out.labels[0]))),
+            ("score", Value::from_f64(out.scores[0])),
+        ])
+    } else {
+        object([
+            ("model", Value::String(model_id.into())),
+            ("count", Value::Integer(out.labels.len() as u64)),
+            (
+                "predictions",
+                Value::Array(out.labels.iter().map(|&l| Value::Integer(u64::from(l))).collect()),
+            ),
+            ("scores", Value::from_f64s(out.scores.iter().copied())),
+        ])
+    };
+    Ok((200, JSON, body.to_json()))
+}

@@ -1,0 +1,392 @@
+//! End-to-end tests: a real server on an ephemeral port, a real client
+//! over TCP, and byte-identical agreement with offline prediction.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use fairlens_core::{
+    all_approaches, baseline_approach, DataSchema, FittedPipeline, ModelArtifact,
+};
+use fairlens_json::{object, parse, Value};
+use fairlens_serve::{ServeConfig, Server};
+use fairlens_synth::DatasetKind;
+
+// ---------------------------------------------------------------------------
+// Harness
+
+fn temp_models_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flm-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Fit `approach_name` on German(300) and save it as `{id}.flm`,
+/// returning the fitted pipeline for offline comparison.
+fn export(dir: &Path, id: &str, approach_name: &str, seed: u64) -> (FittedPipeline, DataSchema) {
+    let data = DatasetKind::German.generate(300, seed);
+    let approach = std::iter::once(baseline_approach())
+        .chain(all_approaches(DatasetKind::German.salimi_inadmissible()))
+        .find(|a| a.name == approach_name)
+        .unwrap_or_else(|| panic!("no approach {approach_name:?}"));
+    let fitted = approach.fit(&data, seed).unwrap();
+    let schema = DataSchema::of(&data);
+    let artifact = ModelArtifact {
+        approach: approach.name.to_string(),
+        stage: approach.stage.label().to_string(),
+        dataset: "German".into(),
+        seed,
+        train_rows: data.n_rows() as u64,
+        train_metrics: vec![("accuracy".into(), 0.75)],
+        schema: schema.clone(),
+        pipeline: fitted.snapshot().unwrap(),
+    };
+    artifact.save(&dir.join(format!("{id}.flm"))).unwrap();
+    (fitted, schema)
+}
+
+/// Launch a server on an ephemeral port; returns its address and the
+/// thread running `Server::run`.
+fn launch(dir: &Path, tweak: impl FnOnce(&mut ServeConfig)) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        models_dir: dir.to_path_buf(),
+        ..ServeConfig::default()
+    };
+    tweak(&mut cfg);
+    let server = Server::bind(cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// Minimal keep-alive client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn open(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        Self { reader: BufReader::new(stream.try_clone().unwrap()), writer: stream }
+    }
+
+    fn send_raw(&mut self, raw: &str) {
+        self.writer.write_all(raw.as_bytes()).unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Value) {
+        self.send_raw(&format!(
+            "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> (u16, Value) {
+        let (status, body) = self.read_response_text();
+        let v = if body.trim_start().starts_with('{') {
+            parse(&body).unwrap_or(Value::Null)
+        } else {
+            Value::String(body)
+        };
+        (status, v)
+    }
+
+    fn read_response_text(&mut self) -> (u16, String) {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        let status: u16 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).unwrap();
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    }
+}
+
+fn one_shot(addr: &str, method: &str, path: &str, body: &str) -> (u16, Value) {
+    Client::open(addr).request(method, path, body)
+}
+
+/// Schema-shaped JSON rows from the first `n` rows of a German sample.
+fn sample_rows(n: usize, seed: u64) -> Vec<Value> {
+    use fairlens_frame::Column;
+    let pool = DatasetKind::German.generate(64.max(n), seed);
+    (0..n)
+        .map(|r| {
+            let mut fields: Vec<(String, Value)> = pool
+                .columns()
+                .iter()
+                .zip(pool.attr_names())
+                .map(|(col, name)| {
+                    let v = match col {
+                        Column::Numeric(xs) => Value::Number(xs[r]),
+                        Column::Categorical { codes, levels } => {
+                            Value::String(levels[codes[r] as usize].clone())
+                        }
+                    };
+                    (name.clone(), v)
+                })
+                .collect();
+            fields.push((
+                pool.sensitive_name().to_string(),
+                Value::Integer(u64::from(pool.sensitive()[r])),
+            ));
+            Value::Object(fields)
+        })
+        .collect()
+}
+
+fn predict_body(model: &str, rows: &[Value]) -> String {
+    object([
+        ("model", Value::String(model.into())),
+        ("rows", Value::Array(rows.to_vec())),
+    ])
+    .to_json()
+}
+
+fn shutdown_and_join(
+    addr: &str,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let (status, _) = one_shot(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().unwrap().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+
+#[test]
+fn health_models_and_metrics_respond() {
+    let dir = temp_models_dir("basic");
+    export(&dir, "german-lr", "LR", 11);
+    let (addr, handle) = launch(&dir, |_| {});
+
+    let (status, v) = one_shot(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+
+    let (status, v) = one_shot(&addr, "GET", "/v1/models", "");
+    assert_eq!(status, 200);
+    let models = v.get("models").cloned().unwrap().into_array().unwrap();
+    assert_eq!(models.len(), 1);
+    let m = &models[0];
+    assert_eq!(m.get("id").and_then(Value::as_str), Some("german-lr"));
+    assert_eq!(m.get("dataset").and_then(Value::as_str), Some("German"));
+    assert!(m.get("train_metrics").unwrap().get("accuracy").is_some());
+
+    let (status, text) = Client::open(&addr).request("GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let Value::String(text) = text else { panic!("metrics is not JSON") };
+    assert!(text.contains("fairlens_requests_total"), "{text}");
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn served_predictions_match_offline_predict_bit_exactly() {
+    let dir = temp_models_dir("exact");
+    let (fitted, schema) = export(&dir, "german-lr", "LR", 13);
+    let (addr, handle) = launch(&dir, |_| {});
+
+    let rows = sample_rows(24, 99);
+    let offline = schema.dataset_from_rows(&rows).unwrap();
+    let want_labels = fitted.predict(&offline);
+    let want_scores = fitted.predict_proba(&offline);
+
+    // Batch request.
+    let (status, v) = one_shot(&addr, "POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(v.get("count").cloned().unwrap().into_u64().unwrap(), 24);
+    let labels: Vec<u8> = v
+        .get("predictions")
+        .cloned()
+        .unwrap()
+        .into_array()
+        .unwrap()
+        .into_iter()
+        .map(|x| x.into_u64().unwrap() as u8)
+        .collect();
+    let scores = v.get("scores").cloned().unwrap().into_f64s().unwrap();
+    assert_eq!(labels, want_labels);
+    assert_eq!(
+        scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        want_scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        "served scores must round-trip bit-exactly"
+    );
+
+    // Single-row request.
+    let body = object([
+        ("model", Value::String("german-lr".into())),
+        ("row", rows[0].clone()),
+    ])
+    .to_json();
+    let (status, v) = one_shot(&addr, "POST", "/v1/predict", &body);
+    assert_eq!(status, 200);
+    assert_eq!(v.get("prediction").cloned().unwrap().into_u64().unwrap() as u8, want_labels[0]);
+    assert_eq!(
+        v.get("score").cloned().unwrap().into_f64().unwrap().to_bits(),
+        want_scores[0].to_bits()
+    );
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stochastic_postprocessors_match_offline_per_request() {
+    let dir = temp_models_dir("hardt");
+    let (fitted, schema) = export(&dir, "german-hardt", "Hardt^EO", 17);
+    let (addr, handle) = launch(&dir, |_| {});
+
+    // Hardt's rule draws from an RNG keyed on (seed, batch rows): served
+    // predictions must match an offline call on exactly this row set,
+    // which also proves the batcher did not merge it with anything else.
+    for n in [1usize, 7] {
+        let rows = sample_rows(n, 3 + n as u64);
+        let offline = schema.dataset_from_rows(&rows).unwrap();
+        let want = fitted.predict(&offline);
+        let (status, v) =
+            one_shot(&addr, "POST", "/v1/predict", &predict_body("german-hardt", &rows));
+        assert_eq!(status, 200, "{v:?}");
+        let labels: Vec<u8> = v
+            .get("predictions")
+            .cloned()
+            .unwrap()
+            .into_array()
+            .unwrap()
+            .into_iter()
+            .map(|x| x.into_u64().unwrap() as u8)
+            .collect();
+        assert_eq!(labels, want, "n={n}");
+    }
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn errors_are_structured_and_never_close_the_connection() {
+    let dir = temp_models_dir("errors");
+    export(&dir, "german-lr", "LR", 19);
+    let (addr, handle) = launch(&dir, |_| {});
+    let mut client = Client::open(&addr);
+
+    let kind_of = |v: &Value| {
+        v.get("error").and_then(|e| e.get("kind")).and_then(Value::as_str).map(str::to_string)
+    };
+
+    // Malformed JSON → 400, connection stays usable.
+    let (status, v) = client.request("POST", "/v1/predict", "{not json");
+    assert_eq!(status, 400);
+    assert_eq!(kind_of(&v).as_deref(), Some("bad_request"));
+
+    // Unknown model → 404 on the same connection.
+    let rows = sample_rows(2, 5);
+    let (status, v) = client.request("POST", "/v1/predict", &predict_body("nope", &rows));
+    assert_eq!(status, 404);
+    assert_eq!(kind_of(&v).as_deref(), Some("unknown_model"));
+
+    // Bad row (unknown attribute) → row-addressed 400.
+    let bad = object([("model", Value::String("german-lr".into())), (
+        "rows",
+        Value::Array(vec![object([("bogus_attr", Value::Number(1.0))])]),
+    )]);
+    let (status, v) = client.request("POST", "/v1/predict", &bad.to_json());
+    assert_eq!(status, 400);
+    let msg = v.get("error").unwrap().get("message").unwrap().as_str().unwrap().to_string();
+    assert!(msg.contains("row 0"), "{msg}");
+
+    // Missing rows → 400; wrong method → 405; unknown route → 404.
+    let (status, v) =
+        client.request("POST", "/v1/predict", "{\"model\": \"german-lr\"}");
+    assert_eq!(status, 400);
+    assert_eq!(kind_of(&v).as_deref(), Some("bad_request"));
+    let (status, v) = client.request("GET", "/v1/predict", "");
+    assert_eq!(status, 405);
+    assert_eq!(kind_of(&v).as_deref(), Some("method_not_allowed"));
+    let (status, v) = client.request("GET", "/v1/nothing", "");
+    assert_eq!(status, 404);
+    assert_eq!(kind_of(&v).as_deref(), Some("not_found"));
+
+    // After all that, the same connection still serves a good request.
+    let (status, _) =
+        client.request("POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 200);
+
+    // Oversized declared body → 413 before any body byte is read (fresh
+    // connection: framing errors do close).
+    let mut big = Client::open(&addr);
+    big.send_raw("POST /v1/predict HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n");
+    let (status, v) = big.read_response();
+    assert_eq!(status, 413);
+    assert_eq!(kind_of(&v).as_deref(), Some("payload_too_large"));
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_deadline_times_out_with_504() {
+    let dir = temp_models_dir("deadline");
+    export(&dir, "german-lr", "LR", 23);
+    let (addr, handle) = launch(&dir, |cfg| cfg.deadline = Duration::ZERO);
+
+    let rows = sample_rows(4, 7);
+    let (status, v) = one_shot(&addr, "POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 504, "{v:?}");
+    assert_eq!(
+        v.get("error").and_then(|e| e.get("kind")).and_then(Value::as_str),
+        Some("timed_out")
+    );
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_and_refuses_new_work() {
+    let dir = temp_models_dir("drain");
+    export(&dir, "german-lr", "LR", 29);
+    let (addr, handle) = launch(&dir, |_| {});
+
+    // A keep-alive connection opened before the drain trigger: its
+    // in-flight request after shutdown gets a structured 503, not a reset.
+    let mut survivor = Client::open(&addr);
+    let (status, _) = survivor.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    let (status, _) = one_shot(&addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+
+    let rows = sample_rows(2, 31);
+    let (status, v) =
+        survivor.request("POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 503, "{v:?}");
+    assert_eq!(
+        v.get("error").and_then(|e| e.get("kind")).and_then(Value::as_str),
+        Some("shutting_down")
+    );
+
+    // run() returns Ok once drained; afterwards the port is closed.
+    handle.join().unwrap().unwrap();
+    assert!(TcpStream::connect(&addr).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -156,9 +156,9 @@ mod tests {
         let u = [1.0, 2.0, 3.0];
         let vv = [4.0, 5.0];
         let mut v = Matrix::zeros(3, 2);
-        for i in 0..3 {
-            for j in 0..2 {
-                v.set(i, j, u[i] * vv[j]);
+        for (i, &ui) in u.iter().enumerate() {
+            for (j, &vj) in vv.iter().enumerate() {
+                v.set(i, j, ui * vj);
             }
         }
         let r = nmf(&v, &NmfOptions { rank: 1, max_iter: 2000, ..Default::default() });

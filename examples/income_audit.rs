@@ -33,7 +33,7 @@ fn main() {
         "approach", "DI", "DI*", "1-|CRD|"
     );
 
-    let mut show = |name: &str, fitted: &FittedPipeline| {
+    let show = |name: &str, fitted: &FittedPipeline| {
         let preds = fitted.predict(&test);
         let di = disparate_impact(&preds, test.sensitive());
         let di_s = di_star(&preds, test.sensitive());

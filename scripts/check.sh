@@ -68,6 +68,47 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
         exit 1
     fi
     echo "    ok: resumed run matches the reference"
+
+    echo "==> serving smoke (export German models, loadgen 1000 reqs, drain)"
+    # Export a handful of German artifacts, boot the prediction server on
+    # an ephemeral port, fire a 4-connection keep-alive mix of single and
+    # batch predicts (loadgen exits non-zero on any non-200), check the
+    # metrics moved, and drain via POST /v1/shutdown; the server must
+    # exit 0 with no connection resets.
+    models_dir="$smoke_out/models"
+    cargo run --release -p fairlens-bench --bin export_models -- \
+        --scale quick --out "$models_dir" --datasets German \
+        --approaches 'LR,Feld^DP(1.0),Hardt^EO' >/dev/null 2>&1
+    serve_log="$smoke_out/serve.log"
+    cargo run --release -p fairlens-serve -- \
+        --addr 127.0.0.1:0 --models "$models_dir" 2> "$serve_log" &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^\[serve\] listening on \([0-9.:]*\).*$/\1/p' "$serve_log")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "serve smoke FAILED: server never announced its address" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$addr" --requests 1000 --conns 4 2> "$smoke_out/loadgen.log" \
+        || { echo "serve smoke FAILED:" >&2; cat "$smoke_out/loadgen.log" >&2; exit 1; }
+    curl -s "http://$addr/metrics" > "$smoke_out/metrics.txt"
+    grep -q 'fairlens_requests_total{route="/v1/predict",status="200"} 1000' \
+        "$smoke_out/metrics.txt" \
+        || { echo "serve smoke FAILED: predict counter did not reach 1000" >&2; exit 1; }
+    curl -s -X POST "http://$addr/v1/shutdown" >/dev/null
+    if ! wait "$serve_pid"; then
+        echo "serve smoke FAILED: server exited non-zero" >&2
+        exit 1
+    fi
+    grep -q '\[serve\] drained, bye' "$serve_log" \
+        || { echo "serve smoke FAILED: no drain marker in the log" >&2; exit 1; }
+    echo "    ok: 1000 requests served, metrics moved, clean drain"
 fi
 
 echo "All checks passed."

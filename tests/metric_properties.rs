@@ -76,7 +76,7 @@ proptest! {
     #[test]
     fn perfect_predictions_have_perfect_correctness((y, _p, s) in labelled_predictions()) {
         let r = MetricReport::from_predictions(&y, &y, &s, 0.0, 0.0);
-        if y.iter().any(|&v| v == 1) && y.iter().any(|&v| v == 0) {
+        if y.contains(&1) && y.contains(&0) {
             prop_assert_eq!(r.accuracy, 1.0);
             prop_assert_eq!(r.f1, 1.0);
         }
