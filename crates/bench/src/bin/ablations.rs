@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run --release -p fairlens-bench --bin ablations \
 //!     [-- [--threads N] [--seed S] [--out DIR] [--cell-timeout SECS] \
-//!         [--retries N] [--resume PATH] [zafar|salimi|cd|thomas|all]]
+//!         [--retries N] [--resume PATH] [--trace PATH] [zafar|salimi|cd|thomas|all]]
 //! ```
 //!
 //! * `zafar`  — the covariance-tolerance knob `c`: the accuracy↔parity
@@ -41,7 +41,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const USAGE: &str = "ablations [--threads N] [--seed S] [--out DIR] [--cell-timeout SECS] \
-                     [--retries N] [--resume PATH] [zafar|salimi|cd|thomas|all]";
+                     [--retries N] [--resume PATH] [--trace PATH] [zafar|salimi|cd|thomas|all]";
 
 fn main() {
     let args = CommonArgs::from_env(USAGE);
@@ -76,6 +76,10 @@ fn main() {
 
     if needs_runner {
         fairlens_bench::cli::announce_run("ablations", &out, &agg);
+        if let Err(e) = args.finish_trace(&policy) {
+            eprintln!("[ablations] {e}");
+            std::process::exit(1);
+        }
     }
 }
 

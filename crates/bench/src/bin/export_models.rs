@@ -8,7 +8,7 @@
 //! can load and predict from byte-identically.
 //!
 //! ```text
-//! export_models [--scale quick|paper] [--seed S] [--out DIR]
+//! export_models [--scale quick|paper] [--seed S] [--out DIR] [--trace PATH]
 //!               [--datasets German,Adult] [--approaches LR,Hardt^EO]
 //! ```
 //!
@@ -29,7 +29,7 @@ use fairlens_synth::{DatasetKind, ALL_DATASETS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const USAGE: &str = "export_models [--scale quick|paper] [--seed S] [--out DIR] \
+const USAGE: &str = "export_models [--scale quick|paper] [--seed S] [--out DIR] [--trace PATH] \
                      [--datasets NAMES] [--approaches NAMES]";
 
 /// `<dataset>-<approach>.flm`, lowercased with `^`/spaces/`/` folded to `-`
@@ -101,15 +101,24 @@ fn main() {
         }
     };
 
+    // export_models bypasses the Runner, so it drives its own trace sink:
+    // one data track per dataset, one cell track per exported model.
+    let trace = args.trace.as_ref().map(|_| fairlens_trace::TraceSink::new());
+
     let mut exported = 0usize;
     let mut skipped = 0usize;
     for kind in datasets {
         let name = kind.name();
         let rows = args.scale.rows(kind);
-        let data = kind.generate(rows, dataset_seed(args.seed, name));
-        let mut split_rng = StdRng::seed_from_u64(fold_seed(args.seed, name, 0));
-        let (train, test) = split::train_test_split(&data, 0.3, &mut split_rng);
-        let schema = DataSchema::of(&train);
+        let (train, test, schema) = {
+            let _collect = trace.as_ref().map(|s| s.collect(format!("data/{name}/r{rows}")));
+            let _synth = fairlens_trace::span("synth");
+            let data = kind.generate(rows, dataset_seed(args.seed, name));
+            let mut split_rng = StdRng::seed_from_u64(fold_seed(args.seed, name, 0));
+            let (train, test) = split::train_test_split(&data, 0.3, &mut split_rng);
+            let schema = DataSchema::of(&train);
+            (train, test, schema)
+        };
 
         // Per-dataset resolution so the Salimi variants pick up the
         // dataset's inadmissible attributes.
@@ -125,8 +134,19 @@ fn main() {
 
         for approach in approaches {
             let seed = cell_seed(args.seed, approach.name, name, 0);
+            let _collect = trace.as_ref().map(|s| {
+                s.collect(format!(
+                    "cell/{name}/r{rows}/a{}/f0/{}",
+                    train.n_attrs(),
+                    approach.name
+                ))
+            });
             let t0 = Instant::now();
-            let fitted = match approach.fit(&train, seed) {
+            let fit_result = {
+                let _span = fairlens_trace::span("fit");
+                approach.fit(&train, seed)
+            };
+            let fitted = match fit_result {
                 Ok(f) => f,
                 Err(e) => {
                     eprintln!("[export_models] skip {name}/{}: fit failed: {e}", approach.name);
@@ -142,8 +162,14 @@ fn main() {
                     continue;
                 }
             };
-            let preds = fitted.predict(&test);
-            let report = metric_suite(&fitted, kind, &test, &preds, seed, PAPER_CD_BOUNDS);
+            let preds = {
+                let _span = fairlens_trace::span("predict");
+                fitted.predict(&test)
+            };
+            let report = {
+                let _span = fairlens_trace::span("metrics");
+                metric_suite(&fitted, kind, &test, &preds, seed, PAPER_CD_BOUNDS)
+            };
             let artifact = ModelArtifact {
                 approach: approach.name.to_string(),
                 stage: approach.stage.label().to_string(),
@@ -174,6 +200,20 @@ fn main() {
     }
 
     announce_output("export_models", &out_dir, exported);
+    if let (Some(path), Some(sink)) = (&args.trace, &trace) {
+        let collapsed = path.with_extension("collapsed");
+        if let Err(e) =
+            sink.write_jsonl(path).and_then(|()| sink.write_collapsed(&collapsed))
+        {
+            eprintln!("[export_models] cannot write trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[trace] wrote {} (flamegraph stacks: {})",
+            path.display(),
+            collapsed.display()
+        );
+    }
     if skipped > 0 {
         eprintln!("[export_models] {skipped} cell(s) skipped");
     }

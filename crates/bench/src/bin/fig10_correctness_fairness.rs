@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run --release -p fairlens-bench --bin fig10_correctness_fairness \
 //!     [-- [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
-//!         [--cell-timeout SECS] [--retries N] [--resume PATH] [dataset]]
+//!         [--cell-timeout SECS] [--retries N] [--resume PATH] [--trace PATH] [dataset]]
 //! ```
 //!
 //! `--scale quick` caps dataset sizes at 8 000 rows (same qualitative
@@ -24,7 +24,8 @@ use fairlens_core::all_approaches;
 use fairlens_synth::{DatasetKind, ALL_DATASETS};
 
 const USAGE: &str = "fig10_correctness_fairness [--threads N] [--seed S] [--scale quick|paper] \
-                     [--out DIR] [--cell-timeout SECS] [--retries N] [--resume PATH] [dataset]";
+                     [--out DIR] [--cell-timeout SECS] [--retries N] [--resume PATH] \
+                     [--trace PATH] [dataset]";
 
 fn main() {
     let args = CommonArgs::from_env(USAGE);
@@ -106,4 +107,8 @@ fn main() {
     }
 
     fairlens_bench::cli::announce_run("fig10", &out, &batch);
+    if let Err(e) = args.finish_trace(&policy) {
+        eprintln!("[fig10] {e}");
+        std::process::exit(1);
+    }
 }

@@ -10,7 +10,8 @@
 //! ```text
 //! cargo run --release -p fairlens-bench --bin fig11_scalability \
 //!     [-- [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
-//!         [--cell-timeout SECS] [--retries N] [--resume PATH] [size|attrs|both]]
+//!         [--cell-timeout SECS] [--retries N] [--resume PATH] [--trace PATH] \
+//!         [size|attrs|both]]
 //! ```
 //!
 //! `--scale quick` halves the sweep (sizes up to 10 K, attributes up to 22)
@@ -29,7 +30,8 @@ use fairlens_core::{all_approaches, Stage};
 use fairlens_synth::DatasetKind;
 
 const USAGE: &str = "fig11_scalability [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
-                     [--cell-timeout SECS] [--retries N] [--resume PATH] [size|attrs|both]";
+                     [--cell-timeout SECS] [--retries N] [--resume PATH] [--trace PATH] \
+                     [size|attrs|both]";
 
 fn main() {
     let args = CommonArgs::from_env(USAGE);
@@ -61,6 +63,10 @@ fn main() {
     }
 
     fairlens_bench::cli::announce_run("fig11", &out, &agg);
+    if let Err(e) = args.finish_trace(&policy) {
+        eprintln!("[fig11] {e}");
+        std::process::exit(1);
+    }
 }
 
 /// Run one timing-only spec per sweep point; cells within a point are

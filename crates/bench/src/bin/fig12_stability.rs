@@ -10,7 +10,7 @@
 //! ```text
 //! cargo run --release -p fairlens-bench --bin fig12_stability \
 //!     [-- [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
-//!         [--cell-timeout SECS] [--retries N] [--resume PATH] \
+//!         [--cell-timeout SECS] [--retries N] [--resume PATH] [--trace PATH] \
 //!         [adult|compas|german|credit|all] [--headline]]
 //! ```
 //!
@@ -27,7 +27,7 @@ use fairlens_synth::{DatasetKind, ALL_DATASETS};
 const FOLDS: usize = 10;
 
 const USAGE: &str = "fig12_stability [--threads N] [--seed S] [--scale quick|paper] [--out DIR] \
-                     [--cell-timeout SECS] [--retries N] [--resume PATH] \
+                     [--cell-timeout SECS] [--retries N] [--resume PATH] [--trace PATH] \
                      [adult|compas|german|credit|all] [--headline]";
 
 fn main() {
@@ -78,6 +78,10 @@ fn main() {
     }
 
     fairlens_bench::cli::announce_run("stability", &out, &batch);
+    if let Err(e) = args.finish_trace(&policy) {
+        eprintln!("[stability] {e}");
+        std::process::exit(1);
+    }
 }
 
 fn print_panel(kind: DatasetKind, records: &[&RunRecord], headline: bool) {

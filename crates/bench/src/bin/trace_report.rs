@@ -1,0 +1,322 @@
+//! Aggregate a `--trace` JSONL file into a per-approach × per-phase
+//! breakdown — the Fig. 11 efficiency narrative at phase granularity.
+//!
+//! ```text
+//! trace_report PATH [--results PATH]
+//! ```
+//!
+//! Reads the trace written by a figure binary (or `export_models` /
+//! `fairlens-serve`) and prints, per approach: total time in each of the
+//! five pipeline phases (`synth`, `encode`, `fit`, `predict`, `metrics`),
+//! solver iteration counters, and convergence events. `synth` is recorded
+//! on the `data/...` tracks (dataset materialisation is shared by all
+//! approaches), the rest on the `cell/...` tracks. A quantile table of
+//! per-cell fit durations (bracketed, from the fixed-bound histogram)
+//! closes the report.
+//!
+//! With `--results <file.jsonl>` the report cross-checks the trace against
+//! the `RunRecord` wall-clocks: for every cell track with a matching
+//! record, the traced `fit`+`predict` time must agree with the record's
+//! `fit_ms`+`predict_ms` within max(5 %, 1 ms). Disagreement is reported
+//! and makes the binary exit 1 — the check `scripts/check.sh` leans on.
+//!
+//! Exit codes: 0 = report printed (and any cross-check passed); 1 =
+//! cross-check failed; 2 = unreadable/unparseable input.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use fairlens_bench::{read_jsonl_lossy, RunRecord};
+use fairlens_trace::{parse_jsonl, Histogram, TraceEvent, TrackData};
+
+const USAGE: &str = "trace_report PATH [--results PATH]";
+
+/// The pipeline phases, in execution order. The report always prints all
+/// five, even when a phase recorded nothing (e.g. `metrics` in a
+/// timing-only Fig. 11 trace).
+const PHASES: [&str; 5] = ["synth", "encode", "fit", "predict", "metrics"];
+
+/// Identity fields parsed back out of a `cell/...` track name
+/// (`cell/<dataset>/r<rows>/a<attrs>/f<fold>/<approach>`).
+struct CellId<'a> {
+    dataset: &'a str,
+    rows: usize,
+    attrs: usize,
+    fold: usize,
+    approach: &'a str,
+}
+
+fn parse_cell_track(track: &str) -> Option<CellId<'_>> {
+    let mut parts = track.strip_prefix("cell/")?.splitn(5, '/');
+    let dataset = parts.next()?;
+    let rows = parts.next()?.strip_prefix('r')?.parse().ok()?;
+    let attrs = parts.next()?.strip_prefix('a')?.parse().ok()?;
+    let fold = parts.next()?.strip_prefix('f')?.parse().ok()?;
+    let approach = parts.next()?;
+    Some(CellId { dataset, rows, attrs, fold, approach })
+}
+
+/// Sum the duration of every span named `name` that closes at top level
+/// (nesting depth returns to zero), plus depth-0 `Complete` spans. Nested
+/// occurrences (e.g. `encode` inside `fit`) are excluded so phase sums
+/// don't double-count.
+fn top_level_us(events: &[TraceEvent], name: &str) -> u64 {
+    let mut depth = 0usize;
+    let mut total = 0u64;
+    for e in events {
+        match e {
+            TraceEvent::Enter { .. } => depth += 1,
+            TraceEvent::Exit { name: n, dur_us, .. } => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && n == name {
+                    total += dur_us;
+                }
+            }
+            TraceEvent::Complete { name: n, dur_us, .. } if depth == 0 && n == name => {
+                total += dur_us;
+            }
+            _ => {}
+        }
+    }
+    total
+}
+
+/// Sum every span named `name` at any depth (used for `encode`, which
+/// nests inside `fit`).
+fn any_depth_us(events: &[TraceEvent], name: &str) -> u64 {
+    events
+        .iter()
+        .filter(|e| e.name() == name)
+        .filter_map(TraceEvent::dur_us)
+        .sum()
+}
+
+#[derive(Default)]
+struct ApproachAgg {
+    cells: usize,
+    phase_us: BTreeMap<&'static str, u64>,
+    counters: BTreeMap<String, u64>,
+    events: BTreeMap<String, u64>,
+    fit_samples: Vec<f64>,
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1e3)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let results: Option<PathBuf> = match args.iter().position(|a| a == "--results") {
+        Some(pos) => {
+            if pos + 1 >= args.len() {
+                eprintln!("error: --results needs a value\nusage: {USAGE}");
+                std::process::exit(2);
+            }
+            let v = args.remove(pos + 1);
+            args.remove(pos);
+            Some(PathBuf::from(v))
+        }
+        None => None,
+    };
+    let [path] = args.as_slice() else {
+        eprintln!("usage: {USAGE}");
+        std::process::exit(2);
+    };
+    let path = Path::new(path);
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    let tracks = match parse_jsonl(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+
+    // -- aggregate ---------------------------------------------------------
+    let mut per_approach: BTreeMap<String, ApproachAgg> = BTreeMap::new();
+    let mut synth_us = 0u64;
+    let mut data_tracks = 0usize;
+    let mut other_tracks = 0usize;
+    for track in &tracks {
+        if track.track.starts_with("data/") {
+            data_tracks += 1;
+            synth_us += top_level_us(&track.events, "synth");
+            continue;
+        }
+        let Some(id) = parse_cell_track(&track.track) else {
+            // serve `req/...` tracks and anything else: counted, and their
+            // phases still show in the collapsed view, just not here.
+            other_tracks += 1;
+            continue;
+        };
+        let agg = per_approach.entry(id.approach.to_string()).or_default();
+        agg.cells += 1;
+        for phase in ["fit", "predict", "metrics"] {
+            *agg.phase_us.entry(phase).or_insert(0) += top_level_us(&track.events, phase);
+        }
+        *agg.phase_us.entry("encode").or_insert(0) += any_depth_us(&track.events, "encode");
+        let fit = top_level_us(&track.events, "fit");
+        if fit > 0 {
+            agg.fit_samples.push(fit as f64 / 1e3);
+        }
+        for e in &track.events {
+            match e {
+                TraceEvent::Counter { name, value } => {
+                    *agg.counters.entry(name.clone()).or_insert(0) += value;
+                }
+                TraceEvent::Point { name, .. } => {
+                    *agg.events.entry(name.clone()).or_insert(0) += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // -- report ------------------------------------------------------------
+    println!("=== trace report — {} ===", path.display());
+    println!(
+        "{} track(s): {} data, {} cell, {} other",
+        tracks.len(),
+        data_tracks,
+        per_approach.values().map(|a| a.cells).sum::<usize>(),
+        other_tracks
+    );
+    println!();
+    println!("shared phase: synth {} ms over {data_tracks} dataset(s)", fmt_ms(synth_us));
+    println!();
+
+    println!("per-approach phase totals (ms; encode nests inside fit):");
+    print!("{:<22} {:>6}", "approach", "cells");
+    for phase in PHASES {
+        print!(" {:>10}", phase);
+    }
+    println!();
+    for (name, agg) in &per_approach {
+        print!("{name:<22} {:>6}", agg.cells);
+        for phase in PHASES {
+            // synth is a shared data-track phase, blank per approach
+            let cell = match phase {
+                "synth" => "-".to_string(),
+                p => fmt_ms(agg.phase_us.get(p).copied().unwrap_or(0)),
+            };
+            print!(" {cell:>10}");
+        }
+        println!();
+    }
+
+    println!();
+    println!("solver work per approach (aggregated counters / events):");
+    let mut any_counters = false;
+    for (name, agg) in &per_approach {
+        if agg.counters.is_empty() && agg.events.is_empty() {
+            continue;
+        }
+        any_counters = true;
+        let mut parts: Vec<String> =
+            agg.counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        parts.extend(agg.events.iter().map(|(k, v)| format!("{k}×{v}")));
+        println!("  {name:<20} {}", parts.join("  "));
+    }
+    if !any_counters {
+        println!("  (none recorded)");
+    }
+
+    // Bracketing quantiles of per-cell fit time, all approaches pooled.
+    let mut fit_hist = Histogram::new(&[
+        0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+        5000.0, 10000.0,
+    ]);
+    for agg in per_approach.values() {
+        for &ms in &agg.fit_samples {
+            fit_hist.record(ms);
+        }
+    }
+    println!();
+    println!("fit-time distribution across {} cell(s), ms:", fit_hist.total());
+    for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+        match fit_hist.quantile(q) {
+            Some((lo, hi)) => println!("  {label} in [{lo:.2}, {hi:.2}]"),
+            None => println!("  {label} n/a"),
+        }
+    }
+
+    // -- optional RunRecord cross-check -------------------------------------
+    if let Some(results) = results {
+        match cross_check(&tracks, &results) {
+            Ok((checked, worst)) => {
+                println!();
+                println!(
+                    "cross-check vs {}: {checked} cell(s) within tolerance \
+                     (worst deviation {worst:.2} %)",
+                    results.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: cross-check failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Join each cell track onto its RunRecord and require the traced
+/// `fit`+`predict` to agree with `fit_ms`+`predict_ms` within
+/// max(5 %, 1 ms). Returns (cells checked, worst relative deviation %).
+fn cross_check(tracks: &[TrackData], results: &Path) -> Result<(usize, f64), String> {
+    let (records, skipped) = read_jsonl_lossy(results)?;
+    if skipped > 0 {
+        eprintln!("[trace_report] {skipped} unparseable record line(s) ignored");
+    }
+    let mut checked = 0usize;
+    let mut worst = 0.0f64;
+    for track in tracks {
+        let Some(id) = parse_cell_track(&track.track) else { continue };
+        // attrs intentionally NOT matched first: the Calmon-on-Credit
+        // fallback records 22 attrs while the track carries the dataset's
+        // natural width. Use attrs only to break sweep ambiguity.
+        let matches: Vec<&RunRecord> = records
+            .iter()
+            .filter(|r| {
+                r.approach == id.approach
+                    && r.dataset == id.dataset
+                    && r.fold == id.fold
+                    && r.rows == id.rows
+            })
+            .collect();
+        let record = match matches.as_slice() {
+            [] => continue, // e.g. the cell failed — no record to check
+            [one] => *one,
+            many => match many.iter().find(|r| r.attrs == id.attrs) {
+                Some(r) => *r,
+                None => continue,
+            },
+        };
+        let traced_ms = (top_level_us(&track.events, "fit")
+            + top_level_us(&track.events, "predict")) as f64
+            / 1e3;
+        let recorded_ms = record.fit_ms + record.predict_ms;
+        let diff = (traced_ms - recorded_ms).abs();
+        let tolerance = (recorded_ms * 0.05).max(1.0);
+        if diff > tolerance {
+            return Err(format!(
+                "{}: traced fit+predict {traced_ms:.2} ms vs recorded {recorded_ms:.2} ms \
+                 (diff {diff:.2} ms > tolerance {tolerance:.2} ms)",
+                track.track
+            ));
+        }
+        if recorded_ms > 0.0 {
+            worst = worst.max(100.0 * diff / recorded_ms.max(1.0));
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err(format!("no cell track matched any record in {}", results.display()));
+    }
+    Ok((checked, worst))
+}

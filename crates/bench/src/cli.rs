@@ -10,6 +10,8 @@
 //! --cell-timeout SECS wall-clock budget per cell attempt (default: none)
 //! --retries N         extra attempts after a transient failure (default 0)
 //! --resume PATH       partial results file from an interrupted run
+//! --trace PATH        write a phase-level JSONL trace (plus a .collapsed
+//!                     flamegraph sibling) to PATH
 //! ```
 //!
 //! Bare `quick` / `paper` positionals are still honoured (the pre-runner
@@ -46,6 +48,8 @@ pub struct CommonArgs {
     pub retries: u32,
     /// `--resume` partial results file from an interrupted run.
     pub resume: Option<PathBuf>,
+    /// `--trace` output path for the phase-level JSONL trace.
+    pub trace: Option<PathBuf>,
     /// Arguments the shared layer did not consume, in order.
     pub rest: Vec<String>,
 }
@@ -60,6 +64,7 @@ impl Default for CommonArgs {
             cell_timeout: None,
             retries: 0,
             resume: None,
+            trace: None,
             rest: Vec::new(),
         }
     }
@@ -103,6 +108,7 @@ impl CommonArgs {
                         v.parse().map_err(|_| format!("--retries: not a number: {v:?}"))?;
                 }
                 "--resume" => out.resume = Some(PathBuf::from(value_of("--resume")?)),
+                "--trace" => out.trace = Some(PathBuf::from(value_of("--trace")?)),
                 "quick" | "paper" => out.scale = ScaleSpec::parse(&arg)?,
                 _ => out.rest.push(arg),
             }
@@ -187,8 +193,30 @@ impl CommonArgs {
             retries: self.retries,
             checkpoint: Some(out_file.to_owned()),
             resume: Some(out_file.to_owned()),
+            trace: self.trace.as_ref().map(|_| fairlens_trace::TraceSink::new()),
             ..RunPolicy::default()
         })
+    }
+
+    /// Write the policy's trace (if `--trace` was given) to the requested
+    /// path, plus a flamegraph-compatible `.collapsed` sibling. A no-op
+    /// when tracing is off. Call once, after every `run_with` finished —
+    /// the sink accumulates across multi-spec runs (Fig. 11, ablations).
+    pub fn finish_trace(&self, policy: &RunPolicy) -> Result<(), String> {
+        let (Some(path), Some(sink)) = (&self.trace, &policy.trace) else {
+            return Ok(());
+        };
+        sink.write_jsonl(path)
+            .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+        let collapsed = path.with_extension("collapsed");
+        sink.write_collapsed(&collapsed)
+            .map_err(|e| format!("cannot write {}: {e}", collapsed.display()))?;
+        eprintln!(
+            "[trace] wrote {} (flamegraph stacks: {})",
+            path.display(),
+            collapsed.display()
+        );
+        Ok(())
     }
 
     /// Human-readable scale tag for file names / log lines.

@@ -53,8 +53,8 @@ pub use fairlens_json as json;
 
 pub use cli::CommonArgs;
 pub use record::{
-    failures_path, read_failures, read_jsonl, read_jsonl_lossy, write_jsonl, write_jsonl_atomic,
-    RunRecord, METRIC_KEYS,
+    failures_path, read_failures, read_failures_lossy, read_jsonl, read_jsonl_lossy, write_jsonl,
+    write_jsonl_atomic, RunRecord, METRIC_KEYS,
 };
 pub use runner::{CellFailure, FailureKind, RunBatch, RunPolicy, Runner};
 #[cfg(any(test, feature = "fault-inject"))]

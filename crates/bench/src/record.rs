@@ -141,7 +141,12 @@ impl RunRecord {
                 "attrs" => attrs = Some(v.into_u64()? as usize),
                 "fit_ms" => fit_ms = Some(v.into_f64()?),
                 "predict_ms" => predict_ms = Some(v.into_f64()?),
-                "attempts" => attempts = Some(v.into_u64()? as u32),
+                "attempts" => {
+                    let raw = v.into_u64()?;
+                    attempts = Some(
+                        u32::try_from(raw).map_err(|_| format!("attempts {raw} overflows u32"))?,
+                    );
+                }
                 "metrics" => match v {
                     Value::Null => metrics = Some(None),
                     Value::Object(m) => {
@@ -299,7 +304,12 @@ impl CellFailure {
                 "fold" => fold = Some(v.into_u64()? as usize),
                 "kind" => kind = Some(v.into_string()?.parse::<FailureKind>()?),
                 "error" => error = Some(v.into_string()?),
-                "attempts" => attempts = Some(v.into_u64()? as u32),
+                "attempts" => {
+                    let raw = v.into_u64()?;
+                    attempts = Some(
+                        u32::try_from(raw).map_err(|_| format!("attempts {raw} overflows u32"))?,
+                    );
+                }
                 "elapsed_ms" => elapsed_ms = Some(v.into_f64()?),
                 other => return Err(format!("unknown failure field {other:?}")),
             }
@@ -433,6 +443,28 @@ pub fn read_failures(path: &Path) -> Result<Vec<CellFailure>, String> {
         .enumerate()
         .map(|(i, l)| CellFailure::from_json(l).map_err(|e| format!("line {}: {e}", i + 1)))
         .collect()
+}
+
+/// Read a failures sidecar tolerantly, mirroring [`read_jsonl_lossy`]:
+/// malformed lines (e.g. a last line truncated when a run was killed
+/// mid-append) are skipped, not fatal, so a resume still carries every
+/// intact failure instead of dropping the whole sidecar. A missing file
+/// is an empty list.
+pub fn read_failures_lossy(path: &Path) -> Result<(Vec<CellFailure>, usize), String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let mut failures = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match CellFailure::from_json(line) {
+            Ok(f) => failures.push(f),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((failures, skipped))
 }
 
 #[cfg(test)]
@@ -644,5 +676,67 @@ mod tests {
         assert_eq!(records, vec![sample()]);
         assert_eq!(skipped, 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failures_lossy_read_skips_truncated_last_line() {
+        let dir = std::env::temp_dir().join("fairlens_failures_lossy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("killed.failures.jsonl");
+        let good = sample_failure().to_json();
+        let truncated = &good[..good.len() - 7]; // kill mid-append
+        std::fs::write(&path, format!("{good}\n{truncated}")).unwrap();
+        let (failures, skipped) = read_failures_lossy(&path).unwrap();
+        assert_eq!(failures, vec![sample_failure()]);
+        assert_eq!(skipped, 1);
+        // The strict reader refuses the same file — the resume path must
+        // use the lossy one.
+        assert!(read_failures(&path).is_err());
+        // And a missing sidecar is an empty list, not an error.
+        let (none, skipped) = read_failures_lossy(&dir.join("absent.jsonl")).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(skipped, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lossy_reads_skip_interleaved_foreign_lines() {
+        // A resume pointed at concatenated checkpoint output can see
+        // record and failure lines interleaved in one file; each lossy
+        // reader must keep its own rows and count the other kind as
+        // skipped rather than abort the resume.
+        let dir = std::env::temp_dir().join("fairlens_interleave_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.jsonl");
+        let r1 = sample().to_json();
+        let f1 = sample_failure().to_json();
+        let mut r2 = sample();
+        r2.fold = 9;
+        std::fs::write(&path, format!("{r1}\n{f1}\n{}\n", r2.to_json())).unwrap();
+        let (records, skipped) = read_jsonl_lossy(&path).unwrap();
+        assert_eq!(records, vec![sample(), r2]);
+        assert_eq!(skipped, 1);
+        let (failures, skipped) = read_failures_lossy(&path).unwrap();
+        assert_eq!(failures, vec![sample_failure()]);
+        assert_eq!(skipped, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attempts_overflow_is_rejected() {
+        // u64::MAX fits the JSON integer model but not the u32 field; the
+        // parser must fail loudly instead of wrapping.
+        let record_line =
+            sample().to_json().replace("\"attempts\":1", "\"attempts\":4294967296");
+        let err = RunRecord::from_json(&record_line).unwrap_err();
+        assert!(err.contains("overflows u32"), "{err}");
+        let failure_line =
+            sample_failure().to_json().replace("\"attempts\":2", "\"attempts\":18446744073709551615");
+        let err = CellFailure::from_json(&failure_line).unwrap_err();
+        assert!(err.contains("overflows u32"), "{err}");
+        // The boundary value itself still parses.
+        let max_line =
+            sample().to_json().replace("\"attempts\":1", "\"attempts\":4294967295");
+        assert_eq!(RunRecord::from_json(&max_line).unwrap().attempts, u32::MAX);
     }
 }

@@ -52,8 +52,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::record::{
-    failures_path, read_failures, read_jsonl_lossy, write_failures_atomic, write_jsonl_atomic,
-    RunRecord,
+    failures_path, read_failures_lossy, read_jsonl_lossy, write_failures_atomic,
+    write_jsonl_atomic, RunRecord,
 };
 pub use crate::record::{CellFailure, FailureKind};
 use crate::spec::{dataset_seed, fold_seed, retry_seed, Cell, ExperimentSpec};
@@ -80,6 +80,13 @@ pub struct RunPolicy {
     /// A partial results file from an interrupted run; cells whose records
     /// are already present are reused verbatim instead of re-run.
     pub resume: Option<PathBuf>,
+    /// Trace sink for phase-level profiling. When set, every dataset
+    /// materialisation records a `data/...` track (with a `synth` span)
+    /// and every executed cell records a `cell/...` track with
+    /// `encode`/`fit`/`predict`/`metrics` spans plus solver iteration
+    /// counters. Resumed cells are not re-run and leave no trace. The
+    /// caller writes the sink out (see `CommonArgs::finish_trace`).
+    pub trace: Option<fairlens_trace::TraceSink>,
     /// Injected faults for tests (see [`FaultSpec`]); when empty, the
     /// `FAIRLENS_FAULT` environment variable is consulted.
     #[cfg(any(test, feature = "fault-inject"))]
@@ -260,7 +267,7 @@ impl Runner {
     pub fn run_with(&self, spec: &ExperimentSpec, policy: &RunPolicy) -> RunBatch {
         install_capture_hook();
         let cells = spec.cells();
-        let contexts = prepare_contexts(spec);
+        let contexts = prepare_contexts(spec, policy.trace.as_ref());
 
         #[cfg(any(test, feature = "fault-inject"))]
         let faults: Faults =
@@ -334,8 +341,14 @@ impl Runner {
             }
             // Failures recorded for cells of *this* spec are dropped (those
             // cells are about to be re-attempted); the rest are carried.
-            match read_failures(&failures_path(path)) {
-                Ok(old) => {
+            match read_failures_lossy(&failures_path(path)) {
+                Ok((old, skipped)) => {
+                    if skipped > 0 {
+                        eprintln!(
+                            "[runner] resume: skipped {skipped} unparseable failure line(s) in {}",
+                            failures_path(path).display()
+                        );
+                    }
                     carried_failures = old
                         .into_iter()
                         .filter(|f| {
@@ -628,14 +641,28 @@ struct DataContext {
 
 /// Materialise every dataset and fold split once, before the pool starts.
 /// Generation/split seeds exclude the approach name, so all approaches in
-/// a fold compare on identical data.
-fn prepare_contexts(spec: &ExperimentSpec) -> Vec<DataContext> {
+/// a fold compare on identical data. With tracing enabled, each dataset
+/// records a `data/<name>/r<rows>[/a<k>]` track whose `synth` span covers
+/// generation, attribute projection, and fold splitting; this happens
+/// sequentially before the pool, so trace order is thread-count-invariant.
+fn prepare_contexts(
+    spec: &ExperimentSpec,
+    trace: Option<&fairlens_trace::TraceSink>,
+) -> Vec<DataContext> {
     let mut out: Vec<DataContext> = Vec::new();
     for &kind in spec.dataset_list() {
         if out.iter().any(|c| c.kind == kind) {
             continue;
         }
         let n = spec.scale_spec().rows(kind);
+        let _collect = trace.map(|sink| {
+            let mut track = format!("data/{}/r{n}", kind.name());
+            if let Some(k) = spec.attr_limit() {
+                track.push_str(&format!("/a{k}"));
+            }
+            sink.collect(track)
+        });
+        let _synth = fairlens_trace::span("synth");
         let mut full = kind.generate(n, dataset_seed(spec.seed, kind.name()));
         if let Some(k) = spec.attr_limit() {
             let idx: Vec<usize> = (0..k.min(full.n_attrs())).collect();
@@ -666,6 +693,9 @@ fn timed_fit(
     train: &Dataset,
     seed: u64,
 ) -> Result<(fairlens_core::FittedPipeline, f64), CoreError> {
+    // The span brackets exactly the region `fit_ms` measures, so the trace
+    // and the RunRecord agree on what "fit" cost.
+    let _span = fairlens_trace::span("fit");
     let t0 = Instant::now();
     let fitted = approach.fit(train, seed)?;
     Ok((fitted, ms(t0.elapsed())))
@@ -711,6 +741,20 @@ fn execute_cell(
         attempts,
         elapsed_ms: ms(started.elapsed()),
     };
+
+    // One trace track per cell, covering every attempt. The track name
+    // carries the same identity fields the resume matcher uses, so
+    // `trace_report --results` can join tracks back onto RunRecords.
+    let _collect = policy.trace.as_ref().and_then(|sink| {
+        let ctx = contexts.iter().find(|c| c.kind == cell.dataset)?;
+        Some(sink.collect(format!(
+            "cell/{dataset_name}/r{}/a{}/f{}/{}",
+            ctx.full.n_rows(),
+            ctx.full.n_attrs(),
+            cell.fold,
+            approach.name
+        )))
+    });
 
     let max_attempts = policy.retries.saturating_add(1);
     for attempt in 0..max_attempts {
@@ -802,7 +846,10 @@ fn run_cell_attempt(
         // repeated measurements (each with its own derived seed).
         let (fitted, fit_ms) = timed_fit(approach, &ctx.full, seed).map_err(to_err)?;
         let t0 = Instant::now();
-        let _ = fitted.predict(&ctx.full);
+        {
+            let _span = fairlens_trace::span("predict");
+            let _ = fitted.predict(&ctx.full);
+        }
         return Ok(RunRecord {
             approach: approach.name.into(),
             stage: approach.stage.label().into(),
@@ -842,17 +889,16 @@ fn run_cell_attempt(
     let test = projected_test.as_ref().unwrap_or(test);
 
     let t0 = Instant::now();
-    let preds = fitted.predict(test);
+    let preds = {
+        let _span = fairlens_trace::span("predict");
+        fitted.predict(test)
+    };
     let predict_ms = ms(t0.elapsed());
 
-    let report = crate::metric_suite(
-        &fitted,
-        cell.dataset,
-        test,
-        &preds,
-        seed,
-        spec.cd_bound_values(),
-    );
+    let report = {
+        let _span = fairlens_trace::span("metrics");
+        crate::metric_suite(&fitted, cell.dataset, test, &preds, seed, spec.cd_bound_values())
+    };
 
     Ok(RunRecord {
         approach: approach.name.into(),

@@ -1,0 +1,89 @@
+//! Golden determinism test for `--trace`: the same spec traced under one
+//! worker thread and under four must produce a byte-identical event
+//! sequence once timestamp fields are stripped. The sink groups events by
+//! track and sorts tracks by name, so scheduling order cannot leak into
+//! the serialized trace — the property the verification style of
+//! `tests/determinism.rs` relies on.
+
+use fairlens_bench::{ApproachSelector, ExperimentSpec, RunPolicy, Runner, ScaleSpec};
+use fairlens_synth::DatasetKind;
+use fairlens_trace::{parse_jsonl, strip_timestamps, validate_nesting, TraceSink};
+
+/// German at quick scale, four approaches × two folds (the
+/// `fault_tolerance.rs` grid): enough cells to interleave under four
+/// workers, small enough for CI.
+fn german_quick_spec() -> ExperimentSpec {
+    ExperimentSpec::new(42)
+        .datasets([DatasetKind::German])
+        .approaches(ApproachSelector::Named(vec![
+            "KamCal^DP".into(),
+            "Feld^DP(1.0)".into(),
+            "KamKar^DP".into(),
+            "Hardt^EO".into(),
+        ]))
+        .scale(ScaleSpec::Quick)
+        .folds(2)
+        .cd_bounds(0.9, 0.08)
+}
+
+fn traced_run(threads: usize) -> String {
+    let sink = TraceSink::new();
+    let policy = RunPolicy { trace: Some(sink.clone()), ..RunPolicy::default() };
+    let batch = Runner::new(threads).run_with(&german_quick_spec(), &policy);
+    assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+    assert_eq!(batch.records.len(), 10);
+    sink.to_jsonl()
+}
+
+#[test]
+fn stripped_trace_is_byte_identical_across_thread_counts() {
+    let sequential = traced_run(1);
+    let parallel = traced_run(4);
+    assert_ne!(sequential, "", "trace must not be empty");
+    assert_eq!(
+        strip_timestamps(&sequential),
+        strip_timestamps(&parallel),
+        "trace event sequence depends on the worker count"
+    );
+}
+
+#[test]
+fn traced_run_covers_every_cell_and_nests_cleanly() {
+    let jsonl = traced_run(2);
+    let tracks = parse_jsonl(&jsonl).unwrap();
+    let cells = tracks.iter().filter(|t| t.track.starts_with("cell/")).count();
+    let data = tracks.iter().filter(|t| t.track.starts_with("data/")).count();
+    assert_eq!(cells, 10, "one cell track per (approach × fold)");
+    assert_eq!(data, 1, "one data track for the German panel");
+    for track in &tracks {
+        validate_nesting(&track.events)
+            .unwrap_or_else(|e| panic!("{}: bad nesting: {e}", track.track));
+    }
+    // Every cell track carries the three per-cell phases; `synth` lives
+    // on the data track only.
+    for track in tracks.iter().filter(|t| t.track.starts_with("cell/")) {
+        for phase in ["fit", "predict", "metrics"] {
+            assert!(
+                track.events.iter().any(|e| e.name() == phase),
+                "{}: missing {phase} span",
+                track.track
+            );
+        }
+        assert!(
+            !track.events.iter().any(|e| e.name() == "synth"),
+            "{}: synth leaked into a cell track",
+            track.track
+        );
+    }
+}
+
+#[test]
+fn untraced_policy_records_nothing() {
+    // RunPolicy::default() leaves `trace` unset; the global sink must not
+    // observe anything from an untraced run (the zero-cost-when-disabled
+    // contract).
+    let probe = TraceSink::new();
+    let batch = Runner::new(2).run_with(&german_quick_spec(), &RunPolicy::default());
+    assert_eq!(batch.records.len(), 10);
+    assert!(probe.is_empty());
+}

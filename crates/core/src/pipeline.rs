@@ -191,8 +191,12 @@ impl LrClassifier {
     /// Train on `train`. `include_sensitive` controls whether `S` enters the
     /// feature encoding.
     pub fn train(train: &Dataset, include_sensitive: bool) -> Result<Self, CoreError> {
-        let encoder = Encoder::fit(train, include_sensitive);
-        let feats = encoder.transform(train);
+        let (encoder, feats) = {
+            let _span = fairlens_trace::span("encode");
+            let encoder = Encoder::fit(train, include_sensitive);
+            let feats = encoder.transform(train);
+            (encoder, feats)
+        };
         let model =
             LogisticRegression::fit(&feats.matrix, train.labels(), &LogisticOptions::default())?;
         Ok(Self { encoder, model })

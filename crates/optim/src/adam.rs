@@ -46,6 +46,9 @@ impl AdamState {
     /// Apply one Adam update of `params` along `grad` (a descent step).
     pub fn step(&mut self, params: &mut [f64], grad: &[f64]) {
         debug_assert_eq!(params.len(), grad.len(), "adam: dimension mismatch");
+        // Counted here (not in `minimize`) so externally driven steppers —
+        // the adversarial ZhaLe loop — are traced too.
+        fairlens_trace::incr("adam.iterations", 1);
         self.t += 1;
         let b1 = self.opts.beta1;
         let b2 = self.opts.beta2;

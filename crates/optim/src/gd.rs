@@ -50,8 +50,10 @@ pub fn minimize(obj: &dyn Objective, x0: &[f64], opts: &GdOptions) -> GdResult {
     let mut trial = vec![0.0; x.len()];
     for it in 0..opts.max_iter {
         fairlens_budget::checkpoint();
+        fairlens_trace::incr("gd.iterations", 1);
         let gnorm = vector::norm_inf(&g);
         if gnorm <= opts.grad_tol {
+            fairlens_trace::event("gd.converged");
             return GdResult { x, value: fx, iterations: it, converged: true };
         }
         // Backtracking along -g.

@@ -178,7 +178,7 @@ fn main() {
     );
 
     // Deterministic single/batch mix, fanned over keep-alive connections.
-    let counts: BTreeMap<u16, usize> = std::thread::scope(|scope| {
+    let (counts, mut latencies_ms): (BTreeMap<u16, usize>, Vec<f64>) = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for c in 0..args.conns.max(1) {
             let addr = &args.addr;
@@ -186,6 +186,7 @@ fn main() {
             let model_id = &model_id;
             handles.push(scope.spawn(move || {
                 let mut counts: BTreeMap<u16, usize> = BTreeMap::new();
+                let mut latencies: Vec<f64> = Vec::new();
                 let mut conn = Conn::open(addr).expect("connect");
                 let mut i = c;
                 while i < args.requests {
@@ -205,30 +206,51 @@ fn main() {
                             ("rows", Value::Array(batch)),
                         ])
                     };
+                    let t0 = std::time::Instant::now();
                     let (status, body) = conn
                         .request("POST", "/v1/predict", &body.to_json())
                         .expect("predict request");
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
                     if status != 200 {
                         eprintln!("[loadgen] HTTP {status}: {body}");
                     }
                     *counts.entry(status).or_insert(0) += 1;
                     i += args.conns;
                 }
-                counts
+                (counts, latencies)
             }));
         }
         let mut total = BTreeMap::new();
+        let mut all_latencies = Vec::new();
         for h in handles {
-            for (status, n) in h.join().expect("connection thread") {
+            let (counts, latencies) = h.join().expect("connection thread");
+            for (status, n) in counts {
                 *total.entry(status).or_insert(0) += n;
             }
+            all_latencies.extend(latencies);
         }
-        total
+        (total, all_latencies)
     });
 
     let sent: usize = counts.values().sum();
     let ok = counts.get(&200).copied().unwrap_or(0);
     eprintln!("[loadgen] {sent} requests: {counts:?}");
+    if !latencies_ms.is_empty() {
+        latencies_ms.sort_by(|a, b| a.total_cmp(b));
+        let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64;
+        // Nearest-rank percentile: sorted[ceil(p/100 * n) - 1].
+        let pct = |p: f64| {
+            let rank = ((p / 100.0 * latencies_ms.len() as f64).ceil() as usize)
+                .clamp(1, latencies_ms.len());
+            latencies_ms[rank - 1]
+        };
+        eprintln!(
+            "[loadgen] latency ms: mean {mean:.2} p50 {:.2} p95 {:.2} p99 {:.2}",
+            pct(50.0),
+            pct(95.0),
+            pct(99.0)
+        );
+    }
 
     if args.shutdown {
         let mut conn = Conn::open(&args.addr).expect("connect for shutdown");

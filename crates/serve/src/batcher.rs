@@ -54,13 +54,22 @@ impl Default for BatchConfig {
     }
 }
 
-/// The per-request output: hard labels plus pipeline scores.
+/// The per-request output: hard labels plus pipeline scores, annotated
+/// with where the request's time went inside the executor (the handler
+/// turns these into trace spans and phase histograms).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PredictOutput {
     /// Hard 0/1 predictions, one per submitted row.
     pub labels: Vec<u8>,
     /// Score per row (model probability, or the post rule's expected label).
     pub scores: Vec<f64>,
+    /// Time from submit to the start of the flush that served this job.
+    pub queue_us: u64,
+    /// The flush's pipeline pass (predict + predict_proba), shared by
+    /// every job in the batch.
+    pub predict_us: u64,
+    /// Flush overhead around the pipeline pass (concat, slicing, replies).
+    pub batch_us: u64,
 }
 
 /// One request's unit of work for the executor.
@@ -71,6 +80,8 @@ pub struct PredictJob {
     pub reply: SyncSender<Result<PredictOutput, ServeError>>,
     /// Cancelled by the handler on deadline expiry.
     pub budget: Budget,
+    /// When the handler queued the job; anchors `queue_us`.
+    pub submitted: Instant,
 }
 
 /// A loaded model wired to its executor thread. Dropping the worker drops
@@ -181,6 +192,7 @@ fn executor_loop(
 
 /// One coalesced pipeline pass; slices outputs back per job.
 fn flush(pipeline: &FittedPipeline, jobs: &[PredictJob], metrics: &Metrics) {
+    let flush_start = Instant::now();
     let total: usize = jobs.iter().map(|j| j.data.n_rows()).sum();
     metrics.record_flush(total);
     let merged;
@@ -195,18 +207,25 @@ fn flush(pipeline: &FittedPipeline, jobs: &[PredictJob], metrics: &Metrics) {
         // Only a lone job may arm its budget: in a merged batch one
         // request's expiry must not unwind its batchmates' pass.
         let _guard = (jobs.len() == 1).then(|| jobs[0].budget.install());
+        let t0 = Instant::now();
         let labels = pipeline.predict(batch);
         let scores = pipeline.predict_proba(batch);
-        (labels, scores)
+        (labels, scores, t0.elapsed().as_micros() as u64)
     }));
     match outcome {
-        Ok((labels, scores)) => {
+        Ok((labels, scores, predict_us)) => {
+            let batch_us =
+                (flush_start.elapsed().as_micros() as u64).saturating_sub(predict_us);
             let mut offset = 0;
             for job in jobs {
                 let n = job.data.n_rows();
                 let out = PredictOutput {
                     labels: labels[offset..offset + n].to_vec(),
                     scores: scores[offset..offset + n].to_vec(),
+                    queue_us: flush_start.saturating_duration_since(job.submitted).as_micros()
+                        as u64,
+                    predict_us,
+                    batch_us,
                 };
                 offset += n;
                 let _ = job.reply.send(Ok(out));
@@ -244,7 +263,9 @@ mod tests {
 
     fn submit(worker: &ModelWorker, data: Dataset) -> mpsc::Receiver<Result<PredictOutput, ServeError>> {
         let (reply, rx) = mpsc::sync_channel(1);
-        worker.submit(PredictJob { data, reply, budget: Budget::new() }).unwrap();
+        worker
+            .submit(PredictJob { data, reply, budget: Budget::new(), submitted: Instant::now() })
+            .unwrap();
         rx
     }
 
@@ -297,7 +318,12 @@ mod tests {
         budget.cancel();
         let (reply, rx) = mpsc::sync_channel(1);
         worker
-            .submit(PredictJob { data: data.select_rows(&[0, 1]), reply, budget })
+            .submit(PredictJob {
+                data: data.select_rows(&[0, 1]),
+                reply,
+                budget,
+                submitted: Instant::now(),
+            })
             .unwrap();
         drop(worker); // join: executor saw and skipped the job
         assert!(rx.try_recv().is_err());

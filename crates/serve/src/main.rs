@@ -9,11 +9,13 @@ use fairlens_serve::{ServeConfig, Server};
 const USAGE: &str = "\
 fairlens-serve [--addr HOST:PORT] [--models DIR] [--workers N]
                [--max-batch ROWS] [--batch-wait-ms MS]
-               [--deadline-ms MS] [--max-loaded N]
+               [--deadline-ms MS] [--max-loaded N] [--trace PATH]
 
 Serves predictions from the .flm artifacts in DIR (default: models).
 Port 0 binds an ephemeral port, announced on stderr as
-'[serve] listening on ...'. Stop with POST /v1/shutdown.";
+'[serve] listening on ...'. Stop with POST /v1/shutdown.
+--trace records one span track per predict request (parse/queue/batch/
+predict) and writes PATH (JSONL) plus PATH.collapsed at drain.";
 
 fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
     let Some(value) = value else {
@@ -48,6 +50,7 @@ fn main() {
                 cfg.deadline = Duration::from_millis(parse_flag("--deadline-ms", value));
             }
             "--max-loaded" => cfg.max_loaded = parse_flag("--max-loaded", value),
+            "--trace" => cfg.trace = Some(parse_flag::<PathBuf>("--trace", value)),
             other => {
                 eprintln!("unknown flag {other}\n{USAGE}");
                 exit(2);

@@ -16,6 +16,9 @@ const LATENCY_BUCKETS: [f64; 10] =
     [0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0];
 /// Flush-size buckets, rows.
 const BATCH_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+/// Predict-request phases, in request order. Must match the span names
+/// the handler emits so the trace and the exposition agree.
+pub const PREDICT_PHASES: [&str; 4] = ["parse", "queue", "batch", "predict"];
 
 /// A fixed-bucket histogram over atomics.
 struct Histogram<const N: usize> {
@@ -51,16 +54,27 @@ impl<const N: usize> Histogram<N> {
         use std::fmt::Write as _;
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} histogram");
+        self.render_series(out, name, "");
+    }
+
+    /// One histogram series under a metric `name`, tagged with `label`
+    /// (e.g. `phase="queue"`; empty for an unlabelled histogram). The
+    /// caller owns the `# HELP`/`# TYPE` preamble so several labelled
+    /// series can share one metric family.
+    fn render_series(&self, out: &mut String, name: &str, label: &str) {
+        use std::fmt::Write as _;
+        let sep = if label.is_empty() { String::new() } else { format!("{label},") };
         let mut cumulative = 0u64;
         for (bound, bucket) in self.bounds.iter().zip(&self.buckets) {
             cumulative += bucket.load(Ordering::Relaxed);
-            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_bucket{{{sep}le=\"{bound}\"}} {cumulative}");
         }
         cumulative += self.overflow.load(Ordering::Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_bucket{{{sep}le=\"+Inf\"}} {cumulative}");
         let sum = self.sum_micro.load(Ordering::Relaxed) as f64 / 1e6;
-        let _ = writeln!(out, "{name}_sum {sum}");
-        let _ = writeln!(out, "{name}_count {}", self.count.load(Ordering::Relaxed));
+        let braces = if label.is_empty() { String::new() } else { format!("{{{label}}}") };
+        let _ = writeln!(out, "{name}_sum{braces} {sum}");
+        let _ = writeln!(out, "{name}_count{braces} {}", self.count.load(Ordering::Relaxed));
     }
 }
 
@@ -72,6 +86,8 @@ pub struct Metrics {
     /// Error-taxonomy kind → count.
     errors: Mutex<BTreeMap<&'static str, u64>>,
     latency: Histogram<10>,
+    /// Per-phase latency, index-aligned with [`PREDICT_PHASES`].
+    phases: [Histogram<10>; 4],
     batch_rows: Histogram<8>,
     rows_total: AtomicU64,
     models_loaded: AtomicU64,
@@ -91,6 +107,7 @@ impl Metrics {
             requests: Mutex::new(BTreeMap::new()),
             errors: Mutex::new(BTreeMap::new()),
             latency: Histogram::new(LATENCY_BUCKETS),
+            phases: std::array::from_fn(|_| Histogram::new(LATENCY_BUCKETS)),
             batch_rows: Histogram::new(BATCH_BUCKETS),
             rows_total: AtomicU64::new(0),
             models_loaded: AtomicU64::new(0),
@@ -107,6 +124,15 @@ impl Metrics {
             .entry((route.to_string(), status))
             .or_insert(0) += 1;
         self.latency.observe(latency_secs);
+    }
+
+    /// Record time spent in one predict-request phase. Unknown phase
+    /// names are ignored (they still reach the trace, just not the
+    /// exposition).
+    pub fn record_phase(&self, phase: &str, secs: f64) {
+        if let Some(i) = PREDICT_PHASES.iter().position(|p| *p == phase) {
+            self.phases[i].observe(secs);
+        }
     }
 
     /// Count one taxonomy error.
@@ -155,6 +181,16 @@ impl Metrics {
             "fairlens_request_latency_seconds",
             "Request wall-clock latency.",
         );
+        let _ = writeln!(
+            out,
+            "# HELP fairlens_phase_seconds Predict-request time by phase \
+             (parse/queue/batch/predict)."
+        );
+        let _ = writeln!(out, "# TYPE fairlens_phase_seconds histogram");
+        for (phase, hist) in PREDICT_PHASES.iter().zip(&self.phases) {
+            hist.render_series(&mut out, "fairlens_phase_seconds", &format!("phase=\"{phase}\""));
+        }
+
         self.batch_rows.render(
             &mut out,
             "fairlens_batch_rows",
@@ -194,6 +230,10 @@ mod tests {
         m.record_request("/v1/predict", 200, 0.3);
         m.record_request("/v1/predict", 400, 0.0001);
         m.record_error("bad_request");
+        m.record_phase("queue", 0.002);
+        m.record_phase("queue", 0.004);
+        m.record_phase("predict", 0.05);
+        m.record_phase("not-a-phase", 1.0); // ignored, not a panic
         m.record_flush(3);
         m.record_flush(200);
         m.set_models_loaded(2);
@@ -210,6 +250,13 @@ mod tests {
         // 0.0001 and 0.003 fall below 0.005; 0.3 only in +Inf
         assert!(text.contains("fairlens_request_latency_seconds_bucket{le=\"0.005\"} 2"));
         assert!(text.contains("fairlens_request_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        // Labelled phase series share one HELP/TYPE family.
+        assert_eq!(text.matches("# TYPE fairlens_phase_seconds histogram").count(), 1);
+        assert!(text.contains("fairlens_phase_seconds_bucket{phase=\"queue\",le=\"0.005\"} 2"));
+        assert!(text.contains("fairlens_phase_seconds_count{phase=\"queue\"} 2"));
+        assert!(text.contains("fairlens_phase_seconds_count{phase=\"predict\"} 1"));
+        assert!(text.contains("fairlens_phase_seconds_count{phase=\"parse\"} 0"));
+        assert!(!text.contains("not-a-phase"));
         assert!(text.contains("fairlens_batch_rows_bucket{le=\"4\"} 1"));
         assert!(text.contains("fairlens_batch_rows_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("fairlens_batch_rows_sum 203"));

@@ -18,7 +18,7 @@
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -53,6 +53,9 @@ pub struct ServeConfig {
     pub max_loaded: usize,
     /// HTTP parsing limits.
     pub limits: Limits,
+    /// Write per-request trace tracks (`req/NNNNNN`) here at drain; a
+    /// flamegraph-ready `.collapsed` sibling rides along.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +69,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(5),
             max_loaded: 8,
             limits: Limits::default(),
+            trace: None,
         }
     }
 }
@@ -78,6 +82,10 @@ struct Ctx {
     deadline: Duration,
     limits: Limits,
     local_addr: SocketAddr,
+    /// Present when the server was configured with a trace path.
+    trace: Option<fairlens_trace::TraceSink>,
+    /// Request counter naming the per-request tracks (`req/000042`).
+    req_seq: AtomicU64,
 }
 
 /// A bound, not-yet-running server.
@@ -85,6 +93,7 @@ pub struct Server {
     listener: TcpListener,
     ctx: Arc<Ctx>,
     workers: usize,
+    trace_path: Option<PathBuf>,
 }
 
 impl Server {
@@ -104,8 +113,11 @@ impl Server {
                 deadline: cfg.deadline,
                 limits: cfg.limits,
                 local_addr,
+                trace: cfg.trace.as_ref().map(|_| fairlens_trace::TraceSink::new()),
+                req_seq: AtomicU64::new(0),
             }),
             workers: cfg.workers.max(1),
+            trace_path: cfg.trace,
         })
     }
 
@@ -170,6 +182,16 @@ impl Server {
             let _ = h.join();
         }
         self.ctx.registry.shutdown(); // joins every model executor
+        if let (Some(path), Some(sink)) = (&self.trace_path, &self.ctx.trace) {
+            let collapsed = path.with_extension("collapsed");
+            sink.write_jsonl(path)?;
+            sink.write_collapsed(&collapsed)?;
+            eprintln!(
+                "[trace] wrote {} (flamegraph stacks: {})",
+                path.display(),
+                collapsed.display()
+            );
+        }
         eprintln!("[serve] drained, bye");
         Ok(())
     }
@@ -298,6 +320,14 @@ fn models_body(ctx: &Ctx) -> String {
 /// `POST /v1/predict`: `{"model": id, "rows": [...]}` (batch) or
 /// `{"model": id, "row": {...}}` (single).
 fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeError> {
+    // One trace track per predict request; the guard flushes at return
+    // (error paths included), so failed requests still leave their
+    // `parse` span behind.
+    let _collect = ctx.trace.as_ref().map(|sink| {
+        sink.collect(format!("req/{:06}", ctx.req_seq.fetch_add(1, Ordering::Relaxed)))
+    });
+    let parse_t0 = Instant::now();
+    let parse_span = fairlens_trace::span("parse");
     let text = std::str::from_utf8(&req.body)
         .map_err(|_| ServeError::bad_request("body is not UTF-8"))?;
     let v = parse(text).map_err(|e| ServeError::bad_request(format!("invalid JSON: {e}")))?;
@@ -325,9 +355,16 @@ fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), Serv
 
     let worker = ctx.registry.get(model_id)?;
     let data = worker.schema.dataset_from_rows(&rows).map_err(ServeError::bad_request)?;
+    drop(parse_span); // parse = decode + validation + model lookup
+    ctx.metrics.record_phase("parse", parse_t0.elapsed().as_secs_f64());
     let budget = Budget::new();
     let (reply, rx) = mpsc::sync_channel(1);
-    worker.submit(PredictJob { data, reply, budget: budget.clone() })?;
+    worker.submit(PredictJob {
+        data,
+        reply,
+        budget: budget.clone(),
+        submitted: Instant::now(),
+    })?;
     let out = match rx.recv_timeout(ctx.deadline) {
         Ok(result) => result?,
         Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -343,6 +380,15 @@ fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), Serv
             return Err(ServeError::new(ErrorKind::Internal, "model executor is gone"))
         }
     };
+    // The executor measured these on its own thread; replay them here as
+    // completed spans so the request track tells the whole story, and
+    // mirror them into the Prometheus phase histograms.
+    for (phase, us) in
+        [("queue", out.queue_us), ("batch", out.batch_us), ("predict", out.predict_us)]
+    {
+        fairlens_trace::complete(phase, Duration::from_micros(us));
+        ctx.metrics.record_phase(phase, us as f64 / 1e6);
+    }
 
     let body = if singular {
         object([

@@ -194,6 +194,7 @@ impl MaxSatProblem {
         let combos = 1u64 << self.n_vars;
         for mask in 0..combos {
             fairlens_budget::checkpoint();
+            fairlens_trace::incr("maxsat.nodes", 1);
             for (v, a) in assignment.iter_mut().enumerate() {
                 *a = (mask >> v) & 1 == 1;
             }
@@ -263,6 +264,7 @@ impl MaxSatProblem {
 
             for _ in 0..flips {
                 fairlens_budget::checkpoint();
+                fairlens_trace::incr("maxsat.flips", 1);
                 // Pick a random unsatisfied clause, weighted toward heavy ones.
                 let unsat: Vec<usize> = (0..self.clauses.len())
                     .filter(|&ci| sat_count[ci] == 0)

@@ -82,6 +82,7 @@ pub fn nmf(v: &Matrix, opts: &NmfOptions) -> NmfResult {
     let mut iterations = 0;
     for it in 0..opts.max_iter {
         fairlens_budget::checkpoint();
+        fairlens_trace::incr("nmf.iterations", 1);
         iterations = it + 1;
         // H ← H ∘ (WᵀV) / (WᵀWH)
         let wt = w.transpose();
@@ -114,6 +115,7 @@ pub fn nmf(v: &Matrix, opts: &NmfOptions) -> NmfResult {
         }
         let err = err.sqrt();
         if prev_err.is_finite() && (prev_err - err).abs() <= opts.tol * prev_err.max(1.0) {
+            fairlens_trace::event("nmf.converged");
             prev_err = err;
             break;
         }

@@ -235,6 +235,7 @@ fn run_simplex(
     let m = t.len();
     loop {
         fairlens_budget::checkpoint();
+        fairlens_trace::incr("simplex.iterations", 1);
         // reduced costs: r_j = c_j − c_B B⁻¹ A_j (computed from tableau)
         let mut entering = None;
         for j in 0..total {

@@ -1,0 +1,123 @@
+//! Collapsed-stack (flamegraph) export.
+//!
+//! Walks each track's span events and attributes **self time** — span
+//! duration minus the durations of its direct children — to the
+//! `track;frame;...` stack in effect when the span closed, producing the
+//! `a;b;c N` line format consumed by `flamegraph.pl` / `inferno`. Values
+//! are microseconds. Point events and counters carry no duration and are
+//! skipped.
+
+use crate::{TraceEvent, TrackData};
+use std::collections::BTreeMap;
+
+/// Render tracks into sorted collapsed-stack lines.
+pub fn collapse(tracks: &[TrackData]) -> String {
+    // BTreeMap keys give the sorted, deterministic line order.
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    for track in tracks {
+        collapse_track(track, &mut weights);
+    }
+    let mut out = String::new();
+    for (stack, us) in weights {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn collapse_track(track: &TrackData, weights: &mut BTreeMap<String, u64>) {
+    // Stack of open spans: (name, accumulated child duration in us).
+    let mut open: Vec<(&str, u64)> = Vec::new();
+    let path = |open: &[(&str, u64)], leaf: &str| {
+        let mut p = track.track.clone();
+        for (frame, _) in open {
+            p.push(';');
+            p.push_str(frame);
+        }
+        p.push(';');
+        p.push_str(leaf);
+        p
+    };
+    for e in &track.events {
+        match e {
+            TraceEvent::Enter { name, .. } => open.push((name, 0)),
+            TraceEvent::Exit { name, dur_us, .. } => {
+                // Tolerate malformed sequences (validate_nesting exists for
+                // strict checking): pop only if the top matches.
+                if open.last().is_some_and(|(top, _)| top == name) {
+                    let (_, children) = open.pop().expect("non-empty");
+                    let stack = path(&open, name);
+                    *weights.entry(stack).or_insert(0) += dur_us.saturating_sub(children);
+                    if let Some((_, parent_children)) = open.last_mut() {
+                        *parent_children += dur_us;
+                    }
+                }
+            }
+            TraceEvent::Complete { name, dur_us, .. } => {
+                let stack = path(&open, name);
+                *weights.entry(stack).or_insert(0) += dur_us;
+                if let Some((_, parent_children)) = open.last_mut() {
+                    *parent_children += dur_us;
+                }
+            }
+            TraceEvent::Point { .. } | TraceEvent::Counter { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enter(n: &str, t: u64) -> TraceEvent {
+        TraceEvent::Enter { name: n.into(), t_us: t }
+    }
+    fn exit(n: &str, t: u64, d: u64) -> TraceEvent {
+        TraceEvent::Exit { name: n.into(), t_us: t, dur_us: d }
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let track = TrackData {
+            track: "cell/t".into(),
+            events: vec![
+                enter("fit", 0),
+                enter("encode", 10),
+                exit("encode", 40, 30),
+                exit("fit", 100, 100),
+            ],
+        };
+        let out = collapse(&[track]);
+        assert_eq!(out, "cell/t;fit 70\ncell/t;fit;encode 30\n");
+    }
+
+    #[test]
+    fn complete_spans_nest_under_open_stack() {
+        let track = TrackData {
+            track: "req/000001".into(),
+            events: vec![
+                enter("predict", 0),
+                TraceEvent::Complete { name: "queue".into(), t_us: 5, dur_us: 2 },
+                TraceEvent::Complete { name: "batch".into(), t_us: 9, dur_us: 3 },
+                exit("predict", 20, 20),
+            ],
+        };
+        let out = collapse(&[track]);
+        assert_eq!(
+            out,
+            "req/000001;predict 15\nreq/000001;predict;batch 3\nreq/000001;predict;queue 2\n"
+        );
+    }
+
+    #[test]
+    fn identical_stacks_merge_across_tracks_only_when_names_match() {
+        let mk = |name: &str| TrackData {
+            track: name.into(),
+            events: vec![enter("fit", 0), exit("fit", 10, 10)],
+        };
+        let out = collapse(&[mk("a"), mk("a"), mk("b")]);
+        assert_eq!(out, "a;fit 20\nb;fit 10\n");
+    }
+}

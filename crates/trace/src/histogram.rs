@@ -1,0 +1,169 @@
+//! A fixed-bound histogram for offline trace aggregation.
+//!
+//! Unlike the atomic Prometheus histogram in `fairlens-serve` (lock-free,
+//! render-oriented), this one is a plain single-threaded accumulator used
+//! by `trace_report` to summarise phase durations, and it tracks min/max
+//! so quantile estimates can return *bracketing* bounds: the true q-th
+//! quantile of the recorded samples is guaranteed to lie within the
+//! returned `(lower, upper)` interval.
+
+/// Fixed-bound histogram with bracketing quantile estimates.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Strictly increasing, finite upper bounds; bucket `i` counts values
+    /// `v <= bounds[i]` (and above the previous bound). One extra overflow
+    /// bucket counts values above the last bound.
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Build a histogram over the given bucket upper bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty, non-finite, or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "bounds must be strictly increasing");
+        }
+        assert!(bounds.iter().all(|b| b.is_finite()), "bounds must be finite");
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample. Non-finite samples are ignored.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bounds.iter().position(|b| v <= *b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Per-bucket counts; `len() == bounds.len() + 1` (last is overflow).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The configured bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Bracketing estimate of the q-th quantile (`0 < q <= 1`): returns
+    /// `(lower, upper)` such that the true quantile — the value at rank
+    /// `ceil(q * total)` among the sorted samples — lies in the closed
+    /// interval. The first bucket's lower edge is the tracked minimum and
+    /// the overflow bucket's upper edge is the tracked maximum, so the
+    /// bracket is always finite. `None` when empty or `q` out of range.
+    pub fn quantile(&self, q: f64) -> Option<(f64, f64)> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) || q <= 0.0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1).min(self.total);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let lower = if i == 0 { self.min } else { self.bounds[i - 1].max(self.min) };
+                let upper = if i < self.bounds.len() { self.bounds[i].min(self.max) } else { self.max };
+                // A bucket can clamp to an empty-looking interval when all
+                // samples are equal; keep it ordered.
+                return Some((lower.min(upper), lower.max(upper)));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_total() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.9, 5.0, 50.0, 500.0, 5000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.bucket_counts(), &[2, 1, 1, 2]);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.total());
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut h = Histogram::new(&[1.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.total(), 0);
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantile_brackets_true_value() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        let samples = [0.3, 0.7, 1.5, 3.0, 3.5, 6.0, 9.0, 12.0];
+        for v in samples {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9, 0.95, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let truth = samples[rank - 1]; // samples already sorted
+            let (lo, hi) = h.quantile(q).unwrap();
+            assert!(lo <= truth && truth <= hi, "q={q}: {truth} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn single_value_collapses_bracket() {
+        let mut h = Histogram::new(&[10.0]);
+        h.record(3.0);
+        h.record(3.0);
+        let (lo, hi) = h.quantile(0.5).unwrap();
+        assert_eq!((lo, hi), (3.0, 3.0));
+    }
+
+    #[test]
+    fn overflow_bucket_uses_tracked_max() {
+        let mut h = Histogram::new(&[1.0]);
+        h.record(100.0);
+        let (lo, hi) = h.quantile(1.0).unwrap();
+        assert!(lo <= 100.0 && hi == 100.0, "({lo}, {hi})");
+    }
+}

@@ -1,0 +1,703 @@
+//! # fairlens-trace
+//!
+//! Phase-level tracing and profiling for the FairLens workspace: a
+//! dependency-free span/counter recorder with a JSONL trace sink (built on
+//! [`fairlens_json`]) and a flamegraph-compatible collapsed-stack exporter.
+//!
+//! The benchmark runner records one wall-clock number per cell; this crate
+//! explains it. Hot paths open a thread-local *collector* for the logical
+//! unit they execute (a benchmark cell, a dataset materialisation, a serve
+//! request), and instrumented code records into whatever collector is
+//! installed on its thread through three free functions:
+//!
+//! * [`span`] — an RAII phase span (`synth`, `encode`, `fit`, `predict`,
+//!   `metrics`); nesting is structural, enforced by guard drop order;
+//! * [`incr`] — an aggregated iteration counter (`simplex.iterations`,
+//!   `nmf.iterations`, …), flushed as one `counter` event per name when the
+//!   collector closes;
+//! * [`event`] / [`complete`] — point events (convergence) and
+//!   externally-timed spans (serve's queue/batch/predict phases, measured
+//!   on the executor thread and reported back to the request handler).
+//!
+//! Design constraints, mirroring `fairlens-budget`:
+//!
+//! * **Zero cost when disabled.** With no collector installed anywhere in
+//!   the process, every recording function is a single relaxed atomic load.
+//!   Budget checkpoints already borrow a thread-local per solver iteration;
+//!   tracing adds strictly less than that when off.
+//! * **Deterministic modulo timestamps.** Events carry `t_us`/`dur_us`
+//!   fields *last* in their JSON line, so [`strip_timestamps`] reduces a
+//!   trace to its pure event sequence. Each collector owns its events (no
+//!   cross-thread interleaving) and tracks are sorted by name at write
+//!   time, so `--threads 1` and `--threads 4` produce byte-identical
+//!   stripped traces.
+//! * **Unwind-safe.** Span guards record their exit during a panic unwind
+//!   (budget-deadline cancellation travels by unwinding), so a timed-out
+//!   cell still leaves a well-formed trace.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use fairlens_json::{parse, Value};
+
+mod collapse;
+mod histogram;
+
+pub use histogram::Histogram;
+
+/// One recorded trace event. `t_us` is microseconds since the collector's
+/// origin; `dur_us` is the span duration in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A span opened ([`span`]).
+    Enter {
+        /// Phase name.
+        name: String,
+        /// Microseconds since the collector opened.
+        t_us: u64,
+    },
+    /// A span closed (guard drop). Always matches the innermost open span.
+    Exit {
+        /// Phase name (same as the matching [`TraceEvent::Enter`]).
+        name: String,
+        /// Microseconds since the collector opened, at close.
+        t_us: u64,
+        /// Span duration, microseconds.
+        dur_us: u64,
+    },
+    /// A complete span measured elsewhere and reported after the fact
+    /// ([`complete`]).
+    Complete {
+        /// Phase name.
+        name: String,
+        /// Microseconds since the collector opened, at report time.
+        t_us: u64,
+        /// Span duration, microseconds.
+        dur_us: u64,
+    },
+    /// A point event ([`event`]), e.g. solver convergence.
+    Point {
+        /// Event name.
+        name: String,
+        /// Microseconds since the collector opened.
+        t_us: u64,
+    },
+    /// An aggregated counter total ([`incr`]), flushed when the collector
+    /// closes. Carries no timestamp — it is deterministic by construction.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Aggregated total.
+        value: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The wire name of the event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Enter { .. } => "enter",
+            Self::Exit { .. } => "exit",
+            Self::Complete { .. } => "span",
+            Self::Point { .. } => "event",
+            Self::Counter { .. } => "counter",
+        }
+    }
+
+    /// The event's phase/counter name.
+    pub fn name(&self) -> &str {
+        match self {
+            Self::Enter { name, .. }
+            | Self::Exit { name, .. }
+            | Self::Complete { name, .. }
+            | Self::Point { name, .. }
+            | Self::Counter { name, .. } => name,
+        }
+    }
+
+    /// The span duration, for `exit` and `span` events.
+    pub fn dur_us(&self) -> Option<u64> {
+        match self {
+            Self::Exit { dur_us, .. } | Self::Complete { dur_us, .. } => Some(*dur_us),
+            _ => None,
+        }
+    }
+}
+
+/// All events recorded under one collector, labelled with its track name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackData {
+    /// The logical unit the events belong to, e.g.
+    /// `cell/German/r1000/a9/f0/KamCal^DP` or `data/German/r1000`.
+    pub track: String,
+    /// Events in recording order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Number of collectors currently installed, process-wide. The fast path
+/// of every recording function is one relaxed load of this.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether any thread currently has a collector installed. Instrumented
+/// code never needs to call this — [`span`]/[`incr`]/[`event`] check it
+/// themselves — but gated callers (e.g. building a track name) may.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed) > 0
+}
+
+struct Collector {
+    sink: TraceSink,
+    track: String,
+    origin: Instant,
+    events: Vec<TraceEvent>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl Collector {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    fn finish(mut self) {
+        // Counters flush in name order: deterministic regardless of the
+        // order iterations touched them.
+        for (name, value) in std::mem::take(&mut self.counters) {
+            self.events.push(TraceEvent::Counter { name: name.to_string(), value });
+        }
+        let mut tracks = self.sink.shared.lock().unwrap_or_else(PoisonError::into_inner);
+        tracks.push(TrackData { track: std::mem::take(&mut self.track), events: std::mem::take(&mut self.events) });
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// A shared, thread-safe destination for finished tracks. Clones share the
+/// same storage. Collectors drain into it when their guard drops.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    shared: Arc<Mutex<Vec<TrackData>>>,
+}
+
+impl TraceSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a collector for `track` on the current thread. Until the
+    /// returned guard drops, [`span`]/[`incr`]/[`event`]/[`complete`] on
+    /// this thread record into it; on drop the events (counters last, in
+    /// name order) are pushed into the sink as one [`TrackData`]. Nested
+    /// collectors restore the previous one on drop.
+    #[must_use = "events are only recorded while the guard is alive"]
+    pub fn collect(&self, track: impl Into<String>) -> CollectGuard {
+        let collector = Collector {
+            sink: self.clone(),
+            track: track.into(),
+            origin: Instant::now(),
+            events: Vec::new(),
+            counters: BTreeMap::new(),
+        };
+        let prev = CURRENT.with(|c| c.replace(Some(collector)));
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
+        CollectGuard { prev: Some(prev) }
+    }
+
+    /// Finished tracks, sorted by track name (stable, so equal names keep
+    /// their completion order). Non-draining: writing twice is allowed.
+    pub fn tracks(&self) -> Vec<TrackData> {
+        let mut tracks = self.shared.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        tracks.sort_by(|a, b| a.track.cmp(&b.track));
+        tracks
+    }
+
+    /// Whether any track has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().unwrap_or_else(PoisonError::into_inner).is_empty()
+    }
+
+    /// Serialize every track as JSON lines. One event per line; fields are
+    /// ordered `track, seq, kind, name, [value], [t_us, dur_us]` with the
+    /// timestamp fields last so [`strip_timestamps`] is a suffix cut.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for track in self.tracks() {
+            for (seq, e) in track.events.iter().enumerate() {
+                out.push_str(&event_json(&track.track, seq, e));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Write [`Self::to_jsonl`] to `path`, creating parent directories.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        write_text(path, &self.to_jsonl())
+    }
+
+    /// Render the collapsed-stack (flamegraph) view: one
+    /// `track;frame;... <microseconds>` line per observed stack, sorted.
+    pub fn to_collapsed(&self) -> String {
+        collapse::collapse(&self.tracks())
+    }
+
+    /// Write [`Self::to_collapsed`] to `path`, creating parent directories.
+    pub fn write_collapsed(&self, path: &Path) -> std::io::Result<()> {
+        write_text(path, &self.to_collapsed())
+    }
+}
+
+fn write_text(path: &Path, text: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(text.as_bytes())?;
+    f.flush()
+}
+
+/// RAII handle from [`TraceSink::collect`]; closing it flushes the
+/// collector into the sink and restores the previously installed one.
+#[must_use = "dropping immediately would record an empty track"]
+pub struct CollectGuard {
+    prev: Option<Option<Collector>>,
+}
+
+impl Drop for CollectGuard {
+    fn drop(&mut self) {
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+        let prev = self.prev.take().unwrap_or(None);
+        // Tolerate thread teardown, like BudgetGuard.
+        let finished = CURRENT.try_with(|c| c.replace(prev)).ok().flatten();
+        if let Some(collector) = finished {
+            collector.finish();
+        }
+    }
+}
+
+/// Open a phase span on the current thread's collector. Inert (one atomic
+/// load) when tracing is off. The guard records the matching exit — and
+/// therefore the duration — when dropped, including during unwinding.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !active() {
+        return SpanGuard { open: None };
+    }
+    let armed = CURRENT
+        .try_with(|c| match c.borrow_mut().as_mut() {
+            Some(col) => {
+                let t_us = col.now_us();
+                col.events.push(TraceEvent::Enter { name: name.to_string(), t_us });
+                true
+            }
+            None => false,
+        })
+        .unwrap_or(false);
+    SpanGuard { open: armed.then(|| (name, Instant::now())) }
+}
+
+/// Guard from [`span`]; records the span exit on drop.
+pub struct SpanGuard {
+    open: Option<(&'static str, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, started)) = self.open.take() {
+            let dur_us = started.elapsed().as_micros() as u64;
+            let _ = CURRENT.try_with(|c| {
+                if let Some(col) = c.borrow_mut().as_mut() {
+                    let t_us = col.now_us();
+                    col.events.push(TraceEvent::Exit { name: name.to_string(), t_us, dur_us });
+                }
+            });
+        }
+    }
+}
+
+/// Add `by` to the named aggregated counter. Counters flush as one
+/// `counter` event per name (name order) when the collector closes, so
+/// per-iteration calls stay cheap and the trace stays small.
+#[inline]
+pub fn incr(name: &'static str, by: u64) {
+    if !active() {
+        return;
+    }
+    let _ = CURRENT.try_with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            *col.counters.entry(name).or_insert(0) += by;
+        }
+    });
+}
+
+/// Record a point event (e.g. `nmf.converged`).
+#[inline]
+pub fn event(name: &'static str) {
+    if !active() {
+        return;
+    }
+    let _ = CURRENT.try_with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            let t_us = col.now_us();
+            col.events.push(TraceEvent::Point { name: name.to_string(), t_us });
+        }
+    });
+}
+
+/// Record a complete span of duration `dur` that was measured elsewhere
+/// (e.g. on another thread) and is being reported after the fact. The
+/// span nests under whatever spans are open at report time.
+#[inline]
+pub fn complete(name: &'static str, dur: Duration) {
+    if !active() {
+        return;
+    }
+    let _ = CURRENT.try_with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            let t_us = col.now_us();
+            col.events.push(TraceEvent::Complete {
+                name: name.to_string(),
+                t_us,
+                dur_us: dur.as_micros() as u64,
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+
+fn event_json(track: &str, seq: usize, e: &TraceEvent) -> String {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("track".into(), Value::String(track.to_string())),
+        ("seq".into(), Value::Integer(seq as u64)),
+        ("kind".into(), Value::String(e.kind().to_string())),
+        ("name".into(), Value::String(e.name().to_string())),
+    ];
+    // Timestamp-bearing fields go LAST so strip_timestamps is a suffix cut.
+    match e {
+        TraceEvent::Enter { t_us, .. } | TraceEvent::Point { t_us, .. } => {
+            fields.push(("t_us".into(), Value::Integer(*t_us)));
+        }
+        TraceEvent::Exit { t_us, dur_us, .. } | TraceEvent::Complete { t_us, dur_us, .. } => {
+            fields.push(("t_us".into(), Value::Integer(*t_us)));
+            fields.push(("dur_us".into(), Value::Integer(*dur_us)));
+        }
+        TraceEvent::Counter { value, .. } => {
+            fields.push(("value".into(), Value::Integer(*value)));
+        }
+    }
+    Value::Object(fields).to_json()
+}
+
+/// Drop the `t_us`/`dur_us` fields from every line of a JSONL trace,
+/// leaving the deterministic event sequence. Relies on the serializer
+/// putting timestamps last on each line.
+pub fn strip_timestamps(jsonl: &str) -> String {
+    let mut out = String::with_capacity(jsonl.len());
+    for line in jsonl.lines() {
+        match line.find(",\"t_us\":") {
+            Some(i) => {
+                out.push_str(&line[..i]);
+                out.push('}');
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse one event line back into `(track, seq, event)`.
+pub fn parse_event(line: &str) -> Result<(String, u64, TraceEvent), String> {
+    let v = parse(line)?;
+    let field = |k: &str| v.get(k).cloned().ok_or_else(|| format!("missing field {k:?}"));
+    let track = field("track")?.into_string()?;
+    let seq = field("seq")?.into_u64()?;
+    let kind = field("kind")?.into_string()?;
+    let name = field("name")?.into_string()?;
+    let t_us = || field("t_us").and_then(Value::into_u64);
+    let dur_us = || field("dur_us").and_then(Value::into_u64);
+    let event = match kind.as_str() {
+        "enter" => TraceEvent::Enter { name, t_us: t_us()? },
+        "exit" => TraceEvent::Exit { name, t_us: t_us()?, dur_us: dur_us()? },
+        "span" => TraceEvent::Complete { name, t_us: t_us()?, dur_us: dur_us()? },
+        "event" => TraceEvent::Point { name, t_us: t_us()? },
+        "counter" => TraceEvent::Counter { name, value: field("value")?.into_u64()? },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok((track, seq, event))
+}
+
+/// Parse a whole JSONL trace back into tracks (grouped by track name, in
+/// first-appearance order). Blank lines are skipped.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TrackData>, String> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_track: BTreeMap<String, Vec<TraceEvent>> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (track, _seq, event) =
+            parse_event(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if !by_track.contains_key(&track) {
+            order.push(track.clone());
+        }
+        by_track.entry(track).or_default().push(event);
+    }
+    Ok(order
+        .into_iter()
+        .map(|track| {
+            let events = by_track.remove(&track).unwrap_or_default();
+            TrackData { track, events }
+        })
+        .collect())
+}
+
+/// Check that a track's event sequence is well-formed: every `exit`
+/// matches the innermost open span (by name) and no span stays open.
+/// `span`/`event`/`counter` events may appear anywhere.
+pub fn validate_nesting(events: &[TraceEvent]) -> Result<(), String> {
+    let mut open: Vec<&str> = Vec::new();
+    for e in events {
+        match e {
+            TraceEvent::Enter { name, .. } => open.push(name),
+            TraceEvent::Exit { name, .. } => match open.pop() {
+                Some(top) if top == name => {}
+                Some(top) => {
+                    return Err(format!("exit {name:?} does not match innermost open span {top:?}"))
+                }
+                None => return Err(format!("exit {name:?} with no open span")),
+            },
+            _ => {}
+        }
+    }
+    if let Some(left) = open.last() {
+        return Err(format!("span {left:?} never exited"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        // No collector on this thread: everything is a no-op.
+        let g = span("phase");
+        incr("iters", 3);
+        event("nothing");
+        complete("ghost", Duration::from_millis(1));
+        drop(g);
+        // A sink created afterwards sees nothing.
+        let sink = TraceSink::new();
+        assert!(sink.is_empty());
+        assert_eq!(sink.to_jsonl(), "");
+    }
+
+    #[test]
+    fn spans_counters_and_events_record_in_order() {
+        let sink = TraceSink::new();
+        {
+            let _c = sink.collect("cell/test");
+            let _fit = span("fit");
+            {
+                let _enc = span("encode");
+                incr("gd.iterations", 2);
+                incr("gd.iterations", 3);
+            }
+            event("gd.converged");
+            complete("ext", Duration::from_micros(42));
+        }
+        let tracks = sink.tracks();
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].track, "cell/test");
+        let kinds: Vec<(&str, &str)> =
+            tracks[0].events.iter().map(|e| (e.kind(), e.name())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("enter", "fit"),
+                ("enter", "encode"),
+                ("exit", "encode"),
+                ("event", "gd.converged"),
+                ("span", "ext"),
+                ("exit", "fit"),
+                ("counter", "gd.iterations"),
+            ]
+        );
+        match &tracks[0].events[6] {
+            TraceEvent::Counter { value, .. } => assert_eq!(*value, 5),
+            other => panic!("expected counter, got {other:?}"),
+        }
+        validate_nesting(&tracks[0].events).unwrap();
+    }
+
+    #[test]
+    fn counters_flush_sorted_by_name() {
+        let sink = TraceSink::new();
+        {
+            let _c = sink.collect("t");
+            incr("zeta", 1);
+            incr("alpha", 1);
+            incr("mid", 1);
+        }
+        let names: Vec<String> =
+            sink.tracks()[0].events.iter().map(|e| e.name().to_string()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn nested_collectors_restore_the_outer_one() {
+        let outer = TraceSink::new();
+        let inner = TraceSink::new();
+        {
+            let _o = outer.collect("outer");
+            event("before");
+            {
+                let _i = inner.collect("inner");
+                event("within");
+            }
+            event("after");
+        }
+        let o = outer.tracks();
+        assert_eq!(o.len(), 1);
+        let names: Vec<&str> = o[0].events.iter().map(TraceEvent::name).collect();
+        assert_eq!(names, vec!["before", "after"]);
+        let i = inner.tracks();
+        assert_eq!(i.len(), 1);
+        assert_eq!(i[0].events.len(), 1);
+        assert_eq!(i[0].events[0].name(), "within");
+    }
+
+    #[test]
+    fn threads_record_into_their_own_collectors() {
+        let sink = TraceSink::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let sink = &sink;
+                s.spawn(move || {
+                    let _c = sink.collect(format!("cell/{t}"));
+                    incr("iters", t + 1);
+                    let _s = span("fit");
+                });
+            }
+        });
+        let tracks = sink.tracks();
+        assert_eq!(tracks.len(), 4);
+        // sorted by name, each with its own counter value
+        for (t, track) in tracks.iter().enumerate() {
+            assert_eq!(track.track, format!("cell/{t}"));
+            let counter = track.events.iter().find(|e| e.kind() == "counter").unwrap();
+            match counter {
+                TraceEvent::Counter { value, .. } => assert_eq!(*value, t as u64 + 1),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_strips() {
+        let sink = TraceSink::new();
+        {
+            let _c = sink.collect("cell/x");
+            let _f = span("fit");
+            incr("pivots", 7);
+            event("optimal");
+        }
+        let jsonl = sink.to_jsonl();
+        let tracks = parse_jsonl(&jsonl).unwrap();
+        assert_eq!(tracks, sink.tracks());
+        let stripped = strip_timestamps(&jsonl);
+        assert!(!stripped.contains("t_us"), "{stripped}");
+        assert!(!stripped.contains("dur_us"), "{stripped}");
+        // counters have no timestamps, so their lines survive verbatim
+        assert!(stripped.contains("\"kind\":\"counter\",\"name\":\"pivots\",\"value\":7"));
+        // stripped output is still one JSON object per line
+        for line in stripped.lines() {
+            parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn stripped_traces_are_identical_across_timing_jitter() {
+        let run = || {
+            let sink = TraceSink::new();
+            {
+                let _c = sink.collect("cell/a");
+                let _f = span("fit");
+                std::thread::sleep(Duration::from_micros(50));
+                incr("iters", 9);
+            }
+            sink.to_jsonl()
+        };
+        let (a, b) = (run(), run());
+        assert_ne!(a, b, "timestamps should differ between runs");
+        assert_eq!(strip_timestamps(&a), strip_timestamps(&b));
+    }
+
+    #[test]
+    fn span_guard_records_exit_during_unwind() {
+        let sink = TraceSink::new();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _c = sink.collect("cell/panicky");
+            let _f = span("fit");
+            panic!("boom");
+        }));
+        let tracks = sink.tracks();
+        assert_eq!(tracks.len(), 1);
+        validate_nesting(&tracks[0].events).unwrap();
+        assert_eq!(tracks[0].events.len(), 2); // enter + exit
+    }
+
+    #[test]
+    fn validator_rejects_malformed_sequences() {
+        let enter = |n: &str| TraceEvent::Enter { name: n.into(), t_us: 0 };
+        let exit = |n: &str| TraceEvent::Exit { name: n.into(), t_us: 0, dur_us: 0 };
+        assert!(validate_nesting(&[enter("a"), exit("a")]).is_ok());
+        assert!(validate_nesting(&[enter("a"), enter("b"), exit("a")]).is_err());
+        assert!(validate_nesting(&[exit("a")]).is_err());
+        assert!(validate_nesting(&[enter("a")]).is_err());
+    }
+
+    #[test]
+    fn collapsed_output_attributes_self_time() {
+        let sink = TraceSink::new();
+        {
+            let _c = sink.collect("cell/y");
+            let _f = span("fit");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _e = span("encode");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let collapsed = sink.to_collapsed();
+        let mut fit_self = None;
+        let mut encode = None;
+        for line in collapsed.lines() {
+            let (path, value) = line.rsplit_once(' ').unwrap();
+            let value: u64 = value.parse().unwrap();
+            match path {
+                "cell/y;fit" => fit_self = Some(value),
+                "cell/y;fit;encode" => encode = Some(value),
+                other => panic!("unexpected stack {other:?}"),
+            }
+        }
+        let (fit_self, encode) = (fit_self.unwrap(), encode.unwrap());
+        assert!(encode >= 500, "encode self time {encode}");
+        // fit self-time excludes the nested encode span
+        assert!(fit_self >= 1000, "fit self time {fit_self}");
+    }
+}

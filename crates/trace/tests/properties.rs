@@ -1,0 +1,104 @@
+//! Property tests for `fairlens-trace` (vendored proptest stub: randomized
+//! case generation, no shrinking).
+//!
+//! Three invariants from the issue:
+//! 1. histogram bucket counts always sum to the total;
+//! 2. quantile estimates bracket the true (sorted-sample) quantile;
+//! 3. span nesting is well-formed — every exit matches the innermost open
+//!    span — for any interleaving of guard creation and drop.
+
+use fairlens_trace::{validate_nesting, Histogram, TraceSink};
+use proptest::prelude::*;
+
+/// A strictly increasing bound vector derived from positive gaps.
+fn bounds_from_gaps(gaps: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    gaps.iter()
+        .map(|g| {
+            acc += g.abs().max(1e-3);
+            acc
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_bucket_counts_sum_to_total(
+        gaps in prop::collection::vec(0.001f64..50.0, 1..8),
+        samples in prop::collection::vec(-10.0f64..500.0, 0..200),
+    ) {
+        let mut h = Histogram::new(&bounds_from_gaps(&gaps));
+        for &v in &samples {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.total());
+        // bucket vector always has one overflow slot past the bounds
+        prop_assert_eq!(h.bucket_counts().len(), h.bounds().len() + 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_true_quantiles(
+        gaps in prop::collection::vec(0.001f64..50.0, 1..8),
+        samples in prop::collection::vec(0.0f64..500.0, 1..200),
+        qs in prop::collection::vec(0.01f64..1.0, 1..6),
+    ) {
+        let mut h = Histogram::new(&bounds_from_gaps(&gaps));
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &v in &samples {
+            h.record(v);
+        }
+        for &q in &qs {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let (lo, hi) = h.quantile(q).unwrap();
+            prop_assert!(
+                lo <= truth && truth <= hi,
+                "q={} true={} bracket=({}, {})", q, truth, lo, hi
+            );
+        }
+    }
+
+    #[test]
+    fn span_nesting_is_well_formed(
+        ops in prop::collection::vec(any::<bool>(), 0..60),
+        names in prop::collection::vec(0usize..5, 0..60),
+    ) {
+        const PHASES: [&str; 5] = ["synth", "encode", "fit", "predict", "metrics"];
+        let sink = TraceSink::new();
+        {
+            let _c = sink.collect("prop/track");
+            // Random open/close interleaving: `true` opens a span (depth
+            // capped), `false` drops the innermost open guard. Guards live
+            // in a Vec so drop order is pop order — matching how real code
+            // nests scoped spans.
+            let mut stack = Vec::new();
+            for (i, &open) in ops.iter().enumerate() {
+                if open && stack.len() < 8 {
+                    let name = PHASES[names.get(i).copied().unwrap_or(0) % PHASES.len()];
+                    stack.push(fairlens_trace::span(name));
+                } else {
+                    stack.pop();
+                }
+            }
+            // remaining guards unwind in reverse push order
+            while stack.pop().is_some() {}
+        }
+        let tracks = sink.tracks();
+        prop_assert_eq!(tracks.len(), 1);
+        prop_assert!(validate_nesting(&tracks[0].events).is_ok());
+        // enters and exits balance exactly
+        let enters = tracks[0].events.iter().filter(|e| e.kind() == "enter").count();
+        let exits = tracks[0].events.iter().filter(|e| e.kind() == "exit").count();
+        prop_assert_eq!(enters, exits);
+        // and the JSONL round-trip preserves the sequence (an event-less
+        // track serializes to zero lines, so only check non-empty ones)
+        if !tracks[0].events.is_empty() {
+            let parsed = fairlens_trace::parse_jsonl(&sink.to_jsonl()).unwrap();
+            prop_assert_eq!(parsed, tracks);
+        }
+    }
+}

@@ -52,11 +52,13 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
     echo "    ok: $records records, $(wc -l < "$sidecar") failures in sidecar"
 
     echo "==> resume smoke (kill fig12 at 50 %, resume, compare)"
-    # Reference run, then the same run truncated to its first half and
-    # resumed; modulo wall-clock the finalized files must agree.
+    # Reference run (traced — the trace smoke below reuses it), then the
+    # same run truncated to its first half and resumed; modulo wall-clock
+    # the finalized files must agree.
     ref="$smoke_out/ref.jsonl"
+    trace="$smoke_out/fig12.trace.jsonl"
     cargo run --release -p fairlens-bench --bin fig12_stability -- \
-        german --scale quick --threads 2 --out "$smoke_out" >/dev/null
+        german --scale quick --threads 2 --out "$smoke_out" --trace "$trace" >/dev/null
     mv "$smoke_out/fig12_stability.jsonl" "$ref"
     half="$smoke_out/half.jsonl"
     head -n 100 "$ref" > "$half"
@@ -69,6 +71,22 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
     fi
     echo "    ok: resumed run matches the reference"
 
+    echo "==> trace smoke (trace_report on the traced fig12 run)"
+    # trace_report must exit 0, name all five pipeline phases, and agree
+    # with the RunRecord wall-clocks within max(5 %, 1 ms) per cell.
+    report="$smoke_out/trace_report.txt"
+    cargo run --release -p fairlens-bench --bin trace_report -- \
+        "$trace" --results "$ref" > "$report"
+    for phase in synth encode fit predict metrics; do
+        grep -qw "$phase" "$report" \
+            || { echo "trace smoke FAILED: phase '$phase' missing from report" >&2; exit 1; }
+    done
+    grep -q 'cross-check vs' "$report" \
+        || { echo "trace smoke FAILED: no cross-check line" >&2; exit 1; }
+    [[ -s "$smoke_out/fig12.trace.collapsed" ]] \
+        || { echo "trace smoke FAILED: no collapsed flamegraph stacks" >&2; exit 1; }
+    echo "    ok: all five phases reported, cross-check passed"
+
     echo "==> serving smoke (export German models, loadgen 1000 reqs, drain)"
     # Export a handful of German artifacts, boot the prediction server on
     # an ephemeral port, fire a 4-connection keep-alive mix of single and
@@ -80,8 +98,9 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
         --scale quick --out "$models_dir" --datasets German \
         --approaches 'LR,Feld^DP(1.0),Hardt^EO' >/dev/null 2>&1
     serve_log="$smoke_out/serve.log"
+    serve_trace="$smoke_out/serve.trace.jsonl"
     cargo run --release -p fairlens-serve -- \
-        --addr 127.0.0.1:0 --models "$models_dir" 2> "$serve_log" &
+        --addr 127.0.0.1:0 --models "$models_dir" --trace "$serve_trace" 2> "$serve_log" &
     serve_pid=$!
     addr=""
     for _ in $(seq 1 100); do
@@ -108,7 +127,16 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
     fi
     grep -q '\[serve\] drained, bye' "$serve_log" \
         || { echo "serve smoke FAILED: no drain marker in the log" >&2; exit 1; }
-    echo "    ok: 1000 requests served, metrics moved, clean drain"
+    # loadgen must report a latency distribution with a positive p99.
+    p99="$(sed -n 's/.*p99 \([0-9.][0-9.]*\)$/\1/p' "$smoke_out/loadgen.log")"
+    if [[ -z "$p99" ]] || ! awk -v v="$p99" 'BEGIN { exit !(v > 0) }'; then
+        echo "serve smoke FAILED: loadgen p99 missing or zero (got '${p99:-}')" >&2
+        exit 1
+    fi
+    # The drained server leaves per-request trace tracks behind.
+    grep -q '"track":"req/' "$serve_trace" \
+        || { echo "serve smoke FAILED: no req/ tracks in the serve trace" >&2; exit 1; }
+    echo "    ok: 1000 requests served, p99 ${p99} ms, metrics moved, clean drain"
 fi
 
 echo "All checks passed."
