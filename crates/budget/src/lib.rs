@@ -63,6 +63,22 @@ impl Budget {
         self.cancelled.load(Ordering::Relaxed)
     }
 
+    /// Block until this budget is cancelled or `max_wait` elapses,
+    /// polling every `tick`. Returns `true` if the budget was cancelled.
+    /// For callers that must *wait out* a cancellation signal rather
+    /// than unwind on it (e.g. the serve chaos hook stalling a flush
+    /// until the request's deadline fires).
+    pub fn wait_cancelled(&self, tick: std::time::Duration, max_wait: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + max_wait;
+        while !self.is_cancelled() {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(tick);
+        }
+        true
+    }
+
     /// Install this budget on the current thread for the lifetime of the
     /// returned guard; [`checkpoint`] calls on this thread observe it.
     /// Nested installs restore the previous budget on drop.
@@ -141,6 +157,20 @@ mod tests {
         checkpoint();
         outer.cancel();
         assert!(std::panic::catch_unwind(checkpoint).is_err());
+    }
+
+    #[test]
+    fn wait_cancelled_observes_the_flag_or_times_out() {
+        use std::time::Duration;
+        let b = Budget::new();
+        assert!(!b.wait_cancelled(Duration::from_millis(1), Duration::from_millis(10)));
+        let c = b.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            c.cancel();
+        });
+        assert!(b.wait_cancelled(Duration::from_millis(1), Duration::from_secs(5)));
+        h.join().unwrap();
     }
 
     #[test]

@@ -4,23 +4,45 @@
 //! schema-valid rows from the model's source synthetic dataset, and drives
 //! a deterministic mix of single-row and batch predict requests over
 //! several persistent connections, counting statuses. Exits non-zero on
-//! any non-2xx response or transport error, so it doubles as the smoke
-//! check in `scripts/check.sh`.
+//! any unexpected non-2xx response or transport error, so it doubles as
+//! the smoke check in `scripts/check.sh`.
+//!
+//! Two driving modes:
+//!
+//! * **Closed loop** (default): one request in flight per connection.
+//!   Shed responses (429/503) that carry `Retry-After` are honoured —
+//!   the connection sleeps the advertised hint and retries the same
+//!   request a few times before counting the shed as final.
+//! * **Open loop** (`--open-loop`): each connection pipelines bursts of
+//!   `--burst` requests without waiting, deliberately outrunning the
+//!   server to exercise admission control. Connections the server closes
+//!   (request cap, drain) are reopened and unanswered requests resent.
+//!
+//! With `--allow-shed`, overload responses (429/503/504) are expected
+//! output rather than failures: the run exits 0 as long as every request
+//! got *some* well-formed answer. The summary always prints the full
+//! status breakdown and the shed rate alongside latency percentiles.
 //!
 //! ```text
 //! cargo run -p fairlens-serve --example loadgen -- \
 //!     --addr 127.0.0.1:8484 [--model ID] [--requests 1000] [--conns 4] \
-//!     [--seed 42] [--shutdown]
+//!     [--seed 42] [--open-loop] [--burst 16] [--allow-shed] [--shutdown]
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::exit;
+use std::time::{Duration, Instant};
 
 use fairlens_frame::{Column, Dataset};
 use fairlens_json::{object, parse, Value};
 use fairlens_synth::{DatasetKind, ALL_DATASETS};
+
+/// Statuses that admission control and breakers legitimately produce
+/// under overload; `--allow-shed` accepts them as success for exit-code
+/// purposes.
+const SHED_STATUSES: [u16; 3] = [429, 503, 504];
 
 struct Args {
     addr: String,
@@ -28,6 +50,9 @@ struct Args {
     requests: usize,
     conns: usize,
     seed: u64,
+    open_loop: bool,
+    burst: usize,
+    allow_shed: bool,
     shutdown: bool,
 }
 
@@ -38,6 +63,9 @@ fn parse_args() -> Args {
         requests: 1000,
         conns: 4,
         seed: 42,
+        open_loop: false,
+        burst: 16,
+        allow_shed: false,
         shutdown: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +83,17 @@ fn parse_args() -> Args {
             "--requests" => args.requests = value(i).parse().expect("--requests"),
             "--conns" => args.conns = value(i).parse().expect("--conns"),
             "--seed" => args.seed = value(i).parse().expect("--seed"),
+            "--burst" => args.burst = value(i).parse().expect("--burst"),
+            "--open-loop" => {
+                args.open_loop = true;
+                i += 1;
+                continue;
+            }
+            "--allow-shed" => {
+                args.allow_shed = true;
+                i += 1;
+                continue;
+            }
             "--shutdown" => {
                 args.shutdown = true;
                 i += 1;
@@ -74,6 +113,16 @@ fn parse_args() -> Args {
     args
 }
 
+/// One parsed response off a keep-alive connection.
+struct Response {
+    status: u16,
+    body: String,
+    /// The `Retry-After` hint (seconds), on shed/breaker rejections.
+    retry_after: Option<u64>,
+    /// Whether the server announced it will close the connection.
+    close: bool,
+}
+
 /// A minimal keep-alive HTTP/1.1 client connection.
 struct Conn {
     reader: BufReader<TcpStream>,
@@ -87,13 +136,16 @@ impl Conn {
         Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: stream })
     }
 
-    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    fn write_request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<()> {
         write!(
             self.writer,
             "{method} {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
             body.len(),
         )?;
-        self.writer.flush()?;
+        self.writer.flush()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
         let mut line = String::new();
         self.reader.read_line(&mut line)?;
         let status: u16 = line
@@ -102,20 +154,31 @@ impl Conn {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| std::io::Error::other(format!("bad status line {line:?}")))?;
         let mut content_length = 0usize;
+        let mut retry_after = None;
+        let mut close = false;
         loop {
             let mut header = String::new();
             self.reader.read_line(&mut header)?;
-            let header = header.trim_end();
+            let header = header.trim_end().to_ascii_lowercase();
             if header.is_empty() {
                 break;
             }
-            if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            if let Some(v) = header.strip_prefix("content-length:") {
                 content_length = v.trim().parse().unwrap_or(0);
+            } else if let Some(v) = header.strip_prefix("retry-after:") {
+                retry_after = v.trim().parse().ok();
+            } else if header == "connection: close" {
+                close = true;
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        Ok((status, String::from_utf8_lossy(&body).into_owned()))
+        Ok(Response { status, body: String::from_utf8_lossy(&body).into_owned(), retry_after, close })
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<Response> {
+        self.write_request(method, path, body)?;
+        self.read_response()
     }
 }
 
@@ -142,14 +205,145 @@ fn row_json(data: &Dataset, r: usize) -> Value {
     Value::Object(fields)
 }
 
+/// Deterministic single/batch request body for request index `i`.
+fn body_for(model_id: &str, rows: &[Value], i: usize) -> String {
+    let body = if i % 4 == 0 {
+        object([
+            ("model", Value::String(model_id.to_string())),
+            ("row", rows[i % rows.len()].clone()),
+        ])
+    } else {
+        let n = 2 + (i % 8);
+        let batch: Vec<Value> = (0..n).map(|j| rows[(i + j) % rows.len()].clone()).collect();
+        object([
+            ("model", Value::String(model_id.to_string())),
+            ("rows", Value::Array(batch)),
+        ])
+    };
+    body.to_json()
+}
+
+/// Per-connection result accumulator.
+#[derive(Default)]
+struct Tally {
+    counts: BTreeMap<u16, usize>,
+    latencies_ms: Vec<f64>,
+    reconnects: usize,
+    retries: usize,
+}
+
+/// Closed loop: one request in flight, honouring `Retry-After` on shed.
+fn run_closed_loop(args: &Args, model_id: &str, rows: &[Value], c: usize) -> Tally {
+    let mut tally = Tally::default();
+    let mut conn = Conn::open(&args.addr).expect("connect");
+    let mut i = c;
+    while i < args.requests {
+        let body = body_for(model_id, rows, i);
+        let mut attempts = 0;
+        loop {
+            let t0 = Instant::now();
+            let resp = conn.request("POST", "/v1/predict", &body).expect("predict request");
+            tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            *tally.counts.entry(resp.status).or_insert(0) += 1;
+            if resp.close {
+                tally.reconnects += 1;
+                conn = Conn::open(&args.addr).expect("reconnect");
+            }
+            // A shed with a Retry-After hint: wait as told, retry the
+            // same request a few times before accepting the shed.
+            let retriable = SHED_STATUSES.contains(&resp.status);
+            match resp.retry_after {
+                Some(secs) if retriable && attempts < 3 => {
+                    attempts += 1;
+                    tally.retries += 1;
+                    std::thread::sleep(Duration::from_secs(secs.min(2)));
+                }
+                _ => {
+                    if resp.status != 200 {
+                        eprintln!("[loadgen] HTTP {}: {}", resp.status, resp.body);
+                    }
+                    break;
+                }
+            }
+        }
+        i += args.conns;
+    }
+    tally
+}
+
+/// Open loop: pipeline bursts without waiting for answers, reopening
+/// connections the server closes and resending whatever went unanswered.
+fn run_open_loop(args: &Args, model_id: &str, rows: &[Value], c: usize) -> Tally {
+    let mut tally = Tally::default();
+    let mut conn = Conn::open(&args.addr).expect("connect");
+    let mut pending: VecDeque<usize> =
+        (c..args.requests).step_by(args.conns.max(1)).collect();
+    let burst_len = args.burst.max(1);
+    while !pending.is_empty() {
+        let burst: Vec<usize> =
+            (0..burst_len.min(pending.len())).filter_map(|_| pending.pop_front()).collect();
+        let t0 = Instant::now();
+        let mut wrote = 0;
+        for &i in &burst {
+            if conn.write_request("POST", "/v1/predict", &body_for(model_id, rows, i)).is_err() {
+                break;
+            }
+            wrote += 1;
+        }
+        let mut answered = 0;
+        let mut closed = false;
+        for _ in 0..wrote {
+            match conn.read_response() {
+                Ok(resp) => {
+                    tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    *tally.counts.entry(resp.status).or_insert(0) += 1;
+                    answered += 1;
+                    if resp.close {
+                        closed = true;
+                        break;
+                    }
+                }
+                Err(_) => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        if closed || answered < burst.len() {
+            // The server closed the connection (request cap, drain) or a
+            // response was lost with it: reopen and resend the rest.
+            for &i in burst[answered..].iter().rev() {
+                pending.push_front(i);
+            }
+            tally.reconnects += 1;
+            assert!(
+                tally.reconnects <= 1000,
+                "giving up after 1000 reconnects; server keeps dropping us"
+            );
+            conn = reconnect(&args.addr);
+        }
+    }
+    tally
+}
+
+fn reconnect(addr: &str) -> Conn {
+    for _ in 0..50 {
+        if let Ok(conn) = Conn::open(addr) {
+            return conn;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("cannot reconnect to {addr}");
+}
+
 fn main() {
     let args = parse_args();
 
     // Discover the target model and its source dataset.
     let mut conn = Conn::open(&args.addr).expect("connect for model discovery");
-    let (status, body) = conn.request("GET", "/v1/models", "").expect("list models");
-    assert_eq!(status, 200, "model listing failed: {body}");
-    let listing = parse(&body).expect("models JSON");
+    let resp = conn.request("GET", "/v1/models", "").expect("list models");
+    assert_eq!(resp.status, 200, "model listing failed: {}", resp.body);
+    let listing = parse(&resp.body).expect("models JSON");
     let models = listing.get("models").cloned().unwrap().into_array().unwrap();
     let chosen = match &args.model {
         Some(id) => models
@@ -159,10 +353,13 @@ fn main() {
                 eprintln!("model {id:?} not served");
                 exit(2);
             }),
-        None => models.first().unwrap_or_else(|| {
-            eprintln!("server has no models");
-            exit(2);
-        }),
+        None => models
+            .iter()
+            .find(|m| m.get("status").and_then(Value::as_str) != Some("unloadable"))
+            .unwrap_or_else(|| {
+                eprintln!("server has no loadable models");
+                exit(2);
+            }),
     };
     let model_id = chosen.get("id").and_then(Value::as_str).unwrap().to_string();
     let dataset = chosen.get("dataset").and_then(Value::as_str).unwrap().to_string();
@@ -173,68 +370,48 @@ fn main() {
     let pool = kind.generate(512, args.seed);
     let rows: Vec<Value> = (0..pool.n_rows()).map(|r| row_json(&pool, r)).collect();
     eprintln!(
-        "[loadgen] {} requests over {} connection(s) against {model_id} ({dataset})",
-        args.requests, args.conns
+        "[loadgen] {} requests over {} connection(s) against {model_id} ({dataset}), {} loop",
+        args.requests,
+        args.conns,
+        if args.open_loop { "open" } else { "closed" },
     );
 
-    // Deterministic single/batch mix, fanned over keep-alive connections.
-    let (counts, mut latencies_ms): (BTreeMap<u16, usize>, Vec<f64>) = std::thread::scope(|scope| {
+    // Deterministic request mix, fanned over keep-alive connections.
+    let tally: Tally = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for c in 0..args.conns.max(1) {
-            let addr = &args.addr;
-            let rows = &rows;
-            let model_id = &model_id;
+            let (args, rows, model_id) = (&args, &rows, &model_id);
             handles.push(scope.spawn(move || {
-                let mut counts: BTreeMap<u16, usize> = BTreeMap::new();
-                let mut latencies: Vec<f64> = Vec::new();
-                let mut conn = Conn::open(addr).expect("connect");
-                let mut i = c;
-                while i < args.requests {
-                    // Mix: every 4th request is single-row; the rest are
-                    // batches of 2..=9 rows starting at a rolling offset.
-                    let body = if i % 4 == 0 {
-                        object([
-                            ("model", Value::String(model_id.clone())),
-                            ("row", rows[i % rows.len()].clone()),
-                        ])
-                    } else {
-                        let n = 2 + (i % 8);
-                        let batch: Vec<Value> =
-                            (0..n).map(|j| rows[(i + j) % rows.len()].clone()).collect();
-                        object([
-                            ("model", Value::String(model_id.clone())),
-                            ("rows", Value::Array(batch)),
-                        ])
-                    };
-                    let t0 = std::time::Instant::now();
-                    let (status, body) = conn
-                        .request("POST", "/v1/predict", &body.to_json())
-                        .expect("predict request");
-                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
-                    if status != 200 {
-                        eprintln!("[loadgen] HTTP {status}: {body}");
-                    }
-                    *counts.entry(status).or_insert(0) += 1;
-                    i += args.conns;
+                if args.open_loop {
+                    run_open_loop(args, model_id, rows, c)
+                } else {
+                    run_closed_loop(args, model_id, rows, c)
                 }
-                (counts, latencies)
             }));
         }
-        let mut total = BTreeMap::new();
-        let mut all_latencies = Vec::new();
+        let mut total = Tally::default();
         for h in handles {
-            let (counts, latencies) = h.join().expect("connection thread");
-            for (status, n) in counts {
-                *total.entry(status).or_insert(0) += n;
+            let t = h.join().expect("connection thread");
+            for (status, n) in t.counts {
+                *total.counts.entry(status).or_insert(0) += n;
             }
-            all_latencies.extend(latencies);
+            total.latencies_ms.extend(t.latencies_ms);
+            total.reconnects += t.reconnects;
+            total.retries += t.retries;
         }
-        (total, all_latencies)
+        total
     });
 
+    let Tally { counts, mut latencies_ms, reconnects, retries } = tally;
     let sent: usize = counts.values().sum();
     let ok = counts.get(&200).copied().unwrap_or(0);
-    eprintln!("[loadgen] {sent} requests: {counts:?}");
+    let shed: usize =
+        SHED_STATUSES.iter().map(|s| counts.get(s).copied().unwrap_or(0)).sum();
+    eprintln!(
+        "[loadgen] {sent} response(s): {counts:?} — shed rate {:.1}% ({shed} shed), \
+         {reconnects} reconnect(s), {retries} retry-after wait(s)",
+        100.0 * shed as f64 / sent.max(1) as f64,
+    );
     if !latencies_ms.is_empty() {
         latencies_ms.sort_by(|a, b| a.total_cmp(b));
         let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64;
@@ -254,14 +431,22 @@ fn main() {
 
     if args.shutdown {
         let mut conn = Conn::open(&args.addr).expect("connect for shutdown");
-        let (status, body) = conn.request("POST", "/v1/shutdown", "").expect("shutdown");
-        assert_eq!(status, 200, "shutdown failed: {body}");
+        let resp = conn.request("POST", "/v1/shutdown", "").expect("shutdown");
+        assert_eq!(resp.status, 200, "shutdown failed: {}", resp.body);
         eprintln!("[loadgen] shutdown acknowledged");
     }
 
-    if ok != sent {
-        eprintln!("[loadgen] FAILED: {} non-200 response(s)", sent - ok);
+    let unexpected: usize = counts
+        .iter()
+        .filter(|(s, _)| **s != 200 && !(args.allow_shed && SHED_STATUSES.contains(s)))
+        .map(|(_, n)| n)
+        .sum();
+    if unexpected > 0 {
+        eprintln!("[loadgen] FAILED: {unexpected} unexpected non-200 response(s)");
         exit(1);
     }
-    eprintln!("[loadgen] all {ok} requests returned 200");
+    eprintln!(
+        "[loadgen] PASS: {ok} ok, {shed} shed{}",
+        if args.allow_shed { " (allowed)" } else { "" },
+    );
 }

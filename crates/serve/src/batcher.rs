@@ -25,9 +25,19 @@
 //! jobs at dequeue, and single-job flushes install the budget so any
 //! `checkpoint()` inside the pipeline unwinds early (merged flushes skip
 //! the install — one request's deadline must not abort its batchmates).
+//!
+//! Overload protection: the job channel is **bounded** at
+//! [`BatchConfig::max_queue`] jobs. [`ModelWorker::submit`] never blocks
+//! and never panics — a full queue is an immediate structured
+//! `overloaded` (429) shed, and a dead executor (one whose thread was
+//! killed by a panic) is an `unavailable` (503) that the registry's
+//! supervision layer turns into a breaker trip and a lazy respawn from
+//! the artifact. The live queue depth is mirrored into the
+//! `fairlens_queue_depth` gauge on every enqueue/dequeue.
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -37,6 +47,7 @@ use fairlens_core::{DataSchema, FittedPipeline};
 use fairlens_frame::Dataset;
 
 use crate::error::{ErrorKind, ServeError};
+use crate::faults::{ServeFaultKind, ServeFaults};
 use crate::metrics::Metrics;
 
 /// Executor tuning knobs.
@@ -46,11 +57,14 @@ pub struct BatchConfig {
     pub max_batch: usize,
     /// Flush after this long even if the batch is smaller.
     pub batch_wait: Duration,
+    /// Bound on queued (not-yet-flushed) jobs; submissions past it are
+    /// shed with a 429 instead of growing the queue (min 1).
+    pub max_queue: usize,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        Self { max_batch: 64, batch_wait: Duration::from_millis(2) }
+        Self { max_batch: 64, batch_wait: Duration::from_millis(2), max_queue: 256 }
     }
 }
 
@@ -92,8 +106,13 @@ pub struct ModelWorker {
     pub schema: DataSchema,
     /// Whether the pipeline forbids cross-request coalescing.
     pub stochastic: bool,
-    tx: Option<Sender<PredictJob>>,
+    model_id: String,
+    tx: Option<SyncSender<PredictJob>>,
     handle: Option<JoinHandle<()>>,
+    /// Jobs enqueued but not yet dequeued by the executor; mirrored into
+    /// the `fairlens_queue_depth{model=...}` gauge.
+    depth: Arc<AtomicU64>,
+    metrics: Arc<Metrics>,
 }
 
 impl ModelWorker {
@@ -105,25 +124,89 @@ impl ModelWorker {
         pipeline: FittedPipeline,
         cfg: BatchConfig,
         metrics: Arc<Metrics>,
+        faults: Arc<ServeFaults>,
     ) -> Self {
         let stochastic = pipeline.is_stochastic();
-        let (tx, rx) = mpsc::channel::<PredictJob>();
+        let (tx, rx) = mpsc::sync_channel::<PredictJob>(cfg.max_queue.max(1));
         let cfg = if stochastic { BatchConfig { max_batch: 1, ..cfg } } else { cfg };
-        let handle = std::thread::Builder::new()
-            .name(format!("flm-{model_id}"))
-            .spawn(move || executor_loop(&pipeline, &rx, cfg, &metrics))
-            .expect("spawn model executor");
-        Self { schema, stochastic, tx: Some(tx), handle: Some(handle) }
+        let depth = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let depth = depth.clone();
+            let metrics = metrics.clone();
+            let model_id = model_id.to_string();
+            std::thread::Builder::new()
+                .name(format!("flm-{model_id}"))
+                .spawn(move || {
+                    executor_loop(&model_id, &pipeline, &rx, cfg, &metrics, &depth, &faults)
+                })
+                .expect("spawn model executor")
+        };
+        Self {
+            schema,
+            stochastic,
+            model_id: model_id.to_string(),
+            tx: Some(tx),
+            handle: Some(handle),
+            depth,
+            metrics,
+        }
     }
 
-    /// Queue a job. Fails only if the executor died (a panic that escaped
-    /// the flush guard), which clients see as an internal error.
+    /// Queue a job without blocking. A full queue is an `overloaded`
+    /// (429) shed; a dead executor — its thread killed by a panic that
+    /// escaped the flush guard — is a structured `unavailable` (503),
+    /// never a handler panic. The caller (the predict handler) reports
+    /// the dead case to the registry so the breaker trips and the
+    /// executor is respawned from the artifact.
     pub fn submit(&self, job: PredictJob) -> Result<(), ServeError> {
-        self.tx
-            .as_ref()
-            .expect("worker submitted after drop")
-            .send(job)
-            .map_err(|_| ServeError::new(ErrorKind::Internal, "model executor is gone"))
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(ServeError::new(
+                ErrorKind::Unavailable,
+                format!("model {:?} executor is shut down", self.model_id),
+            ));
+        };
+        // Count the job before it becomes visible in the channel — the
+        // executor may dequeue (and decrement) the instant `try_send`
+        // lands, so incrementing afterwards would underflow the counter.
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.metrics.set_queue_depth(&self.model_id, depth);
+                Ok(())
+            }
+            Err(rejected) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                match rejected {
+                    TrySendError::Full(_) => Err(ServeError::new(
+                        ErrorKind::Overloaded,
+                        format!("model {:?} queue is full; retry shortly", self.model_id),
+                    )
+                    .with_retry_after(1)),
+                    TrySendError::Disconnected(_) => Err(ServeError::new(
+                        ErrorKind::Unavailable,
+                        format!("model {:?} executor died; it will be restarted", self.model_id),
+                    )
+                    .with_retry_after(1)),
+                }
+            }
+        }
+    }
+
+    /// Whether the executor thread has exited (its receiver is gone).
+    /// `true` after a panic killed it; the registry uses this to decide
+    /// on a respawn.
+    pub fn is_dead(&self) -> bool {
+        self.handle.as_ref().is_some_and(JoinHandle::is_finished)
+    }
+}
+
+impl std::fmt::Debug for ModelWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelWorker")
+            .field("model_id", &self.model_id)
+            .field("stochastic", &self.stochastic)
+            .field("dead", &self.is_dead())
+            .finish_non_exhaustive()
     }
 }
 
@@ -152,17 +235,33 @@ pub fn concat_datasets(parts: &[&Dataset]) -> Dataset {
 }
 
 fn executor_loop(
+    model_id: &str,
     pipeline: &FittedPipeline,
     rx: &Receiver<PredictJob>,
     cfg: BatchConfig,
     metrics: &Metrics,
+    depth: &AtomicU64,
+    faults: &ServeFaults,
 ) {
+    let dequeued = |n: u64| {
+        let d = depth.fetch_sub(n, Ordering::Relaxed).saturating_sub(n);
+        metrics.set_queue_depth(model_id, d);
+    };
     loop {
         // Block for the first job; channel closure is the stop signal.
         let first = match rx.recv() {
             Ok(job) => job,
             Err(_) => return,
         };
+        dequeued(1);
+        // Chaos hook: die at dequeue, before the flush guard. The held
+        // job unwinds with the thread (its handler observes a closed
+        // reply channel → structured 503), queued jobs likewise; the
+        // registry respawns the executor from the artifact on the next
+        // admitted request.
+        if !faults.is_empty() && faults.take(model_id, ServeFaultKind::Panic) {
+            panic!("injected executor panic for model {model_id}");
+        }
         let mut jobs = vec![first];
         let mut rows = jobs[0].data.n_rows();
         let deadline = Instant::now() + cfg.batch_wait;
@@ -174,6 +273,7 @@ fn executor_loop(
             }
             match rx.recv_timeout(deadline - now) {
                 Ok(job) => {
+                    dequeued(1);
                     rows += job.data.n_rows();
                     jobs.push(job);
                 }
@@ -186,12 +286,42 @@ fn executor_loop(
         if jobs.is_empty() {
             continue;
         }
-        flush(pipeline, &jobs, metrics);
+        flush(model_id, pipeline, &jobs, metrics, faults);
     }
 }
 
 /// One coalesced pipeline pass; slices outputs back per job.
-fn flush(pipeline: &FittedPipeline, jobs: &[PredictJob], metrics: &Metrics) {
+fn flush(
+    model_id: &str,
+    pipeline: &FittedPipeline,
+    jobs: &[PredictJob],
+    metrics: &Metrics,
+    faults: &ServeFaults,
+) {
+    if !faults.is_empty() {
+        if faults.take(model_id, ServeFaultKind::Hang) {
+            // Stall until the first job's handler cancels its budget at
+            // the request deadline (bounded so a deadline-less test can
+            // never wedge the executor), then time the whole flush out.
+            jobs[0].budget.wait_cancelled(Duration::from_millis(2), Duration::from_secs(30));
+            let err = ServeError::new(
+                ErrorKind::TimedOut,
+                "injected hang fault: flush stalled past the request deadline",
+            );
+            for job in jobs {
+                let _ = job.reply.send(Err(err.clone()));
+            }
+            return;
+        }
+        if faults.take(model_id, ServeFaultKind::Flaky) {
+            let err =
+                ServeError::new(ErrorKind::Internal, "injected flaky fault: flush failed");
+            for job in jobs {
+                let _ = job.reply.send(Err(err.clone()));
+            }
+            return;
+        }
+    }
     let flush_start = Instant::now();
     let total: usize = jobs.iter().map(|j| j.data.n_rows()).sum();
     metrics.record_flush(total);
@@ -261,6 +391,10 @@ mod tests {
         (fitted, data)
     }
 
+    fn no_faults() -> Arc<ServeFaults> {
+        Arc::new(ServeFaults::none())
+    }
+
     fn submit(worker: &ModelWorker, data: Dataset) -> mpsc::Receiver<Result<PredictOutput, ServeError>> {
         let (reply, rx) = mpsc::sync_channel(1);
         worker
@@ -287,9 +421,14 @@ mod tests {
         let expected_scores = fitted.predict_proba(&data);
         let metrics = Arc::new(Metrics::new());
         // A generous wait so both jobs land in one flush.
-        let cfg = BatchConfig { max_batch: 1024, batch_wait: Duration::from_millis(200) };
+        let cfg = BatchConfig {
+            max_batch: 1024,
+            batch_wait: Duration::from_millis(200),
+            ..BatchConfig::default()
+        };
         let schema = DataSchema::of(&data);
-        let worker = ModelWorker::spawn("t", schema, fitted, cfg, metrics.clone());
+        let worker =
+            ModelWorker::spawn("t", schema, fitted, cfg, metrics.clone(), no_faults());
         let a = data.select_rows(&(0..120).collect::<Vec<_>>());
         let b = data.select_rows(&(120..300).collect::<Vec<_>>());
         let rx_a = submit(&worker, a);
@@ -312,8 +451,14 @@ mod tests {
         let (fitted, data) = fitted_german();
         let metrics = Arc::new(Metrics::new());
         let schema = DataSchema::of(&data);
-        let worker =
-            ModelWorker::spawn("t", schema, fitted, BatchConfig::default(), metrics.clone());
+        let worker = ModelWorker::spawn(
+            "t",
+            schema,
+            fitted,
+            BatchConfig::default(),
+            metrics.clone(),
+            no_faults(),
+        );
         let budget = Budget::new();
         budget.cancel();
         let (reply, rx) = mpsc::sync_channel(1);
@@ -331,6 +476,113 @@ mod tests {
     }
 
     #[test]
+    fn full_queue_sheds_with_a_structured_429() {
+        let (fitted, data) = fitted_german();
+        let metrics = Arc::new(Metrics::new());
+        // A hang fault parks the executor on the first job so later
+        // submissions genuinely queue; capacity 1 makes the third
+        // submission overflow deterministically.
+        let faults = Arc::new(ServeFaults::parse("hang:t:1").unwrap());
+        let cfg = BatchConfig { max_queue: 1, max_batch: 1, ..BatchConfig::default() };
+        let worker =
+            ModelWorker::spawn("t", DataSchema::of(&data), fitted, cfg, metrics.clone(), faults);
+        let stall = Budget::new();
+        let (stall_reply, stall_rx) = mpsc::sync_channel(1);
+        worker
+            .submit(PredictJob {
+                data: data.select_rows(&[0]),
+                reply: stall_reply,
+                budget: stall.clone(),
+                submitted: Instant::now(),
+            })
+            .unwrap();
+        // Give the executor time to dequeue the stalled job, then fill
+        // the queue and overflow it.
+        std::thread::sleep(Duration::from_millis(50));
+        let _queued_rx = submit(&worker, data.select_rows(&[1]));
+        let (reply, _rx) = mpsc::sync_channel(1);
+        let err = worker
+            .submit(PredictJob {
+                data: data.select_rows(&[2]),
+                reply,
+                budget: Budget::new(),
+                submitted: Instant::now(),
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Overloaded);
+        assert_eq!(err.retry_after, Some(1));
+        assert!(metrics.render().contains("fairlens_queue_depth{model=\"t\"} 1"));
+        // Release the stalled flush (as the handler's deadline would).
+        stall.cancel();
+        let stalled = stall_rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap_err();
+        assert_eq!(stalled.kind, ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn dead_executor_yields_structured_unavailable_not_a_panic() {
+        let (fitted, data) = fitted_german();
+        let faults = Arc::new(ServeFaults::parse("panic:t:1").unwrap());
+        let worker = ModelWorker::spawn(
+            "t",
+            DataSchema::of(&data),
+            fitted,
+            BatchConfig::default(),
+            Arc::new(Metrics::new()),
+            faults,
+        );
+        // First job: the executor panics at dequeue; the reply channel
+        // closes without an answer.
+        let rx = submit(&worker, data.select_rows(&[0]));
+        assert!(rx.recv_timeout(Duration::from_secs(5)).is_err());
+        // The reply channel drops mid-unwind, slightly before the job
+        // channel's receiver; wait for the thread to finish so the
+        // disconnect is observable.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !worker.is_dead() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The executor is now dead: submit must return a structured 503,
+        // never expect-panic the calling HTTP worker.
+        let (reply, _rx2) = mpsc::sync_channel(1);
+        let err = worker
+            .submit(PredictJob {
+                data: data.select_rows(&[1]),
+                reply,
+                budget: Budget::new(),
+                submitted: Instant::now(),
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unavailable);
+        assert!(worker.is_dead());
+    }
+
+    #[test]
+    fn flaky_fault_fails_exactly_k_flushes_then_recovers() {
+        let (fitted, data) = fitted_german();
+        let expected = fitted.predict(&data.select_rows(&[0]));
+        let faults = Arc::new(ServeFaults::parse("flaky:2:t").unwrap());
+        let cfg = BatchConfig { max_batch: 1, ..BatchConfig::default() };
+        let worker = ModelWorker::spawn(
+            "t",
+            DataSchema::of(&data),
+            fitted,
+            cfg,
+            Arc::new(Metrics::new()),
+            faults,
+        );
+        for _ in 0..2 {
+            let rx = submit(&worker, data.select_rows(&[0]));
+            let err = rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Internal);
+            assert!(err.message.contains("injected"), "{err}");
+        }
+        // Budget spent: the third flush succeeds with correct output.
+        let rx = submit(&worker, data.select_rows(&[0]));
+        let out = rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(out.labels, expected);
+    }
+
+    #[test]
     fn drop_drains_queued_jobs() {
         let (fitted, data) = fitted_german();
         let worker = ModelWorker::spawn(
@@ -339,6 +591,7 @@ mod tests {
             fitted,
             BatchConfig::default(),
             Arc::new(Metrics::new()),
+            no_faults(),
         );
         let receivers: Vec<_> =
             (0..8).map(|i| submit(&worker, data.select_rows(&[i, i + 8]))).collect();

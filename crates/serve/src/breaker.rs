@@ -1,0 +1,298 @@
+//! Per-model circuit breaker.
+//!
+//! The breaker sits between admission and the model executor and keeps a
+//! failing model from burning worker time (and client patience) on
+//! requests that are overwhelmingly likely to fail. It is the classic
+//! three-state machine:
+//!
+//! * **Closed** — requests flow; consecutive failures are counted and
+//!   any success resets the count. Reaching `threshold` consecutive
+//!   failures opens the breaker.
+//! * **Open** — requests are rejected immediately with a `Retry-After`
+//!   equal to the remaining cooldown. Once `cooldown` has elapsed the
+//!   next admission becomes a **probe**.
+//! * **Half-open** — exactly one probe request is in flight; everyone
+//!   else is rejected. A successful probe closes the breaker, a failed
+//!   probe re-opens it (restarting the cooldown).
+//!
+//! The struct is deliberately pure: every method takes `now` explicitly
+//! (no internal clock reads), so unit tests drive the entire state space
+//! deterministically, and the registry — which owns one breaker per
+//! model behind its lock — passes a single `Instant::now()` per request.
+
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker (min 1).
+    pub threshold: u32,
+    /// How long the breaker stays open before allowing a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { threshold: 5, cooldown: Duration::from_secs(1) }
+    }
+}
+
+/// The externally visible state, for `/v1/models` and `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// One probe in flight (or about to be); everyone else is rejected.
+    HalfOpen,
+    /// Cooling down; all requests rejected.
+    Open,
+}
+
+impl BreakerState {
+    /// Stable wire name (`/v1/models`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::HalfOpen => "half_open",
+            BreakerState::Open => "open",
+        }
+    }
+
+    /// Prometheus gauge encoding: closed 0, half-open 1, open 2.
+    pub fn gauge(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// What [`CircuitBreaker::admit`] decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: proceed normally.
+    Admit,
+    /// Half-open: proceed, and this request's outcome decides the
+    /// breaker's fate. The caller must report exactly one outcome
+    /// (`on_success`, `on_failure`, or `release` if the request never
+    /// exercised the model).
+    Probe,
+    /// Open (or a probe is already in flight): reject with `Retry-After`.
+    Reject {
+        /// How long the client should wait before retrying.
+        retry_after: Duration,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Inner {
+    Closed { failures: u32 },
+    Open { since: Instant },
+    HalfOpen { probing: bool },
+}
+
+/// One model's breaker. See the module docs for the state machine.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Inner,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        let cfg = BreakerConfig { threshold: cfg.threshold.max(1), ..cfg };
+        Self { cfg, inner: Inner::Closed { failures: 0 } }
+    }
+
+    /// The externally visible state.
+    pub fn state(&self) -> BreakerState {
+        match self.inner {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::Open { .. } => BreakerState::Open,
+            Inner::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Decide one request's admission at time `now`.
+    pub fn admit(&mut self, now: Instant) -> Admission {
+        match self.inner {
+            Inner::Closed { .. } => Admission::Admit,
+            Inner::Open { since } => {
+                let reopen = since + self.cfg.cooldown;
+                if now >= reopen {
+                    self.inner = Inner::HalfOpen { probing: true };
+                    Admission::Probe
+                } else {
+                    Admission::Reject { retry_after: reopen - now }
+                }
+            }
+            Inner::HalfOpen { probing: false } => {
+                self.inner = Inner::HalfOpen { probing: true };
+                Admission::Probe
+            }
+            Inner::HalfOpen { probing: true } => {
+                Admission::Reject { retry_after: self.cfg.cooldown }
+            }
+        }
+    }
+
+    /// A request the model served correctly: closes the breaker (from
+    /// half-open) and resets the consecutive-failure count.
+    pub fn on_success(&mut self) {
+        self.inner = Inner::Closed { failures: 0 };
+    }
+
+    /// A model-side failure (panic, timeout, dead executor). Returns
+    /// `true` when this failure transitioned the breaker to open.
+    pub fn on_failure(&mut self, now: Instant) -> bool {
+        match &mut self.inner {
+            Inner::Closed { failures } => {
+                *failures += 1;
+                if *failures >= self.cfg.threshold {
+                    self.inner = Inner::Open { since: now };
+                    return true;
+                }
+                false
+            }
+            Inner::HalfOpen { .. } => {
+                // Probe failed: back to open, cooldown restarts.
+                self.inner = Inner::Open { since: now };
+                true
+            }
+            // A straggler reporting failure while already open (e.g. a
+            // request admitted just before the trip): stay open, keep
+            // the original cooldown anchor.
+            Inner::Open { .. } => false,
+        }
+    }
+
+    /// An admitted probe that never exercised the model (the request was
+    /// shed or failed client-side after admission): free the probe slot
+    /// without judging the model.
+    pub fn release(&mut self) {
+        if let Inner::HalfOpen { probing } = &mut self.inner {
+            *probing = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn closed_admits_and_counts_consecutive_failures() {
+        let t0 = Instant::now();
+        let mut b = breaker(3, 100);
+        assert_eq!(b.admit(t0), Admission::Admit);
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        // A success resets the streak: two more failures don't open it.
+        b.on_success();
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        assert_eq!(b.state(), BreakerState::Closed);
+        // The third consecutive failure trips it.
+        assert!(b.on_failure(t0));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_rejects_with_remaining_cooldown() {
+        let t0 = Instant::now();
+        let mut b = breaker(1, 100);
+        assert!(b.on_failure(t0));
+        let Admission::Reject { retry_after } = b.admit(t0 + Duration::from_millis(30)) else {
+            panic!("open breaker must reject");
+        };
+        assert_eq!(retry_after, Duration::from_millis(70));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn cooldown_expiry_allows_exactly_one_probe() {
+        let t0 = Instant::now();
+        let mut b = breaker(1, 100);
+        b.on_failure(t0);
+        let after = t0 + Duration::from_millis(100);
+        assert_eq!(b.admit(after), Admission::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Concurrent request while the probe is in flight: rejected.
+        assert!(matches!(b.admit(after), Admission::Reject { .. }));
+    }
+
+    #[test]
+    fn probe_success_closes() {
+        let t0 = Instant::now();
+        let mut b = breaker(2, 100);
+        b.on_failure(t0);
+        assert!(b.on_failure(t0));
+        assert_eq!(b.admit(t0 + Duration::from_millis(150)), Admission::Probe);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(t0 + Duration::from_millis(151)), Admission::Admit);
+        // ...and the failure streak restarted from zero: one failure is
+        // below the threshold of two again.
+        assert!(!b.on_failure(t0));
+    }
+
+    #[test]
+    fn probe_failure_reopens_and_restarts_cooldown() {
+        let t0 = Instant::now();
+        let mut b = breaker(1, 100);
+        b.on_failure(t0);
+        let probe_at = t0 + Duration::from_millis(120);
+        assert_eq!(b.admit(probe_at), Admission::Probe);
+        assert!(b.on_failure(probe_at));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown is anchored at the probe failure, not the first trip.
+        let Admission::Reject { retry_after } = b.admit(probe_at + Duration::from_millis(40))
+        else {
+            panic!("must reject during the restarted cooldown");
+        };
+        assert_eq!(retry_after, Duration::from_millis(60));
+        assert_eq!(b.admit(probe_at + Duration::from_millis(100)), Admission::Probe);
+    }
+
+    #[test]
+    fn released_probe_slot_reopens_for_the_next_request() {
+        let t0 = Instant::now();
+        let mut b = breaker(1, 100);
+        b.on_failure(t0);
+        let after = t0 + Duration::from_millis(100);
+        assert_eq!(b.admit(after), Admission::Probe);
+        // The probe was shed before reaching the model: slot freed,
+        // breaker still half-open, next admission probes again.
+        b.release();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(after), Admission::Probe);
+    }
+
+    #[test]
+    fn late_failure_while_open_keeps_the_original_anchor() {
+        let t0 = Instant::now();
+        let mut b = breaker(1, 100);
+        b.on_failure(t0);
+        // A request admitted just before the trip reports its failure late.
+        assert!(!b.on_failure(t0 + Duration::from_millis(90)));
+        // The cooldown still expires 100ms after the first trip.
+        assert_eq!(b.admit(t0 + Duration::from_millis(100)), Admission::Probe);
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let t0 = Instant::now();
+        let mut b = breaker(0, 50);
+        assert!(b.on_failure(t0));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

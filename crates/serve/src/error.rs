@@ -6,6 +6,14 @@
 //! readable `kind` for dashboards and retry logic, a human message for
 //! debugging. Malformed input never closes the connection and never
 //! panics a worker; it produces a 400 with the offending row spelled out.
+//!
+//! Overload and self-healing added three kinds: `overloaded` (429 — the
+//! request was shed by admission control and is safe to retry),
+//! `unavailable` (503 — the model's breaker is open, its executor died,
+//! or its artifact is quarantined), and `request_timeout` (408 — the
+//! client fed the request slower than the read deadline allows). Shed
+//! and breaker rejections carry a `Retry-After` hint, surfaced both as
+//! the HTTP header and as `retry_after_seconds` in the JSON body.
 
 use fairlens_json::{object, Value};
 
@@ -20,12 +28,20 @@ pub enum ErrorKind {
     NotFound,
     /// The route exists but not for this method.
     MethodNotAllowed,
+    /// The client did not deliver the request within the read deadline.
+    RequestTimeout,
     /// Head or body exceeds the configured limits.
     PayloadTooLarge,
+    /// Shed by admission control (queue full or in-flight budget spent);
+    /// safe to retry after the `Retry-After` hint.
+    Overloaded,
     /// The request's deadline expired before a prediction was produced.
     TimedOut,
     /// The server is draining and no longer takes new work.
     ShuttingDown,
+    /// The model cannot serve right now: breaker open, executor dead and
+    /// awaiting respawn, or artifact quarantined.
+    Unavailable,
     /// Unexpected server-side failure (a panic in the prediction path).
     Internal,
 }
@@ -37,8 +53,10 @@ impl ErrorKind {
             ErrorKind::BadRequest => 400,
             ErrorKind::UnknownModel | ErrorKind::NotFound => 404,
             ErrorKind::MethodNotAllowed => 405,
+            ErrorKind::RequestTimeout => 408,
             ErrorKind::PayloadTooLarge => 413,
-            ErrorKind::ShuttingDown => 503,
+            ErrorKind::Overloaded => 429,
+            ErrorKind::ShuttingDown | ErrorKind::Unavailable => 503,
             ErrorKind::TimedOut => 504,
             ErrorKind::Internal => 500,
         }
@@ -51,27 +69,34 @@ impl ErrorKind {
             ErrorKind::UnknownModel => "unknown_model",
             ErrorKind::NotFound => "not_found",
             ErrorKind::MethodNotAllowed => "method_not_allowed",
+            ErrorKind::RequestTimeout => "request_timeout",
             ErrorKind::PayloadTooLarge => "payload_too_large",
+            ErrorKind::Overloaded => "overloaded",
             ErrorKind::TimedOut => "timed_out",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Unavailable => "unavailable",
             ErrorKind::Internal => "internal",
         }
     }
 }
 
-/// A client-visible error: kind + message.
+/// A client-visible error: kind + message, plus an optional retry hint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeError {
     /// The taxonomy kind.
     pub kind: ErrorKind,
     /// Human-readable detail.
     pub message: String,
+    /// Seconds the client should wait before retrying; becomes the
+    /// `Retry-After` response header and `retry_after_seconds` in the
+    /// body. Set on shed (429) and breaker (503) rejections.
+    pub retry_after: Option<u64>,
 }
 
 impl ServeError {
     /// Build an error of `kind` with a message.
     pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
-        Self { kind, message: message.into() }
+        Self { kind, message: message.into(), retry_after: None }
     }
 
     /// Shorthand for a [`ErrorKind::BadRequest`].
@@ -79,16 +104,23 @@ impl ServeError {
         Self::new(ErrorKind::BadRequest, message)
     }
 
+    /// Attach a `Retry-After` hint (seconds, minimum 1 so a sub-second
+    /// cooldown still yields a well-formed positive header).
+    pub fn with_retry_after(mut self, secs: u64) -> Self {
+        self.retry_after = Some(secs.max(1));
+        self
+    }
+
     /// The structured JSON body.
     pub fn to_json(&self) -> String {
-        object([(
-            "error",
-            object([
-                ("kind", Value::String(self.kind.name().into())),
-                ("message", Value::String(self.message.clone())),
-            ]),
-        )])
-        .to_json()
+        let mut fields = vec![
+            ("kind", Value::String(self.kind.name().into())),
+            ("message", Value::String(self.message.clone())),
+        ];
+        if let Some(secs) = self.retry_after {
+            fields.push(("retry_after_seconds", Value::Integer(secs)));
+        }
+        object([("error", object(fields))]).to_json()
     }
 }
 
@@ -111,6 +143,18 @@ mod tests {
         let inner = v.get("error").unwrap();
         assert_eq!(inner.get("kind").unwrap().as_str(), Some("unknown_model"));
         assert!(inner.get("message").unwrap().as_str().unwrap().contains("x"));
+        assert!(inner.get("retry_after_seconds").is_none());
+    }
+
+    #[test]
+    fn retry_after_rides_in_the_body_and_is_clamped_positive() {
+        let e = ServeError::new(ErrorKind::Overloaded, "queue full").with_retry_after(0);
+        assert_eq!(e.retry_after, Some(1));
+        let v = fairlens_json::parse(&e.to_json()).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("retry_after_seconds").cloned().unwrap().into_u64(),
+            Ok(1)
+        );
     }
 
     #[test]
@@ -120,9 +164,12 @@ mod tests {
             (ErrorKind::UnknownModel, 404),
             (ErrorKind::NotFound, 404),
             (ErrorKind::MethodNotAllowed, 405),
+            (ErrorKind::RequestTimeout, 408),
             (ErrorKind::PayloadTooLarge, 413),
+            (ErrorKind::Overloaded, 429),
             (ErrorKind::Internal, 500),
             (ErrorKind::ShuttingDown, 503),
+            (ErrorKind::Unavailable, 503),
             (ErrorKind::TimedOut, 504),
         ] {
             assert_eq!(kind.status(), status, "{}", kind.name());

@@ -1,0 +1,158 @@
+//! Deterministic fault injection for the serving path.
+//!
+//! Extends the benchmark runner's `FAIRLENS_FAULT` hook (PR 2) to the
+//! online stack so a chaos run can prove the server survives executor
+//! death, stuck predictions, and transient failures. Specs are matched
+//! by **model id** and carry a budget of `k` activations, decremented
+//! atomically, so a scripted run knows exactly how many faults fire and
+//! can assert the breaker re-closes once the budget is spent:
+//!
+//! * `panic:<model>:<k>` — the executor thread panics at dequeue (before
+//!   the flush guard), killing it. Queued jobs lose their reply channel,
+//!   handlers observe a dead executor (503), the breaker counts the
+//!   failure, and the registry respawns the executor from the artifact
+//!   on the next admitted request.
+//! * `hang:<model>:<k>` — one flush stalls until the first job's budget
+//!   is cancelled (the handler cancels it at its deadline), then every
+//!   job in the flush is answered with a structured timeout.
+//! * `flaky:<k>:<model>` — the first `k` flushes fail with an injected
+//!   internal error (breaker fodder that stops on its own).
+//!
+//! Unlike the bench hook this is not `cfg`-gated: the serving hot path
+//! pays one `Vec::is_empty` check per flush, and keeping it always
+//! compiled lets integration tests and the chaos smoke inject faults
+//! without feature plumbing. The hook only activates when the
+//! `FAIRLENS_FAULT` environment variable (or an explicit config) names
+//! a model.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// What an activated fault does to the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFaultKind {
+    /// Kill the executor thread (exercises supervision + respawn).
+    Panic,
+    /// Stall one flush until the client's deadline cancels it.
+    Hang,
+    /// Fail one flush with an injected internal error.
+    Flaky,
+}
+
+#[derive(Debug)]
+struct FaultEntry {
+    kind: ServeFaultKind,
+    model: String,
+    remaining: AtomicU32,
+}
+
+/// A parsed fault plan with per-spec activation budgets.
+#[derive(Debug, Default)]
+pub struct ServeFaults {
+    specs: Vec<FaultEntry>,
+}
+
+impl ServeFaults {
+    /// No faults (production default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Parse a `;`-separated spec list: `panic:<model>:<k>`,
+    /// `hang:<model>:<k>`, `flaky:<k>:<model>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let specs = s
+            .split(';')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(|part| {
+                let fields: Vec<&str> = part.split(':').collect();
+                let (kind, model, k) = match fields.as_slice() {
+                    ["panic", model, k] => (ServeFaultKind::Panic, *model, *k),
+                    ["hang", model, k] => (ServeFaultKind::Hang, *model, *k),
+                    ["flaky", k, model] => (ServeFaultKind::Flaky, *model, *k),
+                    _ => {
+                        return Err(format!(
+                            "bad fault spec {part:?} (want panic:<model>:<k>, \
+                             hang:<model>:<k> or flaky:<k>:<model>)"
+                        ))
+                    }
+                };
+                let k: u32 = k
+                    .parse()
+                    .map_err(|_| format!("bad activation count {k:?} in {part:?}"))?;
+                Ok(FaultEntry {
+                    kind,
+                    model: model.to_string(),
+                    remaining: AtomicU32::new(k),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self { specs })
+    }
+
+    /// Faults from the `FAIRLENS_FAULT` environment variable. Malformed
+    /// specs abort the process — a chaos-run configuration error must be
+    /// caught before any request is served.
+    pub fn from_env() -> Self {
+        match std::env::var("FAIRLENS_FAULT") {
+            Ok(v) if !v.trim().is_empty() => {
+                Self::parse(&v).unwrap_or_else(|e| panic!("FAIRLENS_FAULT: {e}"))
+            }
+            _ => Self::none(),
+        }
+    }
+
+    /// Whether any spec exists at all (hot-path early-out).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Consume one activation of `kind` for `model`, if any budget is
+    /// left. Each call burns at most one activation.
+    pub fn take(&self, model: &str, kind: ServeFaultKind) -> bool {
+        self.specs
+            .iter()
+            .filter(|e| e.kind == kind && e.model == model)
+            .any(|e| {
+                e.remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    .is_ok()
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_three_kinds() {
+        let f = ServeFaults::parse("panic:german-lr:1; hang:german-lr:2;flaky:3:adult-feld").unwrap();
+        assert!(!f.is_empty());
+        assert!(f.take("german-lr", ServeFaultKind::Panic));
+        assert!(!f.take("german-lr", ServeFaultKind::Panic), "budget of 1 is spent");
+        assert!(f.take("german-lr", ServeFaultKind::Hang));
+        assert!(f.take("german-lr", ServeFaultKind::Hang));
+        assert!(!f.take("german-lr", ServeFaultKind::Hang));
+        for _ in 0..3 {
+            assert!(f.take("adult-feld", ServeFaultKind::Flaky));
+        }
+        assert!(!f.take("adult-feld", ServeFaultKind::Flaky));
+    }
+
+    #[test]
+    fn non_matching_models_are_untouched() {
+        let f = ServeFaults::parse("panic:german-lr:5").unwrap();
+        assert!(!f.take("other-model", ServeFaultKind::Panic));
+        assert!(!f.take("german-lr", ServeFaultKind::Flaky));
+    }
+
+    #[test]
+    fn empty_and_malformed_specs() {
+        assert!(ServeFaults::parse("").unwrap().is_empty());
+        assert!(ServeFaults::parse(" ; ").unwrap().is_empty());
+        assert!(ServeFaults::parse("panic:x").is_err());
+        assert!(ServeFaults::parse("flaky:x:2").is_err(), "count must be numeric");
+        assert!(ServeFaults::parse("explode:x:1").is_err());
+    }
+}

@@ -9,10 +9,19 @@
 //! connection.
 //!
 //! The parser is generic over [`BufRead`] so the negative paths (oversized
-//! heads, truncated bodies, pipelined garbage) are unit-testable on
-//! in-memory cursors without sockets.
+//! heads, truncated bodies, pipelined garbage, slow-loris stalls) are
+//! unit-testable on in-memory cursors without sockets.
+//!
+//! Slow-loris defense: the socket's 250 ms read timeout is only a poll
+//! tick; [`Limits::read_deadline`] bounds the *total* time from the
+//! first request byte to the final body byte. A client that trickles
+//! bytes slower than that gets a structured 408 and the connection is
+//! closed. The deadline clock starts at the first poll tick after a
+//! request byte arrives, so its practical granularity is one tick.
 
+use std::cell::Cell;
 use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
 use crate::error::{ErrorKind, ServeError};
 
@@ -25,11 +34,20 @@ pub struct Limits {
     pub max_headers: usize,
     /// Maximum `Content-Length`.
     pub max_body: usize,
+    /// Maximum wall-clock time to receive one full request (head + body),
+    /// measured from the first byte. Exceeding it is a 408. Idle
+    /// keep-alive connections (no request byte yet) are unaffected.
+    pub read_deadline: Duration,
 }
 
 impl Default for Limits {
     fn default() -> Self {
-        Self { max_head: 16 * 1024, max_headers: 64, max_body: 1024 * 1024 }
+        Self {
+            max_head: 16 * 1024,
+            max_headers: 64,
+            max_body: 1024 * 1024,
+            read_deadline: Duration::from_secs(10),
+        }
     }
 }
 
@@ -77,6 +95,41 @@ pub fn read_request<R: BufRead>(
     limits: &Limits,
     mut on_idle: impl FnMut(bool) -> bool,
 ) -> Result<ReadOutcome, ServeError> {
+    // Layer the total-read deadline over the caller's idle policy: once
+    // any request byte has arrived, every poll tick checks elapsed time
+    // against `limits.read_deadline` and abandons the read when it is
+    // spent. `Cell`s let the wrapped closure and the error-mapping code
+    // below share the flags without fighting the borrow checker.
+    let first_tick: Cell<Option<Instant>> = Cell::new(None);
+    let expired = Cell::new(false);
+    let deadline = limits.read_deadline;
+    let mut on_idle = |started: bool| {
+        if started {
+            let t0 = first_tick.get().unwrap_or_else(|| {
+                let now = Instant::now();
+                first_tick.set(Some(now));
+                now
+            });
+            if t0.elapsed() >= deadline {
+                expired.set(true);
+                return true;
+            }
+        }
+        on_idle(started)
+    };
+    // Abandoned reads surface as truncation; a deadline expiry upgrades
+    // that to a structured 408 so the slow client learns why.
+    let cut = |what: &str| {
+        if expired.get() {
+            ServeError::new(
+                ErrorKind::RequestTimeout,
+                format!("read deadline exceeded while receiving the {what}"),
+            )
+        } else {
+            truncated(what)
+        }
+    };
+
     let mut head_bytes = 0usize;
     let mut started = false;
 
@@ -86,7 +139,7 @@ pub fn read_request<R: BufRead>(
         match read_line(reader, limits.max_head, &mut on_idle, &mut started)? {
             None => {
                 return if started {
-                    Err(truncated("request line"))
+                    Err(cut("request line"))
                 } else {
                     Ok(ReadOutcome::Closed)
                 }
@@ -114,7 +167,7 @@ pub fn read_request<R: BufRead>(
     loop {
         let Some(line) = read_line(reader, limits.max_head - head_bytes, &mut on_idle, &mut started)?
         else {
-            return Err(truncated("headers"));
+            return Err(cut("headers"));
         };
         head_bytes += line.len() + 2;
         if head_bytes > limits.max_head {
@@ -170,7 +223,7 @@ pub fn read_request<R: BufRead>(
             }
             Err(e) if is_timeout(&e) => {
                 if on_idle(true) {
-                    return Err(truncated("body"));
+                    return Err(cut("body"));
                 }
             }
             Err(e) => return Err(io_error(e)),
@@ -262,7 +315,9 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -278,9 +333,27 @@ pub fn write_response(
     body: &[u8],
     close: bool,
 ) -> std::io::Result<()> {
+    write_response_with(w, status, content_type, None, body, close)
+}
+
+/// [`write_response`] with an optional `Retry-After` header (seconds) —
+/// shed and breaker rejections tell well-behaved clients when to come
+/// back instead of letting them hammer the admission gate.
+pub fn write_response_with(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    retry_after: Option<u64>,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let retry = match retry_after {
+        Some(secs) => format!("retry-after: {secs}\r\n"),
+        None => String::new(),
+    };
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n{retry}connection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if close { "close" } else { "keep-alive" },
@@ -405,6 +478,100 @@ mod tests {
         assert_eq!(err.kind, ErrorKind::PayloadTooLarge);
         let err = read(b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n").unwrap_err();
         assert_eq!(err.kind, ErrorKind::BadRequest);
+    }
+
+    /// A reader that yields its chunks separated by `WouldBlock` timeout
+    /// ticks, mimicking a slow-loris client on a socket with a read
+    /// timeout.
+    struct Stutter {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        pending_timeout: bool,
+    }
+
+    impl Stutter {
+        fn new(chunks: &[&[u8]]) -> Self {
+            Self {
+                chunks: chunks.iter().map(|c| c.to_vec()).collect(),
+                next: 0,
+                pending_timeout: true,
+            }
+        }
+    }
+
+    impl std::io::Read for Stutter {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            unreachable!("read_request only uses fill_buf/consume")
+        }
+    }
+
+    impl BufRead for Stutter {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.pending_timeout {
+                self.pending_timeout = false;
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            self.pending_timeout = true;
+            match self.chunks.get(self.next) {
+                Some(c) => Ok(c),
+                // Out of data: stall forever (the client went quiet
+                // without closing), so only the deadline or the caller's
+                // idle policy can end the read.
+                None => Err(std::io::Error::from(std::io::ErrorKind::WouldBlock)),
+            }
+        }
+
+        fn consume(&mut self, amt: usize) {
+            if amt > 0 {
+                let chunk = &mut self.chunks[self.next];
+                chunk.drain(..amt);
+                if chunk.is_empty() {
+                    self.next += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slow_request_trips_the_read_deadline_with_408() {
+        // A zero deadline expires on the first timeout tick after the
+        // first byte: the stalled header read becomes a 408.
+        let limits = Limits { read_deadline: Duration::ZERO, ..Limits::default() };
+        let mut r = Stutter::new(&[b"GET /healthz HT", b"TP/1.1\r\n"]);
+        let err = read_request(&mut r, &limits, |_| false).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::RequestTimeout, "{err}");
+        assert!(err.message.contains("read deadline"), "{err}");
+
+        // Same for a body that never finishes arriving.
+        let mut r = Stutter::new(&[b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\n", b"abc"]);
+        let err = read_request(&mut r, &limits, |_| false).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::RequestTimeout, "{err}");
+    }
+
+    #[test]
+    fn idle_keep_alive_is_not_subject_to_the_read_deadline() {
+        // No request byte yet: ticks go to the caller's idle policy, and
+        // abandoning the wait is a clean close, never a 408.
+        let limits = Limits { read_deadline: Duration::ZERO, ..Limits::default() };
+        let mut ticks = 0;
+        let mut r = Stutter::new(&[]);
+        let out = read_request(&mut r, &limits, |started| {
+            assert!(!started);
+            ticks += 1;
+            ticks >= 2
+        });
+        assert_eq!(out.unwrap(), ReadOutcome::Closed);
+    }
+
+    #[test]
+    fn generous_deadline_lets_a_stuttering_request_through() {
+        let limits = Limits { read_deadline: Duration::from_secs(30), ..Limits::default() };
+        let mut r = Stutter::new(&[b"GET /health", b"z HTTP/1.1\r\n", b"\r\n"]);
+        let r = match read_request(&mut r, &limits, |_| false).unwrap() {
+            ReadOutcome::Complete(r) => r,
+            other => panic!("expected a request, got {other:?}"),
+        };
+        assert_eq!(r.path, "/healthz");
     }
 
     #[test]

@@ -7,32 +7,45 @@
 //! dependencies beyond the workspace:
 //!
 //! * [`http`] — a defensive hand-rolled HTTP/1.1 layer on `std::net`
-//!   (keep-alive, pipelining, hard head/body limits).
+//!   (keep-alive, pipelining, hard head/body limits, a total per-request
+//!   read deadline that turns slow-loris clients into 408s).
 //! * [`registry`] — artifact scan at startup, lazy pipeline restore,
-//!   LRU eviction bounded by `--max-loaded`.
+//!   LRU eviction bounded by `--max-loaded`; also the supervision layer:
+//!   per-model circuit breakers, respawn of dead executors from their
+//!   artifacts, and a negative cache quarantining unloadable artifacts.
+//! * [`breaker`] — the clock-injected circuit-breaker state machine
+//!   (closed → open → half-open probe → closed).
 //! * [`batcher`] — the micro-batching core: one executor thread per
 //!   loaded model coalesces concurrent predict requests into a single
 //!   matrix pass, preserving bit-exactness with offline `predict` and
 //!   never merging batches for stochastic (Hardt/Pleiss) pipelines.
 //! * [`error`] — the closed client-visible error taxonomy; every failure
 //!   is a structured JSON body, never a dropped connection or a panic.
+//!   Shed (429) and breaker (503) rejections carry `Retry-After`.
 //! * [`metrics`] — Prometheus text exposition: request/error counters,
-//!   latency and batch-size histograms, registry gauges.
-//! * [`server`] — listener + fixed worker pool + routing + graceful
-//!   drain (`POST /v1/shutdown`).
+//!   latency and batch-size histograms, registry gauges, and the
+//!   overload series (sheds, queue depth, breaker state, in-flight).
+//! * [`faults`] — deterministic `FAIRLENS_FAULT` chaos hooks
+//!   (`panic:`/`hang:`/`flaky:` per model id) for the chaos harness.
+//! * [`server`] — listener + fixed worker pool + admission control +
+//!   routing + graceful drain (`POST /v1/shutdown`).
 //!
 //! Routes: `POST /v1/predict`, `GET /v1/models`, `GET /healthz`,
 //! `GET /metrics`, `POST /v1/shutdown`.
 
 pub mod batcher;
+pub mod breaker;
 pub mod error;
+pub mod faults;
 pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod server;
 
 pub use batcher::{BatchConfig, ModelWorker, PredictJob, PredictOutput};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use error::{ErrorKind, ServeError};
+pub use faults::{ServeFaultKind, ServeFaults};
 pub use metrics::Metrics;
-pub use registry::{ModelInfo, Registry};
+pub use registry::{ModelInfo, ModelOutcome, Registry};
 pub use server::{ServeConfig, Server};

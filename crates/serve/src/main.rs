@@ -2,20 +2,37 @@
 
 use std::path::PathBuf;
 use std::process::exit;
+use std::sync::Arc;
 use std::time::Duration;
 
-use fairlens_serve::{ServeConfig, Server};
+use fairlens_serve::{ServeConfig, ServeFaults, Server};
 
 const USAGE: &str = "\
 fairlens-serve [--addr HOST:PORT] [--models DIR] [--workers N]
                [--max-batch ROWS] [--batch-wait-ms MS]
                [--deadline-ms MS] [--max-loaded N] [--trace PATH]
+               [--max-queue N] [--max-inflight N]
+               [--breaker-threshold N] [--breaker-cooldown-ms MS]
+               [--read-deadline-ms MS] [--max-conn-requests N]
 
 Serves predictions from the .flm artifacts in DIR (default: models).
 Port 0 binds an ephemeral port, announced on stderr as
 '[serve] listening on ...'. Stop with POST /v1/shutdown.
 --trace records one span track per predict request (parse/queue/batch/
-predict) and writes PATH (JSONL) plus PATH.collapsed at drain.";
+predict) and writes PATH (JSONL) plus PATH.collapsed at drain.
+
+Overload protection: --max-queue bounds each model executor's queue and
+--max-inflight bounds concurrently processed predictions (0 = unlimited);
+past either, requests shed with 429 + Retry-After. --breaker-threshold
+consecutive model failures open that model's circuit breaker for
+--breaker-cooldown-ms (rejections are 503 + Retry-After; a probe then
+re-closes it). --read-deadline-ms bounds how long a client may take to
+deliver one request (408 past it); --max-conn-requests closes a
+keep-alive connection after N requests (0 = unlimited).
+
+Chaos: the FAIRLENS_FAULT env var injects deterministic faults, e.g.
+'panic:german-lr:1;flaky:3:german-lr' (kinds: panic:<model>:<k>,
+hang:<model>:<k>, flaky:<k>:<model>).";
 
 fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
     let Some(value) = value else {
@@ -50,6 +67,22 @@ fn main() {
                 cfg.deadline = Duration::from_millis(parse_flag("--deadline-ms", value));
             }
             "--max-loaded" => cfg.max_loaded = parse_flag("--max-loaded", value),
+            "--max-queue" => cfg.max_queue = parse_flag("--max-queue", value),
+            "--max-inflight" => cfg.max_inflight = parse_flag("--max-inflight", value),
+            "--breaker-threshold" => {
+                cfg.breaker_threshold = parse_flag("--breaker-threshold", value);
+            }
+            "--breaker-cooldown-ms" => {
+                cfg.breaker_cooldown =
+                    Duration::from_millis(parse_flag("--breaker-cooldown-ms", value));
+            }
+            "--read-deadline-ms" => {
+                cfg.limits.read_deadline =
+                    Duration::from_millis(parse_flag("--read-deadline-ms", value));
+            }
+            "--max-conn-requests" => {
+                cfg.max_conn_requests = parse_flag("--max-conn-requests", value);
+            }
             "--trace" => cfg.trace = Some(parse_flag::<PathBuf>("--trace", value)),
             other => {
                 eprintln!("unknown flag {other}\n{USAGE}");
@@ -58,6 +91,8 @@ fn main() {
         }
         i += 2;
     }
+    // Malformed FAIRLENS_FAULT aborts here, before the listener binds.
+    cfg.faults = Arc::new(ServeFaults::from_env());
 
     let server = match Server::bind(cfg.clone()) {
         Ok(s) => s,

@@ -92,6 +92,16 @@ pub struct Metrics {
     rows_total: AtomicU64,
     models_loaded: AtomicU64,
     model_evictions: AtomicU64,
+    /// Shed reason → count (`queue_full` / `inflight` / `breaker_open`).
+    sheds: Mutex<BTreeMap<&'static str, u64>>,
+    /// Model id → live executor queue depth.
+    queue_depth: Mutex<BTreeMap<String, u64>>,
+    /// Model id → (breaker state gauge, opens counter).
+    breakers: Mutex<BTreeMap<String, (u64, u64)>>,
+    /// Predict requests currently being handled.
+    inflight: AtomicU64,
+    /// Artifacts that failed to load/restore and were quarantined.
+    load_failures: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -112,6 +122,11 @@ impl Metrics {
             rows_total: AtomicU64::new(0),
             models_loaded: AtomicU64::new(0),
             model_evictions: AtomicU64::new(0),
+            sheds: Mutex::new(BTreeMap::new()),
+            queue_depth: Mutex::new(BTreeMap::new()),
+            breakers: Mutex::new(BTreeMap::new()),
+            inflight: AtomicU64::new(0),
+            load_failures: AtomicU64::new(0),
         }
     }
 
@@ -154,6 +169,44 @@ impl Metrics {
     /// Count one LRU eviction.
     pub fn record_eviction(&self) {
         self.model_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one shed request by admission-control reason.
+    pub fn record_shed(&self, reason: &'static str) {
+        *self.sheds.lock().unwrap().entry(reason).or_insert(0) += 1;
+    }
+
+    /// Track one model's live executor queue depth.
+    pub fn set_queue_depth(&self, model: &str, depth: u64) {
+        // Entry reuse keeps this at one allocation per model, not per job.
+        let mut map = self.queue_depth.lock().unwrap();
+        match map.get_mut(model) {
+            Some(d) => *d = depth,
+            None => {
+                map.insert(model.to_string(), depth);
+            }
+        }
+    }
+
+    /// Track one model's breaker state (0 closed / 1 half-open / 2 open).
+    pub fn set_breaker_state(&self, model: &str, gauge: u64) {
+        let mut map = self.breakers.lock().unwrap();
+        map.entry(model.to_string()).or_insert((0, 0)).0 = gauge;
+    }
+
+    /// Count one closed→open (or half-open→open) breaker transition.
+    pub fn record_breaker_open(&self, model: &str) {
+        self.breakers.lock().unwrap().entry(model.to_string()).or_insert((0, 0)).1 += 1;
+    }
+
+    /// Track the number of predict requests currently in flight.
+    pub fn set_inflight(&self, n: u64) {
+        self.inflight.store(n, Ordering::Relaxed);
+    }
+
+    /// Count one artifact load/restore failure (quarantine).
+    pub fn record_load_failure(&self) {
+        self.load_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Render the Prometheus text exposition.
@@ -204,6 +257,58 @@ impl Metrics {
             "fairlens_predict_rows_total {}",
             self.rows_total.load(Ordering::Relaxed)
         );
+        let _ = writeln!(
+            out,
+            "# HELP fairlens_shed_total Requests shed by admission control, by reason."
+        );
+        let _ = writeln!(out, "# TYPE fairlens_shed_total counter");
+        for (reason, count) in self.sheds.lock().unwrap().iter() {
+            let _ = writeln!(out, "fairlens_shed_total{{reason=\"{reason}\"}} {count}");
+        }
+
+        let _ = writeln!(out, "# HELP fairlens_queue_depth Jobs queued per model executor.");
+        let _ = writeln!(out, "# TYPE fairlens_queue_depth gauge");
+        for (model, depth) in self.queue_depth.lock().unwrap().iter() {
+            let _ = writeln!(out, "fairlens_queue_depth{{model=\"{model}\"}} {depth}");
+        }
+
+        {
+            let breakers = self.breakers.lock().unwrap();
+            let _ = writeln!(
+                out,
+                "# HELP fairlens_breaker_state Circuit-breaker state per model \
+                 (0 closed, 1 half-open, 2 open)."
+            );
+            let _ = writeln!(out, "# TYPE fairlens_breaker_state gauge");
+            for (model, (gauge, _)) in breakers.iter() {
+                let _ = writeln!(out, "fairlens_breaker_state{{model=\"{model}\"}} {gauge}");
+            }
+            let _ = writeln!(
+                out,
+                "# HELP fairlens_breaker_opens_total Breaker trips (transitions to open)."
+            );
+            let _ = writeln!(out, "# TYPE fairlens_breaker_opens_total counter");
+            for (model, (_, opens)) in breakers.iter() {
+                let _ =
+                    writeln!(out, "fairlens_breaker_opens_total{{model=\"{model}\"}} {opens}");
+            }
+        }
+
+        let _ = writeln!(out, "# HELP fairlens_inflight Predict requests currently in flight.");
+        let _ = writeln!(out, "# TYPE fairlens_inflight gauge");
+        let _ = writeln!(out, "fairlens_inflight {}", self.inflight.load(Ordering::Relaxed));
+
+        let _ = writeln!(
+            out,
+            "# HELP fairlens_model_load_failures_total Artifact load failures (quarantines)."
+        );
+        let _ = writeln!(out, "# TYPE fairlens_model_load_failures_total counter");
+        let _ = writeln!(
+            out,
+            "fairlens_model_load_failures_total {}",
+            self.load_failures.load(Ordering::Relaxed)
+        );
+
         let _ = writeln!(out, "# HELP fairlens_models_loaded Models resident in the registry.");
         let _ = writeln!(out, "# TYPE fairlens_models_loaded gauge");
         let _ =
@@ -263,5 +368,27 @@ mod tests {
         assert!(text.contains("fairlens_predict_rows_total 203"));
         assert!(text.contains("fairlens_models_loaded 2"));
         assert!(text.contains("fairlens_model_evictions_total 1"));
+    }
+
+    #[test]
+    fn overload_and_breaker_series_render() {
+        let m = Metrics::new();
+        m.record_shed("queue_full");
+        m.record_shed("queue_full");
+        m.record_shed("inflight");
+        m.set_queue_depth("german-lr", 3);
+        m.set_queue_depth("german-lr", 1); // gauge keeps the latest value
+        m.set_breaker_state("german-lr", 2);
+        m.record_breaker_open("german-lr");
+        m.set_inflight(5);
+        m.record_load_failure();
+        let text = m.render();
+        assert!(text.contains("fairlens_shed_total{reason=\"queue_full\"} 2"), "{text}");
+        assert!(text.contains("fairlens_shed_total{reason=\"inflight\"} 1"));
+        assert!(text.contains("fairlens_queue_depth{model=\"german-lr\"} 1"));
+        assert!(text.contains("fairlens_breaker_state{model=\"german-lr\"} 2"));
+        assert!(text.contains("fairlens_breaker_opens_total{model=\"german-lr\"} 1"));
+        assert!(text.contains("fairlens_inflight 5"));
+        assert!(text.contains("fairlens_model_load_failures_total 1"));
     }
 }

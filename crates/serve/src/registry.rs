@@ -1,4 +1,4 @@
-//! Model registry: startup scan, lazy load, LRU eviction.
+//! Model registry: startup scan, lazy load, LRU eviction, supervision.
 //!
 //! At startup the registry parses every `*.flm` artifact in the models
 //! directory once, keeping only provenance metadata (the listing for
@@ -6,15 +6,39 @@
 //! in an LRU of at most `max_loaded` workers; evicting a worker drops its
 //! job channel, which drains in-flight work and joins the executor thread
 //! before the pipeline is freed (see [`ModelWorker`]'s `Drop`).
+//!
+//! The registry is also the serving stack's supervisor:
+//!
+//! * **Circuit breaking.** Each model owns a [`CircuitBreaker`];
+//!   [`Registry::checkout`] runs breaker admission before touching the
+//!   LRU, and [`Registry::report`] feeds request outcomes back. An open
+//!   breaker rejects with a structured 503 + `Retry-After` instead of
+//!   queueing work a failing model cannot serve.
+//! * **Executor respawn.** A dead executor (its thread killed by a
+//!   panic) is dropped from the LRU — either when a handler reports
+//!   [`ModelOutcome::Dead`] or when `checkout` notices the cached worker
+//!   finished — and the next admitted request restores the pipeline from
+//!   the artifact into a fresh executor. The HTTP worker never panics.
+//! * **Negative caching (quarantine).** An artifact that fails to parse
+//!   or restore — at scan or on a lazy load — is quarantined: the id is
+//!   marked `unloadable` in `GET /v1/models`, every predict gets an
+//!   immediate 503, and the file is never re-read and re-failed per
+//!   request. Quarantine is permanent until restart (a corrupt file does
+//!   not heal), and each entry counts once in
+//!   `fairlens_model_load_failures_total`.
 
 use std::collections::{BTreeMap, HashMap};
+use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use fairlens_core::ModelArtifact;
+use fairlens_core::{DataSchema, ModelArtifact};
 
 use crate::batcher::{BatchConfig, ModelWorker};
+use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 use crate::error::{ErrorKind, ServeError};
+use crate::faults::ServeFaults;
 use crate::metrics::Metrics;
 
 /// Provenance surfaced by `GET /v1/models`, captured at scan time.
@@ -38,6 +62,26 @@ pub struct ModelInfo {
     pub train_metrics: Vec<(String, f64)>,
     /// Whether the pipeline's predictions depend on batch composition.
     pub stochastic: bool,
+    /// Input schema, kept resident so request validation (and the 400s
+    /// it produces) never forces an artifact load.
+    pub schema: DataSchema,
+}
+
+/// How a checked-out request ended, as observed by the predict handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelOutcome {
+    /// The model produced a prediction.
+    Success,
+    /// The model failed the request (panic inside the flush guard,
+    /// injected fault, or deadline expiry): breaker fodder.
+    Failure,
+    /// The executor thread is gone; drop it from the LRU so the next
+    /// admitted request respawns it, and count a breaker failure.
+    Dead,
+    /// The request was shed after admission (e.g. queue full) without
+    /// exercising the model: frees a half-open probe slot, judges
+    /// nothing.
+    Shed,
 }
 
 struct LruState {
@@ -46,25 +90,34 @@ struct LruState {
     tick: u64,
 }
 
-/// The server's model catalogue.
+/// The server's model catalogue and supervisor.
 pub struct Registry {
     infos: BTreeMap<String, ModelInfo>,
+    /// id → reason, for artifacts that failed to load or restore.
+    quarantined: Mutex<BTreeMap<String, String>>,
+    breakers: Mutex<HashMap<String, CircuitBreaker>>,
     loaded: Mutex<LruState>,
     cfg: BatchConfig,
+    breaker_cfg: BreakerConfig,
     max_loaded: usize,
     metrics: Arc<Metrics>,
+    faults: Arc<ServeFaults>,
 }
 
 impl Registry {
-    /// Scan `dir` for `*.flm` artifacts. Unreadable artifacts are reported
-    /// and skipped — one corrupt file must not take the server down.
+    /// Scan `dir` for `*.flm` artifacts. Unreadable artifacts are
+    /// quarantined and surfaced as `unloadable` — one corrupt file must
+    /// not take the server down, and must not be re-read per request.
     pub fn scan(
         dir: &Path,
         cfg: BatchConfig,
         max_loaded: usize,
         metrics: Arc<Metrics>,
+        breaker_cfg: BreakerConfig,
+        faults: Arc<ServeFaults>,
     ) -> std::io::Result<Self> {
         let mut infos = BTreeMap::new();
+        let mut quarantined = BTreeMap::new();
         for entry in std::fs::read_dir(dir)? {
             let path = entry?.path();
             if path.extension().and_then(|e| e.to_str()) != Some("flm") {
@@ -74,9 +127,8 @@ impl Registry {
             else {
                 continue;
             };
-            match ModelArtifact::load(&path) {
-                Ok(a) => {
-                    let stochastic = a.restore().is_stochastic();
+            match load_artifact(&path) {
+                Ok((a, stochastic)) => {
                     infos.insert(
                         id.clone(),
                         ModelInfo {
@@ -89,32 +141,51 @@ impl Registry {
                             train_rows: a.train_rows,
                             train_metrics: a.train_metrics,
                             stochastic,
+                            schema: a.schema,
                         },
                     );
                 }
-                Err(e) => eprintln!("[serve] skipping {}: {e}", path.display()),
+                Err(reason) => {
+                    eprintln!("[serve] quarantining {}: {reason}", path.display());
+                    metrics.record_load_failure();
+                    quarantined.insert(id, reason);
+                }
             }
         }
         Ok(Self {
             infos,
+            quarantined: Mutex::new(quarantined),
+            breakers: Mutex::new(HashMap::new()),
             loaded: Mutex::new(LruState { map: HashMap::new(), tick: 0 }),
             cfg,
+            breaker_cfg,
             max_loaded: max_loaded.max(1),
             metrics,
+            faults,
         })
     }
 
-    /// All known models, id-sorted.
+    /// All loadable models, id-sorted.
     pub fn list(&self) -> impl Iterator<Item = &ModelInfo> {
         self.infos.values()
     }
 
-    /// Number of artifacts discovered at scan.
+    /// Quarantined ids with the failure reason, id-sorted.
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        self.quarantined
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of loadable artifacts discovered at scan.
     pub fn len(&self) -> usize {
         self.infos.len()
     }
 
-    /// Whether the scan found nothing.
+    /// Whether the scan found nothing loadable.
     pub fn is_empty(&self) -> bool {
         self.infos.is_empty()
     }
@@ -124,30 +195,113 @@ impl Registry {
         self.infos.get(id)
     }
 
-    /// The worker for `id`, loading the artifact (and evicting the
-    /// least-recently-used worker past capacity) if necessary. Loading
-    /// happens under the registry lock: a burst of first requests for the
-    /// same cold model deserializes it once, not once per request.
-    pub fn get(&self, id: &str) -> Result<Arc<ModelWorker>, ServeError> {
+    /// The breaker state for one model (`Closed` if it never tripped).
+    pub fn breaker_state(&self, id: &str) -> BreakerState {
+        self.breakers
+            .lock()
+            .unwrap()
+            .get(id)
+            .map_or(BreakerState::Closed, CircuitBreaker::state)
+    }
+
+    /// The input schema for `id`, for request validation before any
+    /// admission or load work. Unknown ids are 404s; quarantined ids are
+    /// immediate 503s served from the negative cache (no disk I/O).
+    pub fn schema(&self, id: &str) -> Result<&DataSchema, ServeError> {
+        if let Some(reason) = self.quarantined.lock().unwrap().get(id) {
+            return Err(ServeError::new(
+                ErrorKind::Unavailable,
+                format!("model {id:?} is quarantined (unloadable): {reason}"),
+            ));
+        }
         let info = self.infos.get(id).ok_or_else(|| {
             ServeError::new(ErrorKind::UnknownModel, format!("no model {id:?}"))
         })?;
+        Ok(&info.schema)
+    }
+
+    /// Admit one request through the model's breaker and hand out its
+    /// worker, loading the artifact (and evicting the least-recently-used
+    /// worker past capacity) if necessary. Loading happens under the
+    /// registry lock: a burst of first requests for the same cold model
+    /// deserializes it once, not once per request. A cached worker whose
+    /// executor died is replaced here — the respawn path of supervision.
+    ///
+    /// Callers must pair every successful checkout with exactly one
+    /// [`Registry::report`] so breaker bookkeeping (especially the
+    /// half-open probe slot) stays balanced.
+    pub fn checkout(&self, id: &str) -> Result<Arc<ModelWorker>, ServeError> {
+        let info = self.infos.get(id).ok_or_else(|| {
+            ServeError::new(ErrorKind::UnknownModel, format!("no model {id:?}"))
+        })?;
+        let now = Instant::now();
+        {
+            let mut breakers = self.breakers.lock().unwrap();
+            let b = breakers
+                .entry(id.to_string())
+                .or_insert_with(|| CircuitBreaker::new(self.breaker_cfg));
+            match b.admit(now) {
+                Admission::Admit | Admission::Probe => {
+                    self.metrics.set_breaker_state(id, b.state().gauge());
+                }
+                Admission::Reject { retry_after } => {
+                    self.metrics.record_shed("breaker_open");
+                    return Err(ServeError::new(
+                        ErrorKind::Unavailable,
+                        format!("model {id:?} breaker is open; retry later"),
+                    )
+                    .with_retry_after(retry_after.as_secs_f64().ceil() as u64));
+                }
+            }
+        }
+        match self.load_worker(info) {
+            Ok(worker) => Ok(worker),
+            Err(e) => {
+                // The load itself failed (quarantine): settle the breaker
+                // bookkeeping we opened above — there will be no report.
+                self.report_breaker_only(id, ModelOutcome::Failure);
+                Err(e)
+            }
+        }
+    }
+
+    fn load_worker(&self, info: &ModelInfo) -> Result<Arc<ModelWorker>, ServeError> {
+        let id = info.id.as_str();
         let mut lru = self.loaded.lock().unwrap();
         lru.tick += 1;
         let tick = lru.tick;
         if let Some((last_use, worker)) = lru.map.get_mut(id) {
-            *last_use = tick;
-            return Ok(worker.clone());
+            if !worker.is_dead() {
+                *last_use = tick;
+                return Ok(worker.clone());
+            }
+            // Executor thread gone: drop the corpse and fall through to
+            // a fresh restore from the artifact.
+            lru.map.remove(id);
+            self.metrics.set_queue_depth(id, 0);
+            eprintln!("[serve] respawning dead executor for model {id:?}");
         }
-        let artifact = ModelArtifact::load(&info.path).map_err(|e| {
-            ServeError::new(ErrorKind::Internal, format!("cannot load model {id:?}: {e}"))
-        })?;
+        let pipeline = match load_artifact(&info.path) {
+            Ok((artifact, _)) => artifact.restore(),
+            Err(reason) => {
+                // Negative-cache the failure: quarantine the id so the
+                // next request fails fast instead of re-reading the file.
+                eprintln!("[serve] quarantining {id:?} at load: {reason}");
+                self.metrics.record_load_failure();
+                self.quarantined.lock().unwrap().insert(id.to_string(), reason.clone());
+                return Err(ServeError::new(
+                    ErrorKind::Unavailable,
+                    format!("model {id:?} is quarantined (unloadable): {reason}"),
+                ));
+            }
+        };
         let worker = Arc::new(ModelWorker::spawn(
             id,
-            artifact.schema.clone(),
-            artifact.restore(),
+            info.schema.clone(),
+            pipeline,
             self.cfg,
             self.metrics.clone(),
+            self.faults.clone(),
         ));
         lru.map.insert(id.to_string(), (tick, worker.clone()));
         while lru.map.len() > self.max_loaded {
@@ -167,6 +321,46 @@ impl Registry {
         Ok(worker)
     }
 
+    /// Report the outcome of a checked-out request: feeds the breaker and
+    /// — for [`ModelOutcome::Dead`] — unloads the dead worker so the next
+    /// admitted request respawns the executor from the artifact.
+    pub fn report(&self, id: &str, worker: &Arc<ModelWorker>, outcome: ModelOutcome) {
+        if outcome == ModelOutcome::Dead {
+            let mut lru = self.loaded.lock().unwrap();
+            if let Some((_, cached)) = lru.map.get(id) {
+                if Arc::ptr_eq(cached, worker) {
+                    lru.map.remove(id);
+                    self.metrics.set_models_loaded(lru.map.len());
+                }
+            }
+            // The corpse's queue is gone with it.
+            self.metrics.set_queue_depth(id, 0);
+        }
+        self.report_breaker_only(id, outcome);
+    }
+
+    fn report_breaker_only(&self, id: &str, outcome: ModelOutcome) {
+        let now = Instant::now();
+        let mut breakers = self.breakers.lock().unwrap();
+        let Some(b) = breakers.get_mut(id) else { return };
+        let opened = match outcome {
+            ModelOutcome::Success => {
+                b.on_success();
+                false
+            }
+            ModelOutcome::Failure | ModelOutcome::Dead => b.on_failure(now),
+            ModelOutcome::Shed => {
+                b.release();
+                false
+            }
+        };
+        if opened {
+            self.metrics.record_breaker_open(id);
+            eprintln!("[serve] breaker opened for model {id:?}");
+        }
+        self.metrics.set_breaker_state(id, b.state().gauge());
+    }
+
     /// Unload everything, joining all executors. Called on drain.
     pub fn shutdown(&self) {
         let mut lru = self.loaded.lock().unwrap();
@@ -175,10 +369,21 @@ impl Registry {
     }
 }
 
+/// Parse an artifact and prove it restores (the restore result also
+/// yields the stochasticity flag for the listing). Any parse error or
+/// restore panic becomes a quarantine reason.
+fn load_artifact(path: &Path) -> Result<(ModelArtifact, bool), String> {
+    let artifact = ModelArtifact::load(path)?;
+    let stochastic =
+        std::panic::catch_unwind(AssertUnwindSafe(|| artifact.restore().is_stochastic()))
+            .map_err(|_| "artifact restore panicked".to_string())?;
+    Ok((artifact, stochastic))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fairlens_core::{baseline_approach, DataSchema};
+    use fairlens_core::baseline_approach;
     use fairlens_synth::DatasetKind;
 
     fn export(dir: &Path, id: &str, seed: u64) {
@@ -204,19 +409,39 @@ mod tests {
         dir
     }
 
+    fn scan(dir: &Path, max_loaded: usize, metrics: Arc<Metrics>) -> Registry {
+        Registry::scan(
+            dir,
+            BatchConfig::default(),
+            max_loaded,
+            metrics,
+            BreakerConfig::default(),
+            Arc::new(ServeFaults::none()),
+        )
+        .unwrap()
+    }
+
     #[test]
-    fn scan_lists_and_skips_corrupt() {
+    fn scan_lists_loadable_and_quarantines_corrupt() {
         let dir = temp_dir("scan");
         export(&dir, "german-lr", 1);
         export(&dir, "german-lr2", 2);
         std::fs::write(dir.join("broken.flm"), "not json").unwrap();
         std::fs::write(dir.join("ignored.txt"), "x").unwrap();
-        let reg =
-            Registry::scan(&dir, BatchConfig::default(), 4, Arc::new(Metrics::new())).unwrap();
+        let metrics = Arc::new(Metrics::new());
+        let reg = scan(&dir, 4, metrics.clone());
         let ids: Vec<&str> = reg.list().map(|i| i.id.as_str()).collect();
         assert_eq!(ids, ["german-lr", "german-lr2"]);
         assert_eq!(reg.info("german-lr").unwrap().approach, "LR");
-        assert!(reg.get("missing").is_err_and(|e| e.kind == ErrorKind::UnknownModel));
+        assert!(reg.schema("missing").is_err_and(|e| e.kind == ErrorKind::UnknownModel));
+        assert!(reg.checkout("missing").is_err_and(|e| e.kind == ErrorKind::UnknownModel));
+        // The corrupt artifact is listed as quarantined, counted once,
+        // and every predict against it is an immediate 503.
+        let q = reg.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].0, "broken");
+        assert!(reg.schema("broken").is_err_and(|e| e.kind == ErrorKind::Unavailable));
+        assert!(metrics.render().contains("fairlens_model_load_failures_total 1"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -227,16 +452,128 @@ mod tests {
             export(&dir, id, i as u64 + 1);
         }
         let metrics = Arc::new(Metrics::new());
-        let reg = Registry::scan(&dir, BatchConfig::default(), 2, metrics.clone()).unwrap();
-        let _a = reg.get("a").unwrap();
-        let _b = reg.get("b").unwrap();
-        let _a2 = reg.get("a").unwrap(); // refresh a: b is now coldest
-        let _c = reg.get("c").unwrap();
+        let reg = scan(&dir, 2, metrics.clone());
+        let _a = reg.checkout("a").unwrap();
+        reg.report("a", &_a, ModelOutcome::Success);
+        let _b = reg.checkout("b").unwrap();
+        reg.report("b", &_b, ModelOutcome::Success);
+        let _a2 = reg.checkout("a").unwrap(); // refresh a: b is now coldest
+        reg.report("a", &_a2, ModelOutcome::Success);
+        let _c = reg.checkout("c").unwrap();
+        reg.report("c", &_c, ModelOutcome::Success);
         let text = metrics.render();
         assert!(text.contains("fairlens_model_evictions_total 1"), "{text}");
         assert!(text.contains("fairlens_models_loaded 2"), "{text}");
         // The evicted model reloads transparently.
-        assert!(reg.get("b").is_ok());
+        assert!(reg.checkout("b").is_ok());
+        reg.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_failure_is_negatively_cached() {
+        let dir = temp_dir("negcache");
+        export(&dir, "german-lr", 3);
+        let metrics = Arc::new(Metrics::new());
+        let reg = scan(&dir, 4, metrics.clone());
+        // Corrupt the artifact after the scan: the first load fails and
+        // quarantines the id.
+        std::fs::write(dir.join("german-lr.flm"), "{ scrambled").unwrap();
+        let err = reg.checkout("german-lr").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unavailable);
+        assert!(err.message.contains("quarantined"), "{err}");
+        // Restore a pristine artifact on disk: the negative cache must
+        // answer without re-reading the file, so the id stays quarantined.
+        export(&dir, "german-lr", 3);
+        let err = reg.schema("german-lr").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unavailable);
+        assert!(err.message.contains("quarantined"), "{err}");
+        assert_eq!(reg.quarantined().len(), 1);
+        assert!(metrics.render().contains("fairlens_model_load_failures_total 1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn breaker_trips_after_reported_failures_and_recovers() {
+        let dir = temp_dir("breaker");
+        export(&dir, "m", 5);
+        let metrics = Arc::new(Metrics::new());
+        let reg = Registry::scan(
+            &dir,
+            BatchConfig::default(),
+            2,
+            metrics.clone(),
+            BreakerConfig { threshold: 2, cooldown: std::time::Duration::from_millis(50) },
+            Arc::new(ServeFaults::none()),
+        )
+        .unwrap();
+        let w = reg.checkout("m").unwrap();
+        reg.report("m", &w, ModelOutcome::Failure);
+        assert_eq!(reg.breaker_state("m"), BreakerState::Closed);
+        let w = reg.checkout("m").unwrap();
+        reg.report("m", &w, ModelOutcome::Failure);
+        assert_eq!(reg.breaker_state("m"), BreakerState::Open);
+        // Open: immediate 503 with Retry-After, counted as a shed.
+        let err = reg.checkout("m").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unavailable);
+        assert!(err.retry_after.is_some());
+        let text = metrics.render();
+        assert!(text.contains("fairlens_shed_total{reason=\"breaker_open\"} 1"), "{text}");
+        assert!(text.contains("fairlens_breaker_opens_total{model=\"m\"} 1"), "{text}");
+        assert!(text.contains("fairlens_breaker_state{model=\"m\"} 2"), "{text}");
+        // After the cooldown the probe flows and a success re-closes.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let w = reg.checkout("m").unwrap();
+        reg.report("m", &w, ModelOutcome::Success);
+        assert_eq!(reg.breaker_state("m"), BreakerState::Closed);
+        assert!(metrics.render().contains("fairlens_breaker_state{model=\"m\"} 0"));
+        reg.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_worker_is_respawned_on_next_checkout() {
+        let dir = temp_dir("respawn");
+        export(&dir, "m", 7);
+        let metrics = Arc::new(Metrics::new());
+        let reg = Registry::scan(
+            &dir,
+            BatchConfig::default(),
+            2,
+            metrics.clone(),
+            BreakerConfig { threshold: 10, cooldown: std::time::Duration::from_millis(10) },
+            // One executor panic: the first dequeue kills the thread.
+            Arc::new(ServeFaults::parse("panic:m:1").unwrap()),
+        )
+        .unwrap();
+        let w = reg.checkout("m").unwrap();
+        // Feed it one job so the injected panic fires and the thread dies.
+        let (reply, rx) = std::sync::mpsc::sync_channel(1);
+        let data = DatasetKind::German.generate(8, 7);
+        w.submit(crate::batcher::PredictJob {
+            data: data.select_rows(&[0]),
+            reply,
+            budget: fairlens_budget::Budget::new(),
+            submitted: Instant::now(),
+        })
+        .unwrap();
+        assert!(rx.recv_timeout(std::time::Duration::from_secs(5)).is_err());
+        reg.report("m", &w, ModelOutcome::Dead);
+        drop(w);
+        // Fault budget spent: the next checkout respawns a live executor
+        // that serves correctly.
+        let w2 = reg.checkout("m").unwrap();
+        assert!(!w2.is_dead());
+        let (reply, rx) = std::sync::mpsc::sync_channel(1);
+        w2.submit(crate::batcher::PredictJob {
+            data: data.select_rows(&[0]),
+            reply,
+            budget: fairlens_budget::Budget::new(),
+            submitted: Instant::now(),
+        })
+        .unwrap();
+        assert!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap().is_ok());
+        reg.report("m", &w2, ModelOutcome::Success);
         reg.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -5,7 +5,27 @@
 //! mutex, the textbook `std` work queue); each worker speaks keep-alive
 //! HTTP/1.1 on its socket and blocks on the per-model executor for
 //! predictions. Sockets carry a 250 ms read timeout so idle keep-alive
-//! connections notice the shutdown flag promptly.
+//! connections notice the shutdown flag promptly; a total read deadline
+//! layered on that tick turns slow-loris requests into 408s (see
+//! [`crate::http`]).
+//!
+//! Overload protection happens in three layers, cheapest first:
+//!
+//! 1. **Global in-flight budget** (`--max-inflight`): a predict request
+//!    that would push concurrent predictions past the budget is shed with
+//!    a 429 + `Retry-After` before its body is even parsed.
+//! 2. **Per-model breaker admission** (via [`Registry::checkout`]): a
+//!    model that keeps failing gets its requests rejected at the door
+//!    with a 503 + `Retry-After` until a cooldown probe proves recovery.
+//! 3. **Bounded executor queues** (`--max-queue`): a full queue sheds
+//!    with a 429 instead of growing without bound.
+//!
+//! Every shed increments `fairlens_shed_total{reason=...}` and (when
+//! tracing) drops a zero-width `shed:<reason>` marker on the request's
+//! track. Request outcomes feed back into the model's breaker through
+//! [`Registry::report`]; an executor death is never fatal to the server —
+//! the handler answers 503, the breaker trips, and the registry respawns
+//! the executor from its artifact on the next admitted request.
 //!
 //! Graceful shutdown (`POST /v1/shutdown` — `std` has no signal API, so
 //! the drain trigger is a route): set the flag, self-connect to wake the
@@ -23,13 +43,16 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fairlens_budget::Budget;
+use fairlens_frame::Dataset;
 use fairlens_json::{object, parse, Value};
 
-use crate::batcher::{BatchConfig, PredictJob};
+use crate::batcher::{BatchConfig, ModelWorker, PredictJob, PredictOutput};
+use crate::breaker::BreakerConfig;
 use crate::error::{ErrorKind, ServeError};
-use crate::http::{read_request, write_response, Limits, ReadOutcome, Request};
+use crate::faults::ServeFaults;
+use crate::http::{read_request, write_response_with, Limits, ReadOutcome, Request};
 use crate::metrics::Metrics;
-use crate::registry::{ModelInfo, Registry};
+use crate::registry::{ModelInfo, ModelOutcome, Registry};
 
 const JSON: &str = "application/json";
 const PROM: &str = "text/plain; version=0.0.4";
@@ -51,7 +74,22 @@ pub struct ServeConfig {
     pub deadline: Duration,
     /// LRU capacity for resident models.
     pub max_loaded: usize,
-    /// HTTP parsing limits.
+    /// Bound on each model's executor queue; overflow sheds with a 429.
+    pub max_queue: usize,
+    /// Global budget of concurrently processed predict requests; overflow
+    /// sheds with a 429 before the body is parsed (0 = unlimited).
+    pub max_inflight: usize,
+    /// Consecutive model failures that open its circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before allowing a probe.
+    pub breaker_cooldown: Duration,
+    /// Requests served per connection before the server closes it, so a
+    /// single pipelining client cannot monopolize a worker forever
+    /// (0 = unlimited).
+    pub max_conn_requests: usize,
+    /// Fault-injection plan for chaos runs (empty in production).
+    pub faults: Arc<ServeFaults>,
+    /// HTTP parsing limits (head/body size, read deadline).
     pub limits: Limits,
     /// Write per-request trace tracks (`req/NNNNNN`) here at drain; a
     /// flamegraph-ready `.collapsed` sibling rides along.
@@ -68,6 +106,12 @@ impl Default for ServeConfig {
             batch_wait: Duration::from_millis(2),
             deadline: Duration::from_secs(5),
             max_loaded: 8,
+            max_queue: 256,
+            max_inflight: 64,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(1),
+            max_conn_requests: 1000,
+            faults: Arc::new(ServeFaults::none()),
             limits: Limits::default(),
             trace: None,
         }
@@ -82,10 +126,40 @@ struct Ctx {
     deadline: Duration,
     limits: Limits,
     local_addr: SocketAddr,
+    /// Concurrently processed predict requests, against `max_inflight`.
+    inflight: AtomicU64,
+    max_inflight: u64,
+    max_conn_requests: usize,
     /// Present when the server was configured with a trace path.
     trace: Option<fairlens_trace::TraceSink>,
     /// Request counter naming the per-request tracks (`req/000042`).
     req_seq: AtomicU64,
+}
+
+/// RAII slot in the global in-flight budget: acquired before a predict
+/// request's body is parsed, released when the response is built (drop).
+/// The live count is mirrored into the `fairlens_inflight` gauge.
+struct InflightSlot<'a> {
+    ctx: &'a Ctx,
+}
+
+impl<'a> InflightSlot<'a> {
+    fn acquire(ctx: &'a Ctx) -> Option<Self> {
+        let n = ctx.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        if ctx.max_inflight > 0 && n > ctx.max_inflight {
+            ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        ctx.metrics.set_inflight(n);
+        Some(Self { ctx })
+    }
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        let n = self.ctx.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.ctx.metrics.set_inflight(n);
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -100,8 +174,21 @@ impl Server {
     /// Bind the listener and scan the models directory.
     pub fn bind(cfg: ServeConfig) -> std::io::Result<Self> {
         let metrics = Arc::new(Metrics::new());
-        let batch = BatchConfig { max_batch: cfg.max_batch.max(1), batch_wait: cfg.batch_wait };
-        let registry = Registry::scan(&cfg.models_dir, batch, cfg.max_loaded, metrics.clone())?;
+        let batch = BatchConfig {
+            max_batch: cfg.max_batch.max(1),
+            batch_wait: cfg.batch_wait,
+            max_queue: cfg.max_queue.max(1),
+        };
+        let breaker =
+            BreakerConfig { threshold: cfg.breaker_threshold, cooldown: cfg.breaker_cooldown };
+        let registry = Registry::scan(
+            &cfg.models_dir,
+            batch,
+            cfg.max_loaded,
+            metrics.clone(),
+            breaker,
+            cfg.faults.clone(),
+        )?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         Ok(Self {
@@ -113,6 +200,9 @@ impl Server {
                 deadline: cfg.deadline,
                 limits: cfg.limits,
                 local_addr,
+                inflight: AtomicU64::new(0),
+                max_inflight: cfg.max_inflight as u64,
+                max_conn_requests: cfg.max_conn_requests,
                 trace: cfg.trace.as_ref().map(|_| fairlens_trace::TraceSink::new()),
                 req_seq: AtomicU64::new(0),
             }),
@@ -135,9 +225,10 @@ impl Server {
     /// honoured: no accepting socket, no worker, no model executor left.
     pub fn run(self) -> std::io::Result<()> {
         eprintln!(
-            "[serve] listening on {} ({} model(s))",
+            "[serve] listening on {} ({} model(s), {} quarantined)",
             self.ctx.local_addr,
             self.ctx.registry.len(),
+            self.ctx.registry.quarantined().len(),
         );
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
@@ -199,13 +290,15 @@ impl Server {
 
 /// Speak keep-alive HTTP on one socket until close, error, or drain.
 fn handle_connection(stream: TcpStream, ctx: &Ctx) {
-    // The read timeout is the shutdown-poll tick for idle keep-alives.
+    // The read timeout is the shutdown-poll tick for idle keep-alives and
+    // the resolution of the per-request read deadline.
     if stream.set_read_timeout(Some(Duration::from_millis(250))).is_err() {
         return;
     }
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    let mut served: usize = 0;
     loop {
         let abandon_when_idle =
             |started: bool| ctx.shutdown.load(Ordering::SeqCst) && !started;
@@ -215,28 +308,47 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
                 // Framing errors poison the stream: answer, then close.
                 ctx.metrics.record_error(e.kind.name());
                 ctx.metrics.record_request("parse-error", e.kind.status(), 0.0);
-                let _ =
-                    write_response(&mut writer, e.kind.status(), JSON, e.to_json().as_bytes(), true);
+                let _ = write_response_with(
+                    &mut writer,
+                    e.kind.status(),
+                    JSON,
+                    e.retry_after,
+                    e.to_json().as_bytes(),
+                    true,
+                );
                 return;
             }
             Ok(ReadOutcome::Complete(req)) => {
+                served += 1;
                 let t0 = Instant::now();
-                let (status, content_type, body) = match route(ctx, &req) {
-                    Ok((status, content_type, body)) => (status, content_type, body),
+                let (status, content_type, body, retry_after) = match route(ctx, &req) {
+                    Ok((status, content_type, body)) => (status, content_type, body, None),
                     Err(e) => {
                         ctx.metrics.record_error(e.kind.name());
-                        (e.kind.status(), JSON, e.to_json())
+                        (e.kind.status(), JSON, e.to_json(), e.retry_after)
                     }
                 };
-                // Draining connections close after the in-flight answer.
-                let close = req.close || ctx.shutdown.load(Ordering::SeqCst);
+                // Draining connections close after the in-flight answer,
+                // as do connections that hit the per-connection request
+                // cap (the client reconnects; one pipelining socket
+                // cannot pin a worker forever).
+                let close = req.close
+                    || ctx.shutdown.load(Ordering::SeqCst)
+                    || (ctx.max_conn_requests > 0 && served >= ctx.max_conn_requests);
                 ctx.metrics.record_request(
                     route_label(&req.path),
                     status,
                     t0.elapsed().as_secs_f64(),
                 );
-                if write_response(&mut writer, status, content_type, body.as_bytes(), close)
-                    .is_err()
+                if write_response_with(
+                    &mut writer,
+                    status,
+                    content_type,
+                    retry_after,
+                    body.as_bytes(),
+                    close,
+                )
+                .is_err()
                     || close
                 {
                     return;
@@ -287,9 +399,11 @@ fn route(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeE
     }
 }
 
-fn model_value(info: &ModelInfo) -> Value {
+fn model_value(info: &ModelInfo, breaker: &'static str) -> Value {
     object([
         ("id", Value::String(info.id.clone())),
+        ("status", Value::String("ready".into())),
+        ("breaker", Value::String(breaker.into())),
         ("approach", Value::String(info.approach.clone())),
         ("stage", Value::String(info.stage.clone())),
         ("dataset", Value::String(info.dataset.clone())),
@@ -308,8 +422,33 @@ fn model_value(info: &ModelInfo) -> Value {
     ])
 }
 
+fn unloadable_value(id: String, reason: String) -> Value {
+    object([
+        ("id", Value::String(id)),
+        ("status", Value::String("unloadable".into())),
+        ("error", Value::String(reason)),
+    ])
+}
+
 fn models_body(ctx: &Ctx) -> String {
-    let models: Vec<Value> = ctx.registry.list().map(model_value).collect();
+    let quarantined: std::collections::BTreeMap<String, String> =
+        ctx.registry.quarantined().into_iter().collect();
+    let mut models: Vec<Value> = ctx
+        .registry
+        .list()
+        .map(|info| match quarantined.get(&info.id) {
+            // Quarantined after the scan (the artifact rotted on disk):
+            // listed, but marked unloadable instead of ready.
+            Some(reason) => unloadable_value(info.id.clone(), reason.clone()),
+            None => model_value(info, ctx.registry.breaker_state(&info.id).name()),
+        })
+        .collect();
+    // Artifacts that never made it past the scan.
+    for (id, reason) in quarantined {
+        if ctx.registry.info(&id).is_none() {
+            models.push(unloadable_value(id, reason));
+        }
+    }
     object([
         ("count", Value::Integer(models.len() as u64)),
         ("models", Value::Array(models)),
@@ -326,6 +465,17 @@ fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), Serv
     let _collect = ctx.trace.as_ref().map(|sink| {
         sink.collect(format!("req/{:06}", ctx.req_seq.fetch_add(1, Ordering::Relaxed)))
     });
+    // Layer 1: the global in-flight budget, checked before the body is
+    // even parsed — shedding must stay cheap when the server is drowning.
+    let Some(_slot) = InflightSlot::acquire(ctx) else {
+        ctx.metrics.record_shed("inflight");
+        fairlens_trace::complete("shed:inflight", Duration::ZERO);
+        return Err(ServeError::new(
+            ErrorKind::Overloaded,
+            "server is at its in-flight request budget; retry shortly",
+        )
+        .with_retry_after(1));
+    };
     let parse_t0 = Instant::now();
     let parse_span = fairlens_trace::span("parse");
     let text = std::str::from_utf8(&req.body)
@@ -352,34 +502,37 @@ fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), Serv
     if rows.is_empty() {
         return Err(ServeError::bad_request("\"rows\" is empty"));
     }
-
-    let worker = ctx.registry.get(model_id)?;
-    let data = worker.schema.dataset_from_rows(&rows).map_err(ServeError::bad_request)?;
+    // Validate rows before admission layers 2 and 3: a 400 must never
+    // consume a breaker probe or trip failure accounting, and the schema
+    // is resident from the scan, so this costs no artifact load.
+    let schema = ctx.registry.schema(model_id)?;
+    let data = schema.dataset_from_rows(&rows).map_err(ServeError::bad_request)?;
     drop(parse_span); // parse = decode + validation + model lookup
     ctx.metrics.record_phase("parse", parse_t0.elapsed().as_secs_f64());
-    let budget = Budget::new();
-    let (reply, rx) = mpsc::sync_channel(1);
-    worker.submit(PredictJob {
-        data,
-        reply,
-        budget: budget.clone(),
-        submitted: Instant::now(),
-    })?;
-    let out = match rx.recv_timeout(ctx.deadline) {
-        Ok(result) => result?,
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            // The executor skips the job at dequeue (or unwinds at the
-            // next checkpoint if it is mid-flush on this lone job).
-            budget.cancel();
-            return Err(ServeError::new(
-                ErrorKind::TimedOut,
-                format!("no prediction within {:.1}s", ctx.deadline.as_secs_f64()),
-            ));
-        }
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            return Err(ServeError::new(ErrorKind::Internal, "model executor is gone"))
-        }
+
+    // Layer 2: breaker admission (an open breaker rejects here with a
+    // 503 + Retry-After), plus the artifact load / executor respawn.
+    let worker = ctx.registry.checkout(model_id)?;
+    // Layer 3 (queue bound) is inside submit; every post-checkout path
+    // reports exactly one outcome so breaker bookkeeping stays balanced.
+    let result = drive(ctx, &worker, data);
+    let outcome = match &result {
+        Ok(_) => ModelOutcome::Success,
+        Err(e) => match e.kind {
+            // Shed at the queue: says nothing about the model's health.
+            ErrorKind::Overloaded => ModelOutcome::Shed,
+            // The executor thread is gone: unload + respawn next time.
+            ErrorKind::Unavailable => ModelOutcome::Dead,
+            // Timeouts and panics are model failures: breaker fodder.
+            _ => ModelOutcome::Failure,
+        },
     };
+    if matches!(&result, Err(e) if e.kind == ErrorKind::Overloaded) {
+        ctx.metrics.record_shed("queue_full");
+        fairlens_trace::complete("shed:queue_full", Duration::ZERO);
+    }
+    ctx.registry.report(model_id, &worker, outcome);
+    let out = result?;
     // The executor measured these on its own thread; replay them here as
     // completed spans so the request track tells the whole story, and
     // mirror them into the Prometheus phase histograms.
@@ -408,4 +561,42 @@ fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), Serv
         ])
     };
     Ok((200, JSON, body.to_json()))
+}
+
+/// Submit one validated job and wait for its reply within the deadline.
+fn drive(
+    ctx: &Ctx,
+    worker: &ModelWorker,
+    data: Dataset,
+) -> Result<PredictOutput, ServeError> {
+    let budget = Budget::new();
+    let (reply, rx) = mpsc::sync_channel(1);
+    worker.submit(PredictJob {
+        data,
+        reply,
+        budget: budget.clone(),
+        submitted: Instant::now(),
+    })?;
+    match rx.recv_timeout(ctx.deadline) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // The executor skips the job at dequeue (or unwinds at the
+            // next checkpoint if it is mid-flush on this lone job).
+            budget.cancel();
+            Err(ServeError::new(
+                ErrorKind::TimedOut,
+                format!("no prediction within {:.1}s", ctx.deadline.as_secs_f64()),
+            ))
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The executor died (panic) while holding our job: a
+            // structured 503 — never a worker panic — and the caller
+            // reports `Dead` so the registry respawns it.
+            Err(ServeError::new(
+                ErrorKind::Unavailable,
+                "model executor died mid-request; it will be restarted",
+            )
+            .with_retry_after(1))
+        }
+    }
 }

@@ -6,11 +6,13 @@ use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use fairlens_core::{
     all_approaches, baseline_approach, DataSchema, FittedPipeline, ModelArtifact,
 };
 use fairlens_json::{object, parse, Value};
-use fairlens_serve::{ServeConfig, Server};
+use fairlens_serve::{ServeConfig, ServeFaults, Server};
 use fairlens_synth::DatasetKind;
 
 // ---------------------------------------------------------------------------
@@ -87,36 +89,68 @@ impl Client {
         self.read_response()
     }
 
+    fn request_meta(&mut self, method: &str, path: &str, body: &str) -> (u16, Value, RespMeta) {
+        self.send_raw(&format!(
+            "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ));
+        let (status, body, meta) = self.read_response_full();
+        (status, parse_body(body), meta)
+    }
+
     fn read_response(&mut self) -> (u16, Value) {
-        let (status, body) = self.read_response_text();
-        let v = if body.trim_start().starts_with('{') {
-            parse(&body).unwrap_or(Value::Null)
-        } else {
-            Value::String(body)
-        };
-        (status, v)
+        let (status, body, _) = self.read_response_full();
+        (status, parse_body(body))
     }
 
     fn read_response_text(&mut self) -> (u16, String) {
+        let (status, body, _) = self.read_response_full();
+        (status, body)
+    }
+
+    fn read_response_full(&mut self) -> (u16, String, RespMeta) {
         let mut line = String::new();
         self.reader.read_line(&mut line).unwrap();
         let status: u16 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
         let mut content_length = 0usize;
+        let mut meta = RespMeta { retry_after: None, close: false };
         loop {
             let mut header = String::new();
             self.reader.read_line(&mut header).unwrap();
-            let header = header.trim_end();
+            let header = header.trim_end().to_ascii_lowercase();
             if header.is_empty() {
                 break;
             }
-            if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            if let Some(v) = header.strip_prefix("content-length:") {
                 content_length = v.trim().parse().unwrap();
+            } else if let Some(v) = header.strip_prefix("retry-after:") {
+                meta.retry_after = v.trim().parse().ok();
+            } else if header == "connection: close" {
+                meta.close = true;
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body).unwrap();
-        (status, String::from_utf8(body).unwrap())
+        (status, String::from_utf8(body).unwrap(), meta)
     }
+}
+
+/// Response headers the overload tests assert on.
+struct RespMeta {
+    retry_after: Option<u64>,
+    close: bool,
+}
+
+fn parse_body(body: String) -> Value {
+    if body.trim_start().starts_with('{') {
+        parse(&body).unwrap_or(Value::Null)
+    } else {
+        Value::String(body)
+    }
+}
+
+fn error_kind(v: &Value) -> Option<String> {
+    v.get("error").and_then(|e| e.get("kind")).and_then(Value::as_str).map(str::to_string)
 }
 
 fn one_shot(addr: &str, method: &str, path: &str, body: &str) -> (u16, Value) {
@@ -388,5 +422,242 @@ fn shutdown_drains_and_refuses_new_work() {
     // run() returns Ok once drained; afterwards the port is closed.
     handle.join().unwrap().unwrap();
     assert!(TcpStream::connect(&addr).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flood_past_the_queue_bound_sheds_429_and_serves_the_queued_request() {
+    let dir = temp_models_dir("flood");
+    let (fitted, schema) = export(&dir, "german-lr", "LR", 37);
+    // An injected hang parks the executor on the first request, so the
+    // queue (bounded at 1) genuinely fills; the deadline bounds how long
+    // the parked request stalls.
+    let (addr, handle) = launch(&dir, |cfg| {
+        cfg.max_queue = 1;
+        cfg.max_batch = 1;
+        cfg.deadline = Duration::from_millis(1500);
+        cfg.faults = Arc::new(ServeFaults::parse("hang:german-lr:1").unwrap());
+    });
+
+    // A: parked inside the injected hang until its deadline.
+    let rows_a = sample_rows(2, 41);
+    let (addr_a, body_a) = (addr.clone(), predict_body("german-lr", &rows_a));
+    let parked =
+        std::thread::spawn(move || Client::open(&addr_a).request("POST", "/v1/predict", &body_a));
+    std::thread::sleep(Duration::from_millis(300));
+
+    // B: sits in the (capacity-1) queue behind the parked flush.
+    let rows_b = sample_rows(3, 43);
+    let offline_b = schema.dataset_from_rows(&rows_b).unwrap();
+    let want_labels = fitted.predict(&offline_b);
+    let want_scores = fitted.predict_proba(&offline_b);
+    let (addr_b, body_b) = (addr.clone(), predict_body("german-lr", &rows_b));
+    let queued =
+        std::thread::spawn(move || Client::open(&addr_b).request("POST", "/v1/predict", &body_b));
+    std::thread::sleep(Duration::from_millis(300));
+
+    // C: the queue is full — shed with a structured 429 + Retry-After,
+    // and the connection survives for the follow-up metrics scrape.
+    let rows_c = sample_rows(1, 47);
+    let mut c = Client::open(&addr);
+    let (status, v, meta) =
+        c.request_meta("POST", "/v1/predict", &predict_body("german-lr", &rows_c));
+    assert_eq!(status, 429, "{v:?}");
+    assert_eq!(error_kind(&v).as_deref(), Some("overloaded"));
+    assert!(meta.retry_after.is_some(), "429 must carry Retry-After");
+    assert_eq!(
+        v.get("error").unwrap().get("retry_after_seconds").cloned().unwrap().into_u64(),
+        Ok(meta.retry_after.unwrap()),
+        "header and body hints must agree"
+    );
+
+    // Mid-overload metrics: the queue gauge is pinned at its bound and
+    // the shed is counted.
+    let (status, text) = c.request("GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let Value::String(text) = text else { panic!("metrics is not JSON") };
+    assert!(text.contains("fairlens_queue_depth{model=\"german-lr\"} 1"), "{text}");
+    assert!(text.contains("fairlens_shed_total{reason=\"queue_full\"} 1"), "{text}");
+
+    // A stalls out with a 504; B is served once the hang resolves, and
+    // its answer is bit-exact with the offline pipeline.
+    let (status, v) = parked.join().unwrap();
+    assert_eq!(status, 504, "{v:?}");
+    let (status, v) = queued.join().unwrap();
+    assert_eq!(status, 200, "{v:?}");
+    let labels: Vec<u8> = v
+        .get("predictions")
+        .cloned()
+        .unwrap()
+        .into_array()
+        .unwrap()
+        .into_iter()
+        .map(|x| x.into_u64().unwrap() as u8)
+        .collect();
+    let scores = v.get("scores").cloned().unwrap().into_f64s().unwrap();
+    assert_eq!(labels, want_labels);
+    assert_eq!(
+        scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        want_scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        "a request that survived the overload must still be bit-exact"
+    );
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn breaker_opens_on_executor_death_and_a_probe_re_closes_it() {
+    let dir = temp_models_dir("breaker");
+    let (fitted, schema) = export(&dir, "german-lr", "LR", 53);
+    let (addr, handle) = launch(&dir, |cfg| {
+        cfg.breaker_threshold = 1;
+        cfg.breaker_cooldown = Duration::from_millis(300);
+        cfg.faults = Arc::new(ServeFaults::parse("panic:german-lr:1").unwrap());
+    });
+    let rows = sample_rows(4, 59);
+    let offline = schema.dataset_from_rows(&rows).unwrap();
+    let want_labels = fitted.predict(&offline);
+    let mut client = Client::open(&addr);
+
+    // 1: the injected panic kills the executor mid-request → structured
+    // 503, never a dropped connection; the breaker (threshold 1) opens.
+    let (status, v, meta) =
+        client.request_meta("POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 503, "{v:?}");
+    assert_eq!(error_kind(&v).as_deref(), Some("unavailable"));
+    assert!(meta.retry_after.is_some());
+
+    // 2: rejected at the door by the open breaker, with Retry-After.
+    let (status, v, meta) =
+        client.request_meta("POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 503, "{v:?}");
+    assert!(v.get("error").unwrap().get("message").unwrap().as_str().unwrap().contains("breaker"));
+    assert!(meta.retry_after.is_some());
+
+    // The listing and metrics agree: open, tripped once.
+    let (_, v) = client.request("GET", "/v1/models", "");
+    let m = &v.get("models").cloned().unwrap().into_array().unwrap()[0];
+    assert_eq!(m.get("breaker").and_then(Value::as_str), Some("open"));
+    let (_, text) = client.request("GET", "/metrics", "");
+    let Value::String(text) = text else { panic!("metrics is not JSON") };
+    assert!(text.contains("fairlens_breaker_state{model=\"german-lr\"} 2"), "{text}");
+    assert!(text.contains("fairlens_breaker_opens_total{model=\"german-lr\"} 1"), "{text}");
+    assert!(text.contains("fairlens_shed_total{reason=\"breaker_open\"} 1"), "{text}");
+
+    // 3: after the cooldown the probe is admitted, the registry respawns
+    // the executor from the artifact, and the answer is bit-exact.
+    std::thread::sleep(Duration::from_millis(400));
+    let (status, v) = client.request("POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 200, "{v:?}");
+    let labels: Vec<u8> = v
+        .get("predictions")
+        .cloned()
+        .unwrap()
+        .into_array()
+        .unwrap()
+        .into_iter()
+        .map(|x| x.into_u64().unwrap() as u8)
+        .collect();
+    assert_eq!(labels, want_labels, "respawned executor must serve bit-exactly");
+
+    // The probe's success re-closed the breaker.
+    let (_, v) = client.request("GET", "/v1/models", "");
+    let m = &v.get("models").cloned().unwrap().into_array().unwrap()[0];
+    assert_eq!(m.get("breaker").and_then(Value::as_str), Some("closed"));
+    assert_eq!(m.get("status").and_then(Value::as_str), Some("ready"));
+    let (_, text) = client.request("GET", "/metrics", "");
+    let Value::String(text) = text else { panic!("metrics is not JSON") };
+    assert!(text.contains("fairlens_breaker_state{model=\"german-lr\"} 0"), "{text}");
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_loris_requests_are_cut_off_with_408() {
+    let dir = temp_models_dir("loris");
+    export(&dir, "german-lr", "LR", 61);
+    let (addr, handle) = launch(&dir, |cfg| {
+        cfg.limits.read_deadline = Duration::from_millis(600);
+    });
+
+    // Drip half a request and go quiet: the read deadline must cut the
+    // connection loose with a structured 408 instead of pinning a worker.
+    let mut loris = Client::open(&addr);
+    loris.send_raw("POST /v1/predict HTTP/1.1\r\ncontent-le");
+    let t0 = std::time::Instant::now();
+    let (status, v, meta) = {
+        let (status, body, meta) = loris.read_response_full();
+        (status, parse_body(body), meta)
+    };
+    assert_eq!(status, 408, "{v:?}");
+    assert_eq!(error_kind(&v).as_deref(), Some("request_timeout"));
+    assert!(meta.close, "a timed-out read poisons the stream");
+    assert!(t0.elapsed() >= Duration::from_millis(300), "must not fire instantly");
+
+    // The server is unharmed: a well-behaved request still round-trips.
+    let rows = sample_rows(2, 67);
+    let (status, _) = one_shot(&addr, "POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 200);
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn connection_request_cap_closes_after_the_announced_response() {
+    let dir = temp_models_dir("conncap");
+    export(&dir, "german-lr", "LR", 71);
+    let (addr, handle) = launch(&dir, |cfg| cfg.max_conn_requests = 2);
+
+    let mut client = Client::open(&addr);
+    let (status, _, meta) = client.request_meta("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(!meta.close, "below the cap the connection stays open");
+    let (status, _, meta) = client.request_meta("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(meta.close, "the capped response must announce the close");
+
+    // A fresh connection serves again — the cap is per connection.
+    let (status, _) = one_shot(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unloadable_artifacts_are_quarantined_not_fatal() {
+    let dir = temp_models_dir("quarantine");
+    export(&dir, "german-lr", "LR", 73);
+    std::fs::write(dir.join("rotten.flm"), "definitely not an artifact").unwrap();
+    let (addr, handle) = launch(&dir, |_| {});
+
+    // The listing carries both: the loadable model ready, the corrupt
+    // one quarantined with its reason.
+    let (status, v) = one_shot(&addr, "GET", "/v1/models", "");
+    assert_eq!(status, 200);
+    let models = v.get("models").cloned().unwrap().into_array().unwrap();
+    assert_eq!(models.len(), 2, "{v:?}");
+    let by_id = |id: &str| {
+        models.iter().find(|m| m.get("id").and_then(Value::as_str) == Some(id)).unwrap()
+    };
+    assert_eq!(by_id("german-lr").get("status").and_then(Value::as_str), Some("ready"));
+    let rotten = by_id("rotten");
+    assert_eq!(rotten.get("status").and_then(Value::as_str), Some("unloadable"));
+    assert!(rotten.get("error").and_then(Value::as_str).is_some());
+
+    // Predicting against it is an immediate structured 503 served from
+    // the negative cache, and it is counted exactly once.
+    let rows = sample_rows(1, 79);
+    let (status, v) = one_shot(&addr, "POST", "/v1/predict", &predict_body("rotten", &rows));
+    assert_eq!(status, 503, "{v:?}");
+    assert_eq!(error_kind(&v).as_deref(), Some("unavailable"));
+    let (_, text) = Client::open(&addr).request("GET", "/metrics", "");
+    let Value::String(text) = text else { panic!("metrics is not JSON") };
+    assert!(text.contains("fairlens_model_load_failures_total 1"), "{text}");
+
+    shutdown_and_join(&addr, handle);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -137,6 +137,68 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
     grep -q '"track":"req/' "$serve_trace" \
         || { echo "serve smoke FAILED: no req/ tracks in the serve trace" >&2; exit 1; }
     echo "    ok: 1000 requests served, p99 ${p99} ms, metrics moved, clean drain"
+
+    echo "==> chaos smoke (open-loop overload vs fault-injected server)"
+    # Tight admission limits plus an injected executor panic and two
+    # injected hangs: the server must never exit, shed the overflow with
+    # well-formed 429/503/504s, trip the german-lr breaker, and re-close
+    # it once the fault budgets are spent. Reuses the models exported by
+    # the serving smoke above.
+    chaos_log="$smoke_out/chaos-serve.log"
+    FAIRLENS_FAULT='panic:german-lr:1;hang:german-lr:2' \
+    cargo run --release -p fairlens-serve -- \
+        --addr 127.0.0.1:0 --models "$models_dir" \
+        --workers 8 --max-queue 2 --max-inflight 4 --deadline-ms 800 \
+        --breaker-threshold 2 --breaker-cooldown-ms 300 2> "$chaos_log" &
+    chaos_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^\[serve\] listening on \([0-9.:]*\).*$/\1/p' "$chaos_log")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "chaos smoke FAILED: server never announced its address" >&2
+        kill "$chaos_pid" 2>/dev/null || true
+        exit 1
+    fi
+    # Phase 1 — overload: pipelined bursts far past the admission limits
+    # while the faults fire. Every request must get a well-formed answer
+    # (200 or a shed); loadgen exits non-zero on anything else.
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$addr" --model german-lr --requests 400 --conns 8 \
+        --open-loop --burst 32 --allow-shed 2> "$smoke_out/chaos-overload.log" \
+        || { echo "chaos smoke FAILED (overload phase):" >&2
+             cat "$smoke_out/chaos-overload.log" >&2; exit 1; }
+    # Phase 2 — recovery: a polite closed loop that honours Retry-After.
+    # Fault budgets are spent, so the breaker must re-close.
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$addr" --model german-lr --requests 100 --conns 2 \
+        --allow-shed 2> "$smoke_out/chaos-recovery.log" \
+        || { echo "chaos smoke FAILED (recovery phase):" >&2
+             cat "$smoke_out/chaos-recovery.log" >&2; exit 1; }
+    # The server survived and still answers.
+    [[ "$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/healthz")" == "200" ]] \
+        || { echo "chaos smoke FAILED: /healthz is not 200 after the storm" >&2; exit 1; }
+    curl -s "http://$addr/metrics" > "$smoke_out/chaos-metrics.txt"
+    grep -q 'fairlens_shed_total' "$smoke_out/chaos-metrics.txt" \
+        || { echo "chaos smoke FAILED: nothing was shed" >&2; exit 1; }
+    grep -Eq 'fairlens_breaker_opens_total\{model="german-lr"\} [1-9]' \
+        "$smoke_out/chaos-metrics.txt" \
+        || { echo "chaos smoke FAILED: the breaker never opened" >&2; exit 1; }
+    grep -q 'fairlens_breaker_state{model="german-lr"} 0' "$smoke_out/chaos-metrics.txt" \
+        || { echo "chaos smoke FAILED: the breaker did not re-close" >&2; exit 1; }
+    grep -q 'fairlens_queue_depth{model="german-lr"} 0' "$smoke_out/chaos-metrics.txt" \
+        || { echo "chaos smoke FAILED: the queue did not drain" >&2; exit 1; }
+    curl -s -X POST "http://$addr/v1/shutdown" >/dev/null
+    if ! wait "$chaos_pid"; then
+        echo "chaos smoke FAILED: server exited non-zero" >&2
+        exit 1
+    fi
+    grep -q '\[serve\] drained, bye' "$chaos_log" \
+        || { echo "chaos smoke FAILED: no drain marker in the log" >&2; exit 1; }
+    sheds="$(sed -n 's/^fairlens_shed_total{reason="queue_full"} //p' "$smoke_out/chaos-metrics.txt")"
+    echo "    ok: survived the storm (${sheds:-0} queue sheds), breaker tripped and re-closed, clean drain"
 fi
 
 echo "All checks passed."
