@@ -81,6 +81,10 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Cross-verify on the sweeps' shared COMPAS fold configuration.
+    let xspec =
+        ExperimentSpec::new(args.seed).datasets([DatasetKind::Compas]).scale(ScaleSpec::Rows(4_000));
+    args.finish_xverify("ablations", &xspec);
 }
 
 /// Run a `Custom` sweep on COMPAS (4 000 rows, 70/30 split) and return the

@@ -111,4 +111,5 @@ fn main() {
         eprintln!("[fig10] {e}");
         std::process::exit(1);
     }
+    args.finish_xverify("fig10", &spec);
 }

@@ -67,6 +67,10 @@ fn main() {
         eprintln!("[fig11] {e}");
         std::process::exit(1);
     }
+    // Cross-verify on the sweep's dataset at the run scale — the sweep
+    // specs themselves are timing-only and vary only in size.
+    let xspec = ExperimentSpec::new(args.seed).datasets([DatasetKind::Adult]).scale(args.scale);
+    args.finish_xverify("fig11", &xspec);
 }
 
 /// Run one timing-only spec per sweep point; cells within a point are

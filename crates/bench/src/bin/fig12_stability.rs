@@ -82,6 +82,7 @@ fn main() {
         eprintln!("[stability] {e}");
         std::process::exit(1);
     }
+    args.finish_xverify("stability", &spec);
 }
 
 fn print_panel(kind: DatasetKind, records: &[&RunRecord], headline: bool) {

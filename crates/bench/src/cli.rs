@@ -12,6 +12,9 @@
 //! --resume PATH       partial results file from an interrupted run
 //! --trace PATH        write a phase-level JSONL trace (plus a .collapsed
 //!                     flamegraph sibling) to PATH
+//! --xverify K         after the run, cross-verify K sampled cells with
+//!                     paired solvers (exit non-zero on divergence)
+//! --tolerance ULPS    ULP bound for the cross-algorithm agreement pairs
 //! ```
 //!
 //! Bare `quick` / `paper` positionals are still honoured (the pre-runner
@@ -50,6 +53,12 @@ pub struct CommonArgs {
     pub resume: Option<PathBuf>,
     /// `--trace` output path for the phase-level JSONL trace.
     pub trace: Option<PathBuf>,
+    /// `--xverify K`: cross-verify K sampled cells with paired solvers
+    /// after the run (see [`crate::xverify`]).
+    pub xverify: Option<usize>,
+    /// `--tolerance ULPS`: override the ULP bound for the cross-algorithm
+    /// agreement pairs (determinism pairs are always bit-exact).
+    pub tolerance: Option<u64>,
     /// Arguments the shared layer did not consume, in order.
     pub rest: Vec<String>,
 }
@@ -65,6 +74,8 @@ impl Default for CommonArgs {
             retries: 0,
             resume: None,
             trace: None,
+            xverify: None,
+            tolerance: None,
             rest: Vec::new(),
         }
     }
@@ -109,6 +120,21 @@ impl CommonArgs {
                 }
                 "--resume" => out.resume = Some(PathBuf::from(value_of("--resume")?)),
                 "--trace" => out.trace = Some(PathBuf::from(value_of("--trace")?)),
+                "--xverify" => {
+                    let v = value_of("--xverify")?;
+                    let k: usize =
+                        v.parse().map_err(|_| format!("--xverify: not a number: {v:?}"))?;
+                    if k == 0 {
+                        return Err("--xverify: must sample at least one cell".into());
+                    }
+                    out.xverify = Some(k);
+                }
+                "--tolerance" => {
+                    let v = value_of("--tolerance")?;
+                    out.tolerance = Some(
+                        v.parse().map_err(|_| format!("--tolerance: not a ULP count: {v:?}"))?,
+                    );
+                }
                 "quick" | "paper" => out.scale = ScaleSpec::parse(&arg)?,
                 _ => out.rest.push(arg),
             }
@@ -219,6 +245,26 @@ impl CommonArgs {
         Ok(())
     }
 
+    /// Run the `--xverify` cross-check (a no-op without the flag): sample
+    /// K cells from `spec`, run the paired solvers on each, and report.
+    /// Exits the process non-zero on divergence — the figure run's results
+    /// are already on disk at this point, so a failure here flags the
+    /// numbers without destroying them.
+    pub fn finish_xverify(&self, binary: &str, spec: &crate::spec::ExperimentSpec) {
+        let Some(k) = self.xverify else { return };
+        match crate::xverify::verify_cells(spec, k, self.tolerance) {
+            Ok(verdicts) => {
+                if !crate::xverify::report_verdicts(binary, &verdicts) {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("[{binary}] {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     /// Human-readable scale tag for file names / log lines.
     pub fn scale_tag(&self) -> &'static str {
         match self.scale {
@@ -286,6 +332,22 @@ mod tests {
         assert!(CommonArgs::parse(["--threads".to_string()]).is_err());
         assert!(CommonArgs::parse(["--threads".to_string(), "x".to_string()]).is_err());
         assert!(CommonArgs::parse(["--scale".to_string(), "huge".to_string()]).is_err());
+    }
+
+    #[test]
+    fn xverify_flags() {
+        let a = parse(&["--xverify", "3", "--tolerance", "1024"]);
+        assert_eq!(a.xverify, Some(3));
+        assert_eq!(a.tolerance, Some(1024));
+        let d = parse(&[]);
+        assert_eq!(d.xverify, None);
+        assert_eq!(d.tolerance, None);
+        for bad in [vec!["--xverify", "0"], vec!["--xverify", "x"], vec!["--tolerance", "-3"]] {
+            assert!(
+                CommonArgs::parse(bad.iter().map(|s| s.to_string())).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

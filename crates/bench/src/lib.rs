@@ -46,6 +46,7 @@ pub mod cli;
 pub mod record;
 pub mod runner;
 pub mod spec;
+pub mod xverify;
 
 /// The shared JSON machinery the records are serialized with, re-exported
 /// so downstream result-file tooling keeps a single import root.

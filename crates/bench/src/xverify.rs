@@ -1,0 +1,177 @@
+//! Cell-level cross-verification: the bridge between the experiment grid
+//! and `fairlens-xverify`'s paired-solver harness.
+//!
+//! [`verify_cells`] samples K cells from a spec (deterministically — an
+//! even stride over the canonical cell order, so the same spec and K
+//! always verify the same cells), rebuilds each cell's training fold
+//! exactly as the runner would (same dataset/fold seeds), and runs the
+//! paired logistic solvers on the encoded fold:
+//!
+//! * IRLS twice and GD twice, compared **bit-exactly** per iteration —
+//!   the reproducibility invariant;
+//! * IRLS vs GD converged coefficients within a ULP bound — the
+//!   "two independent algorithms, one optimum" invariant.
+//!
+//! The figure binaries expose this as `--xverify K` (with `--tolerance
+//! ULPS` overriding the agreement bound); the standalone `xverify` binary
+//! adds the optimiser and MaxSAT pairs plus perturbation injection.
+
+use fairlens_frame::{split, Encoder};
+use fairlens_model::LogisticOptions;
+use fairlens_synth::DatasetKind;
+use fairlens_xverify::{pairs, Report, Tolerance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::spec::{dataset_seed, fold_seed, ExperimentSpec};
+
+/// One verified cell: its coordinates plus the pair reports.
+pub struct CellVerdict {
+    /// Dataset the cell's fold came from.
+    pub dataset: DatasetKind,
+    /// Fold index.
+    pub fold: usize,
+    /// The lockstep reports, in run order.
+    pub reports: Vec<Report>,
+}
+
+impl CellVerdict {
+    /// Did every pair agree?
+    pub fn ok(&self) -> bool {
+        self.reports.iter().all(Report::ok)
+    }
+}
+
+/// Sample `k` cells from the spec's grid (even stride over the canonical
+/// order, deduplicated to distinct (dataset, fold) coordinates — the
+/// paired-solver check is approach-independent) and cross-verify each.
+///
+/// `tolerance` overrides the ULP bound for the cross-algorithm agreement
+/// pair; determinism pairs are always bit-exact. Returns one verdict per
+/// verified cell; an `Err` means the harness itself could not run (empty
+/// grid, fit failure), not a divergence.
+/// Rebuild one cell's encoded training fold exactly as the runner does:
+/// generation and split seeds exclude the approach name, so every approach
+/// in a cell — and every re-verification of it — sees identical bits.
+pub fn fold_features(
+    spec: &ExperimentSpec,
+    kind: DatasetKind,
+    fold: usize,
+) -> (fairlens_linalg::Matrix, Vec<u8>) {
+    let n = spec.scale_spec().rows(kind);
+    let full = kind.generate(n, dataset_seed(spec.seed, kind.name()));
+    let mut rng = StdRng::seed_from_u64(fold_seed(spec.seed, kind.name(), fold));
+    let (train, _test) = split::train_test_split(&full, spec.test_fraction(), &mut rng);
+    let encoded = Encoder::fit(&train, true).transform(&train);
+    (encoded.matrix, train.labels().to_vec())
+}
+
+/// The (dataset, fold) coordinates `verify_cells` would visit: an even
+/// stride over the canonical cell order, deduplicated, at most `k`.
+pub fn sample_coords(spec: &ExperimentSpec, k: usize) -> Result<Vec<(DatasetKind, usize)>, String> {
+    let cells = spec.cells();
+    if cells.is_empty() || k == 0 {
+        return Err("xverify: no cells to sample".into());
+    }
+    let stride = (cells.len() / k.min(cells.len())).max(1);
+    let mut coords: Vec<(DatasetKind, usize)> = Vec::new();
+    for cell in cells.iter().step_by(stride) {
+        if coords.len() >= k {
+            break;
+        }
+        if !coords.contains(&(cell.dataset, cell.fold)) {
+            coords.push((cell.dataset, cell.fold));
+        }
+    }
+    Ok(coords)
+}
+
+pub fn verify_cells(
+    spec: &ExperimentSpec,
+    k: usize,
+    tolerance: Option<u64>,
+) -> Result<Vec<CellVerdict>, String> {
+    let coords = sample_coords(spec, k)?;
+    let agreement = Tolerance::Ulps(tolerance.unwrap_or(pairs::AGREEMENT_ULPS));
+
+    let mut out = Vec::with_capacity(coords.len());
+    for (kind, fold) in coords {
+        let (x, y) = fold_features(spec, kind, fold);
+        let (x, y) = (&x, &y[..]);
+
+        let opts = LogisticOptions::default();
+        let gd_opts = LogisticOptions {
+            solver: fairlens_model::Solver::GradientDescent,
+            ..Default::default()
+        };
+        let reports = vec![
+            pairs::lr_determinism(x, y, None, &opts, Tolerance::Exact)
+                .map_err(|e| format!("xverify {}/fold{fold}: irls fit failed: {e}", kind.name()))?,
+            pairs::lr_determinism(x, y, None, &gd_opts, Tolerance::Exact)
+                .map_err(|e| format!("xverify {}/fold{fold}: gd fit failed: {e}", kind.name()))?,
+            pairs::lr_agreement(x, y, None, &opts, agreement)
+                .map_err(|e| format!("xverify {}/fold{fold}: agreement fit failed: {e}", kind.name()))?,
+        ];
+        out.push(CellVerdict { dataset: kind, fold, reports });
+    }
+    Ok(out)
+}
+
+/// Print every verdict (one line per pair) and return `true` when all
+/// pairs agreed. The figure binaries call this after their main run and
+/// exit non-zero on `false`.
+pub fn report_verdicts(binary: &str, verdicts: &[CellVerdict]) -> bool {
+    let mut ok = true;
+    for v in verdicts {
+        for r in &v.reports {
+            eprintln!("[{binary}] xverify {}/fold{}: {r}", v.dataset.name(), v.fold);
+            ok &= r.ok();
+        }
+    }
+    let cells = verdicts.len();
+    let pairs: usize = verdicts.iter().map(|v| v.reports.len()).sum();
+    if ok {
+        eprintln!("[{binary}] xverify ok: {pairs} solver pairs agree across {cells} cell(s)");
+    } else {
+        eprintln!("[{binary}] xverify FAILED: divergence detected (see above)");
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> ExperimentSpec {
+        ExperimentSpec::new(42)
+            .datasets([DatasetKind::German])
+            .folds(3)
+            .scale(crate::spec::ScaleSpec::Rows(300))
+    }
+
+    #[test]
+    fn german_cell_cross_verifies_cleanly() {
+        let verdicts = verify_cells(&small_spec(), 1, None).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        for v in &verdicts {
+            assert!(v.ok(), "{:?}", v.reports.iter().map(|r| r.to_string()).collect::<Vec<_>>());
+            assert_eq!(v.reports.len(), 3);
+        }
+        assert!(report_verdicts("test", &verdicts));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_distinct() {
+        let a = sample_coords(&small_spec(), 3).unwrap();
+        let b = sample_coords(&small_spec(), 3).unwrap();
+        assert_eq!(a, b);
+        let mut unique = a.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), a.len());
+    }
+
+    #[test]
+    fn zero_cells_is_an_error() {
+        assert!(sample_coords(&small_spec(), 0).is_err());
+    }
+}

@@ -84,6 +84,21 @@ impl LogisticRegression {
         sample_weights: Option<&[f64]>,
         opts: &LogisticOptions,
     ) -> Result<Self, FitError> {
+        Self::fit_weighted_observed(x, y, sample_weights, opts, &mut |_, _| {})
+    }
+
+    /// [`fit_weighted`] with a per-iteration observer called as
+    /// `observe(iteration, params)` on the solver's raw augmented parameter
+    /// vector `[w₀..w_{d−1}, b]` after each update — the hook the
+    /// cross-verification harness uses to compare two fits in lockstep and
+    /// name the exact first diverging iteration.
+    pub fn fit_weighted_observed(
+        x: &Matrix,
+        y: &[u8],
+        sample_weights: Option<&[f64]>,
+        opts: &LogisticOptions,
+        observe: &mut dyn FnMut(usize, &[f64]),
+    ) -> Result<Self, FitError> {
         if x.rows() == 0 {
             return Err(FitError::EmptyData);
         }
@@ -96,13 +111,13 @@ impl LogisticRegression {
             }
         }
         let params = match opts.solver {
-            Solver::Irls => match Self::fit_irls(x, y, sample_weights, opts) {
+            Solver::Irls => match Self::fit_irls(x, y, sample_weights, opts, observe) {
                 Ok(p) => p,
                 // Singular Newton system (e.g. perfectly collinear one-hot
                 // columns with λ = 0): fall back to first-order.
-                Err(()) => Self::fit_gd(x, y, sample_weights, opts),
+                Err(()) => Self::fit_gd(x, y, sample_weights, opts, observe),
             },
-            Solver::GradientDescent => Self::fit_gd(x, y, sample_weights, opts),
+            Solver::GradientDescent => Self::fit_gd(x, y, sample_weights, opts, observe),
         };
         if params.iter().any(|p| !p.is_finite()) {
             return Err(FitError::Diverged);
@@ -116,6 +131,7 @@ impl LogisticRegression {
         y: &[u8],
         sample_weights: Option<&[f64]>,
         opts: &LogisticOptions,
+        observe: &mut dyn FnMut(usize, &[f64]),
     ) -> Result<Vec<f64>, ()> {
         let n = x.rows();
         let d = x.cols();
@@ -129,7 +145,7 @@ impl LogisticRegression {
         // unchanged (matching the weight-normalised LogisticLoss).
         let total_w: f64 = sample_weights.map_or(n as f64, |w| w.iter().sum());
 
-        for _ in 0..opts.max_iter {
+        for it in 0..opts.max_iter {
             // p_i, IRLS working weights r_i = ω_i p_i (1 − p_i)
             let mut irls_w = vec![0.0; n];
             let mut grad = vec![0.0; d + 1];
@@ -154,6 +170,7 @@ impl LogisticRegression {
             let step = decompose::cholesky_solve(&hess, &grad).map_err(|_| ())?;
             let step_norm = vector::norm_inf(&step);
             vector::axpy(-1.0, &step, &mut beta);
+            observe(it, &beta);
             if step_norm < opts.tol {
                 break;
             }
@@ -171,6 +188,7 @@ impl LogisticRegression {
         y: &[u8],
         sample_weights: Option<&[f64]>,
         opts: &LogisticOptions,
+        observe: &mut dyn FnMut(usize, &[f64]),
     ) -> Vec<f64> {
         // Ensure some regularisation so GD is well-posed under separation.
         let l2 = opts.l2.max(1e-6);
@@ -184,7 +202,7 @@ impl LogisticRegression {
             ..Default::default()
         };
         let x0 = vec![0.0; loss.dim()];
-        gd::minimize(&loss, &x0, &gd_opts).x
+        gd::minimize_observed(&loss, &x0, &gd_opts, &mut |it, p, _| observe(it, p)).x
     }
 
     /// Construct directly from parameters (used by in-processing approaches

@@ -67,16 +67,29 @@ impl AdamState {
 /// Minimise `obj` from `x0` with Adam for a fixed budget of iterations.
 /// Returns the best iterate seen (not necessarily the last).
 pub fn minimize(obj: &dyn Objective, x0: &[f64], opts: &AdamOptions) -> (Vec<f64>, f64) {
+    minimize_observed(obj, x0, opts, &mut |_, _, _| {})
+}
+
+/// [`minimize`] with a per-iteration observer called as
+/// `observe(iteration, iterate, value)` after each Adam step, on the raw
+/// solver state, so two runs can be cross-verified in lockstep.
+pub fn minimize_observed(
+    obj: &dyn Objective,
+    x0: &[f64],
+    opts: &AdamOptions,
+    observe: &mut dyn FnMut(usize, &[f64], f64),
+) -> (Vec<f64>, f64) {
     assert_eq!(x0.len(), obj.dim(), "adam minimize: x0 dimension mismatch");
     let mut x = x0.to_vec();
     let mut state = AdamState::new(x.len(), opts.clone());
     let mut best = x.clone();
     let mut best_val = obj.value(&x);
-    for _ in 0..opts.iterations {
+    for it in 0..opts.iterations {
         fairlens_budget::checkpoint();
         let g = obj.gradient(&x);
         state.step(&mut x, &g);
         let v = obj.value(&x);
+        observe(it, &x, v);
         if v.is_finite() && v < best_val {
             best_val = v;
             best.copy_from_slice(&x);

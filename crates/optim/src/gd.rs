@@ -44,6 +44,20 @@ pub struct GdResult {
 /// scratch trial point. Suitable for the smooth convex losses used across
 /// the workspace (logistic loss, penalised variants).
 pub fn minimize(obj: &dyn Objective, x0: &[f64], opts: &GdOptions) -> GdResult {
+    minimize_observed(obj, x0, opts, &mut |_, _, _| {})
+}
+
+/// [`minimize`] with a per-iteration observer called as
+/// `observe(iteration, iterate, value)` *before* the step is taken, so two
+/// runs can be compared in lockstep from iteration 0. The observer sees the
+/// exact `f64`s the solver computes — no rounding, no copies through text —
+/// which is what makes bit-exact cross-verification possible.
+pub fn minimize_observed(
+    obj: &dyn Objective,
+    x0: &[f64],
+    opts: &GdOptions,
+    observe: &mut dyn FnMut(usize, &[f64], f64),
+) -> GdResult {
     assert_eq!(x0.len(), obj.dim(), "minimize: x0 dimension mismatch");
     let mut x = x0.to_vec();
     let (mut fx, mut g) = obj.value_grad(&x);
@@ -51,6 +65,7 @@ pub fn minimize(obj: &dyn Objective, x0: &[f64], opts: &GdOptions) -> GdResult {
     for it in 0..opts.max_iter {
         fairlens_budget::checkpoint();
         fairlens_trace::incr("gd.iterations", 1);
+        observe(it, &x, fx);
         let gnorm = vector::norm_inf(&g);
         if gnorm <= opts.grad_tol {
             fairlens_trace::event("gd.converged");
@@ -149,5 +164,20 @@ mod tests {
         let r = minimize(&Quadratic, &[0.0, 0.0, 0.0], &GdOptions::default());
         assert!(r.converged);
         assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn observer_sees_every_iterate_bit_exactly() {
+        let mut seen: Vec<(usize, Vec<f64>, f64)> = Vec::new();
+        let r = minimize_observed(&Quadratic, &[5.0, -3.0, 2.0], &GdOptions::default(), &mut |it, x, fx| {
+            seen.push((it, x.to_vec(), fx));
+        });
+        assert_eq!(seen.len(), r.iterations + 1); // converged: final iterate observed too
+        assert_eq!(seen[0].1, vec![5.0, -3.0, 2.0]);
+        // The final observed iterate is the returned one, bit for bit.
+        let last = seen.last().unwrap();
+        assert!(last.1.iter().zip(r.x.iter()).all(|(a, b)| a.to_bits() == b.to_bits()));
+        // Observed iterations are consecutive from zero.
+        assert!(seen.iter().enumerate().all(|(i, (it, _, _))| i == *it));
     }
 }

@@ -23,10 +23,22 @@
 //! got *some* well-formed answer. The summary always prints the full
 //! status breakdown and the shed rate alongside latency percentiles.
 //!
+//! The request mix (single vs batch, batch size, which rows) is a pure
+//! function of `--seed` and the request index, so two runs with the same
+//! seed send byte-identical request streams — the property the record/
+//! replay harness builds on.
+//!
+//! **Replay mode** (`--replay PATH`): instead of generating traffic,
+//! re-send every exchange from a `--record` JSONL log against the live
+//! server and diff the answers — status codes always, score bit patterns
+//! for recorded 200s. Exits non-zero on the first summary with any diff,
+//! naming the first differing request (seq) and both bit patterns.
+//!
 //! ```text
 //! cargo run -p fairlens-serve --example loadgen -- \
 //!     --addr 127.0.0.1:8484 [--model ID] [--requests 1000] [--conns 4] \
-//!     [--seed 42] [--open-loop] [--burst 16] [--allow-shed] [--shutdown]
+//!     [--seed 42] [--open-loop] [--burst 16] [--allow-shed] [--shutdown] \
+//!     [--replay recorded.jsonl]
 //! ```
 
 use std::collections::{BTreeMap, VecDeque};
@@ -37,6 +49,7 @@ use std::time::{Duration, Instant};
 
 use fairlens_frame::{Column, Dataset};
 use fairlens_json::{object, parse, Value};
+use fairlens_serve::recorder::score_bits;
 use fairlens_synth::{DatasetKind, ALL_DATASETS};
 
 /// Statuses that admission control and breakers legitimately produce
@@ -54,6 +67,7 @@ struct Args {
     burst: usize,
     allow_shed: bool,
     shutdown: bool,
+    replay: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -67,6 +81,7 @@ fn parse_args() -> Args {
         burst: 16,
         allow_shed: false,
         shutdown: false,
+        replay: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -84,6 +99,7 @@ fn parse_args() -> Args {
             "--conns" => args.conns = value(i).parse().expect("--conns"),
             "--seed" => args.seed = value(i).parse().expect("--seed"),
             "--burst" => args.burst = value(i).parse().expect("--burst"),
+            "--replay" => args.replay = Some(value(i)),
             "--open-loop" => {
                 args.open_loop = true;
                 i += 1;
@@ -205,16 +221,29 @@ fn row_json(data: &Dataset, r: usize) -> Value {
     Value::Object(fields)
 }
 
-/// Deterministic single/batch request body for request index `i`.
-fn body_for(model_id: &str, rows: &[Value], i: usize) -> String {
-    let body = if i % 4 == 0 {
+/// SplitMix64 finalizer: one well-mixed word per (seed, index) pair.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic single/batch request body for request index `i`: the
+/// shape, batch size, and row choices are all functions of the seed, so
+/// `--seed` genuinely selects the request mix (not just the row pool).
+fn body_for(model_id: &str, rows: &[Value], seed: u64, i: usize) -> String {
+    let h = mix(seed, i as u64);
+    let body = if h % 4 == 0 {
         object([
             ("model", Value::String(model_id.to_string())),
-            ("row", rows[i % rows.len()].clone()),
+            ("row", rows[(h >> 8) as usize % rows.len()].clone()),
         ])
     } else {
-        let n = 2 + (i % 8);
-        let batch: Vec<Value> = (0..n).map(|j| rows[(i + j) % rows.len()].clone()).collect();
+        let n = 2 + ((h >> 16) % 8) as usize;
+        let batch: Vec<Value> = (0..n)
+            .map(|j| rows[((h >> 24) as usize + j) % rows.len()].clone())
+            .collect();
         object([
             ("model", Value::String(model_id.to_string())),
             ("rows", Value::Array(batch)),
@@ -238,7 +267,7 @@ fn run_closed_loop(args: &Args, model_id: &str, rows: &[Value], c: usize) -> Tal
     let mut conn = Conn::open(&args.addr).expect("connect");
     let mut i = c;
     while i < args.requests {
-        let body = body_for(model_id, rows, i);
+        let body = body_for(model_id, rows, args.seed, i);
         let mut attempts = 0;
         loop {
             let t0 = Instant::now();
@@ -285,7 +314,10 @@ fn run_open_loop(args: &Args, model_id: &str, rows: &[Value], c: usize) -> Tally
         let t0 = Instant::now();
         let mut wrote = 0;
         for &i in &burst {
-            if conn.write_request("POST", "/v1/predict", &body_for(model_id, rows, i)).is_err() {
+            if conn
+                .write_request("POST", "/v1/predict", &body_for(model_id, rows, args.seed, i))
+                .is_err()
+            {
                 break;
             }
             wrote += 1;
@@ -326,6 +358,119 @@ fn run_open_loop(args: &Args, model_id: &str, rows: &[Value], c: usize) -> Tally
     tally
 }
 
+/// Replay a `--record` JSONL log: re-send every exchange and diff the
+/// live answers against the recorded ones. Status codes are compared on
+/// every entry; score bit patterns only where the recording saw a 200
+/// (error bodies carry no scores — those entries are counted as
+/// status-only). Shed responses with a `Retry-After` hint are retried a
+/// few times first, like the closed loop.
+fn run_replay(args: &Args, log_path: &str) -> ! {
+    let text = std::fs::read_to_string(log_path).unwrap_or_else(|e| {
+        eprintln!("[loadgen] cannot read replay log {log_path}: {e}");
+        exit(2);
+    });
+    let mut conn = Conn::open(&args.addr).expect("connect for replay");
+    let (mut sent, mut clean, mut status_only, mut diffs) = (0usize, 0usize, 0usize, 0usize);
+    let mut first_diff: Option<String> = None;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let entry = parse(line).unwrap_or_else(|e| {
+            eprintln!("[loadgen] bad replay entry: {e}\n  {line}");
+            exit(2);
+        });
+        let seq = entry.get("seq").cloned().and_then(|v| v.into_u64().ok()).unwrap_or(0);
+        let method = entry.get("method").and_then(Value::as_str).unwrap_or("POST").to_string();
+        let path = entry.get("path").and_then(Value::as_str).unwrap_or("/v1/predict").to_string();
+        let recorded_status =
+            entry.get("status").cloned().and_then(|v| v.into_u64().ok()).unwrap_or(0) as u16;
+        // String request = a recorded malformed body, replayed verbatim.
+        let body = match entry.get("request") {
+            Some(Value::String(s)) => s.clone(),
+            Some(v) => v.to_json(),
+            None => String::new(),
+        };
+        let recorded_bits: Vec<u64> = entry
+            .get("score_bits")
+            .cloned()
+            .and_then(|v| v.into_array().ok())
+            .map(|items| items.into_iter().filter_map(|b| b.into_u64().ok()).collect())
+            .unwrap_or_default();
+
+        let mut attempts = 0;
+        let resp = loop {
+            let resp = conn.request(&method, &path, &body).expect("replay request");
+            if resp.close {
+                conn = reconnect(&args.addr);
+            }
+            match resp.retry_after {
+                Some(secs) if SHED_STATUSES.contains(&resp.status) && attempts < 3 => {
+                    attempts += 1;
+                    std::thread::sleep(Duration::from_secs(secs.min(2)));
+                }
+                _ => break resp,
+            }
+        };
+        sent += 1;
+        let diff = if resp.status != recorded_status {
+            Some(format!(
+                "seq {seq}: status {recorded_status} recorded, {} live ({})",
+                resp.status, resp.body
+            ))
+        } else if recorded_status == 200 {
+            let live_bits = score_bits(&parse(&resp.body).unwrap_or(Value::Null));
+            bits_diff(seq, &recorded_bits, &live_bits)
+        } else {
+            status_only += 1;
+            None
+        };
+        match diff {
+            Some(d) => {
+                diffs += 1;
+                if first_diff.is_none() {
+                    eprintln!("[loadgen] replay diff at {d}");
+                    first_diff = Some(d);
+                }
+            }
+            None => clean += 1,
+        }
+    }
+    eprintln!(
+        "[loadgen] replayed {sent} exchange(s): {clean} identical \
+         ({status_only} status-only), {diffs} diff(s)"
+    );
+    if args.shutdown {
+        let mut conn = Conn::open(&args.addr).expect("connect for shutdown");
+        let resp = conn.request("POST", "/v1/shutdown", "").expect("shutdown");
+        assert_eq!(resp.status, 200, "shutdown failed: {}", resp.body);
+        eprintln!("[loadgen] shutdown acknowledged");
+    }
+    if diffs > 0 {
+        eprintln!(
+            "[loadgen] REPLAY FAILED: first divergence — {}",
+            first_diff.as_deref().unwrap_or("?")
+        );
+        exit(1);
+    }
+    eprintln!("[loadgen] REPLAY PASS: every response matched the recording");
+    exit(0);
+}
+
+/// The first differing score between a recorded and a live response.
+fn bits_diff(seq: u64, recorded: &[u64], live: &[u64]) -> Option<String> {
+    if recorded == live {
+        return None;
+    }
+    let row = recorded.iter().zip(live).position(|(a, b)| a != b).unwrap_or(recorded.len().min(live.len()));
+    let fmt = |bits: Option<&u64>| match bits {
+        Some(b) => format!("{b:#018x} ({})", f64::from_bits(*b)),
+        None => "missing".to_string(),
+    };
+    Some(format!(
+        "seq {seq}: score[{row}] recorded {} vs live {}",
+        fmt(recorded.get(row)),
+        fmt(live.get(row)),
+    ))
+}
+
 fn reconnect(addr: &str) -> Conn {
     for _ in 0..50 {
         if let Ok(conn) = Conn::open(addr) {
@@ -338,6 +483,10 @@ fn reconnect(addr: &str) -> Conn {
 
 fn main() {
     let args = parse_args();
+
+    if let Some(log_path) = args.replay.clone() {
+        run_replay(&args, &log_path);
+    }
 
     // Discover the target model and its source dataset.
     let mut conn = Conn::open(&args.addr).expect("connect for model discovery");

@@ -160,10 +160,13 @@ impl ModelWorker {
     /// executor is respawned from the artifact.
     pub fn submit(&self, job: PredictJob) -> Result<(), ServeError> {
         let Some(tx) = self.tx.as_ref() else {
+            // Retry-After 1: the registry respawns the executor on the
+            // next admitted request, so an immediate retry usually lands.
             return Err(ServeError::new(
                 ErrorKind::Unavailable,
                 format!("model {:?} executor is shut down", self.model_id),
-            ));
+            )
+            .with_retry_after(1));
         };
         // Count the job before it becomes visible in the channel — the
         // executor may dequeue (and decrement) the instant `try_send`

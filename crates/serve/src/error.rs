@@ -28,6 +28,10 @@ pub enum ErrorKind {
     NotFound,
     /// The route exists but not for this method.
     MethodNotAllowed,
+    /// The requested state transition is refused: promoting a shadow
+    /// candidate whose comparison window is dirty (observed divergence)
+    /// or empty (nothing compared yet).
+    Conflict,
     /// The client did not deliver the request within the read deadline.
     RequestTimeout,
     /// Head or body exceeds the configured limits.
@@ -54,6 +58,7 @@ impl ErrorKind {
             ErrorKind::UnknownModel | ErrorKind::NotFound => 404,
             ErrorKind::MethodNotAllowed => 405,
             ErrorKind::RequestTimeout => 408,
+            ErrorKind::Conflict => 409,
             ErrorKind::PayloadTooLarge => 413,
             ErrorKind::Overloaded => 429,
             ErrorKind::ShuttingDown | ErrorKind::Unavailable => 503,
@@ -70,6 +75,7 @@ impl ErrorKind {
             ErrorKind::NotFound => "not_found",
             ErrorKind::MethodNotAllowed => "method_not_allowed",
             ErrorKind::RequestTimeout => "request_timeout",
+            ErrorKind::Conflict => "conflict",
             ErrorKind::PayloadTooLarge => "payload_too_large",
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::TimedOut => "timed_out",
@@ -165,6 +171,7 @@ mod tests {
             (ErrorKind::NotFound, 404),
             (ErrorKind::MethodNotAllowed, 405),
             (ErrorKind::RequestTimeout, 408),
+            (ErrorKind::Conflict, 409),
             (ErrorKind::PayloadTooLarge, 413),
             (ErrorKind::Overloaded, 429),
             (ErrorKind::Internal, 500),

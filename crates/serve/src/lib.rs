@@ -27,11 +27,19 @@
 //!   overload series (sheds, queue depth, breaker state, in-flight).
 //! * [`faults`] — deterministic `FAIRLENS_FAULT` chaos hooks
 //!   (`panic:`/`hang:`/`flaky:` per model id) for the chaos harness.
+//! * [`recorder`] — `--record PATH` appends every `/v1/predict`
+//!   exchange (request, response, score bit patterns, timestamps last)
+//!   as JSONL; the loadgen's `--replay` mode re-sends a recorded log and
+//!   diffs the answers.
 //! * [`server`] — listener + fixed worker pool + admission control +
-//!   routing + graceful drain (`POST /v1/shutdown`).
+//!   routing + graceful drain (`POST /v1/shutdown`). `--shadow id=path`
+//!   scores every admitted request on both the incumbent and a candidate
+//!   artifact, answers from the incumbent, and counts divergences;
+//!   `POST /v1/promote` cuts the candidate over only when the comparison
+//!   window is clean (else a structured 409).
 //!
 //! Routes: `POST /v1/predict`, `GET /v1/models`, `GET /healthz`,
-//! `GET /metrics`, `POST /v1/shutdown`.
+//! `GET /metrics`, `POST /v1/promote`, `POST /v1/shutdown`.
 
 pub mod batcher;
 pub mod breaker;
@@ -39,6 +47,7 @@ pub mod error;
 pub mod faults;
 pub mod http;
 pub mod metrics;
+pub mod recorder;
 pub mod registry;
 pub mod server;
 
@@ -47,5 +56,6 @@ pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use error::{ErrorKind, ServeError};
 pub use faults::{ServeFaultKind, ServeFaults};
 pub use metrics::Metrics;
-pub use registry::{ModelInfo, ModelOutcome, Registry};
+pub use recorder::Recorder;
+pub use registry::{ModelInfo, ModelOutcome, Registry, ShadowDivergence, ShadowSummary};
 pub use server::{ServeConfig, Server};

@@ -14,6 +14,8 @@ fairlens-serve [--addr HOST:PORT] [--models DIR] [--workers N]
                [--max-queue N] [--max-inflight N]
                [--breaker-threshold N] [--breaker-cooldown-ms MS]
                [--read-deadline-ms MS] [--max-conn-requests N]
+               [--shadow MODEL=CANDIDATE.flm]... [--shadow-tolerance ULPS]
+               [--record PATH]
 
 Serves predictions from the .flm artifacts in DIR (default: models).
 Port 0 binds an ephemeral port, announced on stderr as
@@ -29,6 +31,16 @@ consecutive model failures open that model's circuit breaker for
 re-closes it). --read-deadline-ms bounds how long a client may take to
 deliver one request (408 past it); --max-conn-requests closes a
 keep-alive connection after N requests (0 = unlimited).
+
+Cross-verified deployment: --shadow MODEL=PATH (repeatable) scores every
+admitted predict on both the incumbent MODEL and the candidate artifact
+at PATH; the response always comes from the incumbent, and score streams
+are compared bit-exactly (or within --shadow-tolerance ULPS), surfaced
+as fairlens_shadow_{compared,divergence}_total and in GET /v1/models.
+POST /v1/promote {\"model\": id} cuts the candidate over only when the
+comparison window is non-empty and clean (else a structured 409).
+--record PATH appends every /v1/predict exchange as JSONL (request,
+response, score bits, timestamps last) for the loadgen's --replay mode.
 
 Chaos: the FAIRLENS_FAULT env var injects deterministic faults, e.g.
 'panic:german-lr:1;flaky:3:german-lr' (kinds: panic:<model>:<k>,
@@ -84,6 +96,18 @@ fn main() {
                 cfg.max_conn_requests = parse_flag("--max-conn-requests", value);
             }
             "--trace" => cfg.trace = Some(parse_flag::<PathBuf>("--trace", value)),
+            "--shadow" => {
+                let spec: String = parse_flag("--shadow", value);
+                let Some((model, path)) = spec.split_once('=') else {
+                    eprintln!("--shadow wants MODEL=CANDIDATE.flm, got {spec:?}\n{USAGE}");
+                    exit(2);
+                };
+                cfg.shadow.push((model.to_string(), PathBuf::from(path)));
+            }
+            "--shadow-tolerance" => {
+                cfg.shadow_tolerance = Some(parse_flag("--shadow-tolerance", value));
+            }
+            "--record" => cfg.record = Some(parse_flag::<PathBuf>("--record", value)),
             other => {
                 eprintln!("unknown flag {other}\n{USAGE}");
                 exit(2);

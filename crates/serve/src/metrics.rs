@@ -98,6 +98,8 @@ pub struct Metrics {
     queue_depth: Mutex<BTreeMap<String, u64>>,
     /// Model id → (breaker state gauge, opens counter).
     breakers: Mutex<BTreeMap<String, (u64, u64)>>,
+    /// Model id → (shadow comparisons, divergences observed).
+    shadow: Mutex<BTreeMap<String, (u64, u64)>>,
     /// Predict requests currently being handled.
     inflight: AtomicU64,
     /// Artifacts that failed to load/restore and were quarantined.
@@ -125,6 +127,7 @@ impl Metrics {
             sheds: Mutex::new(BTreeMap::new()),
             queue_depth: Mutex::new(BTreeMap::new()),
             breakers: Mutex::new(BTreeMap::new()),
+            shadow: Mutex::new(BTreeMap::new()),
             inflight: AtomicU64::new(0),
             load_failures: AtomicU64::new(0),
         }
@@ -197,6 +200,17 @@ impl Metrics {
     /// Count one closed→open (or half-open→open) breaker transition.
     pub fn record_breaker_open(&self, model: &str) {
         self.breakers.lock().unwrap().entry(model.to_string()).or_insert((0, 0)).1 += 1;
+    }
+
+    /// Count one shadow comparison for `model`, and whether the candidate
+    /// diverged from the incumbent on it.
+    pub fn record_shadow_compare(&self, model: &str, diverged: bool) {
+        let mut map = self.shadow.lock().unwrap();
+        let entry = map.entry(model.to_string()).or_insert((0, 0));
+        entry.0 += 1;
+        if diverged {
+            entry.1 += 1;
+        }
     }
 
     /// Track the number of predict requests currently in flight.
@@ -294,6 +308,34 @@ impl Metrics {
             }
         }
 
+        {
+            let shadow = self.shadow.lock().unwrap();
+            let _ = writeln!(
+                out,
+                "# HELP fairlens_shadow_compared_total Requests scored by both the \
+                 incumbent and its shadow candidate."
+            );
+            let _ = writeln!(out, "# TYPE fairlens_shadow_compared_total counter");
+            for (model, (compared, _)) in shadow.iter() {
+                let _ = writeln!(
+                    out,
+                    "fairlens_shadow_compared_total{{model=\"{model}\"}} {compared}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# HELP fairlens_shadow_divergence_total Shadow comparisons where the \
+                 candidate's scores differed from the incumbent's."
+            );
+            let _ = writeln!(out, "# TYPE fairlens_shadow_divergence_total counter");
+            for (model, (_, diverged)) in shadow.iter() {
+                let _ = writeln!(
+                    out,
+                    "fairlens_shadow_divergence_total{{model=\"{model}\"}} {diverged}"
+                );
+            }
+        }
+
         let _ = writeln!(out, "# HELP fairlens_inflight Predict requests currently in flight.");
         let _ = writeln!(out, "# TYPE fairlens_inflight gauge");
         let _ = writeln!(out, "fairlens_inflight {}", self.inflight.load(Ordering::Relaxed));
@@ -382,6 +424,8 @@ mod tests {
         m.record_breaker_open("german-lr");
         m.set_inflight(5);
         m.record_load_failure();
+        m.record_shadow_compare("german-lr", false);
+        m.record_shadow_compare("german-lr", true);
         let text = m.render();
         assert!(text.contains("fairlens_shed_total{reason=\"queue_full\"} 2"), "{text}");
         assert!(text.contains("fairlens_shed_total{reason=\"inflight\"} 1"));
@@ -390,5 +434,7 @@ mod tests {
         assert!(text.contains("fairlens_breaker_opens_total{model=\"german-lr\"} 1"));
         assert!(text.contains("fairlens_inflight 5"));
         assert!(text.contains("fairlens_model_load_failures_total 1"));
+        assert!(text.contains("fairlens_shadow_compared_total{model=\"german-lr\"} 2"));
+        assert!(text.contains("fairlens_shadow_divergence_total{model=\"german-lr\"} 1"));
     }
 }

@@ -1,0 +1,163 @@
+//! Request/response recording for the replay regression harness.
+//!
+//! With `--record PATH` the server appends one JSONL entry per
+//! `/v1/predict` exchange: sequence number, method, path, status, the
+//! parsed request and response bodies, and the response's score bit
+//! patterns (`f64::to_bits`, recoverable because the JSON layer prints
+//! shortest round-trip floats). Timestamps come **last** in each entry so
+//! two recordings of the same traffic diff cleanly up to the clock
+//! fields.
+//!
+//! The log is the input to the loadgen's `--replay` mode, which re-sends
+//! every recorded request against a live server and diffs status codes
+//! and score bits — a regression harness for "same artifacts, same
+//! answers" across server versions.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use fairlens_json::{object, parse, Value};
+
+/// An append-only JSONL recorder shared by the connection workers.
+pub struct Recorder {
+    out: Mutex<BufWriter<File>>,
+    seq: AtomicU64,
+}
+
+impl Recorder {
+    /// Open `path` for appending (created if missing), so a restarted
+    /// server extends the log instead of truncating the evidence.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self { out: Mutex::new(BufWriter::new(file)), seq: AtomicU64::new(0) })
+    }
+
+    /// Append one exchange. Bodies that fail to parse as JSON are kept
+    /// as strings — a malformed request is exactly the kind of exchange
+    /// a replay wants to reproduce.
+    pub fn record(
+        &self,
+        method: &str,
+        path: &str,
+        request_body: &[u8],
+        status: u16,
+        response_body: &str,
+        elapsed_us: u64,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let request = match std::str::from_utf8(request_body) {
+            Ok(text) => parse(text)
+                .unwrap_or_else(|_| Value::String(text.to_string())),
+            Err(_) => Value::String(String::from_utf8_lossy(request_body).into_owned()),
+        };
+        let response =
+            parse(response_body).unwrap_or_else(|_| Value::String(response_body.to_string()));
+        let bits = score_bits(&response);
+        let ts = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let line = object([
+            ("seq", Value::Integer(seq)),
+            ("method", Value::String(method.into())),
+            ("path", Value::String(path.into())),
+            ("status", Value::Integer(u64::from(status))),
+            ("request", request),
+            ("response", response),
+            ("score_bits", Value::Array(bits.into_iter().map(Value::Integer).collect())),
+            ("elapsed_us", Value::Integer(elapsed_us)),
+            ("ts_unix_ms", Value::Integer(ts)),
+        ])
+        .to_json();
+        let mut out = self.out.lock().unwrap();
+        // Line-buffered durability: a crashed server loses at most the
+        // entry being written, never tears one across lines.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// The score bit patterns in a predict response body: `score` (single)
+/// or `scores` (batch); error bodies yield an empty list.
+pub fn score_bits(response: &Value) -> Vec<u64> {
+    if let Some(s) = response.get("score") {
+        return s.clone().into_f64().map(|v| vec![v.to_bits()]).unwrap_or_default();
+    }
+    match response.get("scores") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .filter_map(|v| v.clone().into_f64().ok())
+            .map(f64::to_bits)
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_jsonl_with_timestamps_last() {
+        let path = std::env::temp_dir()
+            .join(format!("flm-recorder-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let rec = Recorder::create(&path).unwrap();
+        rec.record(
+            "POST",
+            "/v1/predict",
+            br#"{"model":"m","row":{"age":1}}"#,
+            200,
+            r#"{"model":"m","prediction":1,"score":0.75}"#,
+            1234,
+        );
+        rec.record("POST", "/v1/predict", b"not json", 400, r#"{"error":{}}"#, 10);
+        drop(rec);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = parse(lines[0]).unwrap();
+        assert_eq!(first.get("seq").cloned().unwrap().into_u64(), Ok(0));
+        assert_eq!(first.get("status").cloned().unwrap().into_u64(), Ok(200));
+        assert_eq!(
+            first.get("request").unwrap().get("model").unwrap().as_str(),
+            Some("m")
+        );
+        assert_eq!(
+            first.get("score_bits").cloned().unwrap().into_array().unwrap(),
+            vec![Value::Integer(0.75f64.to_bits())]
+        );
+        // Timestamps are the trailing fields of every entry.
+        let fields: Vec<String> = first
+            .into_object()
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(&fields[fields.len() - 2..], ["elapsed_us", "ts_unix_ms"]);
+        // The malformed request survives as a string; no score bits.
+        let second = parse(lines[1]).unwrap();
+        assert_eq!(second.get("request").unwrap().as_str(), Some("not json"));
+        assert_eq!(second.get("score_bits").cloned().unwrap().into_array().unwrap(), vec![]);
+        // A reopened recorder appends instead of truncating.
+        let rec = Recorder::create(&path).unwrap();
+        rec.record("POST", "/v1/predict", b"{}", 400, "{}", 1);
+        drop(rec);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn score_bits_cover_single_and_batch() {
+        let single = parse(r#"{"score":0.5}"#).unwrap();
+        assert_eq!(score_bits(&single), vec![0.5f64.to_bits()]);
+        let batch = parse(r#"{"scores":[0.25,0.75]}"#).unwrap();
+        assert_eq!(score_bits(&batch), vec![0.25f64.to_bits(), 0.75f64.to_bits()]);
+        let error = parse(r#"{"error":{"kind":"bad_request"}}"#).unwrap();
+        assert!(score_bits(&error).is_empty());
+    }
+}

@@ -22,10 +22,17 @@
 //! * **Negative caching (quarantine).** An artifact that fails to parse
 //!   or restore — at scan or on a lazy load — is quarantined: the id is
 //!   marked `unloadable` in `GET /v1/models`, every predict gets an
-//!   immediate 503, and the file is never re-read and re-failed per
-//!   request. Quarantine is permanent until restart (a corrupt file does
-//!   not heal), and each entry counts once in
+//!   immediate 503 (+ `Retry-After`), and the file is never re-read and
+//!   re-failed per request. Quarantine is permanent until restart (a
+//!   corrupt file does not heal), and each entry counts once in
 //!   `fairlens_model_load_failures_total`.
+//! * **Shadow deployments.** A candidate artifact can be attached to an
+//!   incumbent model (`--shadow id=path`); every admitted predict is then
+//!   scored by both, the response comes from the incumbent, and the
+//!   score streams are compared bit-exactly (or within a ULP bound).
+//!   [`Registry::promote`] cuts the candidate over the incumbent's
+//!   artifact only when the comparison window is non-empty and clean —
+//!   a dirty or empty window is a structured 409.
 
 use std::collections::{BTreeMap, HashMap};
 use std::panic::AssertUnwindSafe;
@@ -34,6 +41,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use fairlens_core::{DataSchema, ModelArtifact};
+use fairlens_xverify::Tolerance;
 
 use crate::batcher::{BatchConfig, ModelWorker};
 use crate::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
@@ -90,13 +98,69 @@ struct LruState {
     tick: u64,
 }
 
+/// The first score disagreement a shadow deployment observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadowDivergence {
+    /// Comparison ordinal (1-based) of the diverging request.
+    pub request: u64,
+    /// Row within that request's batch.
+    pub row: usize,
+    /// The incumbent's score for the row.
+    pub incumbent: f64,
+    /// The candidate's score (NaN when the candidate failed outright).
+    pub candidate: f64,
+}
+
+impl std::fmt::Display for ShadowDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "request {} row {}: incumbent {:#018x} ({}) vs candidate {:#018x} ({})",
+            self.request,
+            self.row,
+            self.incumbent.to_bits(),
+            self.incumbent,
+            self.candidate.to_bits(),
+            self.candidate,
+        )
+    }
+}
+
+/// A shadow deployment's comparison window, for `GET /v1/models`.
+#[derive(Debug, Clone)]
+pub struct ShadowSummary {
+    /// The candidate artifact's path.
+    pub candidate: PathBuf,
+    /// Requests scored by both incumbent and candidate.
+    pub compared: u64,
+    /// Comparisons where the score streams disagreed.
+    pub diverged: u64,
+    /// The first disagreement, pinned for the promote refusal message.
+    pub first: Option<ShadowDivergence>,
+}
+
+struct ShadowState {
+    path: PathBuf,
+    worker: Arc<ModelWorker>,
+    compared: u64,
+    diverged: u64,
+    first: Option<ShadowDivergence>,
+}
+
 /// The server's model catalogue and supervisor.
 pub struct Registry {
-    infos: BTreeMap<String, ModelInfo>,
+    /// Mutexed (and `Arc`-valued) so [`Registry::promote`] can swap an
+    /// entry for the freshly cut-over artifact while handlers hold the
+    /// old metadata.
+    infos: Mutex<BTreeMap<String, Arc<ModelInfo>>>,
     /// id → reason, for artifacts that failed to load or restore.
     quarantined: Mutex<BTreeMap<String, String>>,
     breakers: Mutex<HashMap<String, CircuitBreaker>>,
     loaded: Mutex<LruState>,
+    /// Incumbent id → its shadow candidate and comparison window.
+    shadows: Mutex<BTreeMap<String, ShadowState>>,
+    /// How shadow score streams are compared (bit-exact by default).
+    shadow_tolerance: Tolerance,
     cfg: BatchConfig,
     breaker_cfg: BreakerConfig,
     max_loaded: usize,
@@ -129,21 +193,7 @@ impl Registry {
             };
             match load_artifact(&path) {
                 Ok((a, stochastic)) => {
-                    infos.insert(
-                        id.clone(),
-                        ModelInfo {
-                            id,
-                            path: path.clone(),
-                            approach: a.approach,
-                            stage: a.stage,
-                            dataset: a.dataset,
-                            seed: a.seed,
-                            train_rows: a.train_rows,
-                            train_metrics: a.train_metrics,
-                            stochastic,
-                            schema: a.schema,
-                        },
-                    );
+                    infos.insert(id.clone(), Arc::new(info_from(id, path.clone(), a, stochastic)));
                 }
                 Err(reason) => {
                     eprintln!("[serve] quarantining {}: {reason}", path.display());
@@ -153,10 +203,12 @@ impl Registry {
             }
         }
         Ok(Self {
-            infos,
+            infos: Mutex::new(infos),
             quarantined: Mutex::new(quarantined),
             breakers: Mutex::new(HashMap::new()),
             loaded: Mutex::new(LruState { map: HashMap::new(), tick: 0 }),
+            shadows: Mutex::new(BTreeMap::new()),
+            shadow_tolerance: Tolerance::Exact,
             cfg,
             breaker_cfg,
             max_loaded: max_loaded.max(1),
@@ -165,9 +217,19 @@ impl Registry {
         })
     }
 
+    /// How shadow score streams are compared: `None` keeps the bit-exact
+    /// default, `Some(k)` allows `k` ulps (with the `k·ε` absolute
+    /// fallback for near-zero scores). Configure before serving traffic.
+    pub fn set_shadow_tolerance(&mut self, ulps: Option<u64>) {
+        self.shadow_tolerance = match ulps {
+            None | Some(0) => Tolerance::Exact,
+            Some(k) => Tolerance::Ulps(k),
+        };
+    }
+
     /// All loadable models, id-sorted.
-    pub fn list(&self) -> impl Iterator<Item = &ModelInfo> {
-        self.infos.values()
+    pub fn list(&self) -> Vec<Arc<ModelInfo>> {
+        self.infos.lock().unwrap().values().cloned().collect()
     }
 
     /// Quarantined ids with the failure reason, id-sorted.
@@ -182,17 +244,17 @@ impl Registry {
 
     /// Number of loadable artifacts discovered at scan.
     pub fn len(&self) -> usize {
-        self.infos.len()
+        self.infos.lock().unwrap().len()
     }
 
     /// Whether the scan found nothing loadable.
     pub fn is_empty(&self) -> bool {
-        self.infos.is_empty()
+        self.infos.lock().unwrap().is_empty()
     }
 
     /// Metadata for one model.
-    pub fn info(&self, id: &str) -> Option<&ModelInfo> {
-        self.infos.get(id)
+    pub fn info(&self, id: &str) -> Option<Arc<ModelInfo>> {
+        self.infos.lock().unwrap().get(id).cloned()
     }
 
     /// The breaker state for one model (`Closed` if it never tripped).
@@ -204,20 +266,21 @@ impl Registry {
             .map_or(BreakerState::Closed, CircuitBreaker::state)
     }
 
-    /// The input schema for `id`, for request validation before any
-    /// admission or load work. Unknown ids are 404s; quarantined ids are
-    /// immediate 503s served from the negative cache (no disk I/O).
-    pub fn schema(&self, id: &str) -> Result<&DataSchema, ServeError> {
+    /// The metadata (notably the input schema) for `id`, for request
+    /// validation before any admission or load work. Unknown ids are
+    /// 404s; quarantined ids are immediate 503s (+ `Retry-After`) served
+    /// from the negative cache (no disk I/O).
+    pub fn model(&self, id: &str) -> Result<Arc<ModelInfo>, ServeError> {
         if let Some(reason) = self.quarantined.lock().unwrap().get(id) {
             return Err(ServeError::new(
                 ErrorKind::Unavailable,
                 format!("model {id:?} is quarantined (unloadable): {reason}"),
-            ));
+            )
+            .with_retry_after(QUARANTINE_RETRY_AFTER));
         }
-        let info = self.infos.get(id).ok_or_else(|| {
+        self.info(id).ok_or_else(|| {
             ServeError::new(ErrorKind::UnknownModel, format!("no model {id:?}"))
-        })?;
-        Ok(&info.schema)
+        })
     }
 
     /// Admit one request through the model's breaker and hand out its
@@ -231,7 +294,7 @@ impl Registry {
     /// [`Registry::report`] so breaker bookkeeping (especially the
     /// half-open probe slot) stays balanced.
     pub fn checkout(&self, id: &str) -> Result<Arc<ModelWorker>, ServeError> {
-        let info = self.infos.get(id).ok_or_else(|| {
+        let info = self.info(id).ok_or_else(|| {
             ServeError::new(ErrorKind::UnknownModel, format!("no model {id:?}"))
         })?;
         let now = Instant::now();
@@ -254,7 +317,7 @@ impl Registry {
                 }
             }
         }
-        match self.load_worker(info) {
+        match self.load_worker(&info) {
             Ok(worker) => Ok(worker),
             Err(e) => {
                 // The load itself failed (quarantine): settle the breaker
@@ -292,7 +355,8 @@ impl Registry {
                 return Err(ServeError::new(
                     ErrorKind::Unavailable,
                     format!("model {id:?} is quarantined (unloadable): {reason}"),
-                ));
+                )
+                .with_retry_after(QUARANTINE_RETRY_AFTER));
             }
         };
         let worker = Arc::new(ModelWorker::spawn(
@@ -361,11 +425,192 @@ impl Registry {
         self.metrics.set_breaker_state(id, b.state().gauge());
     }
 
-    /// Unload everything, joining all executors. Called on drain.
+    /// Attach a shadow candidate to incumbent `id`: the candidate must
+    /// load, restore, and carry the incumbent's exact input schema (a
+    /// shadow that cannot score the same requests is a config error, not
+    /// a divergence). The candidate gets its own executor immediately —
+    /// a broken artifact fails startup, not the first live comparison.
+    pub fn attach_shadow(&self, id: &str, path: &Path) -> Result<(), String> {
+        let info = self.info(id).ok_or_else(|| format!("no incumbent model {id:?}"))?;
+        let (artifact, _) = load_artifact(path)
+            .map_err(|e| format!("candidate {} failed to load: {e}", path.display()))?;
+        if artifact.schema != info.schema {
+            return Err(format!(
+                "candidate {} input schema differs from incumbent {id:?}",
+                path.display()
+            ));
+        }
+        let pipeline = artifact.restore();
+        let worker = Arc::new(ModelWorker::spawn(
+            &format!("{id}#shadow"),
+            artifact.schema.clone(),
+            pipeline,
+            self.cfg,
+            self.metrics.clone(),
+            self.faults.clone(),
+        ));
+        self.shadows.lock().unwrap().insert(
+            id.to_string(),
+            ShadowState {
+                path: path.to_path_buf(),
+                worker,
+                compared: 0,
+                diverged: 0,
+                first: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// The shadow executor for `id`, if a candidate is attached.
+    pub fn shadow_worker(&self, id: &str) -> Option<Arc<ModelWorker>> {
+        self.shadows.lock().unwrap().get(id).map(|s| s.worker.clone())
+    }
+
+    /// Record one shadow comparison: the incumbent's scores against the
+    /// candidate's (pass NaNs when the candidate failed — a candidate
+    /// that cannot answer is a divergence, not a pass). Returns whether
+    /// the streams diverged; the first divergence is pinned for the
+    /// promote refusal and `GET /v1/models`.
+    pub fn record_shadow(&self, id: &str, incumbent: &[f64], candidate: &[f64]) -> bool {
+        let mut shadows = self.shadows.lock().unwrap();
+        let Some(state) = shadows.get_mut(id) else { return false };
+        state.compared += 1;
+        let rows = incumbent.len().max(candidate.len());
+        let mismatch = (0..rows).find_map(|row| {
+            let a = incumbent.get(row).copied().unwrap_or(f64::NAN);
+            let b = candidate.get(row).copied().unwrap_or(f64::NAN);
+            (!self.shadow_tolerance.matches(a, b)).then_some(ShadowDivergence {
+                request: state.compared,
+                row,
+                incumbent: a,
+                candidate: b,
+            })
+        });
+        let diverged = mismatch.is_some();
+        if let Some(d) = mismatch {
+            state.diverged += 1;
+            if state.first.is_none() {
+                eprintln!("[serve] shadow divergence for model {id:?}: {d}");
+                state.first = Some(d);
+            }
+        }
+        self.metrics.record_shadow_compare(id, diverged);
+        diverged
+    }
+
+    /// The comparison window for `id`'s shadow, if one is attached.
+    pub fn shadow_summary(&self, id: &str) -> Option<ShadowSummary> {
+        self.shadows.lock().unwrap().get(id).map(|s| ShadowSummary {
+            candidate: s.path.clone(),
+            compared: s.compared,
+            diverged: s.diverged,
+            first: s.first,
+        })
+    }
+
+    /// Promote `id`'s shadow candidate to incumbent. Refuses with a 400
+    /// when no shadow is attached and a structured 409 when the
+    /// comparison window is empty (nothing proven) or dirty (divergence
+    /// observed — the refusal names the first differing request and both
+    /// score bit patterns). On success the candidate's bytes replace the
+    /// incumbent's artifact (write-then-rename), the catalogue entry is
+    /// refreshed from the promoted file, the incumbent's resident
+    /// executor is evicted so the next request restores the promoted
+    /// pipeline, and the shadow is detached. Returns the size of the
+    /// clean comparison window.
+    pub fn promote(&self, id: &str) -> Result<u64, ServeError> {
+        let info = self.info(id).ok_or_else(|| {
+            ServeError::new(ErrorKind::UnknownModel, format!("no model {id:?}"))
+        })?;
+        let mut shadows = self.shadows.lock().unwrap();
+        let Some(state) = shadows.get(id) else {
+            return Err(ServeError::bad_request(format!(
+                "no shadow candidate attached for model {id:?}"
+            )));
+        };
+        if state.compared == 0 {
+            return Err(ServeError::new(
+                ErrorKind::Conflict,
+                format!(
+                    "model {id:?} shadow has no comparisons yet; \
+                     drive traffic through it before promoting"
+                ),
+            ));
+        }
+        if state.diverged > 0 {
+            let first = state
+                .first
+                .map(|d| format!("; first divergence at {d}"))
+                .unwrap_or_default();
+            return Err(ServeError::new(
+                ErrorKind::Conflict,
+                format!(
+                    "model {id:?} shadow diverged on {} of {} comparisons{first}",
+                    state.diverged, state.compared
+                ),
+            ));
+        }
+        let internal =
+            |msg: String| ServeError::new(ErrorKind::Internal, msg);
+        let bytes = std::fs::read(&state.path).map_err(|e| {
+            internal(format!("cannot read candidate {}: {e}", state.path.display()))
+        })?;
+        // Write-then-rename so a crash mid-cutover never leaves a
+        // half-written incumbent artifact.
+        let tmp = info.path.with_extension("flm.tmp");
+        std::fs::write(&tmp, &bytes)
+            .and_then(|()| std::fs::rename(&tmp, &info.path))
+            .map_err(|e| internal(format!("cutover to {} failed: {e}", info.path.display())))?;
+        let (artifact, stochastic) = load_artifact(&info.path).map_err(|e| {
+            internal(format!("promoted artifact failed to re-load: {e}"))
+        })?;
+        self.infos.lock().unwrap().insert(
+            id.to_string(),
+            Arc::new(info_from(id.to_string(), info.path.clone(), artifact, stochastic)),
+        );
+        {
+            let mut lru = self.loaded.lock().unwrap();
+            lru.map.remove(id);
+            self.metrics.set_models_loaded(lru.map.len());
+            self.metrics.set_queue_depth(id, 0);
+        }
+        let compared = state.compared;
+        shadows.remove(id);
+        eprintln!(
+            "[serve] promoted shadow candidate for model {id:?} \
+             after {compared} clean comparison(s)"
+        );
+        Ok(compared)
+    }
+
+    /// Unload everything, joining all executors (shadows included).
+    /// Called on drain.
     pub fn shutdown(&self) {
+        self.shadows.lock().unwrap().clear();
         let mut lru = self.loaded.lock().unwrap();
         lru.map.clear();
         self.metrics.set_models_loaded(0);
+    }
+}
+
+/// `Retry-After` hint on quarantine 503s: quarantine only heals on
+/// restart, so point clients at a redeploy-scale horizon, not a backoff
+/// spin.
+const QUARANTINE_RETRY_AFTER: u64 = 30;
+
+fn info_from(id: String, path: PathBuf, a: ModelArtifact, stochastic: bool) -> ModelInfo {
+    ModelInfo {
+        id,
+        path,
+        approach: a.approach,
+        stage: a.stage,
+        dataset: a.dataset,
+        seed: a.seed,
+        train_rows: a.train_rows,
+        train_metrics: a.train_metrics,
+        stochastic,
+        schema: a.schema,
     }
 }
 
@@ -430,17 +675,19 @@ mod tests {
         std::fs::write(dir.join("ignored.txt"), "x").unwrap();
         let metrics = Arc::new(Metrics::new());
         let reg = scan(&dir, 4, metrics.clone());
-        let ids: Vec<&str> = reg.list().map(|i| i.id.as_str()).collect();
+        let ids: Vec<String> = reg.list().iter().map(|i| i.id.clone()).collect();
         assert_eq!(ids, ["german-lr", "german-lr2"]);
         assert_eq!(reg.info("german-lr").unwrap().approach, "LR");
-        assert!(reg.schema("missing").is_err_and(|e| e.kind == ErrorKind::UnknownModel));
+        assert!(reg.model("missing").is_err_and(|e| e.kind == ErrorKind::UnknownModel));
         assert!(reg.checkout("missing").is_err_and(|e| e.kind == ErrorKind::UnknownModel));
         // The corrupt artifact is listed as quarantined, counted once,
         // and every predict against it is an immediate 503.
         let q = reg.quarantined();
         assert_eq!(q.len(), 1);
         assert_eq!(q[0].0, "broken");
-        assert!(reg.schema("broken").is_err_and(|e| e.kind == ErrorKind::Unavailable));
+        let err = reg.model("broken").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unavailable);
+        assert_eq!(err.retry_after, Some(QUARANTINE_RETRY_AFTER));
         assert!(metrics.render().contains("fairlens_model_load_failures_total 1"));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -482,14 +729,113 @@ mod tests {
         let err = reg.checkout("german-lr").unwrap_err();
         assert_eq!(err.kind, ErrorKind::Unavailable);
         assert!(err.message.contains("quarantined"), "{err}");
+        assert_eq!(err.retry_after, Some(QUARANTINE_RETRY_AFTER));
         // Restore a pristine artifact on disk: the negative cache must
         // answer without re-reading the file, so the id stays quarantined.
         export(&dir, "german-lr", 3);
-        let err = reg.schema("german-lr").unwrap_err();
+        let err = reg.model("german-lr").unwrap_err();
         assert_eq!(err.kind, ErrorKind::Unavailable);
         assert!(err.message.contains("quarantined"), "{err}");
         assert_eq!(reg.quarantined().len(), 1);
         assert!(metrics.render().contains("fairlens_model_load_failures_total 1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shadow_window_gates_promotion() {
+        let dir = temp_dir("shadow");
+        export(&dir, "m", 11);
+        // The candidate: byte-identical copy of the incumbent.
+        std::fs::copy(dir.join("m.flm"), dir.join("candidate.flm")).unwrap();
+        let metrics = Arc::new(Metrics::new());
+        let reg = scan(&dir, 4, metrics.clone());
+        // No shadow attached → 400, not 409.
+        assert!(reg.promote("m").is_err_and(|e| e.kind == ErrorKind::BadRequest));
+        reg.attach_shadow("m", &dir.join("candidate.flm")).unwrap();
+        assert!(reg.shadow_worker("m").is_some());
+        // Empty window → 409: nothing has been proven yet.
+        let err = reg.promote("m").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Conflict);
+        assert!(err.message.contains("no comparisons"), "{err}");
+        // Identical scores → clean comparison, promote succeeds.
+        assert!(!reg.record_shadow("m", &[0.25, 0.5], &[0.25, 0.5]));
+        assert_eq!(reg.shadow_summary("m").unwrap().compared, 1);
+        assert_eq!(reg.promote("m").unwrap(), 1);
+        assert!(reg.shadow_summary("m").is_none(), "shadow detaches on promote");
+        let text = metrics.render();
+        assert!(text.contains("fairlens_shadow_compared_total{model=\"m\"} 1"), "{text}");
+        assert!(text.contains("fairlens_shadow_divergence_total{model=\"m\"} 0"), "{text}");
+        reg.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shadow_divergence_blocks_promotion_with_the_bits() {
+        let dir = temp_dir("shadow-div");
+        export(&dir, "m", 13);
+        std::fs::copy(dir.join("m.flm"), dir.join("candidate.flm")).unwrap();
+        let metrics = Arc::new(Metrics::new());
+        let reg = scan(&dir, 4, metrics.clone());
+        reg.attach_shadow("m", &dir.join("candidate.flm")).unwrap();
+        assert!(!reg.record_shadow("m", &[0.5], &[0.5]));
+        // One ulp off on row 1 of the second comparison.
+        let off = f64::from_bits(0.75f64.to_bits() ^ 1);
+        assert!(reg.record_shadow("m", &[0.5, 0.75], &[0.5, off]));
+        // A candidate that failed outright (NaN scores) also diverges.
+        assert!(reg.record_shadow("m", &[0.5], &[f64::NAN]));
+        let s = reg.shadow_summary("m").unwrap();
+        assert_eq!((s.compared, s.diverged), (3, 2));
+        let first = s.first.unwrap();
+        assert_eq!((first.request, first.row), (2, 1));
+        let err = reg.promote("m").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Conflict);
+        // The refusal names the first differing request and both score
+        // bit patterns.
+        assert!(err.message.contains("2 of 3"), "{err}");
+        assert!(err.message.contains("request 2 row 1"), "{err}");
+        assert!(err.message.contains(&format!("{:#018x}", 0.75f64.to_bits())), "{err}");
+        assert!(err.message.contains(&format!("{:#018x}", off.to_bits())), "{err}");
+        let text = metrics.render();
+        assert!(text.contains("fairlens_shadow_divergence_total{model=\"m\"} 2"), "{text}");
+        reg.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shadow_tolerance_and_schema_are_enforced() {
+        let dir = temp_dir("shadow-tol");
+        export(&dir, "m", 17);
+        std::fs::copy(dir.join("m.flm"), dir.join("candidate.flm")).unwrap();
+        let metrics = Arc::new(Metrics::new());
+        let mut reg = scan(&dir, 4, metrics);
+        reg.set_shadow_tolerance(Some(4));
+        assert!(reg.attach_shadow("missing", &dir.join("candidate.flm")).is_err());
+        assert!(reg
+            .attach_shadow("m", &dir.join("nope.flm"))
+            .is_err_and(|e| e.contains("failed to load")));
+        // A candidate trained on a different input schema cannot shadow.
+        let other = DatasetKind::Adult.generate(200, 1);
+        let fitted = baseline_approach().fit(&other, 1).unwrap();
+        let artifact = ModelArtifact {
+            approach: "LR".into(),
+            stage: "baseline".into(),
+            dataset: "Adult".into(),
+            seed: 1,
+            train_rows: other.n_rows() as u64,
+            train_metrics: vec![],
+            schema: DataSchema::of(&other),
+            pipeline: fitted.snapshot().unwrap(),
+        };
+        artifact.save(&dir.join("other.flm")).unwrap();
+        assert!(reg
+            .attach_shadow("m", &dir.join("other.flm"))
+            .is_err_and(|e| e.contains("schema")));
+        reg.attach_shadow("m", &dir.join("candidate.flm")).unwrap();
+        // Within the ulp bound → clean; far off → divergence.
+        let near = f64::from_bits(0.5f64.to_bits() + 3);
+        assert!(!reg.record_shadow("m", &[0.5], &[near]));
+        assert!(reg.record_shadow("m", &[0.5], &[0.625]));
+        reg.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

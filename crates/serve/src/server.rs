@@ -52,7 +52,8 @@ use crate::error::{ErrorKind, ServeError};
 use crate::faults::ServeFaults;
 use crate::http::{read_request, write_response_with, Limits, ReadOutcome, Request};
 use crate::metrics::Metrics;
-use crate::registry::{ModelInfo, ModelOutcome, Registry};
+use crate::recorder::Recorder;
+use crate::registry::{ModelInfo, ModelOutcome, Registry, ShadowSummary};
 
 const JSON: &str = "application/json";
 const PROM: &str = "text/plain; version=0.0.4";
@@ -94,6 +95,14 @@ pub struct ServeConfig {
     /// Write per-request trace tracks (`req/NNNNNN`) here at drain; a
     /// flamegraph-ready `.collapsed` sibling rides along.
     pub trace: Option<PathBuf>,
+    /// Shadow deployments: incumbent model id → candidate artifact path.
+    /// Every admitted predict is scored by both; the response comes from
+    /// the incumbent and the score streams are compared.
+    pub shadow: Vec<(String, PathBuf)>,
+    /// ULP bound for shadow score comparison (`None` = bit-exact).
+    pub shadow_tolerance: Option<u64>,
+    /// Append every `/v1/predict` exchange to this JSONL log.
+    pub record: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +123,9 @@ impl Default for ServeConfig {
             faults: Arc::new(ServeFaults::none()),
             limits: Limits::default(),
             trace: None,
+            shadow: Vec::new(),
+            shadow_tolerance: None,
+            record: None,
         }
     }
 }
@@ -134,6 +146,8 @@ struct Ctx {
     trace: Option<fairlens_trace::TraceSink>,
     /// Request counter naming the per-request tracks (`req/000042`).
     req_seq: AtomicU64,
+    /// Present when the server was configured with `--record`.
+    recorder: Option<Recorder>,
 }
 
 /// RAII slot in the global in-flight budget: acquired before a predict
@@ -181,7 +195,7 @@ impl Server {
         };
         let breaker =
             BreakerConfig { threshold: cfg.breaker_threshold, cooldown: cfg.breaker_cooldown };
-        let registry = Registry::scan(
+        let mut registry = Registry::scan(
             &cfg.models_dir,
             batch,
             cfg.max_loaded,
@@ -189,6 +203,26 @@ impl Server {
             breaker,
             cfg.faults.clone(),
         )?;
+        registry.set_shadow_tolerance(cfg.shadow_tolerance);
+        // Shadows attach before the listener binds: a candidate that
+        // cannot load or has the wrong schema fails startup, not the
+        // first live comparison.
+        for (id, path) in &cfg.shadow {
+            registry.attach_shadow(id, path).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("--shadow {id}: {e}"),
+                )
+            })?;
+            eprintln!("[serve] shadowing model {id:?} with candidate {}", path.display());
+        }
+        let recorder = match &cfg.record {
+            Some(path) => {
+                eprintln!("[serve] recording predict exchanges to {}", path.display());
+                Some(Recorder::create(path)?)
+            }
+            None => None,
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         Ok(Self {
@@ -205,6 +239,7 @@ impl Server {
                 max_conn_requests: cfg.max_conn_requests,
                 trace: cfg.trace.as_ref().map(|_| fairlens_trace::TraceSink::new()),
                 req_seq: AtomicU64::new(0),
+                recorder,
             }),
             workers: cfg.workers.max(1),
             trace_path: cfg.trace,
@@ -340,6 +375,18 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
                     status,
                     t0.elapsed().as_secs_f64(),
                 );
+                if let Some(rec) = &ctx.recorder {
+                    if req.path == "/v1/predict" {
+                        rec.record(
+                            &req.method,
+                            &req.path,
+                            &req.body,
+                            status,
+                            &body,
+                            t0.elapsed().as_micros() as u64,
+                        );
+                    }
+                }
                 if write_response_with(
                     &mut writer,
                     status,
@@ -362,7 +409,8 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
 /// path-scanning client cannot explode series cardinality.
 fn route_label(path: &str) -> &str {
     match path {
-        "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/shutdown" => path,
+        "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/promote"
+        | "/v1/shutdown" => path,
         _ => "other",
     }
 }
@@ -376,20 +424,25 @@ fn route(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeE
         ("GET", "/v1/models") => Ok((200, JSON, models_body(ctx))),
         ("POST", "/v1/predict") => {
             if ctx.shutdown.load(Ordering::SeqCst) {
+                // Retry-After 1: the client should land on a healthy
+                // replica (or the restarted server) almost immediately.
                 return Err(ServeError::new(
                     ErrorKind::ShuttingDown,
                     "server is draining; no new predictions",
-                ));
+                )
+                .with_retry_after(1));
             }
             predict(ctx, req)
         }
+        ("POST", "/v1/promote") => promote(ctx, req),
         ("POST", "/v1/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             // Wake the blocking accept so the drain starts immediately.
             let _ = TcpStream::connect(ctx.local_addr);
             Ok((200, JSON, object([("status", Value::String("shutting down".into()))]).to_json()))
         }
-        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/shutdown") => {
+        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/promote"
+        | "/v1/shutdown") => {
             Err(ServeError::new(
                 ErrorKind::MethodNotAllowed,
                 format!("{} does not support {}", req.path, req.method),
@@ -399,8 +452,30 @@ fn route(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeE
     }
 }
 
-fn model_value(info: &ModelInfo, breaker: &'static str) -> Value {
-    object([
+fn shadow_value(s: &ShadowSummary) -> Value {
+    let mut fields = vec![
+        ("candidate", Value::String(s.candidate.display().to_string())),
+        ("compared", Value::Integer(s.compared)),
+        ("divergence", Value::Integer(s.diverged)),
+    ];
+    if let Some(d) = &s.first {
+        fields.push((
+            "first_divergence",
+            object([
+                ("request", Value::Integer(d.request)),
+                ("row", Value::Integer(d.row as u64)),
+                ("incumbent", Value::from_f64(d.incumbent)),
+                ("candidate", Value::from_f64(d.candidate)),
+                ("incumbent_bits", Value::String(format!("{:#018x}", d.incumbent.to_bits()))),
+                ("candidate_bits", Value::String(format!("{:#018x}", d.candidate.to_bits()))),
+            ]),
+        ));
+    }
+    object(fields)
+}
+
+fn model_value(info: &ModelInfo, breaker: &'static str, shadow: Option<ShadowSummary>) -> Value {
+    let mut fields = vec![
         ("id", Value::String(info.id.clone())),
         ("status", Value::String("ready".into())),
         ("breaker", Value::String(breaker.into())),
@@ -419,7 +494,11 @@ fn model_value(info: &ModelInfo, breaker: &'static str) -> Value {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    if let Some(s) = shadow {
+        fields.push(("shadow", shadow_value(&s)));
+    }
+    object(fields)
 }
 
 fn unloadable_value(id: String, reason: String) -> Value {
@@ -436,11 +515,16 @@ fn models_body(ctx: &Ctx) -> String {
     let mut models: Vec<Value> = ctx
         .registry
         .list()
+        .into_iter()
         .map(|info| match quarantined.get(&info.id) {
             // Quarantined after the scan (the artifact rotted on disk):
             // listed, but marked unloadable instead of ready.
             Some(reason) => unloadable_value(info.id.clone(), reason.clone()),
-            None => model_value(info, ctx.registry.breaker_state(&info.id).name()),
+            None => model_value(
+                &info,
+                ctx.registry.breaker_state(&info.id).name(),
+                ctx.registry.shadow_summary(&info.id),
+            ),
         })
         .collect();
     // Artifacts that never made it past the scan.
@@ -505,10 +589,15 @@ fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), Serv
     // Validate rows before admission layers 2 and 3: a 400 must never
     // consume a breaker probe or trip failure accounting, and the schema
     // is resident from the scan, so this costs no artifact load.
-    let schema = ctx.registry.schema(model_id)?;
-    let data = schema.dataset_from_rows(&rows).map_err(ServeError::bad_request)?;
+    let info = ctx.registry.model(model_id)?;
+    let data = info.schema.dataset_from_rows(&rows).map_err(ServeError::bad_request)?;
     drop(parse_span); // parse = decode + validation + model lookup
     ctx.metrics.record_phase("parse", parse_t0.elapsed().as_secs_f64());
+
+    // A shadow deployment needs the validated rows a second time; clone
+    // only when one is attached so the common path stays allocation-free.
+    let shadow_worker = ctx.registry.shadow_worker(model_id);
+    let shadow_data = shadow_worker.as_ref().map(|_| data.clone());
 
     // Layer 2: breaker admission (an open breaker rejects here with a
     // 503 + Retry-After), plus the artifact load / executor respawn.
@@ -542,6 +631,15 @@ fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), Serv
         fairlens_trace::complete(phase, Duration::from_micros(us));
         ctx.metrics.record_phase(phase, us as f64 / 1e6);
     }
+    // Shadow scoring is synchronous, after the incumbent's answer is in
+    // hand: the request pays for both predictions, but the divergence
+    // counters are exact at every instant — a promote can never race a
+    // still-pending comparison. The candidate never shapes the response.
+    if let (Some(worker), Some(data)) = (shadow_worker, shadow_data) {
+        let span = fairlens_trace::span("shadow");
+        shadow_compare(ctx, model_id, &out.scores, &worker, data);
+        drop(span);
+    }
 
     let body = if singular {
         object([
@@ -561,6 +659,54 @@ fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), Serv
         ])
     };
     Ok((200, JSON, body.to_json()))
+}
+
+/// Score the request on the shadow candidate and record the comparison
+/// against the incumbent's scores. A queue-full shed on the shadow skips
+/// the comparison (it says nothing about agreement); any other candidate
+/// failure is recorded as a divergence — a candidate that cannot answer
+/// must not be promotable.
+fn shadow_compare(
+    ctx: &Ctx,
+    model_id: &str,
+    incumbent: &[f64],
+    worker: &ModelWorker,
+    data: Dataset,
+) {
+    let candidate = match drive(ctx, worker, data) {
+        Ok(out) => out.scores,
+        Err(e) if e.kind == ErrorKind::Overloaded => return,
+        Err(e) => {
+            eprintln!("[serve] shadow for model {model_id:?} failed: {e}");
+            vec![f64::NAN; incumbent.len()]
+        }
+    };
+    ctx.registry.record_shadow(model_id, incumbent, &candidate);
+}
+
+/// `POST /v1/promote`: `{"model": id}` — cut the model's shadow
+/// candidate over the incumbent artifact, provided the comparison window
+/// is non-empty and divergence-free (else a structured 409 naming the
+/// first differing request and score bits).
+fn promote(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ServeError::bad_request("body is not UTF-8"))?;
+    let v = parse(text).map_err(|e| ServeError::bad_request(format!("invalid JSON: {e}")))?;
+    let model_id = v
+        .get("model")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::bad_request("missing string field \"model\""))?;
+    let compared = ctx.registry.promote(model_id)?;
+    Ok((
+        200,
+        JSON,
+        object([
+            ("status", Value::String("promoted".into())),
+            ("model", Value::String(model_id.into())),
+            ("compared", Value::Integer(compared)),
+        ])
+        .to_json(),
+    ))
 }
 
 /// Submit one validated job and wait for its reply within the deadline.

@@ -628,6 +628,191 @@ fn connection_request_cap_closes_after_the_announced_response() {
 }
 
 #[test]
+fn shadow_with_identical_candidate_stays_clean_and_promotes() {
+    let dir = temp_models_dir("shadow-clean");
+    let (fitted, schema) = export(&dir, "german-lr", "LR", 81);
+    // The candidate lives outside the scanned models dir (a byte-exact
+    // copy of the incumbent), so it is a shadow, not a second model.
+    let cand_dir = temp_models_dir("shadow-clean-cand");
+    let candidate = cand_dir.join("candidate.flm");
+    std::fs::copy(dir.join("german-lr.flm"), &candidate).unwrap();
+    let record = cand_dir.join("recorded.jsonl");
+    let (addr, handle) = launch(&dir, |cfg| {
+        cfg.shadow = vec![("german-lr".into(), candidate.clone())];
+        cfg.record = Some(record.clone());
+    });
+
+    // Drive a few requests: answers still come from (and bit-match) the
+    // incumbent, while the shadow compares in the background.
+    let mut client = Client::open(&addr);
+    for seed in [91u64, 92, 93] {
+        let rows = sample_rows(4, seed);
+        let offline = schema.dataset_from_rows(&rows).unwrap();
+        let want = fitted.predict_proba(&offline);
+        let (status, v) = client.request("POST", "/v1/predict", &predict_body("german-lr", &rows));
+        assert_eq!(status, 200, "{v:?}");
+        let scores = v.get("scores").cloned().unwrap().into_f64s().unwrap();
+        assert_eq!(
+            scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    // The listing surfaces the clean comparison window.
+    let (_, v) = client.request("GET", "/v1/models", "");
+    let m = &v.get("models").cloned().unwrap().into_array().unwrap()[0];
+    let shadow = m.get("shadow").expect("shadow block in /v1/models");
+    assert_eq!(shadow.get("compared").cloned().unwrap().into_u64(), Ok(3));
+    assert_eq!(shadow.get("divergence").cloned().unwrap().into_u64(), Ok(0));
+    assert!(shadow.get("first_divergence").is_none());
+    let (_, text) = client.request("GET", "/metrics", "");
+    let Value::String(text) = text else { panic!("metrics is not JSON") };
+    assert!(text.contains("fairlens_shadow_compared_total{model=\"german-lr\"} 3"), "{text}");
+    assert!(text.contains("fairlens_shadow_divergence_total{model=\"german-lr\"} 0"), "{text}");
+
+    // Clean window → promote succeeds and the shadow detaches.
+    let (status, v) = client.request("POST", "/v1/promote", "{\"model\": \"german-lr\"}");
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("promoted"));
+    assert_eq!(v.get("compared").cloned().unwrap().into_u64(), Ok(3));
+    let (_, v) = client.request("GET", "/v1/models", "");
+    let m = &v.get("models").cloned().unwrap().into_array().unwrap()[0];
+    assert!(m.get("shadow").is_none(), "promoted shadow must detach");
+    // A second promote has nothing to cut over → 400.
+    let (status, v) = client.request("POST", "/v1/promote", "{\"model\": \"german-lr\"}");
+    assert_eq!(status, 400, "{v:?}");
+
+    // The promoted artifact still serves bit-exactly.
+    let rows = sample_rows(2, 94);
+    let offline = schema.dataset_from_rows(&rows).unwrap();
+    let want = fitted.predict_proba(&offline);
+    let (status, v) = client.request("POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 200, "{v:?}");
+    let scores = v.get("scores").cloned().unwrap().into_f64s().unwrap();
+    assert_eq!(
+        scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+    );
+
+    shutdown_and_join(&addr, handle);
+
+    // The recorder captured every predict exchange, score bits included.
+    let log = std::fs::read_to_string(&record).unwrap();
+    let entries: Vec<Value> = log.lines().map(|l| parse(l).unwrap()).collect();
+    assert_eq!(entries.len(), 4, "{log}");
+    for e in &entries {
+        assert_eq!(e.get("status").cloned().unwrap().into_u64(), Ok(200));
+        let bits = e.get("score_bits").cloned().unwrap().into_array().unwrap();
+        assert!(!bits.is_empty());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cand_dir);
+}
+
+#[test]
+fn shadow_divergence_increments_counters_and_blocks_promote() {
+    use fairlens_core::snapshot::{ModelParams, PipelineSnapshot};
+
+    let dir = temp_models_dir("shadow-dirty");
+    let (fitted, schema) = export(&dir, "german-lr", "LR", 83);
+    // The candidate: the incumbent with one coefficient bit flipped —
+    // bit 8 rather than the last place, because a 1-ulp weight change
+    // is absorbed by output rounding on most rows (same choice as the
+    // flm_flip tool, and still a ~1e-14 relative nudge).
+    let cand_dir = temp_models_dir("shadow-dirty-cand");
+    let candidate = cand_dir.join("candidate.flm");
+    let mut artifact = ModelArtifact::load(&dir.join("german-lr.flm")).unwrap();
+    let snapshot = match &mut artifact.pipeline {
+        PipelineSnapshot::Model(m) => m,
+        PipelineSnapshot::Adjusted { base, .. } => base,
+    };
+    let w = match &mut snapshot.params {
+        ModelParams::Linear(p) => p.weights.first_mut().unwrap(),
+        ModelParams::Mixture(ps) => ps.first_mut().unwrap().weights.first_mut().unwrap(),
+    };
+    *w = f64::from_bits(w.to_bits() ^ (1 << 8));
+    artifact.save(&candidate).unwrap();
+    let (addr, handle) = launch(&dir, |cfg| {
+        cfg.shadow = vec![("german-lr".into(), candidate.clone())];
+    });
+
+    // The response still comes from — and bit-matches — the incumbent;
+    // the flipped candidate only dirties the comparison window.
+    let mut client = Client::open(&addr);
+    let rows = sample_rows(8, 97);
+    let offline = schema.dataset_from_rows(&rows).unwrap();
+    let want = fitted.predict_proba(&offline);
+    let (status, v) = client.request("POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 200, "{v:?}");
+    let scores = v.get("scores").cloned().unwrap().into_f64s().unwrap();
+    assert_eq!(
+        scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        "a diverging shadow must never shape the response"
+    );
+
+    let (_, text) = client.request("GET", "/metrics", "");
+    let Value::String(text) = text else { panic!("metrics is not JSON") };
+    assert!(text.contains("fairlens_shadow_compared_total{model=\"german-lr\"} 1"), "{text}");
+    assert!(text.contains("fairlens_shadow_divergence_total{model=\"german-lr\"} 1"), "{text}");
+
+    // The listing pins the first divergence with both bit patterns.
+    let (_, v) = client.request("GET", "/v1/models", "");
+    let m = &v.get("models").cloned().unwrap().into_array().unwrap()[0];
+    let shadow = m.get("shadow").unwrap();
+    assert_eq!(shadow.get("divergence").cloned().unwrap().into_u64(), Ok(1));
+    let first = shadow.get("first_divergence").expect("first divergence pinned");
+    assert_eq!(first.get("request").cloned().unwrap().into_u64(), Ok(1));
+    let inc_bits = first.get("incumbent_bits").and_then(Value::as_str).unwrap().to_string();
+    assert!(inc_bits.starts_with("0x"), "{inc_bits}");
+
+    // Promote refuses with a structured 409 naming the first differing
+    // request and the score bits.
+    let (status, v) = client.request("POST", "/v1/promote", "{\"model\": \"german-lr\"}");
+    assert_eq!(status, 409, "{v:?}");
+    assert_eq!(error_kind(&v).as_deref(), Some("conflict"));
+    let msg = v.get("error").unwrap().get("message").unwrap().as_str().unwrap().to_string();
+    assert!(msg.contains("1 of 1"), "{msg}");
+    assert!(msg.contains("request 1"), "{msg}");
+    assert!(msg.contains(&inc_bits), "{msg} vs {inc_bits}");
+
+    // The incumbent keeps serving after the refusal.
+    let (status, _) = client.request("POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 200);
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cand_dir);
+}
+
+#[test]
+fn promote_without_traffic_is_a_409_and_unknown_model_a_404() {
+    let dir = temp_models_dir("promote-empty");
+    export(&dir, "german-lr", "LR", 87);
+    let cand_dir = temp_models_dir("promote-empty-cand");
+    let candidate = cand_dir.join("candidate.flm");
+    std::fs::copy(dir.join("german-lr.flm"), &candidate).unwrap();
+    let (addr, handle) = launch(&dir, |cfg| {
+        cfg.shadow = vec![("german-lr".into(), candidate.clone())];
+    });
+
+    // An empty comparison window has proven nothing → 409.
+    let (status, v) = one_shot(&addr, "POST", "/v1/promote", "{\"model\": \"german-lr\"}");
+    assert_eq!(status, 409, "{v:?}");
+    assert_eq!(error_kind(&v).as_deref(), Some("conflict"));
+    let (status, v) = one_shot(&addr, "POST", "/v1/promote", "{\"model\": \"nope\"}");
+    assert_eq!(status, 404, "{v:?}");
+    let (status, v) = one_shot(&addr, "POST", "/v1/promote", "{}");
+    assert_eq!(status, 400, "{v:?}");
+    let (status, _) = one_shot(&addr, "GET", "/v1/promote", "");
+    assert_eq!(status, 405);
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&cand_dir);
+}
+
+#[test]
 fn unloadable_artifacts_are_quarantined_not_fatal() {
     let dir = temp_models_dir("quarantine");
     export(&dir, "german-lr", "LR", 73);

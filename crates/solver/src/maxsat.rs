@@ -221,6 +221,20 @@ impl MaxSatProblem {
     /// Hard clauses get an effective weight larger than the total soft
     /// weight, so the search always prefers restoring hard feasibility.
     pub fn solve_local_search(&self, seed: u64, flips: usize, restarts: usize) -> MaxSatSolution {
+        self.solve_local_search_observed(seed, flips, restarts, &mut |_, _, _| {})
+    }
+
+    /// [`solve_local_search`] with a per-restart observer called as
+    /// `observe(restart, best_soft_weight, best_hard_ok)` on the incumbent
+    /// after each restart finishes — the checkpoint stream the
+    /// cross-verification harness compares against the exact solver.
+    pub fn solve_local_search_observed(
+        &self,
+        seed: u64,
+        flips: usize,
+        restarts: usize,
+        observe: &mut dyn FnMut(usize, f64, bool),
+    ) -> MaxSatSolution {
         let mut rng = StdRng::seed_from_u64(seed);
         let hard_w = self.total_soft_weight() + 1.0;
         let eff = |c: &Clause| c.weight.unwrap_or(hard_w);
@@ -252,7 +266,7 @@ impl MaxSatProblem {
                 });
             }
         };
-        for _ in 0..restarts.max(1) {
+        for restart in 0..restarts.max(1) {
             let mut assignment: Vec<bool> = (0..self.n_vars).map(|_| rng.gen()).collect();
             let mut sat_count: Vec<usize> = self
                 .clauses
@@ -329,6 +343,9 @@ impl MaxSatProblem {
                 }
                 let (soft, hard_ok) = self.evaluate(&assignment);
                 consider(&mut best, &assignment, soft, hard_ok);
+            }
+            if let Some(b) = &best {
+                observe(restart, b.soft_weight, b.hard_ok);
             }
         }
         best.expect("at least one restart ran")

@@ -1,0 +1,336 @@
+//! # fairlens-xverify
+//!
+//! Cross-verified execution: run two implementations of the same
+//! computation in lockstep and report the **exact first divergence** —
+//! iteration, field name, and both values down to the bit pattern.
+//!
+//! The paper's reproducibility claim rests on bit-exact numerics; FFB and
+//! fairlib both document in-processing instability across runs. Silent
+//! numeric divergence is precisely the failure mode a test-time assertion
+//! misses: it appears only on some data, some iteration, deep inside a
+//! solver. This crate turns the invariant into a runtime check:
+//!
+//! * [`Checkpoint`] — per-iteration solver state as named scalar fields;
+//! * [`Tolerance`] — bit-exact or a ULP bound ([`ulp_distance`]);
+//! * [`lockstep`] — compare two checkpoint streams field by field and stop
+//!   at the first disagreement ([`Divergence`]);
+//! * [`pairs`] — ready-made paired-solver drivers: Newton (IRLS) vs
+//!   gradient-descent logistic regression, exact vs WalkSAT MaxSAT at
+//!   small scale, and GD vs Adam on a shared [`fairlens_optim::Objective`].
+//!
+//! The bench crate wires these into an `xverify` binary and a `--xverify`
+//! flag on the figure binaries; `fairlens-serve` applies the same
+//! comparison discipline to shadow deployments.
+
+pub mod pairs;
+
+/// How two floating-point values are compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tolerance {
+    /// Values must agree bit for bit.
+    Exact,
+    /// Values may differ by at most this many units in the last place, or
+    /// by at most `k · ε` absolutely ("k ulps at unit scale") — the
+    /// absolute fallback keeps near-zero values from failing on the
+    /// astronomically large ULP distances across the sign boundary.
+    Ulps(u64),
+}
+
+impl Tolerance {
+    /// Do `a` and `b` agree under this tolerance?
+    pub fn matches(self, a: f64, b: f64) -> bool {
+        match self {
+            Tolerance::Exact => a.to_bits() == b.to_bits(),
+            Tolerance::Ulps(k) => {
+                ulp_distance(a, b) <= k || (a - b).abs() <= k as f64 * f64::EPSILON
+            }
+        }
+    }
+}
+
+/// Map a float onto a monotone integer line, so that ULP distance is a
+/// plain integer difference. `-0.0` and `+0.0` coincide at the origin.
+fn ordered(v: f64) -> i128 {
+    let a = v.to_bits() as i64 as i128;
+    if a < 0 {
+        (i64::MIN as i128) - a
+    } else {
+        a
+    }
+}
+
+/// Distance between two finite floats in units in the last place.
+///
+/// Identical bit patterns are 0 apart; any comparison involving NaN is
+/// `u64::MAX` apart (NaN never silently passes a tolerance gate).
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a.to_bits() == b.to_bits() {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    u64::try_from((ordered(a) - ordered(b)).unsigned_abs()).unwrap_or(u64::MAX)
+}
+
+/// Move `v` up by `ulps` representable values (the perturbation injector
+/// used by the smoke tests to prove the harness actually fires).
+pub fn bump(v: f64, ulps: u64) -> f64 {
+    let mut out = v;
+    for _ in 0..ulps {
+        out = next_up(out);
+    }
+    out
+}
+
+fn next_up(v: f64) -> f64 {
+    // f64::next_up is unstable on our MSRV; walk the bit pattern directly.
+    if v.is_nan() || v == f64::INFINITY {
+        return v;
+    }
+    let bits = v.to_bits();
+    if v == 0.0 {
+        f64::from_bits(1)
+    } else if bits >> 63 == 0 {
+        f64::from_bits(bits + 1)
+    } else {
+        f64::from_bits(bits - 1)
+    }
+}
+
+/// Per-iteration solver state exposed for lockstep comparison.
+///
+/// Implementors surface their state as an ordered list of named scalar
+/// fields — coefficients, objective values, satisfied weight — the exact
+/// `f64`s the solver computed, so a bit-exact comparison is meaningful.
+pub trait Checkpoint {
+    /// Named scalar fields of this checkpoint, in a stable order.
+    fn fields(&self) -> Vec<(String, f64)>;
+}
+
+/// A plain captured checkpoint: what the observer hooks in
+/// `fairlens-model` / `fairlens-optim` / `fairlens-solver` emit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    /// The named fields.
+    pub fields: Vec<(String, f64)>,
+}
+
+impl State {
+    /// Build a checkpoint from `(name, value)` pairs.
+    pub fn new(fields: impl IntoIterator<Item = (String, f64)>) -> Self {
+        Self { fields: fields.into_iter().collect() }
+    }
+
+    /// A checkpoint of one parameter vector, fields named `{prefix}[j]`.
+    pub fn of_params(prefix: &str, params: &[f64]) -> Self {
+        Self::new(params.iter().enumerate().map(|(j, &v)| (format!("{prefix}[{j}]"), v)))
+    }
+}
+
+impl Checkpoint for State {
+    fn fields(&self) -> Vec<(String, f64)> {
+        self.fields.clone()
+    }
+}
+
+/// The first point where two checkpoint streams disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Index in the checkpoint stream (the solver iteration).
+    pub iteration: usize,
+    /// Which field disagreed.
+    pub field: String,
+    /// The left run's value.
+    pub left: f64,
+    /// The right run's value.
+    pub right: f64,
+}
+
+impl Divergence {
+    /// ULP distance between the two values.
+    pub fn ulps(&self) -> u64 {
+        ulp_distance(self.left, self.right)
+    }
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "first divergence at iteration {} field {}: left {:e} (bits {:#018x}) vs right {:e} (bits {:#018x}), {} ulps apart",
+            self.iteration,
+            self.field,
+            self.left,
+            self.left.to_bits(),
+            self.right,
+            self.right.to_bits(),
+            self.ulps(),
+        )
+    }
+}
+
+/// Outcome of one lockstep comparison.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Which solver pair ran (e.g. `"lr/irls-vs-irls"`).
+    pub pair: String,
+    /// Number of checkpoints compared before stopping.
+    pub checkpoints: usize,
+    /// The first divergence, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl Report {
+    /// Did the two runs agree everywhere?
+    pub fn ok(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.divergence {
+            None => write!(f, "[{}] ok: {} checkpoints agree", self.pair, self.checkpoints),
+            Some(d) => write!(f, "[{}] DIVERGED: {d}", self.pair),
+        }
+    }
+}
+
+/// Compare two checkpoint streams in lockstep.
+///
+/// Streams are walked index by index; at each index every field of the
+/// left checkpoint must be present in the right one and match under `tol`.
+/// The comparison stops at the first disagreement. A length mismatch (one
+/// solver took more iterations) is itself a divergence, reported on the
+/// synthetic field `"checkpoints"`.
+pub fn lockstep<L: Checkpoint, R: Checkpoint>(
+    pair: &str,
+    left: &[L],
+    right: &[R],
+    tol: Tolerance,
+) -> Report {
+    let n = left.len().min(right.len());
+    for i in 0..n {
+        let lf = left[i].fields();
+        let rf = right[i].fields();
+        for (name, lv) in &lf {
+            let rv = match rf.iter().find(|(rn, _)| rn == name) {
+                Some((_, rv)) => *rv,
+                None => f64::NAN,
+            };
+            if !tol.matches(*lv, rv) {
+                return Report {
+                    pair: pair.to_string(),
+                    checkpoints: i,
+                    divergence: Some(Divergence {
+                        iteration: i,
+                        field: name.clone(),
+                        left: *lv,
+                        right: rv,
+                    }),
+                };
+            }
+        }
+    }
+    let divergence = (left.len() != right.len()).then(|| Divergence {
+        iteration: n,
+        field: "checkpoints".into(),
+        left: left.len() as f64,
+        right: right.len() as f64,
+    });
+    Report { pair: pair.to_string(), checkpoints: n, divergence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(1.0, f64::NAN), u64::MAX);
+        // Straddling zero: smallest positive vs smallest negative subnormal.
+        assert_eq!(ulp_distance(f64::from_bits(1), -f64::from_bits(1)), 2);
+        // Distance grows monotonically with magnitude gap.
+        assert!(ulp_distance(1.0, 2.0) > ulp_distance(1.0, 1.5));
+    }
+
+    #[test]
+    fn bump_moves_by_exact_ulps() {
+        let v = 3.25f64;
+        assert_eq!(ulp_distance(v, bump(v, 1)), 1);
+        assert_eq!(ulp_distance(v, bump(v, 7)), 7);
+        assert_eq!(ulp_distance(-v, bump(-v, 3)), 3);
+        assert!(bump(-v, 3) > -v);
+        assert!(bump(0.0, 1) > 0.0);
+    }
+
+    #[test]
+    fn tolerance_modes() {
+        let a = 1.0;
+        let b = bump(a, 4);
+        assert!(Tolerance::Exact.matches(a, a));
+        assert!(!Tolerance::Exact.matches(a, b));
+        assert!(Tolerance::Ulps(4).matches(a, b));
+        assert!(!Tolerance::Ulps(3).matches(a, b));
+        assert!(!Tolerance::Ulps(u64::MAX - 1).matches(a, f64::NAN));
+        // Absolute fallback: values straddling zero are billions of ulps
+        // apart but agree at unit scale.
+        assert!(Tolerance::Ulps(1 << 40).matches(1e-20, -1e-20));
+        assert!(!Tolerance::Ulps(1 << 40).matches(0.1, -0.1));
+    }
+
+    #[test]
+    fn lockstep_agrees_on_identical_streams() {
+        let s: Vec<State> =
+            (0..5).map(|i| State::of_params("beta", &[i as f64, -0.5 * i as f64])).collect();
+        let r = lockstep("test", &s, &s.clone(), Tolerance::Exact);
+        assert!(r.ok());
+        assert_eq!(r.checkpoints, 5);
+    }
+
+    #[test]
+    fn lockstep_names_first_diverging_iteration_and_field() {
+        let left: Vec<State> = (0..5).map(|i| State::of_params("beta", &[1.0, i as f64])).collect();
+        let mut right = left.clone();
+        right[3].fields[1].1 = bump(right[3].fields[1].1, 2);
+        let r = lockstep("test", &left, &right, Tolerance::Exact);
+        let d = r.divergence.expect("must diverge");
+        assert_eq!(d.iteration, 3);
+        assert_eq!(d.field, "beta[1]");
+        assert_eq!(d.ulps(), 2);
+        // Within a 2-ulp bound the same streams agree.
+        assert!(lockstep("test", &left, &right, Tolerance::Ulps(2)).ok());
+    }
+
+    #[test]
+    fn lockstep_reports_length_mismatch() {
+        let left: Vec<State> = (0..4).map(|i| State::of_params("x", &[i as f64])).collect();
+        let right: Vec<State> = left[..3].to_vec();
+        let r = lockstep("test", &left, &right, Tolerance::Exact);
+        let d = r.divergence.expect("must diverge");
+        assert_eq!(d.field, "checkpoints");
+        assert_eq!(d.iteration, 3);
+    }
+
+    #[test]
+    fn lockstep_missing_field_is_a_divergence() {
+        let left = [State::new([("a".to_string(), 1.0), ("b".to_string(), 2.0)])];
+        let right = [State::new([("a".to_string(), 1.0)])];
+        let r = lockstep("test", &left, &right, Tolerance::Ulps(10));
+        assert_eq!(r.divergence.unwrap().field, "b");
+    }
+
+    #[test]
+    fn divergence_display_names_bits() {
+        let d = Divergence { iteration: 7, field: "beta[2]".into(), left: 1.0, right: bump(1.0, 1) };
+        let s = d.to_string();
+        assert!(s.contains("iteration 7"), "{s}");
+        assert!(s.contains("beta[2]"), "{s}");
+        assert!(s.contains("0x3ff0000000000000"), "{s}");
+        assert!(s.contains("1 ulps"), "{s}");
+    }
+}

@@ -93,6 +93,11 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
     # batch predicts (loadgen exits non-zero on any non-200), check the
     # metrics moved, and drain via POST /v1/shutdown; the server must
     # exit 0 with no connection resets.
+    #
+    # Warm the exact artifacts `cargo run` will want first — a rebuild
+    # inside the timed announce loops below reads as a boot failure.
+    cargo build --release -p fairlens-serve --bin fairlens-serve --example loadgen >/dev/null
+    cargo build --release -p fairlens-bench --bin export_models --bin flm_flip >/dev/null
     models_dir="$smoke_out/models"
     cargo run --release -p fairlens-bench --bin export_models -- \
         --scale quick --out "$models_dir" --datasets German \
@@ -103,7 +108,7 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
         --addr 127.0.0.1:0 --models "$models_dir" --trace "$serve_trace" 2> "$serve_log" &
     serve_pid=$!
     addr=""
-    for _ in $(seq 1 100); do
+    for _ in $(seq 1 300); do
         addr="$(sed -n 's/^\[serve\] listening on \([0-9.:]*\).*$/\1/p' "$serve_log")"
         [[ -n "$addr" ]] && break
         sleep 0.1
@@ -152,7 +157,7 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
         --breaker-threshold 2 --breaker-cooldown-ms 300 2> "$chaos_log" &
     chaos_pid=$!
     addr=""
-    for _ in $(seq 1 100); do
+    for _ in $(seq 1 300); do
         addr="$(sed -n 's/^\[serve\] listening on \([0-9.:]*\).*$/\1/p' "$chaos_log")"
         [[ -n "$addr" ]] && break
         sleep 0.1
@@ -199,6 +204,141 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
         || { echo "chaos smoke FAILED: no drain marker in the log" >&2; exit 1; }
     sheds="$(sed -n 's/^fairlens_shed_total{reason="queue_full"} //p' "$smoke_out/chaos-metrics.txt")"
     echo "    ok: survived the storm (${sheds:-0} queue sheds), breaker tripped and re-closed, clean drain"
+
+    echo "==> xverify smoke (paired solvers in lockstep, clean + perturbed)"
+    # The clean suite must agree on every pair; the perturbed run must
+    # exit non-zero and pinpoint the injected iteration — proof the
+    # checker fires rather than stays silent.
+    cargo run --release -p fairlens-bench --bin xverify -- \
+        german --scale quick --cells 1 2> "$smoke_out/xverify.log" \
+        || { echo "xverify smoke FAILED (clean run):" >&2
+             cat "$smoke_out/xverify.log" >&2; exit 1; }
+    grep -q 'all solver pairs agree' "$smoke_out/xverify.log" \
+        || { echo "xverify smoke FAILED: no agreement marker" >&2; exit 1; }
+    if cargo run --release -p fairlens-bench --bin xverify -- \
+        german --scale quick --perturb 2> "$smoke_out/xverify-perturb.log"; then
+        echo "xverify smoke FAILED: --perturb exited 0" >&2
+        cat "$smoke_out/xverify-perturb.log" >&2
+        exit 1
+    fi
+    grep -q 'first divergence at iteration' "$smoke_out/xverify-perturb.log" \
+        || { echo "xverify smoke FAILED: perturbation not pinpointed" >&2
+             cat "$smoke_out/xverify-perturb.log" >&2; exit 1; }
+    echo "    ok: clean suite agrees, injected perturbation pinpointed"
+
+    echo "==> shadow & replay smoke (record, clean window, promote, replay, dirty 409)"
+    # A byte-identical shadow candidate must produce a clean comparison
+    # window (promote succeeds); a recorded run must replay bit-exactly
+    # against the promoted server; a bit-flipped candidate must drive the
+    # divergence counter and turn promote into a structured 409.
+    cp "$models_dir/german-lr.flm" "$smoke_out/candidate.flm"
+    recording="$smoke_out/predict.rec.jsonl"
+    shadow_log="$smoke_out/shadow-serve.log"
+    cargo run --release -p fairlens-serve -- \
+        --addr 127.0.0.1:0 --models "$models_dir" \
+        --shadow german-lr="$smoke_out/candidate.flm" \
+        --record "$recording" 2> "$shadow_log" &
+    shadow_pid=$!
+    addr=""
+    for _ in $(seq 1 300); do
+        addr="$(sed -n 's/^\[serve\] listening on \([0-9.:]*\).*$/\1/p' "$shadow_log")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "shadow smoke FAILED: server never announced its address" >&2
+        kill "$shadow_pid" 2>/dev/null || true
+        exit 1
+    fi
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$addr" --model german-lr --requests 200 --conns 2 \
+        2> "$smoke_out/shadow-loadgen.log" \
+        || { echo "shadow smoke FAILED (loadgen):" >&2
+             cat "$smoke_out/shadow-loadgen.log" >&2; exit 1; }
+    curl -s "http://$addr/metrics" > "$smoke_out/shadow-metrics.txt"
+    grep -q 'fairlens_shadow_compared_total{model="german-lr"} 200' \
+        "$smoke_out/shadow-metrics.txt" \
+        || { echo "shadow smoke FAILED: compared counter did not reach 200" >&2; exit 1; }
+    grep -q 'fairlens_shadow_divergence_total{model="german-lr"} 0' \
+        "$smoke_out/shadow-metrics.txt" \
+        || { echo "shadow smoke FAILED: identical candidate diverged" >&2; exit 1; }
+    promote_code="$(curl -s -o "$smoke_out/promote.json" -w '%{http_code}' \
+        -X POST "http://$addr/v1/promote" -d '{"model": "german-lr"}')"
+    if [[ "$promote_code" != "200" ]] \
+        || ! grep -q '"status": *"promoted"' "$smoke_out/promote.json"; then
+        echo "shadow smoke FAILED: clean promote got HTTP $promote_code:" >&2
+        cat "$smoke_out/promote.json" >&2
+        exit 1
+    fi
+    curl -s -X POST "http://$addr/v1/shutdown" >/dev/null
+    wait "$shadow_pid" \
+        || { echo "shadow smoke FAILED: shadow server exited non-zero" >&2; exit 1; }
+    # Replay the recording against a fresh boot of the promoted models.
+    replay_log="$smoke_out/replay-serve.log"
+    cargo run --release -p fairlens-serve -- \
+        --addr 127.0.0.1:0 --models "$models_dir" 2> "$replay_log" &
+    replay_pid=$!
+    addr=""
+    for _ in $(seq 1 300); do
+        addr="$(sed -n 's/^\[serve\] listening on \([0-9.:]*\).*$/\1/p' "$replay_log")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "shadow smoke FAILED: replay server never announced its address" >&2
+        kill "$replay_pid" 2>/dev/null || true
+        exit 1
+    fi
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$addr" --replay "$recording" --shutdown \
+        2> "$smoke_out/replay.log" \
+        || { echo "shadow smoke FAILED (replay):" >&2
+             cat "$smoke_out/replay.log" >&2; exit 1; }
+    grep -q 'REPLAY PASS' "$smoke_out/replay.log" \
+        || { echo "shadow smoke FAILED: no REPLAY PASS marker" >&2; exit 1; }
+    wait "$replay_pid" \
+        || { echo "shadow smoke FAILED: replay server exited non-zero" >&2; exit 1; }
+    # A bit-flipped candidate must dirty the window and block promotion.
+    cargo run --release -p fairlens-bench --bin flm_flip -- \
+        "$models_dir/german-lr.flm" "$smoke_out/flipped.flm" 2>/dev/null
+    dirty_log="$smoke_out/dirty-serve.log"
+    cargo run --release -p fairlens-serve -- \
+        --addr 127.0.0.1:0 --models "$models_dir" \
+        --shadow german-lr="$smoke_out/flipped.flm" 2> "$dirty_log" &
+    dirty_pid=$!
+    addr=""
+    for _ in $(seq 1 300); do
+        addr="$(sed -n 's/^\[serve\] listening on \([0-9.:]*\).*$/\1/p' "$dirty_log")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "shadow smoke FAILED: dirty server never announced its address" >&2
+        kill "$dirty_pid" 2>/dev/null || true
+        exit 1
+    fi
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$addr" --model german-lr --requests 50 --conns 2 \
+        2> "$smoke_out/dirty-loadgen.log" \
+        || { echo "shadow smoke FAILED (dirty loadgen):" >&2
+             cat "$smoke_out/dirty-loadgen.log" >&2; exit 1; }
+    curl -s "http://$addr/metrics" > "$smoke_out/dirty-metrics.txt"
+    grep -Eq 'fairlens_shadow_divergence_total\{model="german-lr"\} [1-9]' \
+        "$smoke_out/dirty-metrics.txt" \
+        || { echo "shadow smoke FAILED: flipped candidate never diverged" >&2; exit 1; }
+    promote_code="$(curl -s -o "$smoke_out/promote-409.json" -w '%{http_code}' \
+        -X POST "http://$addr/v1/promote" -d '{"model": "german-lr"}')"
+    if [[ "$promote_code" != "409" ]] \
+        || ! grep -q '"kind": *"conflict"' "$smoke_out/promote-409.json" \
+        || ! grep -q 'first divergence at request' "$smoke_out/promote-409.json"; then
+        echo "shadow smoke FAILED: dirty promote got HTTP $promote_code:" >&2
+        cat "$smoke_out/promote-409.json" >&2
+        exit 1
+    fi
+    curl -s -X POST "http://$addr/v1/shutdown" >/dev/null
+    wait "$dirty_pid" \
+        || { echo "shadow smoke FAILED: dirty server exited non-zero" >&2; exit 1; }
+    echo "    ok: clean window promoted, recording replayed bit-exactly, flipped candidate refused with 409"
 fi
 
 echo "All checks passed."
