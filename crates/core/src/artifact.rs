@@ -298,7 +298,8 @@ pub struct ModelArtifact {
     /// Number of training rows.
     pub train_rows: u64,
     /// Training-fold metrics `(name, value)`, e.g. accuracy and the five
-    /// fairness measures — provenance only, not used at serving time.
+    /// fairness measures. Besides provenance, these are the baseline the
+    /// serving stack's drift detection judges live metrics against.
     pub train_metrics: Vec<(String, f64)>,
     /// Schema of the training data, used to parse prediction rows.
     pub schema: DataSchema,
@@ -310,6 +311,13 @@ impl ModelArtifact {
     /// Rebuild the live pipeline.
     pub fn restore(&self) -> FittedPipeline {
         self.pipeline.restore()
+    }
+
+    /// Look up one training-fold metric by name — the provenance
+    /// read-back used by live drift detection, which compares windowed
+    /// online metrics against these training-time values.
+    pub fn train_metric(&self, name: &str) -> Option<f64> {
+        self.train_metrics.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
     }
 
     /// Serialize the artifact to its on-disk JSON form.

@@ -47,6 +47,67 @@ pub fn di_star(y_pred: &[u8], sensitive: &[u8]) -> f64 {
     }
 }
 
+/// Statistical parity difference:
+/// `SPD = Pr(Ŷ=1 | S=1) − Pr(Ŷ=1 | S=0)`.
+///
+/// The additive counterpart of disparate impact: `0` is perfect
+/// demographic parity, positive values favour the privileged group.
+/// Returns `0.0` when either group is absent (a single-group window
+/// carries no disparity evidence — mirroring [`disparate_impact`]).
+pub fn statistical_parity_difference(y_pred: &[u8], sensitive: &[u8]) -> f64 {
+    let rate = |g: u8| -> f64 {
+        let (pos, tot) = y_pred
+            .iter()
+            .zip(sensitive.iter())
+            .filter(|&(_, &s)| s == g)
+            .fold((0usize, 0usize), |(p, t), (&yp, _)| (p + yp as usize, t + 1));
+        if tot == 0 {
+            f64::NAN
+        } else {
+            pos as f64 / tot as f64
+        }
+    };
+    let (r0, r1) = (rate(0), rate(1));
+    if r0.is_nan() || r1.is_nan() {
+        return 0.0;
+    }
+    r1 - r0
+}
+
+/// Calibration error within sensitive group `g`: the mean predicted
+/// score minus the observed positive rate over the group's labeled rows,
+/// `E[f(X) | S=g] − Pr(Y=1 | S=g)`.
+///
+/// A well-calibrated score has error `0` in every group. Returns NaN
+/// when the group has no rows (nothing to calibrate against).
+pub fn group_calibration_error(scores: &[f64], y_true: &[u8], sensitive: &[u8], g: u8) -> f64 {
+    let (score_sum, label_sum, n) = scores
+        .iter()
+        .zip(y_true.iter())
+        .zip(sensitive.iter())
+        .filter(|&(_, &s)| s == g)
+        .fold((0.0f64, 0usize, 0usize), |(ss, ls, n), ((&sc, &yt), _)| {
+            (ss + sc, ls + yt as usize, n + 1)
+        });
+    if n == 0 {
+        return f64::NAN;
+    }
+    (score_sum - label_sum as f64) / n as f64
+}
+
+/// Calibration-within-groups gap: the absolute difference between the
+/// per-group calibration errors,
+/// `|cal(S=1) − cal(S=0)|` (see [`group_calibration_error`]).
+///
+/// `0` means both groups' scores are miscalibrated by the same amount
+/// and direction (the "calibration within groups" notion of Fig. 5);
+/// NaN when either group has no labeled rows.
+pub fn calibration_gap(scores: &[f64], y_true: &[u8], sensitive: &[u8]) -> f64 {
+    let c0 = group_calibration_error(scores, y_true, sensitive, 0);
+    let c1 = group_calibration_error(scores, y_true, sensitive, 1);
+    (c1 - c0).abs()
+}
+
 /// True positive rate balance:
 /// `TPRB = Pr(Ŷ=1|Y=1,S=1) − Pr(Ŷ=1|Y=1,S=0)`.
 ///
@@ -146,8 +207,37 @@ mod tests {
         let p = [1, 0, 1, 0];
         let s = [0, 0, 1, 1];
         assert_eq!(disparate_impact(&p, &s), 1.0);
+        assert_eq!(statistical_parity_difference(&p, &s), 0.0);
         let y = [1, 0, 1, 0];
         assert_eq!(tpr_balance(&y, &p, &s), 0.0);
         assert_eq!(tnr_balance(&y, &p, &s), 0.0);
+    }
+
+    #[test]
+    fn spd_is_the_additive_counterpart_of_di() {
+        let (_, p, s) = figure4();
+        // Paper: rates 9/40 (unpriv) vs 20/60 (priv) → SPD = 1/3 − 0.225.
+        let spd = statistical_parity_difference(&p, &s);
+        assert!((spd - (20.0 / 60.0 - 9.0 / 40.0)).abs() < 1e-12, "SPD = {spd}");
+        // A single-group window carries no evidence.
+        assert_eq!(statistical_parity_difference(&[1, 0], &[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn calibration_within_groups() {
+        let scores = [0.8, 0.6, 0.2, 0.4];
+        let y = [1, 0, 0, 0];
+        let s = [0, 0, 1, 1];
+        // Group 0: mean score 0.7, positive rate 0.5 → error 0.2.
+        let c0 = group_calibration_error(&scores, &y, &s, 0);
+        assert!((c0 - 0.2).abs() < 1e-12, "c0 = {c0}");
+        // Group 1: mean score 0.3, positive rate 0 → error 0.3.
+        let c1 = group_calibration_error(&scores, &y, &s, 1);
+        assert!((c1 - 0.3).abs() < 1e-12, "c1 = {c1}");
+        let gap = calibration_gap(&scores, &y, &s);
+        assert!((gap - 0.1).abs() < 1e-12, "gap = {gap}");
+        // An absent group yields NaN, and the gap propagates it.
+        assert!(group_calibration_error(&scores, &y, &[0, 0, 0, 0], 1).is_nan());
+        assert!(calibration_gap(&scores, &y, &[0, 0, 0, 0]).is_nan());
     }
 }

@@ -36,7 +36,10 @@ pub mod subgroups;
 pub use cd::{causal_discrimination, hoeffding_sample_size};
 pub use confusion::ConfusionMatrix;
 pub use crd::causal_risk_difference;
-pub use fairness::{di_star, disparate_impact, tnr_balance, tpr_balance};
+pub use fairness::{
+    calibration_gap, di_star, disparate_impact, group_calibration_error,
+    statistical_parity_difference, tnr_balance, tpr_balance,
+};
 pub use notions::{FairnessNotion, NOTIONS};
 pub use report::MetricReport;
 pub use subgroups::{audit_subgroups, worst_weighted_gap, SubgroupSlice};

@@ -1,0 +1,87 @@
+//! Injectable time source shared by the monitor and the serving stack.
+//!
+//! The breaker in `fairlens-serve` established the pattern: state
+//! machines never read the clock themselves — every method takes `now`
+//! explicitly, and the *caller* decides where `now` comes from. This
+//! module is the missing half of that pattern: a [`Clock`] trait the
+//! callers source their `now` from, so a whole serving stack (breakers,
+//! monitors, drift trackers) can be driven off one [`ManualClock`] in
+//! tests and off [`SystemClock`] in production.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time.
+pub trait Clock: Send + Sync {
+    /// The current instant.
+    fn now(&self) -> Instant;
+}
+
+/// The real clock: `Instant::now()`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A hand-cranked clock for deterministic tests: time only moves when
+/// [`ManualClock::advance`] is called. Cloning shares the underlying
+/// instant, so a clone handed to a registry and one kept by the test
+/// stay in lockstep.
+#[derive(Debug, Clone)]
+pub struct ManualClock {
+    now: Arc<Mutex<Instant>>,
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ManualClock {
+    /// A clock frozen at the moment of construction.
+    pub fn new() -> Self {
+        Self { now: Arc::new(Mutex::new(Instant::now())) }
+    }
+
+    /// Move time forward by `dur`.
+    pub fn advance(&self, dur: Duration) {
+        *self.now.lock().unwrap() += dur;
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Instant {
+        *self.now.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let clock = ManualClock::new();
+        let t0 = clock.now();
+        assert_eq!(clock.now(), t0);
+        clock.advance(Duration::from_secs(3));
+        assert_eq!(clock.now(), t0 + Duration::from_secs(3));
+        // A clone shares the instant.
+        let twin = clock.clone();
+        twin.advance(Duration::from_secs(1));
+        assert_eq!(clock.now(), t0 + Duration::from_secs(4));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = SystemClock;
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,374 @@
+//! Drift detection: live windowed metrics vs the training-time baseline.
+//!
+//! Each monitored metric carries a threshold; an *evaluation* (one pass
+//! after a window mutation, once the window is full) breaches when any
+//! monitored metric's live value differs from its `.flm`-provenance
+//! baseline by more than the threshold. Breaches and clean evaluations
+//! feed a three-state machine with hysteresis on consecutive counts:
+//!
+//! ```text
+//! ok ── warn_after consecutive breaches ──▶ warning
+//! warning ── alert_after consecutive breaches ──▶ alerting
+//! warning ── recover_after consecutive clean ──▶ ok
+//! alerting ── recover_after consecutive clean ──▶ warning  (step down)
+//! ```
+//!
+//! The hysteresis counts are *window evaluations*, not wall-clock — the
+//! machine is a pure function of the observation stream, so drift states
+//! reproduce exactly under replay. The clock (injected, never read
+//! internally — see [`crate::clock`]) only timestamps transitions for
+//! the `in_state` age surfaced in `GET /v1/models`.
+
+use std::time::{Duration, Instant};
+
+use crate::live::{LiveMetric, LABELED_METRICS};
+
+/// Default per-metric drift thresholds, applied when the operator passes
+/// no `--drift-threshold` flags: the headline fairness metric, the
+/// headline correctness metric, and the two equalized-odds halves.
+pub const DEFAULT_THRESHOLDS: [(&str, f64); 4] =
+    [("accuracy", 0.10), ("di_star", 0.15), ("tprb_fair", 0.15), ("tnrb_fair", 0.15)];
+
+/// Drift-detection tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// `(metric, max |live − baseline|)` pairs; empty selects
+    /// [`DEFAULT_THRESHOLDS`]. Metrics without a training-time baseline
+    /// in the artifact are ignored.
+    pub thresholds: Vec<(String, f64)>,
+    /// Consecutive breaching evaluations that raise `ok → warning`.
+    pub warn_after: u32,
+    /// Consecutive breaching evaluations that raise `warning → alerting`.
+    pub alert_after: u32,
+    /// Consecutive clean evaluations that step the state back down.
+    pub recover_after: u32,
+    /// Labeled rows required in-window before label-dependent metrics
+    /// (accuracy suite, EO gaps, calibration) participate in drift.
+    pub min_labeled: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            thresholds: Vec::new(),
+            warn_after: 2,
+            alert_after: 4,
+            recover_after: 4,
+            min_labeled: 16,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// The effective thresholds: the configured list, or the defaults.
+    pub fn effective_thresholds(&self) -> Vec<(String, f64)> {
+        if self.thresholds.is_empty() {
+            DEFAULT_THRESHOLDS.iter().map(|(m, d)| (m.to_string(), *d)).collect()
+        } else {
+            self.thresholds.clone()
+        }
+    }
+}
+
+/// The per-model drift status surfaced in `GET /v1/models` and the
+/// `fairlens_drift_state` gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftState {
+    /// Live metrics agree with the training-time baseline.
+    Ok,
+    /// Breaching, but not yet long enough to alert.
+    Warning,
+    /// Sustained breach: the deployed model's live behaviour has drifted
+    /// from its provenance.
+    Alerting,
+}
+
+impl DriftState {
+    /// Stable wire name (`/v1/models`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DriftState::Ok => "ok",
+            DriftState::Warning => "warning",
+            DriftState::Alerting => "alerting",
+        }
+    }
+
+    /// Prometheus gauge encoding: ok 0, warning 1, alerting 2.
+    pub fn gauge(self) -> u64 {
+        match self {
+            DriftState::Ok => 0,
+            DriftState::Warning => 1,
+            DriftState::Alerting => 2,
+        }
+    }
+}
+
+/// One metric outside its threshold at the latest evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breach {
+    /// The offending metric.
+    pub metric: String,
+    /// Its live windowed value.
+    pub live: f64,
+    /// Its training-time baseline from the artifact provenance.
+    pub baseline: f64,
+    /// `|live − baseline|`.
+    pub delta: f64,
+    /// The configured threshold the delta exceeded.
+    pub threshold: f64,
+}
+
+/// The drift state machine for one model.
+#[derive(Debug)]
+pub struct DriftTracker {
+    thresholds: Vec<(String, f64)>,
+    warn_after: u32,
+    alert_after: u32,
+    recover_after: u32,
+    min_labeled: usize,
+    state: DriftState,
+    breach_streak: u32,
+    clean_streak: u32,
+    /// Breaches at the most recent evaluation (empty when clean).
+    breaching: Vec<Breach>,
+    evaluations: u64,
+    entered_at: Option<Instant>,
+}
+
+impl DriftTracker {
+    /// A tracker in `Ok` with no evaluations yet.
+    pub fn new(cfg: &DriftConfig) -> Self {
+        Self {
+            thresholds: cfg.effective_thresholds(),
+            warn_after: cfg.warn_after.max(1),
+            alert_after: cfg.alert_after.max(1),
+            recover_after: cfg.recover_after.max(1),
+            min_labeled: cfg.min_labeled,
+            state: DriftState::Ok,
+            breach_streak: 0,
+            clean_streak: 0,
+            breaching: Vec::new(),
+            evaluations: 0,
+            entered_at: None,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> DriftState {
+        self.state
+    }
+
+    /// Breaches at the latest evaluation, worst (largest delta) first.
+    pub fn breaching(&self) -> &[Breach] {
+        &self.breaching
+    }
+
+    /// Window evaluations performed so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// How long the tracker has been in its current state (`None` until
+    /// the first transition).
+    pub fn in_state(&self, now: Instant) -> Option<Duration> {
+        self.entered_at.map(|t| now.saturating_duration_since(t))
+    }
+
+    /// The effective `(metric, threshold)` pairs being monitored.
+    pub fn thresholds(&self) -> &[(String, f64)] {
+        &self.thresholds
+    }
+
+    /// Evaluate one full window against the baseline at time `now`.
+    /// Returns the transition `(from, to)` if the state changed.
+    ///
+    /// A monitored metric participates only when (a) the artifact
+    /// recorded a baseline for it, (b) the window defines a live value
+    /// for it (`group="all"`), and (c) — for label-dependent metrics —
+    /// at least `min_labeled` labeled rows are resident. An evaluation
+    /// with no participating metrics counts as clean: no evidence is
+    /// not evidence of drift.
+    pub fn evaluate(
+        &mut self,
+        live: &[LiveMetric],
+        labeled: usize,
+        baseline: &[(String, f64)],
+        now: Instant,
+    ) -> Option<(DriftState, DriftState)> {
+        self.evaluations += 1;
+        let mut breaches: Vec<Breach> = self
+            .thresholds
+            .iter()
+            .filter_map(|(metric, threshold)| {
+                if LABELED_METRICS.contains(&metric.as_str()) && labeled < self.min_labeled {
+                    return None;
+                }
+                let base = baseline
+                    .iter()
+                    .find(|(k, _)| k == metric)
+                    .map(|(_, v)| *v)
+                    .filter(|v| v.is_finite())?;
+                let value = live
+                    .iter()
+                    .find(|m| m.metric == metric && m.group == "all")
+                    .map(|m| m.value)?;
+                let delta = (value - base).abs();
+                (delta > *threshold).then(|| Breach {
+                    metric: metric.clone(),
+                    live: value,
+                    baseline: base,
+                    delta,
+                    threshold: *threshold,
+                })
+            })
+            .collect();
+        breaches.sort_by(|a, b| b.delta.total_cmp(&a.delta));
+        let breached = !breaches.is_empty();
+        self.breaching = breaches;
+        if breached {
+            self.breach_streak += 1;
+            self.clean_streak = 0;
+        } else {
+            self.clean_streak += 1;
+            self.breach_streak = 0;
+        }
+        let next = match self.state {
+            DriftState::Ok if self.breach_streak >= self.warn_after => DriftState::Warning,
+            DriftState::Warning if self.breach_streak >= self.alert_after => {
+                DriftState::Alerting
+            }
+            DriftState::Warning if self.clean_streak >= self.recover_after => DriftState::Ok,
+            DriftState::Alerting if self.clean_streak >= self.recover_after => {
+                // Step down one level; a fresh recover_after of clean
+                // evaluations is required to reach ok.
+                self.clean_streak = 0;
+                DriftState::Warning
+            }
+            state => state,
+        };
+        if next != self.state {
+            let from = self.state;
+            self.state = next;
+            self.entered_at = Some(now);
+            return Some((from, next));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lm(metric: &'static str, value: f64) -> LiveMetric {
+        LiveMetric { metric, group: "all", value }
+    }
+
+    fn cfg() -> DriftConfig {
+        DriftConfig {
+            thresholds: vec![("accuracy".into(), 0.1), ("di_star".into(), 0.2)],
+            warn_after: 2,
+            alert_after: 4,
+            recover_after: 3,
+            min_labeled: 4,
+        }
+    }
+
+    #[test]
+    fn hysteresis_walks_ok_warning_alerting_and_back() {
+        let t0 = Instant::now();
+        let mut d = DriftTracker::new(&cfg());
+        let base = vec![("accuracy".to_string(), 0.8), ("di_star".to_string(), 0.9)];
+        let bad = [lm("accuracy", 0.5), lm("di_star", 0.85)];
+        let good = [lm("accuracy", 0.78), lm("di_star", 0.85)];
+        // One breach: still ok (warn_after = 2).
+        assert_eq!(d.evaluate(&bad, 10, &base, t0), None);
+        assert_eq!(d.state(), DriftState::Ok);
+        assert_eq!(
+            d.evaluate(&bad, 10, &base, t0),
+            Some((DriftState::Ok, DriftState::Warning))
+        );
+        // The offending metric is named, with live/baseline/threshold.
+        let b = &d.breaching()[0];
+        assert_eq!(b.metric, "accuracy");
+        assert_eq!((b.live, b.baseline, b.threshold), (0.5, 0.8, 0.1));
+        // Two more breaches reach alert_after = 4 total.
+        assert_eq!(d.evaluate(&bad, 10, &base, t0), None);
+        assert_eq!(
+            d.evaluate(&bad, 10, &base, t0),
+            Some((DriftState::Warning, DriftState::Alerting))
+        );
+        // Recovery steps down one state per recover_after clean streak.
+        assert_eq!(d.evaluate(&good, 10, &base, t0), None);
+        assert_eq!(d.evaluate(&good, 10, &base, t0), None);
+        assert_eq!(
+            d.evaluate(&good, 10, &base, t0),
+            Some((DriftState::Alerting, DriftState::Warning))
+        );
+        assert!(d.breaching().is_empty());
+        for _ in 0..2 {
+            assert_eq!(d.evaluate(&good, 10, &base, t0), None);
+        }
+        assert_eq!(
+            d.evaluate(&good, 10, &base, t0),
+            Some((DriftState::Warning, DriftState::Ok))
+        );
+        assert_eq!(d.evaluations(), 10);
+    }
+
+    #[test]
+    fn labeled_metrics_wait_for_min_labeled() {
+        let t0 = Instant::now();
+        let mut d = DriftTracker::new(&cfg());
+        let base = vec![("accuracy".to_string(), 0.9)];
+        // accuracy is way off, but only 2 labeled rows (< min_labeled 4):
+        // the metric does not participate, the evaluation is clean.
+        for _ in 0..6 {
+            assert_eq!(d.evaluate(&[lm("accuracy", 0.1)], 2, &base, t0), None);
+        }
+        assert_eq!(d.state(), DriftState::Ok);
+        // Once enough labels arrive the same window breaches.
+        d.evaluate(&[lm("accuracy", 0.1)], 4, &base, t0);
+        assert_eq!(
+            d.evaluate(&[lm("accuracy", 0.1)], 4, &base, t0),
+            Some((DriftState::Ok, DriftState::Warning))
+        );
+    }
+
+    #[test]
+    fn metrics_without_baseline_or_live_value_do_not_participate() {
+        let t0 = Instant::now();
+        let mut d = DriftTracker::new(&cfg());
+        // No baseline for di_star, no live value for accuracy: clean.
+        let base = vec![("accuracy".to_string(), 0.9)];
+        for _ in 0..5 {
+            assert_eq!(d.evaluate(&[lm("di_star", 0.05)], 100, &base, t0), None);
+        }
+        assert_eq!(d.state(), DriftState::Ok);
+    }
+
+    #[test]
+    fn breaches_are_sorted_worst_first_and_in_state_tracks_the_clock() {
+        let t0 = Instant::now();
+        let mut d = DriftTracker::new(&cfg());
+        let base = vec![("accuracy".to_string(), 0.9), ("di_star".to_string(), 0.9)];
+        let live = [lm("accuracy", 0.7), lm("di_star", 0.2)];
+        assert!(d.in_state(t0).is_none());
+        d.evaluate(&live, 10, &base, t0);
+        d.evaluate(&live, 10, &base, t0 + Duration::from_secs(5));
+        assert_eq!(d.state(), DriftState::Warning);
+        assert_eq!(d.breaching()[0].metric, "di_star"); // delta 0.7 > 0.2
+        assert_eq!(d.breaching()[1].metric, "accuracy");
+        assert_eq!(
+            d.in_state(t0 + Duration::from_secs(9)),
+            Some(Duration::from_secs(4))
+        );
+    }
+
+    #[test]
+    fn default_thresholds_apply_when_none_configured() {
+        let d = DriftTracker::new(&DriftConfig::default());
+        let names: Vec<&str> = d.thresholds().iter().map(|(m, _)| m.as_str()).collect();
+        assert_eq!(names, ["accuracy", "di_star", "tprb_fair", "tnrb_fair"]);
+    }
+}

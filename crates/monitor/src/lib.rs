@@ -1,0 +1,41 @@
+//! # fairlens-monitor
+//!
+//! Streaming fairness monitoring for deployed classifiers — the paper's
+//! group metrics (Section 2) computed *online* over scored traffic
+//! instead of once over a held-out test split.
+//!
+//! The design is deliberately boring and exact:
+//!
+//! * [`window`] — a count-based sliding window (ring buffer) of the last
+//!   N scored observations per model. No decay, no sketches: the window
+//!   is a pure function of the observation stream, so its state — and
+//!   every metric over it — is bit-exactly reproducible from a recording.
+//! * [`live`] — metric assembly that calls the *offline*
+//!   `fairlens-metrics` functions on vectors rebuilt from the window, so
+//!   live values agree with an offline recomputation by construction.
+//! * [`drift`] — a three-state (`ok → warning → alerting`) machine with
+//!   hysteresis on consecutive window evaluations, comparing live
+//!   metrics against the training-time baseline carried in the model's
+//!   `.flm` provenance.
+//! * [`monitor`] — the per-model façade: observation intake with
+//!   request-`seq` assignment, a bounded pending-outcomes table joining
+//!   `POST /v1/feedback` true labels back onto window rows, and drift
+//!   evaluation after every mutation.
+//! * [`clock`] — the injectable time source ([`Clock`] /
+//!   [`SystemClock`] / [`ManualClock`]) shared with the serving stack's
+//!   circuit breakers, so tests drive both deterministically.
+//!
+//! Nothing here reads the wall clock, spawns threads, or does I/O; the
+//! crate depends only on `fairlens-metrics`.
+
+pub mod clock;
+pub mod drift;
+pub mod live;
+pub mod monitor;
+pub mod window;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use drift::{Breach, DriftConfig, DriftState, DriftTracker, DEFAULT_THRESHOLDS};
+pub use live::{live_metrics, LiveMetric, LABELED_METRICS};
+pub use monitor::{FeedbackError, FeedbackReceipt, ModelMonitor, MonitorConfig, MonitorSnapshot};
+pub use window::{Observation, SlidingWindow};

@@ -1,0 +1,167 @@
+//! The exact count-based sliding window of scored observations.
+//!
+//! A ring buffer of the last `capacity` per-row observations for one
+//! model, addressed by a monotonically increasing *ordinal* (the number
+//! of observations ever pushed). There is no decay and no sketching:
+//! the window's contents — and therefore every metric computed over it —
+//! are a pure function of the observation stream, so a window state is
+//! bit-exactly reproducible by replaying a recording.
+
+/// One scored row as the monitor saw it: the sensitive-group id from the
+/// request, the predicted label and score from the response, and the
+/// true label once (if ever) reported via `POST /v1/feedback`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Sensitive-group id (0 unprivileged / 1 privileged).
+    pub group: u8,
+    /// Predicted label.
+    pub pred: u8,
+    /// Predicted score.
+    pub score: f64,
+    /// True label, joined from feedback; `None` until reported.
+    pub label: Option<u8>,
+}
+
+/// A fixed-capacity ring of [`Observation`]s with ordinal addressing.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    ring: Vec<Observation>,
+    capacity: usize,
+    /// Observations ever pushed; the window holds ordinals
+    /// `pushed - len .. pushed`.
+    pushed: u64,
+}
+
+impl SlidingWindow {
+    /// An empty window holding at most `capacity` observations.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { ring: Vec::with_capacity(capacity), capacity, pushed: 0 }
+    }
+
+    /// Maximum number of resident observations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident observations.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Whether the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.ring.len() == self.capacity
+    }
+
+    /// Observations ever pushed (== the next ordinal to be assigned).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Resident observations with a joined true label.
+    pub fn labeled(&self) -> usize {
+        self.ring.iter().filter(|o| o.label.is_some()).count()
+    }
+
+    /// Push one observation, evicting the oldest past capacity. Returns
+    /// the observation's ordinal.
+    pub fn push(&mut self, obs: Observation) -> u64 {
+        let ordinal = self.pushed;
+        if self.ring.len() == self.capacity {
+            // Slot reuse keeps the ring allocation-free at steady state;
+            // the slot of ordinal `n` is `n % capacity`, so overwriting
+            // in place is exactly "evict the oldest".
+            self.ring[(ordinal % self.capacity as u64) as usize] = obs;
+        } else {
+            self.ring.push(obs);
+        }
+        self.pushed += 1;
+        ordinal
+    }
+
+    /// Whether ordinal `ordinal` is still resident (not yet evicted).
+    pub fn contains(&self, ordinal: u64) -> bool {
+        ordinal < self.pushed && self.pushed - ordinal <= self.ring.len() as u64
+    }
+
+    /// Join a true label onto a resident observation. Returns `false`
+    /// when the ordinal has already been evicted (late feedback) — the
+    /// label is dropped, never applied to the wrong row.
+    pub fn set_label(&mut self, ordinal: u64, label: u8) -> bool {
+        if !self.contains(ordinal) {
+            return false;
+        }
+        self.ring[(ordinal % self.capacity as u64) as usize].label = Some(label);
+        true
+    }
+
+    /// The resident observations, oldest first — the canonical order
+    /// every metric is computed in.
+    pub fn observations(&self) -> Vec<Observation> {
+        let len = self.ring.len() as u64;
+        (self.pushed - len..self.pushed)
+            .map(|ord| self.ring[(ord % self.capacity as u64) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(group: u8, pred: u8, score: f64) -> Observation {
+        Observation { group, pred, score, label: None }
+    }
+
+    #[test]
+    fn ordinals_are_assigned_in_push_order() {
+        let mut w = SlidingWindow::new(3);
+        assert_eq!(w.push(obs(0, 1, 0.9)), 0);
+        assert_eq!(w.push(obs(1, 0, 0.1)), 1);
+        assert_eq!((w.len(), w.pushed()), (2, 2));
+        assert!(!w.is_full());
+    }
+
+    #[test]
+    fn eviction_at_the_boundary_drops_exactly_the_oldest() {
+        let mut w = SlidingWindow::new(3);
+        for i in 0..3 {
+            w.push(obs(0, 0, i as f64));
+        }
+        assert!(w.is_full() && w.contains(0));
+        w.push(obs(1, 1, 3.0));
+        assert!(!w.contains(0), "ordinal 0 must be evicted");
+        assert!(w.contains(1) && w.contains(3));
+        let scores: Vec<f64> = w.observations().iter().map(|o| o.score).collect();
+        assert_eq!(scores, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn labels_join_resident_rows_and_late_feedback_is_dropped() {
+        let mut w = SlidingWindow::new(2);
+        w.push(obs(0, 1, 0.7));
+        w.push(obs(1, 0, 0.3));
+        assert!(w.set_label(0, 1));
+        assert_eq!(w.labeled(), 1);
+        w.push(obs(1, 1, 0.8)); // evicts ordinal 0
+        assert!(!w.set_label(0, 0), "evicted ordinal must reject the label");
+        assert_eq!(w.labeled(), 0, "the label left with its observation");
+        assert!(w.set_label(2, 1));
+        assert_eq!(w.observations()[1].label, Some(1));
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let mut w = SlidingWindow::new(0);
+        w.push(obs(0, 0, 0.5));
+        w.push(obs(1, 1, 0.6));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.observations()[0].group, 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests for `fairlens-monitor` (vendored proptest stub:
+//! randomized case generation, no shrinking).
+//!
+//! The invariants from the issue:
+//! 1. the ring-buffer window always equals the naive trailing slice of
+//!    the observation stream, for any interleaving of pushes and joins;
+//! 2. once the window is full, every live metric is bit-identical to the
+//!    offline `fairlens-metrics` functions applied to the same rows;
+//! 3. eviction at the capacity boundary drops exactly the oldest ordinal
+//!    and late feedback for it is refused;
+//! 4. the feedback protocol rejects duplicate, unknown and wrong-arity
+//!    reports exactly as an independent reference model predicts.
+
+use std::time::Instant;
+
+use fairlens_metrics::{
+    calibration_gap, di_star, statistical_parity_difference, tnr_balance, tpr_balance,
+    ConfusionMatrix,
+};
+use fairlens_monitor::{
+    DriftConfig, FeedbackError, ModelMonitor, MonitorConfig, Observation, SlidingWindow,
+};
+use proptest::prelude::*;
+
+fn config(window: usize, pending_cap: usize) -> MonitorConfig {
+    MonitorConfig { window, pending_cap, drift: DriftConfig::default() }
+}
+
+fn find(snapshot: &[fairlens_monitor::LiveMetric], metric: &str, group: &str) -> Option<f64> {
+    snapshot
+        .iter()
+        .find(|m| m.metric == metric && m.group == group)
+        .map(|m| m.value)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window_equals_the_naive_trailing_slice(
+        capacity in 1usize..12,
+        rows in prop::collection::vec(
+            (0u8..2, 0u8..2, 0.0f64..1.0, prop::option::of(0u8..2)),
+            0..80,
+        ),
+    ) {
+        let mut w = SlidingWindow::new(capacity);
+        let mut naive: Vec<Observation> = Vec::new();
+        for &(group, pred, score, label) in &rows {
+            let ord = w.push(Observation { group, pred, score, label: None });
+            naive.push(Observation { group, pred, score, label: None });
+            if let Some(l) = label {
+                // Joining immediately after the push must always land.
+                prop_assert!(w.set_label(ord, l));
+                naive.last_mut().unwrap().label = Some(l);
+            }
+        }
+        let start = naive.len().saturating_sub(capacity);
+        prop_assert_eq!(w.observations(), naive[start..].to_vec());
+        prop_assert_eq!(w.len(), naive.len() - start);
+        prop_assert_eq!(w.pushed(), naive.len() as u64);
+        prop_assert_eq!(
+            w.labeled(),
+            naive[start..].iter().filter(|o| o.label.is_some()).count()
+        );
+    }
+
+    #[test]
+    fn full_window_metrics_are_bit_identical_to_offline(
+        capacity in 2usize..10,
+        rows in prop::collection::vec(
+            (0u8..2, 0u8..2, 0.0f64..1.0, prop::option::of(0u8..2)),
+            16..60,
+        ),
+    ) {
+        let now = Instant::now();
+        let mut m = ModelMonitor::new(&config(capacity, 4096), vec![]);
+        let mut naive: Vec<Observation> = Vec::new();
+        for &(group, pred, score, label) in &rows {
+            let (seq, _) = m.observe(&[group], &[pred], &[score], now);
+            if let Some(l) = label {
+                m.feedback(seq, &[l], now).unwrap();
+            }
+            naive.push(Observation { group, pred, score, label });
+        }
+        let tail = &naive[naive.len() - capacity..];
+        let snap = m.snapshot(now);
+        prop_assert_eq!(snap.window_len, capacity);
+
+        // Offline recomputation over exactly the trailing rows.
+        let groups: Vec<u8> = tail.iter().map(|o| o.group).collect();
+        let preds: Vec<u8> = tail.iter().map(|o| o.pred).collect();
+        prop_assert_eq!(
+            find(&snap.live, "di_star", "all").unwrap().to_bits(),
+            di_star(&preds, &groups).to_bits()
+        );
+        prop_assert_eq!(
+            find(&snap.live, "spd", "all").unwrap().to_bits(),
+            statistical_parity_difference(&preds, &groups).to_bits()
+        );
+
+        let labeled: Vec<&Observation> = tail.iter().filter(|o| o.label.is_some()).collect();
+        prop_assert_eq!(snap.labeled, labeled.len());
+        if !labeled.is_empty() {
+            let yt: Vec<u8> = labeled.iter().map(|o| o.label.unwrap()).collect();
+            let yp: Vec<u8> = labeled.iter().map(|o| o.pred).collect();
+            let gs: Vec<u8> = labeled.iter().map(|o| o.group).collect();
+            let sc: Vec<f64> = labeled.iter().map(|o| o.score).collect();
+            let cm = ConfusionMatrix::from_predictions(&yt, &yp);
+            prop_assert_eq!(
+                find(&snap.live, "accuracy", "all").unwrap().to_bits(),
+                cm.accuracy().to_bits()
+            );
+            let tprb = tpr_balance(&yt, &yp, &gs);
+            if !tprb.is_nan() {
+                prop_assert_eq!(
+                    find(&snap.live, "tprb_fair", "all").unwrap().to_bits(),
+                    (1.0 - tprb.abs()).to_bits()
+                );
+            }
+            let tnrb = tnr_balance(&yt, &yp, &gs);
+            if !tnrb.is_nan() {
+                prop_assert_eq!(
+                    find(&snap.live, "tnrb_fair", "all").unwrap().to_bits(),
+                    (1.0 - tnrb.abs()).to_bits()
+                );
+            }
+            let gap = calibration_gap(&sc, &yt, &gs);
+            prop_assert_eq!(find(&snap.live, "cal_gap", "all").map(f64::to_bits),
+                (!gap.is_nan()).then(|| gap.to_bits()));
+        } else {
+            prop_assert!(find(&snap.live, "accuracy", "all").is_none());
+        }
+    }
+
+    #[test]
+    fn eviction_at_the_boundary_is_exact(
+        capacity in 1usize..8,
+        extra in 1usize..20,
+    ) {
+        let mut w = SlidingWindow::new(capacity);
+        let total = capacity + extra;
+        for i in 0..total {
+            w.push(Observation { group: (i % 2) as u8, pred: 0, score: i as f64, label: None });
+        }
+        // Exactly the last `capacity` ordinals are resident.
+        for ord in 0..total as u64 {
+            prop_assert_eq!(w.contains(ord), ord >= (total - capacity) as u64);
+        }
+        // Ordinals beyond the stream are never resident.
+        prop_assert!(!w.contains(total as u64));
+        // Late feedback for the newest evicted ordinal is refused; the
+        // oldest resident one accepts.
+        let evicted = (total - capacity - 1) as u64;
+        prop_assert!(!w.set_label(evicted, 1));
+        prop_assert!(w.set_label(evicted + 1, 1));
+        let obs = w.observations();
+        prop_assert_eq!(obs.len(), capacity);
+        prop_assert_eq!(obs[0].score, (total - capacity) as f64);
+        prop_assert_eq!(obs[0].label, Some(1));
+    }
+
+    #[test]
+    fn feedback_protocol_matches_a_reference_model(
+        batches in prop::collection::vec((0u8..2, 1usize..4), 1..30),
+        attempts in prop::collection::vec((0u64..40, 0usize..5, 0u8..2), 0..60),
+        pending_cap in 1usize..8,
+    ) {
+        let now = Instant::now();
+        let mut m = ModelMonitor::new(&config(16, pending_cap), vec![]);
+        // Reference: seq -> (rows, done), with the same oldest-first
+        // eviction the bounded pending table performs.
+        let mut reference: std::collections::BTreeMap<u64, (usize, bool)> = Default::default();
+        for (i, &(group, rows)) in batches.iter().enumerate() {
+            let gs = vec![group; rows];
+            let ps = vec![i as u8 % 2; rows];
+            let sc = vec![0.5; rows];
+            let (seq, _) = m.observe(&gs, &ps, &sc, now);
+            prop_assert_eq!(seq, i as u64, "seqs are consecutive from 0");
+            reference.insert(seq, (rows, false));
+            while reference.len() > pending_cap {
+                let oldest = *reference.keys().next().unwrap();
+                reference.remove(&oldest);
+            }
+        }
+        for &(seq, n_labels, label) in &attempts {
+            let labels = vec![label; n_labels];
+            let got = m.feedback(seq, &labels, now);
+            match reference.get_mut(&seq) {
+                None => prop_assert_eq!(got.unwrap_err(), FeedbackError::UnknownSeq(seq)),
+                Some((_, true)) => {
+                    prop_assert_eq!(got.unwrap_err(), FeedbackError::Duplicate(seq))
+                }
+                Some((rows, done)) if n_labels != *rows => prop_assert_eq!(
+                    got.unwrap_err(),
+                    FeedbackError::WrongCount { seq, expected: *rows, got: n_labels },
+                    "done={}", done
+                ),
+                Some((rows, done)) => {
+                    let (receipt, _) = got.unwrap();
+                    prop_assert_eq!(receipt.seq, seq);
+                    prop_assert_eq!(receipt.expected, *rows);
+                    prop_assert!(receipt.matched <= receipt.expected);
+                    *done = true;
+                }
+            }
+        }
+    }
+}

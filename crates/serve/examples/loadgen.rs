@@ -28,6 +28,15 @@
 //! seed send byte-identical request streams — the property the record/
 //! replay harness builds on.
 //!
+//! **Feedback** (`--feedback P`, closed loop only): after each answered
+//! predict, with deterministic probability `P` (a pure function of
+//! `--seed` and the request index), report the rows' true labels from
+//! the synthetic source dataset via `POST /v1/feedback`, quoting the
+//! `seq` from the predict response. `--feedback-skew` reports the
+//! *opposite* of every predicted label instead — maximal disagreement,
+//! for driving the server's drift detection into alerting on purpose.
+//! Any feedback rejection is a failure (exit non-zero).
+//!
 //! **Replay mode** (`--replay PATH`): instead of generating traffic,
 //! re-send every exchange from a `--record` JSONL log against the live
 //! server and diff the answers — status codes always, score bit patterns
@@ -38,7 +47,7 @@
 //! cargo run -p fairlens-serve --example loadgen -- \
 //!     --addr 127.0.0.1:8484 [--model ID] [--requests 1000] [--conns 4] \
 //!     [--seed 42] [--open-loop] [--burst 16] [--allow-shed] [--shutdown] \
-//!     [--replay recorded.jsonl]
+//!     [--feedback P] [--feedback-skew] [--replay recorded.jsonl]
 //! ```
 
 use std::collections::{BTreeMap, VecDeque};
@@ -68,6 +77,10 @@ struct Args {
     allow_shed: bool,
     shutdown: bool,
     replay: Option<String>,
+    /// Probability (0..=1) of reporting labels for an answered predict.
+    feedback: f64,
+    /// Report `1 - predicted` instead of the dataset's true labels.
+    feedback_skew: bool,
 }
 
 fn parse_args() -> Args {
@@ -82,6 +95,8 @@ fn parse_args() -> Args {
         allow_shed: false,
         shutdown: false,
         replay: None,
+        feedback: 0.0,
+        feedback_skew: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -100,6 +115,12 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value(i).parse().expect("--seed"),
             "--burst" => args.burst = value(i).parse().expect("--burst"),
             "--replay" => args.replay = Some(value(i)),
+            "--feedback" => args.feedback = value(i).parse().expect("--feedback"),
+            "--feedback-skew" => {
+                args.feedback_skew = true;
+                i += 1;
+                continue;
+            }
             "--open-loop" => {
                 args.open_loop = true;
                 i += 1;
@@ -124,6 +145,17 @@ fn parse_args() -> Args {
     }
     if args.addr.is_empty() {
         eprintln!("--addr is required");
+        exit(2);
+    }
+    if !(0.0..=1.0).contains(&args.feedback) {
+        eprintln!("--feedback wants a probability in 0..=1, got {}", args.feedback);
+        exit(2);
+    }
+    if args.feedback_skew && args.feedback == 0.0 {
+        args.feedback = 1.0;
+    }
+    if args.feedback > 0.0 && args.open_loop {
+        eprintln!("--feedback needs the closed loop (each feedback quotes the seq of an already-answered predict); drop --open-loop");
         exit(2);
     }
     args
@@ -232,24 +264,29 @@ fn mix(seed: u64, i: u64) -> u64 {
 /// Deterministic single/batch request body for request index `i`: the
 /// shape, batch size, and row choices are all functions of the seed, so
 /// `--seed` genuinely selects the request mix (not just the row pool).
-fn body_for(model_id: &str, rows: &[Value], seed: u64, i: usize) -> String {
+/// Also returns which pool rows the body holds, so `--feedback` can look
+/// up their true labels.
+fn body_for(model_id: &str, rows: &[Value], seed: u64, i: usize) -> (String, Vec<usize>) {
     let h = mix(seed, i as u64);
-    let body = if h % 4 == 0 {
-        object([
+    let (body, picked) = if h.is_multiple_of(4) {
+        let r = (h >> 8) as usize % rows.len();
+        let body = object([
             ("model", Value::String(model_id.to_string())),
-            ("row", rows[(h >> 8) as usize % rows.len()].clone()),
-        ])
+            ("row", rows[r].clone()),
+        ]);
+        (body, vec![r])
     } else {
         let n = 2 + ((h >> 16) % 8) as usize;
-        let batch: Vec<Value> = (0..n)
-            .map(|j| rows[((h >> 24) as usize + j) % rows.len()].clone())
-            .collect();
-        object([
+        let picked: Vec<usize> =
+            (0..n).map(|j| ((h >> 24) as usize + j) % rows.len()).collect();
+        let batch: Vec<Value> = picked.iter().map(|&r| rows[r].clone()).collect();
+        let body = object([
             ("model", Value::String(model_id.to_string())),
             ("rows", Value::Array(batch)),
-        ])
+        ]);
+        (body, picked)
     };
-    body.to_json()
+    (body.to_json(), picked)
 }
 
 /// Per-connection result accumulator.
@@ -259,17 +296,29 @@ struct Tally {
     latencies_ms: Vec<f64>,
     reconnects: usize,
     retries: usize,
+    feedback_sent: usize,
+    feedback_failed: usize,
 }
 
+/// Salt separating the feedback coin flips from the request-mix stream:
+/// both are pure functions of (`--seed`, request index), but independent.
+const FEEDBACK_SALT: u64 = 0x6665_6564_6261_636b; // "feedback"
+
 /// Closed loop: one request in flight, honouring `Retry-After` on shed.
-fn run_closed_loop(args: &Args, model_id: &str, rows: &[Value], c: usize) -> Tally {
+fn run_closed_loop(
+    args: &Args,
+    model_id: &str,
+    rows: &[Value],
+    labels: &[u8],
+    c: usize,
+) -> Tally {
     let mut tally = Tally::default();
     let mut conn = Conn::open(&args.addr).expect("connect");
     let mut i = c;
     while i < args.requests {
-        let body = body_for(model_id, rows, args.seed, i);
+        let (body, picked) = body_for(model_id, rows, args.seed, i);
         let mut attempts = 0;
-        loop {
+        let final_resp = loop {
             let t0 = Instant::now();
             let resp = conn.request("POST", "/v1/predict", &body).expect("predict request");
             tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
@@ -291,13 +340,80 @@ fn run_closed_loop(args: &Args, model_id: &str, rows: &[Value], c: usize) -> Tal
                     if resp.status != 200 {
                         eprintln!("[loadgen] HTTP {}: {}", resp.status, resp.body);
                     }
-                    break;
+                    break resp;
                 }
             }
+        };
+        if final_resp.status == 200
+            && args.feedback > 0.0
+            && ((mix(args.seed ^ FEEDBACK_SALT, i as u64) % 1000) as f64)
+                < args.feedback * 1000.0
+        {
+            send_feedback(args, &mut conn, model_id, &final_resp.body, &picked, labels, &mut tally);
         }
         i += args.conns;
     }
     tally
+}
+
+/// Report labels for one answered predict via `POST /v1/feedback`: the
+/// pool's true labels for the rows the request held, or (with
+/// `--feedback-skew`) the opposite of every predicted label.
+fn send_feedback(
+    args: &Args,
+    conn: &mut Conn,
+    model_id: &str,
+    predict_body: &str,
+    picked: &[usize],
+    labels: &[u8],
+    tally: &mut Tally,
+) {
+    let answer = parse(predict_body).expect("predict response JSON");
+    let seq = answer
+        .get("seq")
+        .cloned()
+        .and_then(|v| v.into_u64().ok())
+        .expect("predict response carries a seq");
+    let reported: Vec<u64> = if args.feedback_skew {
+        let preds: Vec<u64> = match answer.get("prediction") {
+            Some(p) => vec![p.clone().into_u64().expect("prediction")],
+            None => answer
+                .get("predictions")
+                .cloned()
+                .and_then(|v| v.into_array().ok())
+                .expect("predictions array")
+                .into_iter()
+                .map(|p| p.into_u64().expect("prediction"))
+                .collect(),
+        };
+        preds.into_iter().map(|p| 1 - p).collect()
+    } else {
+        picked.iter().map(|&r| u64::from(labels[r])).collect()
+    };
+    let mut fields = vec![
+        ("model", Value::String(model_id.to_string())),
+        ("seq", Value::Integer(seq)),
+    ];
+    if picked.len() == 1 {
+        fields.push(("label", Value::Integer(reported[0])));
+    } else {
+        fields.push((
+            "labels",
+            Value::Array(reported.into_iter().map(Value::Integer).collect()),
+        ));
+    }
+    let resp = conn
+        .request("POST", "/v1/feedback", &object(fields).to_json())
+        .expect("feedback request");
+    tally.feedback_sent += 1;
+    if resp.status != 200 {
+        tally.feedback_failed += 1;
+        eprintln!("[loadgen] feedback HTTP {} for seq {seq}: {}", resp.status, resp.body);
+    }
+    if resp.close {
+        tally.reconnects += 1;
+        *conn = Conn::open(&args.addr).expect("reconnect");
+    }
 }
 
 /// Open loop: pipeline bursts without waiting for answers, reopening
@@ -315,7 +431,7 @@ fn run_open_loop(args: &Args, model_id: &str, rows: &[Value], c: usize) -> Tally
         let mut wrote = 0;
         for &i in &burst {
             if conn
-                .write_request("POST", "/v1/predict", &body_for(model_id, rows, args.seed, i))
+                .write_request("POST", "/v1/predict", &body_for(model_id, rows, args.seed, i).0)
                 .is_err()
             {
                 break;
@@ -518,6 +634,7 @@ fn main() {
         .unwrap_or_else(|| panic!("unknown source dataset {dataset:?}"));
     let pool = kind.generate(512, args.seed);
     let rows: Vec<Value> = (0..pool.n_rows()).map(|r| row_json(&pool, r)).collect();
+    let labels: Vec<u8> = pool.labels().to_vec();
     eprintln!(
         "[loadgen] {} requests over {} connection(s) against {model_id} ({dataset}), {} loop",
         args.requests,
@@ -529,12 +646,12 @@ fn main() {
     let tally: Tally = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for c in 0..args.conns.max(1) {
-            let (args, rows, model_id) = (&args, &rows, &model_id);
+            let (args, rows, labels, model_id) = (&args, &rows, &labels, &model_id);
             handles.push(scope.spawn(move || {
                 if args.open_loop {
                     run_open_loop(args, model_id, rows, c)
                 } else {
-                    run_closed_loop(args, model_id, rows, c)
+                    run_closed_loop(args, model_id, rows, labels, c)
                 }
             }));
         }
@@ -547,11 +664,14 @@ fn main() {
             total.latencies_ms.extend(t.latencies_ms);
             total.reconnects += t.reconnects;
             total.retries += t.retries;
+            total.feedback_sent += t.feedback_sent;
+            total.feedback_failed += t.feedback_failed;
         }
         total
     });
 
-    let Tally { counts, mut latencies_ms, reconnects, retries } = tally;
+    let Tally { counts, mut latencies_ms, reconnects, retries, feedback_sent, feedback_failed } =
+        tally;
     let sent: usize = counts.values().sum();
     let ok = counts.get(&200).copied().unwrap_or(0);
     let shed: usize =
@@ -561,6 +681,12 @@ fn main() {
          {reconnects} reconnect(s), {retries} retry-after wait(s)",
         100.0 * shed as f64 / sent.max(1) as f64,
     );
+    if feedback_sent > 0 {
+        eprintln!(
+            "[loadgen] feedback: {feedback_sent} report(s) sent{}, {feedback_failed} rejected",
+            if args.feedback_skew { " (skewed: opposite of every prediction)" } else { "" },
+        );
+    }
     if !latencies_ms.is_empty() {
         latencies_ms.sort_by(|a, b| a.total_cmp(b));
         let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64;
@@ -592,6 +718,10 @@ fn main() {
         .sum();
     if unexpected > 0 {
         eprintln!("[loadgen] FAILED: {unexpected} unexpected non-200 response(s)");
+        exit(1);
+    }
+    if feedback_failed > 0 {
+        eprintln!("[loadgen] FAILED: {feedback_failed} feedback report(s) rejected");
         exit(1);
     }
     eprintln!(

@@ -1,0 +1,326 @@
+//! Cross-check the server's live fairness monitor against a recording.
+//!
+//! Reads a `--record` JSONL log, rebuilds the per-model monitoring
+//! window with a deliberately naive reference implementation (an
+//! unbounded `Vec` of observations; the window is its trailing slice —
+//! no ring buffer, no ordinal arithmetic), recomputes the live metric
+//! suite offline, and compares it **bit-exactly** against the `monitor`
+//! block a live server reported in `GET /v1/models` (saved to a file).
+//!
+//! This is the subsystem's end-to-end oracle: the server computes its
+//! live metrics incrementally over a ring buffer under concurrency; this
+//! binary recomputes them from first principles off the recorded
+//! traffic. Any float differing in even one bit, any miscounted window
+//! row or label join, fails the check and names the offender.
+//!
+//! ```text
+//! monitor_check recorded.jsonl --models DIR --model ID --window N \
+//!               --expect models.json
+//! ```
+//!
+//! `--models DIR` locates `DIR/ID.flm`, whose schema maps recorded
+//! request rows to sensitive-group ids exactly as the server did.
+//! `--window N` must match the server's `--monitor-window`. The expect
+//! file is the raw body of `GET /v1/models` from the server under test.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+use fairlens_core::ModelArtifact;
+use fairlens_json::{parse, Value};
+use fairlens_monitor::{live_metrics, Observation};
+
+struct Args {
+    recording: String,
+    models_dir: PathBuf,
+    model: String,
+    window: usize,
+    expect: String,
+}
+
+const USAGE: &str = "\
+monitor_check <recording.jsonl> --models DIR --model ID --window N --expect models.json";
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut recording = None;
+    let mut models_dir = PathBuf::from("models");
+    let mut model = None;
+    let mut window = None;
+    let mut expect = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}\n{USAGE}", argv[i]);
+                exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--models" => models_dir = PathBuf::from(value(i)),
+            "--model" => model = Some(value(i)),
+            "--window" => window = Some(value(i).parse().expect("--window")),
+            "--expect" => expect = Some(value(i)),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                exit(2);
+            }
+            positional => {
+                recording = Some(positional.to_string());
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    match (recording, model, window, expect) {
+        (Some(recording), Some(model), Some(window), Some(expect)) => {
+            Args { recording, models_dir, model, window, expect }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            exit(2);
+        }
+    }
+}
+
+/// Rows of a recorded predict request, in request order.
+fn request_rows(request: &Value) -> Vec<Value> {
+    match (request.get("row"), request.get("rows")) {
+        (Some(row), None) => vec![row.clone()],
+        (None, Some(Value::Array(rows))) => rows.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Predicted labels of a recorded 200 predict response.
+fn response_preds(response: &Value) -> Vec<u8> {
+    match (response.get("prediction"), response.get("predictions")) {
+        (Some(p), None) => vec![p.clone().into_u64().expect("prediction") as u8],
+        (None, Some(Value::Array(ps))) => {
+            ps.iter().map(|p| p.clone().into_u64().expect("prediction") as u8).collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Scores of a recorded 200 predict response.
+fn response_scores(response: &Value) -> Vec<f64> {
+    match (response.get("score"), response.get("scores")) {
+        (Some(s), None) => vec![s.clone().into_f64().expect("score")],
+        (None, Some(scores)) => scores.clone().into_f64s().expect("scores"),
+        _ => Vec::new(),
+    }
+}
+
+/// Reported labels of a recorded 200 feedback request.
+fn feedback_labels(request: &Value) -> Vec<u8> {
+    match (request.get("label"), request.get("labels")) {
+        (Some(l), None) => vec![l.clone().into_u64().expect("label") as u8],
+        (None, Some(Value::Array(ls))) => {
+            ls.iter().map(|l| l.clone().into_u64().expect("label") as u8).collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Flatten a `/v1/models` `monitor.live` block into (group, metric) →
+/// float bit pattern.
+fn flatten_live(live: &Value) -> BTreeMap<(String, String), u64> {
+    let mut flat = BTreeMap::new();
+    if let Value::Object(groups) = live {
+        for (group, metrics) in groups {
+            if let Value::Object(fields) = metrics {
+                for (metric, v) in fields {
+                    let bits =
+                        v.clone().into_f64().expect("live metric is a number").to_bits();
+                    flat.insert((group.clone(), metric.clone()), bits);
+                }
+            }
+        }
+    }
+    flat
+}
+
+fn main() {
+    let args = parse_args();
+
+    let flm = args.models_dir.join(format!("{}.flm", args.model));
+    let artifact = ModelArtifact::load(&flm).unwrap_or_else(|e| {
+        eprintln!("[monitor_check] cannot load {}: {e}", flm.display());
+        exit(2);
+    });
+
+    let text = std::fs::read_to_string(&args.recording).unwrap_or_else(|e| {
+        eprintln!("[monitor_check] cannot read recording {}: {e}", args.recording);
+        exit(2);
+    });
+
+    // The naive reference window: every scored row ever observed, in
+    // arrival order; feedback joins labels by the seq's row range. The
+    // "window" is simply the trailing `--window` slice — eviction,
+    // overwrite, and label-expiry semantics all fall out for free.
+    let mut all: Vec<Observation> = Vec::new();
+    let mut seq_rows: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+    let (mut predicts, mut feedbacks) = (0usize, 0usize);
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let entry = parse(line).unwrap_or_else(|e| {
+            eprintln!("[monitor_check] bad recording entry: {e}\n  {line}");
+            exit(2);
+        });
+        let status =
+            entry.get("status").cloned().and_then(|v| v.into_u64().ok()).unwrap_or(0);
+        let path = entry.get("path").and_then(Value::as_str).unwrap_or("");
+        // Only answered (200) exchanges reached the monitor; rejected
+        // predicts and feedbacks never touched its state.
+        if status != 200 {
+            continue;
+        }
+        let request = entry.get("request").cloned().unwrap_or(Value::Null);
+        if request.get("model").and_then(Value::as_str) != Some(args.model.as_str()) {
+            continue;
+        }
+        match path {
+            "/v1/predict" => {
+                let response = entry.get("response").cloned().unwrap_or(Value::Null);
+                let rows = request_rows(&request);
+                let data = artifact.schema.dataset_from_rows(&rows).unwrap_or_else(|e| {
+                    eprintln!("[monitor_check] recorded 200 with invalid rows: {e}");
+                    exit(2);
+                });
+                let groups = data.sensitive();
+                let preds = response_preds(&response);
+                let scores = response_scores(&response);
+                let seq = response
+                    .get("seq")
+                    .cloned()
+                    .and_then(|v| v.into_u64().ok())
+                    .expect("200 predict response carries a seq");
+                assert_eq!(groups.len(), preds.len(), "rows vs predictions in recording");
+                assert_eq!(groups.len(), scores.len(), "rows vs scores in recording");
+                seq_rows.insert(seq, (all.len(), groups.len()));
+                for ((&group, &pred), &score) in
+                    groups.iter().zip(&preds).zip(&scores)
+                {
+                    all.push(Observation { group, pred, score, label: None });
+                }
+                predicts += 1;
+            }
+            "/v1/feedback" => {
+                let seq = request
+                    .get("seq")
+                    .cloned()
+                    .and_then(|v| v.into_u64().ok())
+                    .expect("feedback request carries a seq");
+                let labels = feedback_labels(&request);
+                let (start, len) = *seq_rows.get(&seq).unwrap_or_else(|| {
+                    eprintln!("[monitor_check] 200 feedback for unrecorded seq {seq}");
+                    exit(2);
+                });
+                assert_eq!(labels.len(), len, "feedback label count for seq {seq}");
+                for (obs, &label) in all[start..start + len].iter_mut().zip(&labels) {
+                    obs.label = Some(label);
+                }
+                feedbacks += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let window_start = all.len().saturating_sub(args.window);
+    let window = &all[window_start..];
+    let computed = live_metrics(window);
+    let labeled = window.iter().filter(|o| o.label.is_some()).count();
+    eprintln!(
+        "[monitor_check] replayed {predicts} predict(s) + {feedbacks} feedback(s): \
+         window {} of {} observed row(s), {labeled} labeled, {} live metric(s)",
+        window.len(),
+        all.len(),
+        computed.len(),
+    );
+
+    // The server's view, as captured from GET /v1/models.
+    let listing_text = std::fs::read_to_string(&args.expect).unwrap_or_else(|e| {
+        eprintln!("[monitor_check] cannot read expect file {}: {e}", args.expect);
+        exit(2);
+    });
+    let listing = parse(&listing_text).expect("expect file JSON");
+    let models = listing.get("models").cloned().and_then(|v| v.into_array().ok()).unwrap_or_default();
+    let entry = models
+        .iter()
+        .find(|m| m.get("id").and_then(Value::as_str) == Some(args.model.as_str()))
+        .unwrap_or_else(|| {
+            eprintln!("[monitor_check] model {:?} not in expect file", args.model);
+            exit(2);
+        });
+    let monitor = entry.get("monitor").cloned().unwrap_or_else(|| {
+        eprintln!("[monitor_check] model {:?} has no monitor block", args.model);
+        exit(2);
+    });
+
+    let mut failures = 0usize;
+    let mut check_count = |name: &str, reported: Option<Value>, expected: u64| {
+        let got = reported.and_then(|v| v.into_u64().ok());
+        if got != Some(expected) {
+            eprintln!("[monitor_check] MISMATCH {name}: server {got:?}, recomputed {expected}");
+            failures += 1;
+        }
+    };
+    check_count("window_len", monitor.get("window_len").cloned(), window.len() as u64);
+    check_count("labeled", monitor.get("labeled").cloned(), labeled as u64);
+    check_count("observed", monitor.get("observed").cloned(), all.len() as u64);
+
+    let served = flatten_live(monitor.get("live").unwrap_or(&Value::Null));
+    let mut recomputed = BTreeMap::new();
+    for m in &computed {
+        recomputed.insert((m.group.to_string(), m.metric.to_string()), m.value.to_bits());
+    }
+    // Both directions: a metric the server reports that the reference
+    // does not (or vice versa) is as much a bug as a differing value.
+    for (key, &bits) in &served {
+        match recomputed.get(key) {
+            Some(&want) if want == bits => {}
+            Some(&want) => {
+                eprintln!(
+                    "[monitor_check] MISMATCH live {}/{}: server {:#018x} ({}), \
+                     recomputed {:#018x} ({})",
+                    key.0,
+                    key.1,
+                    bits,
+                    f64::from_bits(bits),
+                    want,
+                    f64::from_bits(want),
+                );
+                failures += 1;
+            }
+            None => {
+                eprintln!(
+                    "[monitor_check] MISMATCH live {}/{}: server reports it, \
+                     reference does not",
+                    key.0, key.1,
+                );
+                failures += 1;
+            }
+        }
+    }
+    for key in recomputed.keys() {
+        if !served.contains_key(key) {
+            eprintln!(
+                "[monitor_check] MISMATCH live {}/{}: reference computes it, \
+                 server does not report it",
+                key.0, key.1,
+            );
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("[monitor_check] FAILED: {failures} mismatch(es)");
+        exit(1);
+    }
+    eprintln!(
+        "[monitor_check] PASS: {} live metric(s) bit-identical to the offline recomputation",
+        served.len(),
+    );
+}

@@ -27,10 +27,18 @@
 //!   overload series (sheds, queue depth, breaker state, in-flight).
 //! * [`faults`] — deterministic `FAIRLENS_FAULT` chaos hooks
 //!   (`panic:`/`hang:`/`flaky:` per model id) for the chaos harness.
-//! * [`recorder`] — `--record PATH` appends every `/v1/predict`
-//!   exchange (request, response, score bit patterns, timestamps last)
-//!   as JSONL; the loadgen's `--replay` mode re-sends a recorded log and
-//!   diffs the answers.
+//! * [`recorder`] — `--record PATH` appends every `/v1/predict` and
+//!   `/v1/feedback` exchange (request, response, score bit patterns,
+//!   timestamps last) as JSONL; the loadgen's `--replay` mode re-sends a
+//!   recorded log and diffs the answers.
+//! * [`monitors`] — live fairness monitoring over scored traffic: a
+//!   per-model `fairlens-monitor` sliding window fed from every predict
+//!   answer, `POST /v1/feedback` joining reported true labels back onto
+//!   window rows, and drift detection against the training-time metrics
+//!   in the artifact's `.flm` provenance (three-state
+//!   ok → warning → alerting status with hysteresis, surfaced in
+//!   `GET /v1/models`, `fairlens_live_metric` / `fairlens_drift_state` /
+//!   `fairlens_feedback_total`, and drift trace events).
 //! * [`server`] — listener + fixed worker pool + admission control +
 //!   routing + graceful drain (`POST /v1/shutdown`). `--shadow id=path`
 //!   scores every admitted request on both the incumbent and a candidate
@@ -38,8 +46,9 @@
 //!   `POST /v1/promote` cuts the candidate over only when the comparison
 //!   window is clean (else a structured 409).
 //!
-//! Routes: `POST /v1/predict`, `GET /v1/models`, `GET /healthz`,
-//! `GET /metrics`, `POST /v1/promote`, `POST /v1/shutdown`.
+//! Routes: `POST /v1/predict`, `POST /v1/feedback`, `GET /v1/models`,
+//! `GET /healthz`, `GET /metrics`, `POST /v1/promote`,
+//! `POST /v1/shutdown`.
 
 pub mod batcher;
 pub mod breaker;
@@ -47,6 +56,7 @@ pub mod error;
 pub mod faults;
 pub mod http;
 pub mod metrics;
+pub mod monitors;
 pub mod recorder;
 pub mod registry;
 pub mod server;
@@ -56,6 +66,7 @@ pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use error::{ErrorKind, ServeError};
 pub use faults::{ServeFaultKind, ServeFaults};
 pub use metrics::Metrics;
+pub use monitors::MonitorHub;
 pub use recorder::Recorder;
 pub use registry::{ModelInfo, ModelOutcome, Registry, ShadowDivergence, ShadowSummary};
 pub use server::{ServeConfig, Server};

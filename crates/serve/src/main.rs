@@ -15,7 +15,9 @@ fairlens-serve [--addr HOST:PORT] [--models DIR] [--workers N]
                [--breaker-threshold N] [--breaker-cooldown-ms MS]
                [--read-deadline-ms MS] [--max-conn-requests N]
                [--shadow MODEL=CANDIDATE.flm]... [--shadow-tolerance ULPS]
-               [--record PATH]
+               [--record PATH] [--monitor-window ROWS] [--monitor-pending N]
+               [--drift-threshold METRIC=DELTA]... [--drift-warn N]
+               [--drift-alert N] [--drift-recover N] [--drift-min-labeled N]
 
 Serves predictions from the .flm artifacts in DIR (default: models).
 Port 0 binds an ephemeral port, announced on stderr as
@@ -39,8 +41,24 @@ are compared bit-exactly (or within --shadow-tolerance ULPS), surfaced
 as fairlens_shadow_{compared,divergence}_total and in GET /v1/models.
 POST /v1/promote {\"model\": id} cuts the candidate over only when the
 comparison window is non-empty and clean (else a structured 409).
---record PATH appends every /v1/predict exchange as JSONL (request,
-response, score bits, timestamps last) for the loadgen's --replay mode.
+--record PATH appends every /v1/predict and /v1/feedback exchange as
+JSONL (request, response, score bits, timestamps last) for the loadgen's
+--replay mode.
+
+Live fairness monitoring: every scored predict lands in a per-model
+sliding window of --monitor-window rows (group id, predicted label,
+score); POST /v1/feedback {\"model\", \"seq\", \"label\"|\"labels\"}
+joins true outcomes onto it (seqs come back in predict responses;
+--monitor-pending bounds how many are remembered). Live windowed metrics
+are compared against the artifact's training-time metrics:
+--drift-threshold METRIC=DELTA (repeatable; default accuracy=0.10,
+di_star/tprb_fair/tnrb_fair=0.15) flags a breach past |live-baseline| >
+DELTA. --drift-warn consecutive breaching full-window evaluations raise
+ok->warning, --drift-alert raise warning->alerting, --drift-recover
+clean evaluations step back down; label-dependent metrics wait for
+--drift-min-labeled labeled rows. Status appears in GET /v1/models
+(\"monitor\" block) and as fairlens_live_metric / fairlens_drift_state /
+fairlens_feedback_total.
 
 Chaos: the FAIRLENS_FAULT env var injects deterministic faults, e.g.
 'panic:german-lr:1;flaky:3:german-lr' (kinds: panic:<model>:<k>,
@@ -108,6 +126,28 @@ fn main() {
                 cfg.shadow_tolerance = Some(parse_flag("--shadow-tolerance", value));
             }
             "--record" => cfg.record = Some(parse_flag::<PathBuf>("--record", value)),
+            "--monitor-window" => cfg.monitor_window = parse_flag("--monitor-window", value),
+            "--monitor-pending" => {
+                cfg.monitor_pending = parse_flag("--monitor-pending", value);
+            }
+            "--drift-threshold" => {
+                let spec: String = parse_flag("--drift-threshold", value);
+                let parsed = spec
+                    .split_once('=')
+                    .and_then(|(m, d)| d.parse::<f64>().ok().map(|d| (m.to_string(), d)));
+                let Some((metric, delta)) = parsed.filter(|(_, d)| d.is_finite() && *d >= 0.0)
+                else {
+                    eprintln!("--drift-threshold wants METRIC=DELTA, got {spec:?}\n{USAGE}");
+                    exit(2);
+                };
+                cfg.drift_thresholds.push((metric, delta));
+            }
+            "--drift-warn" => cfg.drift_warn = parse_flag("--drift-warn", value),
+            "--drift-alert" => cfg.drift_alert = parse_flag("--drift-alert", value),
+            "--drift-recover" => cfg.drift_recover = parse_flag("--drift-recover", value),
+            "--drift-min-labeled" => {
+                cfg.drift_min_labeled = parse_flag("--drift-min-labeled", value);
+            }
             other => {
                 eprintln!("unknown flag {other}\n{USAGE}");
                 exit(2);

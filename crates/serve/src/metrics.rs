@@ -104,6 +104,12 @@ pub struct Metrics {
     inflight: AtomicU64,
     /// Artifacts that failed to load/restore and were quarantined.
     load_failures: AtomicU64,
+    /// `(model, metric, group)` → live windowed fairness-metric value.
+    live: Mutex<BTreeMap<(String, String, String), f64>>,
+    /// Model id → drift-state gauge (0 ok / 1 warning / 2 alerting).
+    drift: Mutex<BTreeMap<String, u64>>,
+    /// `(model, status)` → feedback reports (ok/unknown/duplicate/invalid).
+    feedback: Mutex<BTreeMap<(String, &'static str), u64>>,
 }
 
 impl Default for Metrics {
@@ -130,6 +136,9 @@ impl Metrics {
             shadow: Mutex::new(BTreeMap::new()),
             inflight: AtomicU64::new(0),
             load_failures: AtomicU64::new(0),
+            live: Mutex::new(BTreeMap::new()),
+            drift: Mutex::new(BTreeMap::new()),
+            feedback: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -221,6 +230,34 @@ impl Metrics {
     /// Count one artifact load/restore failure (quarantine).
     pub fn record_load_failure(&self) {
         self.load_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish the full live-metric suite for one model, replacing the
+    /// previous snapshot (metrics that left the suite — e.g. a group
+    /// vanished from the window — must disappear from the exposition).
+    pub fn set_live_metrics(&self, model: &str, values: &[(&str, &str, f64)]) {
+        let mut map = self.live.lock().unwrap();
+        map.retain(|(m, _, _), _| m != model);
+        for &(metric, group, value) in values {
+            map.insert((model.to_string(), metric.to_string(), group.to_string()), value);
+        }
+    }
+
+    /// Track one model's drift state (0 ok / 1 warning / 2 alerting).
+    pub fn set_drift_state(&self, model: &str, gauge: u64) {
+        let mut map = self.drift.lock().unwrap();
+        match map.get_mut(model) {
+            Some(g) => *g = gauge,
+            None => {
+                map.insert(model.to_string(), gauge);
+            }
+        }
+    }
+
+    /// Count one `POST /v1/feedback` report by outcome
+    /// (`ok` / `unknown` / `duplicate` / `invalid`).
+    pub fn record_feedback(&self, model: &str, status: &'static str) {
+        *self.feedback.lock().unwrap().entry((model.to_string(), status)).or_insert(0) += 1;
     }
 
     /// Render the Prometheus text exposition.
@@ -336,6 +373,42 @@ impl Metrics {
             }
         }
 
+        let _ = writeln!(
+            out,
+            "# HELP fairlens_live_metric Windowed live fairness/correctness metrics \
+             over scored traffic."
+        );
+        let _ = writeln!(out, "# TYPE fairlens_live_metric gauge");
+        for ((model, metric, group), value) in self.live.lock().unwrap().iter() {
+            let _ = writeln!(
+                out,
+                "fairlens_live_metric{{model=\"{model}\",metric=\"{metric}\",group=\"{group}\"}} {value}"
+            );
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP fairlens_drift_state Live-vs-training drift status per model \
+             (0 ok, 1 warning, 2 alerting)."
+        );
+        let _ = writeln!(out, "# TYPE fairlens_drift_state gauge");
+        for (model, gauge) in self.drift.lock().unwrap().iter() {
+            let _ = writeln!(out, "fairlens_drift_state{{model=\"{model}\"}} {gauge}");
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP fairlens_feedback_total Outcome-label reports via POST /v1/feedback, \
+             by status."
+        );
+        let _ = writeln!(out, "# TYPE fairlens_feedback_total counter");
+        for ((model, status), count) in self.feedback.lock().unwrap().iter() {
+            let _ = writeln!(
+                out,
+                "fairlens_feedback_total{{model=\"{model}\",status=\"{status}\"}} {count}"
+            );
+        }
+
         let _ = writeln!(out, "# HELP fairlens_inflight Predict requests currently in flight.");
         let _ = writeln!(out, "# TYPE fairlens_inflight gauge");
         let _ = writeln!(out, "fairlens_inflight {}", self.inflight.load(Ordering::Relaxed));
@@ -436,5 +509,39 @@ mod tests {
         assert!(text.contains("fairlens_model_load_failures_total 1"));
         assert!(text.contains("fairlens_shadow_compared_total{model=\"german-lr\"} 2"));
         assert!(text.contains("fairlens_shadow_divergence_total{model=\"german-lr\"} 1"));
+    }
+
+    #[test]
+    fn monitor_series_render_and_replace() {
+        let m = Metrics::new();
+        m.set_live_metrics(
+            "german-lr",
+            &[("di_star", "all", 0.75), ("pos_rate", "0", 0.5), ("pos_rate", "1", 0.375)],
+        );
+        m.set_drift_state("german-lr", 0);
+        m.record_feedback("german-lr", "ok");
+        m.record_feedback("german-lr", "ok");
+        m.record_feedback("german-lr", "duplicate");
+        let text = m.render();
+        assert!(text.contains(
+            "fairlens_live_metric{model=\"german-lr\",metric=\"di_star\",group=\"all\"} 0.75"
+        ), "{text}");
+        assert!(text.contains(
+            "fairlens_live_metric{model=\"german-lr\",metric=\"pos_rate\",group=\"1\"} 0.375"
+        ));
+        assert!(text.contains("fairlens_drift_state{model=\"german-lr\"} 0"));
+        assert!(text.contains("fairlens_feedback_total{model=\"german-lr\",status=\"ok\"} 2"));
+        assert!(text.contains(
+            "fairlens_feedback_total{model=\"german-lr\",status=\"duplicate\"} 1"
+        ));
+        // A new snapshot replaces the model's whole live suite.
+        m.set_live_metrics("german-lr", &[("di_star", "all", 0.8)]);
+        m.set_drift_state("german-lr", 2);
+        let text = m.render();
+        assert!(text.contains(
+            "fairlens_live_metric{model=\"german-lr\",metric=\"di_star\",group=\"all\"} 0.8"
+        ));
+        assert!(!text.contains("pos_rate"), "stale series must be dropped");
+        assert!(text.contains("fairlens_drift_state{model=\"german-lr\"} 2"));
     }
 }

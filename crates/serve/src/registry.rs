@@ -38,9 +38,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
-
 use fairlens_core::{DataSchema, ModelArtifact};
+use fairlens_monitor::{Clock, SystemClock};
 use fairlens_xverify::Tolerance;
 
 use crate::batcher::{BatchConfig, ModelWorker};
@@ -166,6 +165,12 @@ pub struct Registry {
     max_loaded: usize,
     metrics: Arc<Metrics>,
     faults: Arc<ServeFaults>,
+    /// Time source for breaker admission/trip decisions. The breakers
+    /// themselves never read the clock (every method takes `now`); the
+    /// registry is where `now` is sourced, so injecting a
+    /// [`fairlens_monitor::ManualClock`] here makes breaker timing fully
+    /// deterministic in tests.
+    clock: Arc<dyn Clock>,
 }
 
 impl Registry {
@@ -214,7 +219,15 @@ impl Registry {
             max_loaded: max_loaded.max(1),
             metrics,
             faults,
+            clock: Arc::new(SystemClock),
         })
+    }
+
+    /// Replace the breaker time source (tests inject a
+    /// [`fairlens_monitor::ManualClock`]). Configure before serving
+    /// traffic.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
     }
 
     /// How shadow score streams are compared: `None` keeps the bit-exact
@@ -297,7 +310,7 @@ impl Registry {
         let info = self.info(id).ok_or_else(|| {
             ServeError::new(ErrorKind::UnknownModel, format!("no model {id:?}"))
         })?;
-        let now = Instant::now();
+        let now = self.clock.now();
         {
             let mut breakers = self.breakers.lock().unwrap();
             let b = breakers
@@ -404,7 +417,7 @@ impl Registry {
     }
 
     fn report_breaker_only(&self, id: &str, outcome: ModelOutcome) {
-        let now = Instant::now();
+        let now = self.clock.now();
         let mut breakers = self.breakers.lock().unwrap();
         let Some(b) = breakers.get_mut(id) else { return };
         let opened = match outcome {
@@ -630,6 +643,7 @@ mod tests {
     use super::*;
     use fairlens_core::baseline_approach;
     use fairlens_synth::DatasetKind;
+    use std::time::Instant;
 
     fn export(dir: &Path, id: &str, seed: u64) {
         let data = DatasetKind::German.generate(200, seed);
@@ -844,7 +858,7 @@ mod tests {
         let dir = temp_dir("breaker");
         export(&dir, "m", 5);
         let metrics = Arc::new(Metrics::new());
-        let reg = Registry::scan(
+        let mut reg = Registry::scan(
             &dir,
             BatchConfig::default(),
             2,
@@ -853,6 +867,10 @@ mod tests {
             Arc::new(ServeFaults::none()),
         )
         .unwrap();
+        // Drive breaker timing off a hand-cranked clock: no sleeps, no
+        // timing flake — cooldown expiry happens exactly when advanced.
+        let clock = fairlens_monitor::ManualClock::new();
+        reg.set_clock(Arc::new(clock.clone()));
         let w = reg.checkout("m").unwrap();
         reg.report("m", &w, ModelOutcome::Failure);
         assert_eq!(reg.breaker_state("m"), BreakerState::Closed);
@@ -868,7 +886,7 @@ mod tests {
         assert!(text.contains("fairlens_breaker_opens_total{model=\"m\"} 1"), "{text}");
         assert!(text.contains("fairlens_breaker_state{model=\"m\"} 2"), "{text}");
         // After the cooldown the probe flows and a success re-closes.
-        std::thread::sleep(std::time::Duration::from_millis(60));
+        clock.advance(std::time::Duration::from_millis(60));
         let w = reg.checkout("m").unwrap();
         reg.report("m", &w, ModelOutcome::Success);
         assert_eq!(reg.breaker_state("m"), BreakerState::Closed);

@@ -52,8 +52,10 @@ use crate::error::{ErrorKind, ServeError};
 use crate::faults::ServeFaults;
 use crate::http::{read_request, write_response_with, Limits, ReadOutcome, Request};
 use crate::metrics::Metrics;
+use crate::monitors::MonitorHub;
 use crate::recorder::Recorder;
 use crate::registry::{ModelInfo, ModelOutcome, Registry, ShadowSummary};
+use fairlens_monitor::{DriftConfig, MonitorConfig, MonitorSnapshot, SystemClock};
 
 const JSON: &str = "application/json";
 const PROM: &str = "text/plain; version=0.0.4";
@@ -101,8 +103,25 @@ pub struct ServeConfig {
     pub shadow: Vec<(String, PathBuf)>,
     /// ULP bound for shadow score comparison (`None` = bit-exact).
     pub shadow_tolerance: Option<u64>,
-    /// Append every `/v1/predict` exchange to this JSONL log.
+    /// Append every `/v1/predict` and `/v1/feedback` exchange to this
+    /// JSONL log.
     pub record: Option<PathBuf>,
+    /// Live-monitoring sliding-window capacity, rows per model.
+    pub monitor_window: usize,
+    /// Bound on remembered request seqs awaiting `/v1/feedback`.
+    pub monitor_pending: usize,
+    /// `--drift-threshold METRIC=DELTA` pairs; empty uses the monitor
+    /// crate's defaults.
+    pub drift_thresholds: Vec<(String, f64)>,
+    /// Consecutive breaching window evaluations before `ok → warning`.
+    pub drift_warn: u32,
+    /// Consecutive breaching window evaluations before `warning → alerting`.
+    pub drift_alert: u32,
+    /// Consecutive clean evaluations that step the drift state back down.
+    pub drift_recover: u32,
+    /// Labeled rows required in-window before label-dependent metrics
+    /// participate in drift detection.
+    pub drift_min_labeled: usize,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +145,13 @@ impl Default for ServeConfig {
             shadow: Vec::new(),
             shadow_tolerance: None,
             record: None,
+            monitor_window: 256,
+            monitor_pending: 1024,
+            drift_thresholds: Vec::new(),
+            drift_warn: 2,
+            drift_alert: 4,
+            drift_recover: 4,
+            drift_min_labeled: 16,
         }
     }
 }
@@ -148,6 +174,9 @@ struct Ctx {
     req_seq: AtomicU64,
     /// Present when the server was configured with `--record`.
     recorder: Option<Recorder>,
+    /// Live fairness monitoring: per-model windows, feedback joins,
+    /// drift detection.
+    monitors: MonitorHub,
 }
 
 /// RAII slot in the global in-flight budget: acquired before a predict
@@ -223,6 +252,21 @@ impl Server {
             }
             None => None,
         };
+        let monitors = MonitorHub::new(
+            MonitorConfig {
+                window: cfg.monitor_window,
+                pending_cap: cfg.monitor_pending,
+                drift: DriftConfig {
+                    thresholds: cfg.drift_thresholds.clone(),
+                    warn_after: cfg.drift_warn,
+                    alert_after: cfg.drift_alert,
+                    recover_after: cfg.drift_recover,
+                    min_labeled: cfg.drift_min_labeled,
+                },
+            },
+            metrics.clone(),
+            Arc::new(SystemClock),
+        );
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         Ok(Self {
@@ -240,6 +284,7 @@ impl Server {
                 trace: cfg.trace.as_ref().map(|_| fairlens_trace::TraceSink::new()),
                 req_seq: AtomicU64::new(0),
                 recorder,
+                monitors,
             }),
             workers: cfg.workers.max(1),
             trace_path: cfg.trace,
@@ -376,7 +421,9 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
                     t0.elapsed().as_secs_f64(),
                 );
                 if let Some(rec) = &ctx.recorder {
-                    if req.path == "/v1/predict" {
+                    // Feedback exchanges are part of the recorded truth:
+                    // replaying them is what reproduces window state.
+                    if req.path == "/v1/predict" || req.path == "/v1/feedback" {
                         rec.record(
                             &req.method,
                             &req.path,
@@ -409,8 +456,8 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
 /// path-scanning client cannot explode series cardinality.
 fn route_label(path: &str) -> &str {
     match path {
-        "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/promote"
-        | "/v1/shutdown" => path,
+        "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/feedback"
+        | "/v1/promote" | "/v1/shutdown" => path,
         _ => "other",
     }
 }
@@ -434,6 +481,7 @@ fn route(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeE
             }
             predict(ctx, req)
         }
+        ("POST", "/v1/feedback") => feedback(ctx, req),
         ("POST", "/v1/promote") => promote(ctx, req),
         ("POST", "/v1/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
@@ -441,8 +489,8 @@ fn route(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeE
             let _ = TcpStream::connect(ctx.local_addr);
             Ok((200, JSON, object([("status", Value::String("shutting down".into()))]).to_json()))
         }
-        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/promote"
-        | "/v1/shutdown") => {
+        (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/feedback"
+        | "/v1/promote" | "/v1/shutdown") => {
             Err(ServeError::new(
                 ErrorKind::MethodNotAllowed,
                 format!("{} does not support {}", req.path, req.method),
@@ -474,7 +522,76 @@ fn shadow_value(s: &ShadowSummary) -> Value {
     object(fields)
 }
 
-fn model_value(info: &ModelInfo, breaker: &'static str, shadow: Option<ShadowSummary>) -> Value {
+/// The live-monitoring block of one `/v1/models` entry: window
+/// occupancy, the live metric suite (nested per group, floats rendered
+/// bit-exactly by `fairlens-json`), the training-time baseline subset
+/// drift is judged against, and the drift status with any breaching
+/// metrics named.
+fn monitor_value(info: &ModelInfo, snap: &MonitorSnapshot) -> Value {
+    let mut groups: Vec<(String, Vec<(String, Value)>)> = Vec::new();
+    for m in &snap.live {
+        match groups.iter_mut().find(|(g, _)| g == m.group) {
+            Some((_, fields)) => fields.push((m.metric.to_string(), Value::from_f64(m.value))),
+            None => groups.push((
+                m.group.to_string(),
+                vec![(m.metric.to_string(), Value::from_f64(m.value))],
+            )),
+        }
+    }
+    let live = Value::Object(
+        groups.into_iter().map(|(g, fields)| (g, Value::Object(fields))).collect(),
+    );
+    let baseline = Value::Object(
+        snap.thresholds
+            .iter()
+            .filter_map(|(metric, _)| {
+                info.train_metrics
+                    .iter()
+                    .find(|(k, _)| k == metric)
+                    .map(|(k, v)| (k.clone(), Value::from_f64(*v)))
+            })
+            .collect(),
+    );
+    let breaching = Value::Array(
+        snap.breaching
+            .iter()
+            .map(|b| {
+                object([
+                    ("metric", Value::String(b.metric.clone())),
+                    ("live", Value::from_f64(b.live)),
+                    ("baseline", Value::from_f64(b.baseline)),
+                    ("delta", Value::from_f64(b.delta)),
+                    ("threshold", Value::from_f64(b.threshold)),
+                ])
+            })
+            .collect(),
+    );
+    let mut drift = vec![
+        ("state", Value::String(snap.drift_state.name().into())),
+        ("breaching", breaching),
+        ("evaluations", Value::Integer(snap.evaluations)),
+    ];
+    if let Some(secs) = snap.in_state_secs {
+        drift.push(("in_state_secs", Value::from_f64(secs)));
+    }
+    object([
+        ("window_len", Value::Integer(snap.window_len as u64)),
+        ("window_capacity", Value::Integer(snap.window_capacity as u64)),
+        ("labeled", Value::Integer(snap.labeled as u64)),
+        ("observed", Value::Integer(snap.pushed)),
+        ("pending", Value::Integer(snap.pending as u64)),
+        ("live", live),
+        ("baseline", baseline),
+        ("drift", object(drift)),
+    ])
+}
+
+fn model_value(
+    info: &ModelInfo,
+    breaker: &'static str,
+    shadow: Option<ShadowSummary>,
+    monitor: Option<MonitorSnapshot>,
+) -> Value {
     let mut fields = vec![
         ("id", Value::String(info.id.clone())),
         ("status", Value::String("ready".into())),
@@ -497,6 +614,9 @@ fn model_value(info: &ModelInfo, breaker: &'static str, shadow: Option<ShadowSum
     ];
     if let Some(s) = shadow {
         fields.push(("shadow", shadow_value(&s)));
+    }
+    if let Some(snap) = monitor {
+        fields.push(("monitor", monitor_value(info, &snap)));
     }
     object(fields)
 }
@@ -524,6 +644,7 @@ fn models_body(ctx: &Ctx) -> String {
                 &info,
                 ctx.registry.breaker_state(&info.id).name(),
                 ctx.registry.shadow_summary(&info.id),
+                ctx.monitors.snapshot(&info.id),
             ),
         })
         .collect();
@@ -591,6 +712,9 @@ fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), Serv
     // is resident from the scan, so this costs no artifact load.
     let info = ctx.registry.model(model_id)?;
     let data = info.schema.dataset_from_rows(&rows).map_err(ServeError::bad_request)?;
+    // The monitor needs the sensitive column after `data` is consumed by
+    // the executor; one small copy per request.
+    let groups: Vec<u8> = data.sensitive().to_vec();
     drop(parse_span); // parse = decode + validation + model lookup
     ctx.metrics.record_phase("parse", parse_t0.elapsed().as_secs_f64());
 
@@ -641,15 +765,25 @@ fn predict(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), Serv
         drop(span);
     }
 
+    // Feed the live fairness monitor: group ids from the request rows,
+    // predicted labels and scores from the answer. The returned seq is
+    // the handle `POST /v1/feedback` quotes to report true outcomes.
+    let monitor_span = fairlens_trace::span("monitor");
+    let seq =
+        ctx.monitors.observe(model_id, &info.train_metrics, &groups, &out.labels, &out.scores);
+    drop(monitor_span);
+
     let body = if singular {
         object([
             ("model", Value::String(model_id.into())),
+            ("seq", Value::Integer(seq)),
             ("prediction", Value::Integer(u64::from(out.labels[0]))),
             ("score", Value::from_f64(out.scores[0])),
         ])
     } else {
         object([
             ("model", Value::String(model_id.into())),
+            ("seq", Value::Integer(seq)),
             ("count", Value::Integer(out.labels.len() as u64)),
             (
                 "predictions",
@@ -682,6 +816,75 @@ fn shadow_compare(
         }
     };
     ctx.registry.record_shadow(model_id, incumbent, &candidate);
+}
+
+/// `POST /v1/feedback`: `{"model": id, "seq": n, "label": 0|1}` or
+/// `{"model": id, "seq": n, "labels": [...]}` — report the true outcomes
+/// for a previously answered predict call so the live monitor can join
+/// them onto its window. Unknown models and unknown/expired seqs are
+/// 404s, a second report for the same seq is a 409, and a label count
+/// that disagrees with the original request's row count is a 400.
+fn feedback(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeError> {
+    // Feedback gets its own request track: a drift transition this
+    // report triggers emits its trace event from this thread, and
+    // without a collector the event would be dropped on the floor.
+    let _collect = ctx.trace.as_ref().map(|sink| {
+        sink.collect(format!("req/{:06}", ctx.req_seq.fetch_add(1, Ordering::Relaxed)))
+    });
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ServeError::bad_request("body is not UTF-8"))?;
+    let v = parse(text).map_err(|e| ServeError::bad_request(format!("invalid JSON: {e}")))?;
+    let model_id = v
+        .get("model")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::bad_request("missing string field \"model\""))?;
+    // Resolve the model first: an unknown model is its own 404 and never
+    // reaches the per-model feedback counters.
+    ctx.registry.model(model_id)?;
+    let seq = v
+        .get("seq")
+        .cloned()
+        .ok_or_else(|| ServeError::bad_request("missing integer field \"seq\""))?
+        .into_u64()
+        .map_err(|e| ServeError::bad_request(format!("\"seq\": {e}")))?;
+    let label_value = |x: Value| -> Result<u8, ServeError> {
+        match x.into_u64() {
+            Ok(l @ (0 | 1)) => Ok(l as u8),
+            _ => Err(ServeError::bad_request("labels must be 0 or 1")),
+        }
+    };
+    let labels: Vec<u8> = match (v.get("label"), v.get("labels")) {
+        (Some(l), None) => vec![label_value(l.clone())?],
+        (None, Some(Value::Array(ls))) => {
+            ls.iter().cloned().map(label_value).collect::<Result<_, _>>()?
+        }
+        (None, Some(other)) => {
+            return Err(ServeError::bad_request(format!(
+                "\"labels\" must be an array, got {}",
+                other.kind_name()
+            )))
+        }
+        (Some(_), Some(_)) => {
+            return Err(ServeError::bad_request("give either \"label\" or \"labels\", not both"))
+        }
+        (None, None) => return Err(ServeError::bad_request("missing \"label\" or \"labels\"")),
+    };
+    if labels.is_empty() {
+        return Err(ServeError::bad_request("\"labels\" is empty"));
+    }
+    let receipt = ctx.monitors.feedback(model_id, seq, &labels)?;
+    Ok((
+        200,
+        JSON,
+        object([
+            ("status", Value::String("ok".into())),
+            ("model", Value::String(model_id.into())),
+            ("seq", Value::Integer(receipt.seq)),
+            ("matched", Value::Integer(receipt.matched as u64)),
+            ("expected", Value::Integer(receipt.expected as u64)),
+        ])
+        .to_json(),
+    ))
 }
 
 /// `POST /v1/promote`: `{"model": id}` — cut the model's shadow

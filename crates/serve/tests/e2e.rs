@@ -846,3 +846,244 @@ fn unloadable_artifacts_are_quarantined_not_fatal() {
     shutdown_and_join(&addr, handle);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn feedback_joins_labels_and_rejects_bad_reports_end_to_end() {
+    let dir = temp_models_dir("feedback");
+    export(&dir, "german-lr", "LR", 41);
+    let (addr, handle) = launch(&dir, |cfg| cfg.monitor_window = 32);
+    let mut client = Client::open(&addr);
+
+    let rows = sample_rows(5, 51);
+    let (status, v) = client.request("POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 200, "{v:?}");
+    let seq = v.get("seq").cloned().unwrap().into_u64().unwrap();
+    let fb = |seq: u64, labels: &str| {
+        format!("{{\"model\": \"german-lr\", \"seq\": {seq}, \"labels\": {labels}}}")
+    };
+
+    // Accepted: all five labels join rows still resident in the window.
+    let (status, v) = client.request("POST", "/v1/feedback", &fb(seq, "[1,0,1,1,0]"));
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(v.get("matched").cloned().unwrap().into_u64(), Ok(5));
+    assert_eq!(v.get("expected").cloned().unwrap().into_u64(), Ok(5));
+
+    // A second report for the same seq is a conflict.
+    let (status, v) = client.request("POST", "/v1/feedback", &fb(seq, "[1,0,1,1,0]"));
+    assert_eq!(status, 409, "{v:?}");
+    assert_eq!(error_kind(&v).as_deref(), Some("conflict"));
+    // A seq this model never issued is not found.
+    let (status, v) = client.request("POST", "/v1/feedback", &fb(999, "[1]"));
+    assert_eq!(status, 404, "{v:?}");
+    assert_eq!(error_kind(&v).as_deref(), Some("not_found"));
+    // A label count disagreeing with the original row count is a 400
+    // that still reaches the per-model feedback counters...
+    let (status, v) =
+        client.request("POST", "/v1/predict", &predict_body("german-lr", &rows[..3]));
+    assert_eq!(status, 200, "{v:?}");
+    let seq2 = v.get("seq").cloned().unwrap().into_u64().unwrap();
+    let (status, v) = client.request("POST", "/v1/feedback", &fb(seq2, "[1]"));
+    assert_eq!(status, 400, "{v:?}");
+    assert_eq!(error_kind(&v).as_deref(), Some("bad_request"));
+    // ...while a malformed label value is rejected before the monitor.
+    let (status, v) = client.request("POST", "/v1/feedback", &fb(seq2, "[1, 2, 0]"));
+    assert_eq!(status, 400, "{v:?}");
+    // An unknown model is its own 404 and never counts against anyone.
+    let (status, v) = client
+        .request("POST", "/v1/feedback", "{\"model\": \"nope\", \"seq\": 0, \"label\": 1}");
+    assert_eq!(status, 404, "{v:?}");
+    let (status, _) = client.request("GET", "/v1/feedback", "");
+    assert_eq!(status, 405);
+
+    let (_, text) = client.request("GET", "/metrics", "");
+    let Value::String(text) = text else { panic!("metrics is not JSON") };
+    for want in [
+        "fairlens_feedback_total{model=\"german-lr\",status=\"ok\"} 1",
+        "fairlens_feedback_total{model=\"german-lr\",status=\"duplicate\"} 1",
+        "fairlens_feedback_total{model=\"german-lr\",status=\"unknown\"} 1",
+        "fairlens_feedback_total{model=\"german-lr\",status=\"invalid\"} 1",
+    ] {
+        assert!(text.contains(want), "missing {want} in:\n{text}");
+    }
+
+    // The listing's monitor block reflects the joins: 8 rows observed
+    // across 2 requests, 5 of them labeled.
+    let (_, v) = client.request("GET", "/v1/models", "");
+    let models = v.get("models").cloned().unwrap().into_array().unwrap();
+    let monitor = models[0].get("monitor").expect("monitor block");
+    assert_eq!(monitor.get("window_len").cloned().unwrap().into_u64(), Ok(8));
+    assert_eq!(monitor.get("observed").cloned().unwrap().into_u64(), Ok(8));
+    assert_eq!(monitor.get("labeled").cloned().unwrap().into_u64(), Ok(5));
+    assert_eq!(monitor.get("pending").cloned().unwrap().into_u64(), Ok(2));
+    // Training-time baselines for the monitored metrics surface too.
+    assert!(monitor.get("baseline").unwrap().get("accuracy").is_some());
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn skewed_feedback_drives_drift_to_alerting() {
+    let dir = temp_models_dir("drift-skew");
+    export(&dir, "german-lr", "LR", 43); // baseline accuracy 0.75
+    let (addr, handle) = launch(&dir, |cfg| {
+        cfg.monitor_window = 8;
+        cfg.drift_thresholds = vec![("accuracy".into(), 0.25)];
+        cfg.drift_warn = 1;
+        cfg.drift_alert = 2;
+        cfg.drift_min_labeled = 4;
+    });
+    let mut client = Client::open(&addr);
+
+    // Report the opposite of every prediction: live accuracy over any
+    // full window is exactly 0.0 against a 0.75 baseline — every
+    // evaluation past the window fill breaches, so warn=1/alert=2 walks
+    // ok → warning → alerting within two evaluations.
+    for row in sample_rows(12, 53) {
+        let body = object([
+            ("model", Value::String("german-lr".into())),
+            ("row", row),
+        ])
+        .to_json();
+        let (status, v) = client.request("POST", "/v1/predict", &body);
+        assert_eq!(status, 200, "{v:?}");
+        let seq = v.get("seq").cloned().unwrap().into_u64().unwrap();
+        let pred = v.get("prediction").cloned().unwrap().into_u64().unwrap();
+        let (status, v) = client.request(
+            "POST",
+            "/v1/feedback",
+            &format!("{{\"model\": \"german-lr\", \"seq\": {seq}, \"label\": {}}}", 1 - pred),
+        );
+        assert_eq!(status, 200, "{v:?}");
+    }
+
+    let (_, v) = client.request("GET", "/v1/models", "");
+    let models = v.get("models").cloned().unwrap().into_array().unwrap();
+    let monitor = models[0].get("monitor").expect("monitor block");
+    let drift = monitor.get("drift").unwrap();
+    assert_eq!(drift.get("state").and_then(Value::as_str), Some("alerting"), "{v:?}");
+    let breaching = drift.get("breaching").cloned().unwrap().into_array().unwrap();
+    assert!(
+        breaching
+            .iter()
+            .any(|b| b.get("metric").and_then(Value::as_str) == Some("accuracy")),
+        "accuracy must be named as the offending metric: {v:?}"
+    );
+    assert_eq!(
+        monitor.get("live").unwrap().get("all").unwrap().get("accuracy").cloned().unwrap()
+            .into_f64(),
+        Ok(0.0),
+        "every labeled window row disagrees with its prediction"
+    );
+
+    let (_, text) = client.request("GET", "/metrics", "");
+    let Value::String(text) = text else { panic!("metrics is not JSON") };
+    assert!(text.contains("fairlens_drift_state{model=\"german-lr\"} 2"), "{text}");
+    assert!(
+        text.contains("fairlens_live_metric{model=\"german-lr\",metric=\"accuracy\",group=\"all\"} 0"),
+        "{text}"
+    );
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_artifact_drives_label_free_drift_into_alerting() {
+    use fairlens_core::snapshot::{ModelParams, PipelineSnapshot};
+    use fairlens_metrics::di_star;
+
+    let dir = temp_models_dir("drift-flip");
+    let (fitted, schema) = export(&dir, "german-lr", "LR", 47);
+    let rows = sample_rows(16, 59);
+    let offline = schema.dataset_from_rows(&rows).unwrap();
+    let baseline_di = di_star(&fitted.predict(&offline), offline.sensitive());
+
+    // Mangle the served artifact: negate every model weight (a gross
+    // version of the bit corruption flm_flip exercises) while keeping
+    // the *original* model's di_star as the recorded training-time
+    // baseline — a deployment whose artifact no longer matches its own
+    // provenance. No feedback anywhere: disparate impact is label-free,
+    // so drift must fire from scored traffic alone.
+    let path = dir.join("german-lr.flm");
+    let mut artifact = ModelArtifact::load(&path).unwrap();
+    artifact.train_metrics = vec![("di_star".into(), baseline_di)];
+    let snapshot = match &mut artifact.pipeline {
+        PipelineSnapshot::Model(m) => m,
+        PipelineSnapshot::Adjusted { base, .. } => base,
+    };
+    let negate = |p: &mut fairlens_core::snapshot::LinearParams| {
+        for w in &mut p.weights {
+            *w = -*w;
+        }
+        p.intercept = -p.intercept;
+    };
+    match &mut snapshot.params {
+        ModelParams::Linear(p) => negate(p),
+        ModelParams::Mixture(ps) => ps.iter_mut().for_each(negate),
+    }
+    artifact.save(&path).unwrap();
+
+    // Precondition (deterministic): on exactly these rows the mangled
+    // model's group outcomes differ measurably from the baseline, and
+    // both values are defined. The drift threshold is set to half that
+    // gap, so every full-window evaluation below must breach.
+    let flipped_di = di_star(&artifact.pipeline.restore().predict(&offline), offline.sensitive());
+    let gap = (flipped_di - baseline_di).abs();
+    assert!(
+        baseline_di.is_finite() && flipped_di.is_finite() && gap > 0.01,
+        "weight negation barely moved di_star: {baseline_di} vs {flipped_di}"
+    );
+
+    let (addr, handle) = launch(&dir, |cfg| {
+        cfg.monitor_window = 16;
+        cfg.drift_thresholds = vec![("di_star".into(), gap / 2.0)];
+        cfg.drift_warn = 1;
+        cfg.drift_alert = 2;
+    });
+    let mut client = Client::open(&addr);
+    // One window-filling batch (first evaluation), then two repeat
+    // singles. Each single evicts the row it re-sends, so the window
+    // multiset — and with it live di_star — is *identical* across all
+    // three evaluations: breach, breach, breach.
+    let (status, v) = client.request("POST", "/v1/predict", &predict_body("german-lr", &rows));
+    assert_eq!(status, 200, "{v:?}");
+    for row in &rows[..2] {
+        let body = object([
+            ("model", Value::String("german-lr".into())),
+            ("row", row.clone()),
+        ])
+        .to_json();
+        let (status, v) = client.request("POST", "/v1/predict", &body);
+        assert_eq!(status, 200, "{v:?}");
+    }
+
+    let (_, v) = client.request("GET", "/v1/models", "");
+    let models = v.get("models").cloned().unwrap().into_array().unwrap();
+    let monitor = models[0].get("monitor").expect("monitor block");
+    assert_eq!(monitor.get("labeled").cloned().unwrap().into_u64(), Ok(0), "no feedback sent");
+    let drift = monitor.get("drift").unwrap();
+    assert_eq!(drift.get("state").and_then(Value::as_str), Some("alerting"), "{v:?}");
+    let breaching = drift.get("breaching").cloned().unwrap().into_array().unwrap();
+    let di = breaching
+        .iter()
+        .find(|b| b.get("metric").and_then(Value::as_str) == Some("di_star"))
+        .expect("di_star named as the offending metric");
+    assert_eq!(
+        di.get("live").cloned().unwrap().into_f64().unwrap().to_bits(),
+        flipped_di.to_bits(),
+        "the breach quotes the mangled model's exact live value"
+    );
+    assert_eq!(
+        di.get("baseline").cloned().unwrap().into_f64().unwrap().to_bits(),
+        baseline_di.to_bits(),
+    );
+
+    let (_, text) = client.request("GET", "/metrics", "");
+    let Value::String(text) = text else { panic!("metrics is not JSON") };
+    assert!(text.contains("fairlens_drift_state{model=\"german-lr\"} 2"), "{text}");
+
+    shutdown_and_join(&addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -339,6 +339,112 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
     wait "$dirty_pid" \
         || { echo "shadow smoke FAILED: dirty server exited non-zero" >&2; exit 1; }
     echo "    ok: clean window promoted, recording replayed bit-exactly, flipped candidate refused with 409"
+
+    echo "==> monitor smoke (live metrics vs offline recomputation, label-skew drift, replay reproduction)"
+    # Phase 1 — honest outcomes: a single-connection run reporting true
+    # labels for ~70 % of answered predicts. The live windowed metrics in
+    # GET /v1/models must agree *bit-exactly* with monitor_check's naive
+    # offline recomputation over the recording, and drift must stay ok.
+    cargo build --release -p fairlens-serve --bin monitor_check >/dev/null
+    mon_rec="$smoke_out/monitor.rec.jsonl"
+    mon_log="$smoke_out/monitor-serve.log"
+    mon_trace="$smoke_out/monitor.trace.jsonl"
+    cargo run --release -p fairlens-serve -- \
+        --addr 127.0.0.1:0 --models "$models_dir" \
+        --monitor-window 64 --drift-threshold accuracy=0.25 \
+        --record "$mon_rec" --trace "$mon_trace" 2> "$mon_log" &
+    mon_pid=$!
+    addr=""
+    for _ in $(seq 1 300); do
+        addr="$(sed -n 's/^\[serve\] listening on \([0-9.:]*\).*$/\1/p' "$mon_log")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "monitor smoke FAILED: server never announced its address" >&2
+        kill "$mon_pid" 2>/dev/null || true
+        exit 1
+    fi
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$addr" --model german-lr --requests 200 --conns 1 --feedback 0.7 \
+        2> "$smoke_out/monitor-loadgen.log" \
+        || { echo "monitor smoke FAILED (feedback loadgen):" >&2
+             cat "$smoke_out/monitor-loadgen.log" >&2; exit 1; }
+    curl -s "http://$addr/metrics" > "$smoke_out/monitor-metrics.txt"
+    grep -Eq 'fairlens_feedback_total\{model="german-lr",status="ok"\} [1-9]' \
+        "$smoke_out/monitor-metrics.txt" \
+        || { echo "monitor smoke FAILED: no accepted feedback counted" >&2; exit 1; }
+    grep -q 'fairlens_drift_state{model="german-lr"} 0' "$smoke_out/monitor-metrics.txt" \
+        || { echo "monitor smoke FAILED: honest labels must not drift" >&2; exit 1; }
+    curl -s "http://$addr/v1/models" > "$smoke_out/monitor-models.json"
+    cargo run --release -p fairlens-serve --bin monitor_check -- \
+        "$mon_rec" --models "$models_dir" --model german-lr --window 64 \
+        --expect "$smoke_out/monitor-models.json" 2> "$smoke_out/monitor-check.log" \
+        || { echo "monitor smoke FAILED (offline recomputation):" >&2
+             cat "$smoke_out/monitor-check.log" >&2; exit 1; }
+    # Phase 2 — label skew: every report is the opposite of the
+    # prediction, so live accuracy collapses and the drift state must
+    # walk ok -> warning -> alerting, naming accuracy as the offender.
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$addr" --model german-lr --requests 150 --conns 1 \
+        --feedback-skew --seed 43 2> "$smoke_out/monitor-skew.log" \
+        || { echo "monitor smoke FAILED (skew loadgen):" >&2
+             cat "$smoke_out/monitor-skew.log" >&2; exit 1; }
+    curl -s "http://$addr/metrics" > "$smoke_out/monitor-skew-metrics.txt"
+    grep -q 'fairlens_drift_state{model="german-lr"} 2' \
+        "$smoke_out/monitor-skew-metrics.txt" \
+        || { echo "monitor smoke FAILED: label skew never reached alerting" >&2; exit 1; }
+    curl -s "http://$addr/v1/models" > "$smoke_out/monitor-models-skew.json"
+    grep -q '"state": *"alerting"' "$smoke_out/monitor-models-skew.json" \
+        || { echo "monitor smoke FAILED: /v1/models does not show alerting" >&2; exit 1; }
+    grep -q '"metric": *"accuracy"' "$smoke_out/monitor-models-skew.json" \
+        || { echo "monitor smoke FAILED: offending metric not named" >&2; exit 1; }
+    curl -s -X POST "http://$addr/v1/shutdown" >/dev/null
+    wait "$mon_pid" \
+        || { echo "monitor smoke FAILED: server exited non-zero" >&2; exit 1; }
+    grep -q '\[serve\] drift for model "german-lr": warning -> alerting' "$mon_log" \
+        || { echo "monitor smoke FAILED: no drift transition in the log" >&2; exit 1; }
+    grep -q 'drift:alerting' "$mon_trace" \
+        || { echo "monitor smoke FAILED: no drift event in the trace" >&2; exit 1; }
+    # Phase 3 — replay reproduction: a fresh server fed the recorded
+    # exchange stream (predicts *and* feedback) must answer identically
+    # and end with the same window — monitor_check holds its listing to
+    # the same offline recomputation, so the final live metrics are
+    # bit-identical to the original server's.
+    mon2_log="$smoke_out/monitor-replay-serve.log"
+    cargo run --release -p fairlens-serve -- \
+        --addr 127.0.0.1:0 --models "$models_dir" \
+        --monitor-window 64 --drift-threshold accuracy=0.25 2> "$mon2_log" &
+    mon2_pid=$!
+    addr=""
+    for _ in $(seq 1 300); do
+        addr="$(sed -n 's/^\[serve\] listening on \([0-9.:]*\).*$/\1/p' "$mon2_log")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "monitor smoke FAILED: replay server never announced its address" >&2
+        kill "$mon2_pid" 2>/dev/null || true
+        exit 1
+    fi
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$addr" --replay "$mon_rec" 2> "$smoke_out/monitor-replay.log" \
+        || { echo "monitor smoke FAILED (replay):" >&2
+             cat "$smoke_out/monitor-replay.log" >&2; exit 1; }
+    grep -q 'REPLAY PASS' "$smoke_out/monitor-replay.log" \
+        || { echo "monitor smoke FAILED: no REPLAY PASS marker" >&2; exit 1; }
+    curl -s "http://$addr/v1/models" > "$smoke_out/monitor-models-replay.json"
+    cargo run --release -p fairlens-serve --bin monitor_check -- \
+        "$mon_rec" --models "$models_dir" --model german-lr --window 64 \
+        --expect "$smoke_out/monitor-models-replay.json" \
+        2> "$smoke_out/monitor-check-replay.log" \
+        || { echo "monitor smoke FAILED (replayed window diverged):" >&2
+             cat "$smoke_out/monitor-check-replay.log" >&2; exit 1; }
+    curl -s -X POST "http://$addr/v1/shutdown" >/dev/null
+    wait "$mon2_pid" \
+        || { echo "monitor smoke FAILED: replay server exited non-zero" >&2; exit 1; }
+    fb_ok="$(sed -n 's/^fairlens_feedback_total{model="german-lr",status="ok"} //p' "$smoke_out/monitor-skew-metrics.txt")"
+    echo "    ok: live metrics bit-match offline recomputation, skewed labels drove drift to alerting (${fb_ok:-0} reports), replay reproduced the window"
 fi
 
 echo "All checks passed."
