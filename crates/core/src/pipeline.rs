@@ -79,6 +79,15 @@ pub trait TrainedModel: Send + Sync {
         self.predict(data).into_iter().map(f64::from).collect()
     }
 
+    /// Labels and scores together, for callers that need both (the serve
+    /// flush path). Must be observationally identical to calling
+    /// [`Self::predict`] and [`Self::predict_proba`] separately; models
+    /// whose two paths share one decision pass override this to compute
+    /// that pass once.
+    fn predict_with_proba(&self, data: &Dataset) -> (Vec<u8>, Vec<f64>) {
+        (self.predict(data), self.predict_proba(data))
+    }
+
     /// Persistable snapshot of the fitted state, or `None` when the state
     /// is not expressible in the artifact format (see [`crate::snapshot`]).
     fn snapshot(&self) -> Option<crate::snapshot::ModelSnapshot> {
@@ -239,6 +248,12 @@ impl TrainedModel for LrClassifier {
         self.proba(data)
     }
 
+    fn predict_with_proba(&self, data: &Dataset) -> (Vec<u8>, Vec<f64>) {
+        // One encode + one batched GEMV; both outputs derive from the same
+        // decision values, bit-identical to the two separate calls.
+        self.model.predict_with_proba(&self.encoder.transform(data).matrix)
+    }
+
     fn snapshot(&self) -> Option<crate::snapshot::ModelSnapshot> {
         Some(crate::snapshot::ModelSnapshot::linear(&self.encoder, &self.model))
     }
@@ -285,6 +300,26 @@ impl FittedPipeline {
             FittedPipeline::Model(m) => m.predict_proba(data),
             FittedPipeline::Adjusted { base, adjuster, .. } => {
                 adjuster.scores(&base.proba(data), data.sensitive())
+            }
+        }
+    }
+
+    /// Labels and scores from one pass over `data`.
+    ///
+    /// Bit-identical to calling [`Self::predict`] and
+    /// [`Self::predict_proba`] separately: plain models share one decision
+    /// pass, and adjusted pipelines compute the (deterministic) base
+    /// probabilities once and seed the adjustment RNG exactly as
+    /// [`Self::predict`] does.
+    pub fn predict_with_proba(&self, data: &Dataset) -> (Vec<u8>, Vec<f64>) {
+        match self {
+            FittedPipeline::Model(m) => m.predict_with_proba(data),
+            FittedPipeline::Adjusted { base, adjuster, seed } => {
+                let probs = base.proba(data);
+                let mut rng = StdRng::seed_from_u64(*seed ^ data.n_rows() as u64);
+                let labels = adjuster.adjust(&probs, data.sensitive(), &mut rng);
+                let scores = adjuster.scores(&probs, data.sensitive());
+                (labels, scores)
             }
         }
     }

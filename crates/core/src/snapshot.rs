@@ -176,6 +176,11 @@ impl TrainedModel for RestoredLinear {
         self.model.predict_proba(&self.snapshot.encoder.transform(data).matrix)
     }
 
+    fn predict_with_proba(&self, data: &Dataset) -> (Vec<u8>, Vec<f64>) {
+        // One encode + one batched GEMV shared by both outputs.
+        self.model.predict_with_proba(&self.snapshot.encoder.transform(data).matrix)
+    }
+
     fn snapshot(&self) -> Option<ModelSnapshot> {
         Some(self.snapshot.clone())
     }
@@ -210,6 +215,13 @@ impl TrainedModel for RestoredMixture {
 
     fn predict_proba(&self, data: &Dataset) -> Vec<f64> {
         self.mean_proba(data)
+    }
+
+    fn predict_with_proba(&self, data: &Dataset) -> (Vec<u8>, Vec<f64>) {
+        // One encode + member sweep; labels threshold the same means.
+        let probs = self.mean_proba(data);
+        let labels = probs.iter().map(|&p| u8::from(p >= 0.5)).collect();
+        (labels, probs)
     }
 
     fn snapshot(&self) -> Option<ModelSnapshot> {

@@ -1,0 +1,127 @@
+//! Fast-vs-naive kernel benchmarks on the vendored criterion stub.
+//!
+//! Every kernel is measured in both variants under `<kernel>/fast/<size>`
+//! and `<kernel>/naive/<size>` labels, so speedups fall out of a label
+//! join. `FAIRLENS_BENCH_SCALE=quick` shrinks the shapes for smoke runs
+//! (the `scripts/check.sh` gate); the default shapes mirror the fig11
+//! fit-phase working set (40 K × ~64-feature design matrices).
+//!
+//! Run with `cargo bench -p fairlens-linalg`. The committed machine-
+//! readable baseline (`BENCH_linalg.json`) is emitted by the
+//! `bench_report` binary in `fairlens-bench`, which drives the same
+//! kernels programmatically.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairlens_linalg::kernels;
+
+struct Shapes {
+    dot_len: usize,
+    gemv: (usize, usize),
+    gemm: (usize, usize, usize),
+    gram: (usize, usize),
+    transpose: (usize, usize),
+    samples: usize,
+}
+
+fn shapes() -> Shapes {
+    let quick = std::env::var("FAIRLENS_BENCH_SCALE").map(|v| v == "quick").unwrap_or(false);
+    if quick {
+        Shapes {
+            dot_len: 1024,
+            gemv: (512, 64),
+            gemm: (96, 96, 96),
+            gram: (2_000, 32),
+            transpose: (256, 256),
+            samples: 10,
+        }
+    } else {
+        Shapes {
+            dot_len: 8192,
+            gemv: (4_096, 64),
+            gemm: (256, 256, 256),
+            gram: (40_000, 64),
+            transpose: (1_024, 512),
+            samples: 20,
+        }
+    }
+}
+
+fn filled(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i % 977) as f64).mul_add(1.3e-3, 0.25)).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // Pin routing to fast so ambient FAIRLENS_LINALG_NAIVE can't skew the
+    // fast-labelled rows; naive rows call the references directly.
+    kernels::set_force_naive(false);
+    let s = shapes();
+    let mut g = c.benchmark_group("linalg");
+    g.sample_size(s.samples);
+
+    let x = filled(s.dot_len);
+    let y = filled(s.dot_len);
+    g.bench_function(format!("dot/fast/{}", s.dot_len), |b| {
+        b.iter(|| kernels::dot(black_box(&x), black_box(&y)))
+    });
+    g.bench_function(format!("dot/naive/{}", s.dot_len), |b| {
+        b.iter(|| kernels::dot_naive(black_box(&x), black_box(&y)))
+    });
+
+    let (rows, cols) = s.gemv;
+    let a = filled(rows * cols);
+    let xv = filled(cols);
+    let xt = filled(rows);
+    let mut out_r = vec![0.0; rows];
+    let mut out_c = vec![0.0; cols];
+    g.bench_function(format!("gemv/fast/{rows}x{cols}"), |b| {
+        b.iter(|| kernels::gemv(rows, cols, black_box(&a), black_box(&xv), &mut out_r))
+    });
+    g.bench_function(format!("gemv/naive/{rows}x{cols}"), |b| {
+        b.iter(|| kernels::gemv_naive(rows, cols, black_box(&a), black_box(&xv), &mut out_r))
+    });
+    g.bench_function(format!("gemv_t/fast/{rows}x{cols}"), |b| {
+        b.iter(|| kernels::gemv_t(rows, cols, black_box(&a), black_box(&xt), &mut out_c))
+    });
+    g.bench_function(format!("gemv_t/naive/{rows}x{cols}"), |b| {
+        b.iter(|| kernels::gemv_t_naive(rows, cols, black_box(&a), black_box(&xt), &mut out_c))
+    });
+
+    let (m, k, n) = s.gemm;
+    let ga = filled(m * k);
+    let gb = filled(k * n);
+    let mut gc = vec![0.0; m * n];
+    g.bench_function(format!("gemm/fast/{m}x{k}x{n}"), |b| {
+        b.iter(|| kernels::gemm(m, k, n, black_box(&ga), black_box(&gb), &mut gc))
+    });
+    g.bench_function(format!("gemm/naive/{m}x{k}x{n}"), |b| {
+        b.iter(|| kernels::gemm_naive(m, k, n, black_box(&ga), black_box(&gb), &mut gc))
+    });
+
+    let (grows, gcols) = s.gram;
+    let gm = filled(grows * gcols);
+    let gw = filled(grows);
+    let mut gout = vec![0.0; gcols * gcols];
+    g.bench_function(format!("gram_weighted/fast/{grows}x{gcols}"), |b| {
+        b.iter(|| kernels::gram_weighted(grows, gcols, black_box(&gm), black_box(&gw), &mut gout))
+    });
+    g.bench_function(format!("gram_weighted/naive/{grows}x{gcols}"), |b| {
+        b.iter(|| {
+            kernels::gram_weighted_naive(grows, gcols, black_box(&gm), black_box(&gw), &mut gout)
+        })
+    });
+
+    let (trows, tcols) = s.transpose;
+    let tm = filled(trows * tcols);
+    let mut tout = vec![0.0; trows * tcols];
+    g.bench_function(format!("transpose/fast/{trows}x{tcols}"), |b| {
+        b.iter(|| kernels::transpose(trows, tcols, black_box(&tm), &mut tout))
+    });
+    g.bench_function(format!("transpose/naive/{trows}x{tcols}"), |b| {
+        b.iter(|| kernels::transpose_naive(trows, tcols, black_box(&tm), &mut tout))
+    });
+
+    g.finish();
+}
+
+criterion_group!(kernel_benches, bench_kernels);
+criterion_main!(kernel_benches);

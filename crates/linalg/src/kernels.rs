@@ -1,0 +1,723 @@
+//! Cache-blocked, autovectorization-friendly BLAS kernels, with the naive
+//! reference implementations they are property-tested against.
+//!
+//! # Why two copies of every kernel
+//!
+//! The fast kernels restructure loops — register-blocked tiles, unrolled
+//! multi-accumulator reductions, packed panels — which the compiler turns
+//! into SIMD + independent dependency chains. Restructuring a *reduction*
+//! can change floating-point summation order, so every kernel carries an
+//! explicit numerical contract (see below) and keeps its naive reference
+//! (`*_naive`) in-tree: the property suite in
+//! `crates/linalg/tests/kernel_equivalence.rs` checks the contract on
+//! random shapes, and the `FAIRLENS_LINALG_NAIVE=1` kill-switch routes the
+//! whole workspace back through the references — which is also how
+//! `bench_report` measures honest before/after numbers in one binary.
+//!
+//! # Numerical contracts
+//!
+//! | kernel | contract vs its naive reference |
+//! |---|---|
+//! | [`dot`] | reassociated (8 partial sums): `\|fast − naive\| ≤ 1e-12·Σ\|xᵢyᵢ\|` |
+//! | [`gemv`] | each output row is exactly [`dot`] of that row — same bound |
+//! | [`gemv_t`] | ascending-row accumulation order preserved: **bit-exact** |
+//! | [`axpy`] / [`scale_slice`] | element-wise, no reassociation: **bit-exact** |
+//! | [`gemm`] | ascending-`k` accumulation per output element: **bit-exact** |
+//! | [`gram_weighted`] | ascending-row accumulation per element: **bit-exact** |
+//! | [`transpose`] | pure data movement: **bit-exact** |
+//!
+//! "Bit-exact" means the blocked kernel produces the same bits as its
+//! reference for every input (the tiling only changes *which* element is
+//! computed when, never the order of additions *within* one element).
+//! [`dot`] — and therefore [`gemv`] and every model score built on them —
+//! is the one genuinely reassociated kernel; consumers that persist or
+//! replay scores treat the fast [`dot`] itself as the ground truth (it is
+//! deterministic: same input, same bits, every call), so per-row and
+//! batched prediction stay mutually bit-exact even though both differ
+//! from the pre-blocking naive sum by a few ulps.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// 0 = undecided (read env), 1 = fast kernels, 2 = naive references.
+static FORCE_NAIVE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether every routed kernel should take its naive reference path.
+///
+/// Decided once from the `FAIRLENS_LINALG_NAIVE` environment variable
+/// (any non-empty value other than `0` forces naive) unless a prior
+/// [`set_force_naive`] call already pinned it. The hot-path cost is one
+/// relaxed atomic load and a predictable branch.
+#[inline]
+pub fn force_naive() -> bool {
+    match FORCE_NAIVE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let naive = std::env::var("FAIRLENS_LINALG_NAIVE")
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false);
+            FORCE_NAIVE.store(if naive { 2 } else { 1 }, Ordering::Relaxed);
+            naive
+        }
+    }
+}
+
+/// Pin the kernel routing at runtime (used by `bench_report` to measure
+/// before/after inside one process; wins over the environment variable).
+pub fn set_force_naive(naive: bool) {
+    FORCE_NAIVE.store(if naive { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1: dot / axpy / scale
+// ---------------------------------------------------------------------------
+
+/// Sequential left-to-right dot product — the pre-blocking reference.
+#[inline]
+pub fn dot_naive(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// Unrolled 8-accumulator dot product `xᵀy`.
+///
+/// The eight independent partial sums break the add-latency dependency
+/// chain (and give the autovectorizer clean even lanes); they are combined
+/// pairwise at the end, then the scalar tail is added. Deterministic:
+/// the summation order is a pure function of the input length.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    if force_naive() {
+        return dot_naive(x, y);
+    }
+    let n = x.len().min(y.len());
+    let (xb, yb) = (&x[..n], &y[..n]);
+    let mut acc = [0.0f64; 8];
+    let mut cx = xb.chunks_exact(8);
+    let mut cy = yb.chunks_exact(8);
+    for (a, b) in (&mut cx).zip(&mut cy) {
+        acc[0] += a[0] * b[0];
+        acc[1] += a[1] * b[1];
+        acc[2] += a[2] * b[2];
+        acc[3] += a[3] * b[3];
+        acc[4] += a[4] * b[4];
+        acc[5] += a[5] * b[5];
+        acc[6] += a[6] * b[6];
+        acc[7] += a[7] * b[7];
+    }
+    let mut tail = 0.0;
+    for (a, b) in cx.remainder().iter().zip(cy.remainder()) {
+        tail += a * b;
+    }
+    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
+}
+
+/// Reference `y ← y + αx` (element-wise; identical bits to [`axpy`]).
+#[inline]
+pub fn axpy_naive(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← y + αx`, unrolled by 4 so the bounds checks vanish and the loop
+/// vectorizes. Element-wise, so bit-exact vs [`axpy_naive`] by definition.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    let n = x.len().min(y.len());
+    let (xb, yb) = (&x[..n], &mut y[..n]);
+    let mut cy = yb.chunks_exact_mut(4);
+    let mut cx = xb.chunks_exact(4);
+    for (a, b) in (&mut cy).zip(&mut cx) {
+        a[0] += alpha * b[0];
+        a[1] += alpha * b[1];
+        a[2] += alpha * b[2];
+        a[3] += alpha * b[3];
+    }
+    for (a, b) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *a += alpha * b;
+    }
+}
+
+/// `x ← αx` (element-wise, trivially bit-exact under any unrolling).
+#[inline]
+pub fn scale_slice(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-2: gemv / gemv_t
+// ---------------------------------------------------------------------------
+
+/// Reference `Ax` using the sequential [`dot_naive`] per row.
+pub fn gemv_naive(rows: usize, cols: usize, a: &[f64], x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), rows * cols, "gemv: matrix shape mismatch");
+    debug_assert_eq!(x.len(), cols, "gemv: x length mismatch");
+    debug_assert_eq!(out.len(), rows, "gemv: out length mismatch");
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot_naive(&a[r * cols..(r + 1) * cols], x);
+    }
+}
+
+/// `out ← Ax` for a row-major `rows × cols` matrix.
+///
+/// Each output element is exactly [`dot`] of the corresponding row with
+/// `x` — the property every bit-exact batched-vs-per-row prediction test
+/// in the workspace leans on: scoring a 1-row matrix and scoring the same
+/// row inside a 10 000-row batch produce identical bits.
+pub fn gemv(rows: usize, cols: usize, a: &[f64], x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), rows * cols, "gemv: matrix shape mismatch");
+    debug_assert_eq!(x.len(), cols, "gemv: x length mismatch");
+    debug_assert_eq!(out.len(), rows, "gemv: out length mismatch");
+    if force_naive() {
+        return gemv_naive(rows, cols, a, x, out);
+    }
+    // Four rows per sweep share the `x` loads; each row still reduces in
+    // the 8-accumulator [`dot`] order.
+    let mut r = 0;
+    while r + 4 <= rows {
+        let base = r * cols;
+        out[r] = dot(&a[base..base + cols], x);
+        out[r + 1] = dot(&a[base + cols..base + 2 * cols], x);
+        out[r + 2] = dot(&a[base + 2 * cols..base + 3 * cols], x);
+        out[r + 3] = dot(&a[base + 3 * cols..base + 4 * cols], x);
+        r += 4;
+    }
+    for r in r..rows {
+        out[r] = dot(&a[r * cols..(r + 1) * cols], x);
+    }
+}
+
+/// Reference `Aᵀx`: ascending-row [`axpy_naive`] accumulation (no
+/// zero-skipping — skipping `xᵣ == 0` rows would flip `-0.0` sums).
+pub fn gemv_t_naive(rows: usize, cols: usize, a: &[f64], x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), rows * cols, "gemv_t: matrix shape mismatch");
+    debug_assert_eq!(x.len(), rows, "gemv_t: x length mismatch");
+    debug_assert_eq!(out.len(), cols, "gemv_t: out length mismatch");
+    out.fill(0.0);
+    for (r, &xr) in x.iter().enumerate() {
+        axpy_naive(xr, &a[r * cols..(r + 1) * cols], out);
+    }
+}
+
+/// `out ← Aᵀx` for a row-major `rows × cols` matrix.
+///
+/// Row-major `Aᵀx` is a sweep of axpys; the accumulation into each output
+/// element runs over rows in ascending order exactly as in
+/// [`gemv_t_naive`], so the kernel is bit-exact — the speed comes from the
+/// unrolled [`axpy`] body and from processing two rows per pass (one load
+/// of `out` serves two updates).
+pub fn gemv_t(rows: usize, cols: usize, a: &[f64], x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), rows * cols, "gemv_t: matrix shape mismatch");
+    debug_assert_eq!(x.len(), rows, "gemv_t: x length mismatch");
+    debug_assert_eq!(out.len(), cols, "gemv_t: out length mismatch");
+    if force_naive() {
+        return gemv_t_naive(rows, cols, a, x, out);
+    }
+    out.fill(0.0);
+    let mut r = 0;
+    // Two rows per sweep: out[j] += x_r·a_rj + x_{r+1}·a_{r+1,j}, still
+    // ascending in r per element (the two adds happen in row order).
+    while r + 2 <= rows {
+        let (x0, x1) = (x[r], x[r + 1]);
+        let row0 = &a[r * cols..(r + 1) * cols];
+        let row1 = &a[(r + 1) * cols..(r + 2) * cols];
+        for ((o, &a0), &a1) in out.iter_mut().zip(row0).zip(row1) {
+            *o = (*o + x0 * a0) + x1 * a1;
+        }
+        r += 2;
+    }
+    if r < rows {
+        axpy(x[r], &a[r * cols..(r + 1) * cols], out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-3: gemm
+// ---------------------------------------------------------------------------
+
+/// Reference `C ← AB`: the classic `i, k, j` triple loop accumulating each
+/// `C[i][j]` over `k` in ascending order (no zero-skipping).
+pub fn gemm_naive(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k, "gemm: A shape mismatch");
+    debug_assert_eq!(b.len(), k * n, "gemm: B shape mismatch");
+    debug_assert_eq!(c.len(), m * n, "gemm: C shape mismatch");
+    c.fill(0.0);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aip * bj;
+            }
+        }
+    }
+}
+
+/// Cache-block sizes: `KC × NC` panels of `B` are packed contiguously
+/// (≈ 256 KiB, resident in L2 across a full sweep of `A` rows); the
+/// micro-kernel holds an `MR × NR` tile of `C` in registers.
+const KC: usize = 256;
+const NC: usize = 128;
+const MR: usize = 4;
+const NR: usize = 4;
+
+/// Tiled, packed `C ← AB` (all matrices row-major, `A` is `m×k`, `B` is
+/// `k×n`).
+///
+/// Structure: `B` is packed one `KC × NC` panel at a time into a
+/// contiguous column-block buffer; for each panel the `MR × NR = 4 × 4`
+/// register micro-kernel sweeps `A`, keeping 16 independent accumulator
+/// chains live. Each `C[i][j]` still accumulates its `a_ip·b_pj` terms in
+/// ascending `p` order — panels are visited in ascending `p`, and the
+/// micro-kernel's inner loop ascends within a panel — so the result is
+/// bit-exact vs [`gemm_naive`]; the blocking only reorders *which element*
+/// is updated when.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k, "gemm: A shape mismatch");
+    debug_assert_eq!(b.len(), k * n, "gemm: B shape mismatch");
+    debug_assert_eq!(c.len(), m * n, "gemm: C shape mismatch");
+    if force_naive() {
+        return gemm_naive(m, k, n, a, b, c);
+    }
+    c.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    // Packed panel: NR-wide column strips, each strip kc rows deep,
+    // laid out strip-after-strip so the micro-kernel streams it linearly.
+    let mut packed = vec![0.0f64; KC * NC.min(n.next_multiple_of(NR))];
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            pack_b_panel(b, n, pc, kc, jc, nc, &mut packed);
+            let full_strips = nc / NR;
+            let tail_cols = nc % NR;
+            let mut i = 0;
+            while i + MR <= m {
+                for s in 0..full_strips {
+                    micro_kernel_4x4(
+                        a, k, pc, kc, i,
+                        &packed[s * kc * NR..(s * kc + kc) * NR],
+                        c, n, jc + s * NR,
+                    );
+                }
+                if tail_cols > 0 {
+                    micro_kernel_edge(
+                        a, k, pc, kc, i, MR,
+                        &packed[full_strips * kc * NR..(full_strips * kc + kc) * NR],
+                        tail_cols, c, n, jc + full_strips * NR,
+                    );
+                }
+                i += MR;
+            }
+            if i < m {
+                for s in 0..full_strips {
+                    micro_kernel_edge(
+                        a, k, pc, kc, i, m - i,
+                        &packed[s * kc * NR..(s * kc + kc) * NR],
+                        NR, c, n, jc + s * NR,
+                    );
+                }
+                if tail_cols > 0 {
+                    micro_kernel_edge(
+                        a, k, pc, kc, i, m - i,
+                        &packed[full_strips * kc * NR..(full_strips * kc + kc) * NR],
+                        tail_cols, c, n, jc + full_strips * NR,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Pack `B[pc..pc+kc][jc..jc+nc]` as ceil(nc/NR) strips of NR columns;
+/// within a strip, row `p`'s NR values are contiguous. Ragged rightmost
+/// strips are zero-padded (the padding multiplies into dead accumulators).
+fn pack_b_panel(
+    b: &[f64],
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    packed: &mut [f64],
+) {
+    let strips = nc.div_ceil(NR);
+    for s in 0..strips {
+        let j0 = jc + s * NR;
+        let w = NR.min(jc + nc - j0);
+        let strip = &mut packed[s * kc * NR..(s * kc + kc) * NR];
+        for p in 0..kc {
+            let brow = &b[(pc + p) * n + j0..(pc + p) * n + j0 + w];
+            let dst = &mut strip[p * NR..p * NR + NR];
+            dst[..w].copy_from_slice(brow);
+            dst[w..].fill(0.0);
+        }
+    }
+}
+
+/// `C[i..i+4][j..j+4] += A[i..i+4][pc..pc+kc] · strip` with 16 register
+/// accumulators; `strip` is a packed kc×NR panel.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel_4x4(
+    a: &[f64],
+    k: usize,
+    pc: usize,
+    kc: usize,
+    i: usize,
+    strip: &[f64],
+    c: &mut [f64],
+    n: usize,
+    j: usize,
+) {
+    let a0 = &a[i * k + pc..i * k + pc + kc];
+    let a1 = &a[(i + 1) * k + pc..(i + 1) * k + pc + kc];
+    let a2 = &a[(i + 2) * k + pc..(i + 2) * k + pc + kc];
+    let a3 = &a[(i + 3) * k + pc..(i + 3) * k + pc + kc];
+    // Seed the accumulators from C so the per-element fold *continues*
+    // the ascending-p sum of earlier KC panels — this is what makes the
+    // panel split bit-exact rather than merely ulp-close.
+    let mut acc = [[0.0f64; NR]; MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&c[(i + r) * n + j..(i + r) * n + j + NR]);
+    }
+    for p in 0..kc {
+        let bp = &strip[p * NR..p * NR + NR];
+        let av = [a0[p], a1[p], a2[p], a3[p]];
+        for (accr, &ar) in acc.iter_mut().zip(av.iter()) {
+            accr[0] += ar * bp[0];
+            accr[1] += ar * bp[1];
+            accr[2] += ar * bp[2];
+            accr[3] += ar * bp[3];
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        c[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+    }
+}
+
+/// Ragged-edge micro-kernel: `mr ≤ MR` rows × `w ≤ NR` packed columns.
+/// Accumulators are seeded from C (see [`micro_kernel_4x4`]); the zero-
+/// padded packed columns beyond `w` fold into dead accumulator lanes.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_edge(
+    a: &[f64],
+    k: usize,
+    pc: usize,
+    kc: usize,
+    i: usize,
+    mr: usize,
+    strip: &[f64],
+    w: usize,
+    c: &mut [f64],
+    n: usize,
+    j: usize,
+) {
+    for r in 0..mr {
+        let arow = &a[(i + r) * k + pc..(i + r) * k + pc + kc];
+        let mut acc = [0.0f64; NR];
+        acc[..w].copy_from_slice(&c[(i + r) * n + j..(i + r) * n + j + w]);
+        for (p, &ap) in arow.iter().enumerate() {
+            let bp = &strip[p * NR..p * NR + NR];
+            acc[0] += ap * bp[0];
+            acc[1] += ap * bp[1];
+            acc[2] += ap * bp[2];
+            acc[3] += ap * bp[3];
+        }
+        c[(i + r) * n + j..(i + r) * n + j + w].copy_from_slice(&acc[..w]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AᵀWA (the IRLS normal-equations kernel)
+// ---------------------------------------------------------------------------
+
+/// Reference `AᵀWA` for diagonal `W`: for each upper-triangle `(i, j)`,
+/// accumulate `w_r·a_ri·a_rj` over rows in ascending order, then mirror.
+/// (No zero-skipping, unlike the historical implementation, so the fast
+/// kernel can match it bit for bit.)
+pub fn gram_weighted_naive(rows: usize, cols: usize, a: &[f64], w: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), rows * cols, "gram: matrix shape mismatch");
+    debug_assert_eq!(w.len(), rows, "gram: weight length mismatch");
+    debug_assert_eq!(out.len(), cols * cols, "gram: out shape mismatch");
+    out.fill(0.0);
+    for i in 0..cols {
+        for j in i..cols {
+            let mut acc = 0.0;
+            for (r, &wr) in w.iter().enumerate() {
+                acc += (wr * a[r * cols + i]) * a[r * cols + j];
+            }
+            out[i * cols + j] = acc;
+        }
+    }
+    mirror_upper(cols, out);
+}
+
+/// Row-panel depth for [`gram_weighted`]: a panel of `RB` design-matrix
+/// rows (`RB × d` doubles) stays L2-resident while every output tile
+/// sweeps it.
+const RB: usize = 128;
+
+/// Blocked `AᵀWA` for a diagonal weight vector (the dominant kernel of the
+/// IRLS fit phase: `n·d²/2` flops per Newton iteration).
+///
+/// Structure: rows are processed in panels of [`RB`]; within a panel,
+/// 4×4 upper-triangle output tiles are held in 16 register accumulators
+/// while the panel's rows stream through once. Each output element still
+/// sums `w_r·a_ri·a_rj` in ascending `r` (panels ascend, rows within a
+/// panel ascend), so the kernel is bit-exact vs [`gram_weighted_naive`] —
+/// which the old element-at-a-time `Matrix::gram_weighted` was not fast
+/// enough to be worth preserving: it paid an indexed read-modify-write
+/// per flop.
+pub fn gram_weighted(rows: usize, cols: usize, a: &[f64], w: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), rows * cols, "gram: matrix shape mismatch");
+    debug_assert_eq!(w.len(), rows, "gram: weight length mismatch");
+    debug_assert_eq!(out.len(), cols * cols, "gram: out shape mismatch");
+    if force_naive() {
+        return gram_weighted_naive(rows, cols, a, w, out);
+    }
+    out.fill(0.0);
+    let d = cols;
+    for r0 in (0..rows).step_by(RB) {
+        let rb = RB.min(rows - r0);
+        let panel = &a[r0 * d..(r0 + rb) * d];
+        let wp = &w[r0..r0 + rb];
+        let mut i = 0;
+        while i < d {
+            let ih = MR.min(d - i);
+            // j starts at the diagonal tile (upper triangle only).
+            let mut j = i;
+            while j < d {
+                let jw = NR.min(d - j);
+                if ih == MR && jw == NR {
+                    // Accumulators seeded from `out` so the per-element
+                    // fold continues the ascending-r sum of earlier row
+                    // panels (bit-exactness across the RB split).
+                    let mut acc = [[0.0f64; NR]; MR];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        accr.copy_from_slice(&out[(i + r) * d + j..(i + r) * d + j + NR]);
+                    }
+                    for (r, &wr) in wp.iter().enumerate() {
+                        let row = &panel[r * d..(r + 1) * d];
+                        let ai = &row[i..i + MR];
+                        let aj = &row[j..j + NR];
+                        for (accr, &aiv) in acc.iter_mut().zip(ai.iter()) {
+                            let wi = wr * aiv;
+                            accr[0] += wi * aj[0];
+                            accr[1] += wi * aj[1];
+                            accr[2] += wi * aj[2];
+                            accr[3] += wi * aj[3];
+                        }
+                    }
+                    for (r, accr) in acc.iter().enumerate() {
+                        out[(i + r) * d + j..(i + r) * d + j + NR].copy_from_slice(accr);
+                    }
+                } else {
+                    // Ragged diagonal/edge tiles: same ascending-r order,
+                    // scalar accumulators seeded from `out`.
+                    for ii in i..i + ih {
+                        for jj in j.max(ii)..j + jw {
+                            let mut acc = out[ii * d + jj];
+                            for (r, &wr) in wp.iter().enumerate() {
+                                let row = &panel[r * d..(r + 1) * d];
+                                acc += (wr * row[ii]) * row[jj];
+                            }
+                            out[ii * d + jj] = acc;
+                        }
+                    }
+                }
+                j += jw;
+            }
+            i += ih;
+        }
+    }
+    // The 4×4 fast path on a diagonal tile also fills that tile's
+    // sub-diagonal entries; their summation order is not the naive one,
+    // so the mirror overwrites the entire lower triangle from the upper.
+    mirror_upper(cols, out);
+}
+
+/// Copy the strict upper triangle onto the strict lower triangle.
+fn mirror_upper(d: usize, out: &mut [f64]) {
+    for i in 1..d {
+        for j in 0..i {
+            out[i * d + j] = out[j * d + i];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transpose
+// ---------------------------------------------------------------------------
+
+/// Reference transpose: the naive double loop (one strided write per
+/// element, a TLB walk per row once matrices outgrow the cache).
+pub fn transpose_naive(rows: usize, cols: usize, a: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), rows * cols, "transpose: shape mismatch");
+    debug_assert_eq!(out.len(), rows * cols, "transpose: out shape mismatch");
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = a[r * cols + c];
+        }
+    }
+}
+
+/// Transpose tile edge (doubles): 32×32 tiles = two 8 KiB footprints,
+/// comfortably L1-resident, so both the read and the write side of a tile
+/// stay on hot cache lines.
+const TB: usize = 32;
+
+/// Cache-blocked transpose (pure data movement — bit-exact trivially).
+pub fn transpose(rows: usize, cols: usize, a: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), rows * cols, "transpose: shape mismatch");
+    debug_assert_eq!(out.len(), rows * cols, "transpose: out shape mismatch");
+    if force_naive() {
+        return transpose_naive(rows, cols, a, out);
+    }
+    for r0 in (0..rows).step_by(TB) {
+        let rh = TB.min(rows - r0);
+        for c0 in (0..cols).step_by(TB) {
+            let cw = TB.min(cols - c0);
+            for r in r0..r0 + rh {
+                let arow = &a[r * cols + c0..r * cols + c0 + cw];
+                for (dc, &v) in arow.iter().enumerate() {
+                    out[(c0 + dc) * rows + r] = v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64).sin() * 3.0 + 0.1).collect()
+    }
+
+    #[test]
+    fn dot_matches_naive_within_bound() {
+        for n in [0, 1, 7, 8, 9, 63, 64, 65, 1000] {
+            let x = seq(n);
+            let y: Vec<f64> = seq(n).iter().map(|v| v * 1.7 - 0.3).collect();
+            let fast = dot(&x, &y);
+            let naive = dot_naive(&x, &y);
+            let scale: f64 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+            assert!(
+                (fast - naive).abs() <= 1e-12 * scale + 1e-300,
+                "n={n}: {fast} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_is_bit_exact() {
+        for n in [0, 1, 5, 64, 129] {
+            let x = seq(n);
+            let mut y1 = seq(n);
+            let mut y2 = y1.clone();
+            axpy(0.37, &x, &mut y1);
+            axpy_naive(0.37, &x, &mut y2);
+            assert_eq!(
+                y1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_is_bit_exact_vs_naive() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (4, 4, 4), (7, 300, 9), (33, 17, 129)] {
+            let a = seq(m * k);
+            let b: Vec<f64> = seq(k * n).iter().map(|v| v * 0.9 - 1.0).collect();
+            let mut c1 = vec![0.0; m * n];
+            let mut c2 = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c1);
+            gemm_naive(m, k, n, &a, &b, &mut c2);
+            assert_eq!(
+                c1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                c2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "shape {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gram_weighted_is_bit_exact_vs_naive() {
+        for (rows, cols) in [(1, 1), (10, 3), (130, 4), (257, 9), (300, 13)] {
+            let a = seq(rows * cols);
+            let w: Vec<f64> = (0..rows).map(|i| 0.01 + (i as f64 * 0.7).cos().abs()).collect();
+            let mut g1 = vec![0.0; cols * cols];
+            let mut g2 = vec![0.0; cols * cols];
+            gram_weighted(rows, cols, &a, &w, &mut g1);
+            gram_weighted_naive(rows, cols, &a, &w, &mut g2);
+            assert_eq!(
+                g1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                g2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "shape {rows}x{cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemv_t_is_bit_exact_vs_naive() {
+        for (rows, cols) in [(1, 1), (2, 3), (9, 4), (101, 7)] {
+            let a = seq(rows * cols);
+            let x = seq(rows);
+            let mut o1 = vec![0.0; cols];
+            let mut o2 = vec![0.0; cols];
+            gemv_t(rows, cols, &a, &x, &mut o1);
+            gemv_t_naive(rows, cols, &a, &x, &mut o2);
+            assert_eq!(
+                o1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                o2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        for (rows, cols) in [(1, 1), (3, 7), (40, 33), (65, 64)] {
+            let a = seq(rows * cols);
+            let mut t = vec![0.0; rows * cols];
+            let mut back = vec![0.0; rows * cols];
+            transpose(rows, cols, &a, &mut t);
+            transpose(cols, rows, &t, &mut back);
+            assert_eq!(a, back);
+            let mut tn = vec![0.0; rows * cols];
+            transpose_naive(rows, cols, &a, &mut tn);
+            assert_eq!(t, tn);
+        }
+    }
+
+    #[test]
+    fn gemv_rows_equal_single_dots() {
+        let (rows, cols) = (23, 11);
+        let a = seq(rows * cols);
+        let x = seq(cols);
+        let mut out = vec![0.0; rows];
+        gemv(rows, cols, &a, &x, &mut out);
+        for r in 0..rows {
+            assert_eq!(
+                out[r].to_bits(),
+                dot(&a[r * cols..(r + 1) * cols], &x).to_bits(),
+                "row {r}"
+            );
+        }
+    }
+
+    // The force-naive switch is process-global; flipping it here would
+    // race `gemv_rows_equal_single_dots` (paired routed calls could land
+    // on different sides of the flip). Its test lives in the dedicated
+    // `tests/force_naive.rs` binary.
+}

@@ -7,10 +7,18 @@
 //! matrix factorisation, the simplex LP solver — is built on the two types in
 //! this crate:
 //!
-//! * [`Matrix`] — a dense, row-major, `f64` matrix with BLAS-2 level kernels
-//!   (`matvec`, `matvec_t`, `matmul`), and
+//! * [`Matrix`] — a dense, row-major, `f64` matrix with BLAS-2/3 level
+//!   methods (`matvec`, `matvec_t`, `matmul`, `gram_weighted`), and
 //! * the free functions in [`vector`] — BLAS-1 level kernels over `&[f64]`
 //!   slices (`dot`, `axpy`, norms, reductions).
+//!
+//! Both route through [`kernels`] — cache-blocked, autovectorization-
+//! friendly implementations that keep their naive references (`*_naive`)
+//! in-tree, each with an explicit numerical contract (bit-exact or
+//! ulp-bounded; see the [`kernels`] module docs). Setting
+//! `FAIRLENS_LINALG_NAIVE=1` (or calling [`kernels::set_force_naive`])
+//! reroutes the whole workspace through the references — the before/after
+//! switch the `bench_report` harness uses.
 //!
 //! [`decompose`] adds the small dense factorisations the workspace needs:
 //! Cholesky (for IRLS/Newton steps in logistic regression) and Gaussian
@@ -22,6 +30,7 @@
 //! abstraction in hot paths).
 
 pub mod decompose;
+pub mod kernels;
 pub mod matrix;
 pub mod vector;
 

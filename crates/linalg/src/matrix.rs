@@ -1,6 +1,11 @@
 //! Dense row-major `f64` matrix.
+//!
+//! The BLAS-2/3 level methods (`matvec`, `matvec_t`, `matmul`,
+//! `gram_weighted`, `transpose`) route through the cache-blocked kernels
+//! in [`crate::kernels`]; each kernel's numerical contract (bit-exact vs
+//! ulp-bounded relative to its `*_naive` reference) is documented there.
 
-use crate::vector;
+use crate::{kernels, vector};
 
 /// A dense, row-major matrix of `f64`.
 ///
@@ -162,81 +167,56 @@ impl Matrix {
     }
 
     /// Matrix–vector product `A x`.
+    ///
+    /// Each output element is exactly [`vector::dot`] of the corresponding
+    /// row with `x`, so scoring a row inside a batch and scoring it alone
+    /// produce identical bits (the serve batcher relies on this).
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
-        (0..self.rows).map(|r| vector::dot(self.row(r), x)).collect()
+        let mut out = vec![0.0; self.rows];
+        kernels::gemv(self.rows, self.cols, &self.data, x, &mut out);
+        out
     }
 
-    /// Transposed matrix–vector product `Aᵀ x`.
+    /// Transposed matrix–vector product `Aᵀ x` (ascending-row
+    /// accumulation; bit-exact vs [`kernels::gemv_t_naive`]).
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for (r, &xr) in x.iter().enumerate() {
-            if xr != 0.0 {
-                vector::axpy(xr, self.row(r), &mut out);
-            }
-        }
+        kernels::gemv_t(self.rows, self.cols, &self.data, x, &mut out);
         out
     }
 
-    /// Dense matrix product `A B` (naive triple loop; only used on small
-    /// matrices — factorisations and contingency tables).
+    /// Dense matrix product `A B` via the tiled/packed [`kernels::gemm`]
+    /// (register-blocked micro-kernel over packed B panels; bit-exact vs
+    /// the ascending-`k` naive triple loop). Used both for small solves
+    /// (factorisations, contingency tables) and the batched predict GEMM
+    /// in `fairlens-serve`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..other.cols {
-                    out.add_to(i, j, a * other.get(k, j));
-                }
-            }
-        }
+        kernels::gemm(self.rows, self.cols, other.cols, &self.data, &other.data, &mut out.data);
         out
     }
 
-    /// Transpose.
+    /// Transpose (cache-blocked tile copy; pure data movement).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
-            }
-        }
+        kernels::transpose(self.rows, self.cols, &self.data, &mut out.data);
         out
     }
 
     /// `AᵀWA` for a diagonal weight vector `w` (the IRLS normal-equations
     /// kernel in logistic regression). `w.len()` must equal `rows`.
+    ///
+    /// Blocked over row panels with register-tiled outputs; each element
+    /// accumulates `w_r·a_ri·a_rj` in ascending row order, bit-exact vs
+    /// [`kernels::gram_weighted_naive`].
     pub fn gram_weighted(&self, w: &[f64]) -> Matrix {
         assert_eq!(w.len(), self.rows, "gram_weighted: weight length mismatch");
         let d = self.cols;
         let mut out = Matrix::zeros(d, d);
-        for (r, &wr) in w.iter().enumerate() {
-            if wr == 0.0 {
-                continue;
-            }
-            let row = self.row(r);
-            for i in 0..d {
-                let wi = wr * row[i];
-                if wi == 0.0 {
-                    continue;
-                }
-                for (j, &rj) in row.iter().enumerate().skip(i) {
-                    out.add_to(i, j, wi * rj);
-                }
-            }
-        }
-        // mirror the upper triangle
-        for i in 0..d {
-            for j in 0..i {
-                let v = out.get(j, i);
-                out.set(i, j, v);
-            }
-        }
+        kernels::gram_weighted(self.rows, d, &self.data, w, &mut out.data);
         out
     }
 

@@ -4,24 +4,26 @@
 //! the zip-based iteration truncates to the shorter slice, so callers must
 //! uphold the length contract (every call site in this workspace does — the
 //! lengths come from a shared [`crate::Matrix`] shape).
+//!
+//! [`dot`] and [`axpy`] route through the blocked implementations in
+//! [`crate::kernels`]; their numerical contracts vs the `*_naive`
+//! references are documented there.
 
-/// Dot product `xᵀy`.
+/// Dot product `xᵀy` (unrolled multi-accumulator; see
+/// [`crate::kernels::dot`] for the summation-order contract).
 ///
 /// # Panics
 /// Debug-asserts `x.len() == y.len()`.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
-    debug_assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+    crate::kernels::dot(x, y)
 }
 
-/// `y ← y + alpha * x` (the classic AXPY update).
+/// `y ← y + alpha * x` (the classic AXPY update; element-wise, bit-exact
+/// under unrolling — see [`crate::kernels::axpy`]).
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    crate::kernels::axpy(alpha, x, y)
 }
 
 /// `x ← alpha * x`.

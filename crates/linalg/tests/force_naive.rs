@@ -1,0 +1,51 @@
+//! The runtime naive/fast routing switch, tested in its own binary: the
+//! switch is process-global, so flipping it next to bit-equality tests
+//! that pair two routed calls (e.g. `gemv` vs per-row `dot`) would race.
+
+use fairlens_linalg::kernels;
+
+#[test]
+fn force_naive_reroutes_every_kernel_through_its_reference() {
+    let n = 257; // odd, > one dot chunk, > one gemv row sweep
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 2.0).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64).cos() * 2.0).collect();
+    let (rows, cols) = (19, 13);
+    let a: Vec<f64> = (0..rows * cols).map(|i| ((i % 7) as f64) - 3.0).collect();
+
+    kernels::set_force_naive(true);
+    let dot_routed = kernels::dot(&x, &y);
+    let mut gemv_routed = vec![0.0; rows];
+    kernels::gemv(rows, cols, &a, &x[..cols], &mut gemv_routed);
+    let mut gram_routed = vec![0.0; cols * cols];
+    kernels::gram_weighted(rows, cols, &a, &y[..rows], &mut gram_routed);
+    let mut gemm_routed = vec![0.0; rows * rows];
+    kernels::gemm(rows, cols, rows, &a, &transposed(rows, cols, &a), &mut gemm_routed);
+    kernels::set_force_naive(false);
+
+    assert_eq!(dot_routed.to_bits(), kernels::dot_naive(&x, &y).to_bits());
+    let mut expect_v = vec![0.0; rows];
+    kernels::gemv_naive(rows, cols, &a, &x[..cols], &mut expect_v);
+    assert_eq!(bits(&gemv_routed), bits(&expect_v));
+    let mut expect_g = vec![0.0; cols * cols];
+    kernels::gram_weighted_naive(rows, cols, &a, &y[..rows], &mut expect_g);
+    assert_eq!(bits(&gram_routed), bits(&expect_g));
+    let mut expect_m = vec![0.0; rows * rows];
+    kernels::gemm_naive(rows, cols, rows, &a, &transposed(rows, cols, &a), &mut expect_m);
+    assert_eq!(bits(&gemm_routed), bits(&expect_m));
+
+    // Back to fast: the dot result may legitimately differ (reassociated),
+    // but stays within the documented bound.
+    let fast = kernels::dot(&x, &y);
+    let scale: f64 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+    assert!((fast - dot_routed).abs() <= 1e-12 * scale);
+}
+
+fn transposed(rows: usize, cols: usize, a: &[f64]) -> Vec<f64> {
+    let mut t = vec![0.0; rows * cols];
+    kernels::transpose_naive(rows, cols, a, &mut t);
+    t
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}

@@ -146,16 +146,19 @@ impl LogisticRegression {
         let total_w: f64 = sample_weights.map_or(n as f64, |w| w.iter().sum());
 
         for it in 0..opts.max_iter {
+            // One GEMV for all margins, then the elementwise link, then one
+            // transposed GEMV for the gradient — the three matrix kernels
+            // dominate the iteration and all run blocked.
+            let z = xa.matvec(&beta);
             // p_i, IRLS working weights r_i = ω_i p_i (1 − p_i)
             let mut irls_w = vec![0.0; n];
-            let mut grad = vec![0.0; d + 1];
+            let mut resid = vec![0.0; n];
             for i in 0..n {
-                let z = vector::dot(xa.row(i), &beta);
-                let p = vector::sigmoid(z);
+                let p = vector::sigmoid(z[i]);
                 irls_w[i] = (sw(i) * p * (1.0 - p)).max(1e-10);
-                let r = sw(i) * (p - yf[i]);
-                vector::axpy(r, xa.row(i), &mut grad);
+                resid[i] = sw(i) * (p - yf[i]);
             }
+            let mut grad = xa.matvec_t(&resid);
             // Ridge on weights only.
             for j in 0..d {
                 grad[j] += opts.l2 * total_w * beta[j];
@@ -227,10 +230,19 @@ impl LogisticRegression {
         vector::dot(row, &self.weights) + self.intercept
     }
 
-    /// Signed distances for all rows.
+    /// Signed distances for all rows, via one batched GEMV.
+    ///
+    /// Bit-exact vs calling [`Self::decision_one`] per row: the blocked
+    /// `matvec` computes each output element with exactly the same `dot`
+    /// the single-row path uses, then adds the intercept identically —
+    /// the invariant the serve batcher's coalescing relies on.
     pub fn decision_function(&self, x: &Matrix) -> Vec<f64> {
         assert_eq!(x.cols(), self.weights.len(), "decision_function: width mismatch");
-        (0..x.rows()).map(|i| self.decision_one(x.row(i))).collect()
+        let mut z = x.matvec(&self.weights);
+        for zi in z.iter_mut() {
+            *zi += self.intercept;
+        }
+        z
     }
 
     /// `P(Y = 1 | x)` for all rows.
@@ -247,6 +259,19 @@ impl LogisticRegression {
             .into_iter()
             .map(|z| u8::from(z >= 0.0))
             .collect()
+    }
+
+    /// Labels and probabilities from a single batched GEMV pass.
+    ///
+    /// Computes the decision values once and derives both outputs from the
+    /// same `z`, so the pair is bit-identical to calling [`Self::predict`]
+    /// and [`Self::predict_proba`] separately (both threshold/sigmoid the
+    /// same margins) at half the work — the serve flush path.
+    pub fn predict_with_proba(&self, x: &Matrix) -> (Vec<u8>, Vec<f64>) {
+        let z = self.decision_function(x);
+        let labels = z.iter().map(|&zi| u8::from(zi >= 0.0)).collect();
+        let probas = z.into_iter().map(vector::sigmoid).collect();
+        (labels, probas)
     }
 }
 

@@ -64,11 +64,13 @@ impl Objective for LogisticLoss<'_> {
     fn value(&self, params: &[f64]) -> f64 {
         let (w, b) = params.split_at(self.x.cols());
         let b = b[0];
+        // One batched GEMV for all margins, then the elementwise link.
+        let z = self.x.matvec(w);
         let mut loss = 0.0;
-        for i in 0..self.x.rows() {
-            let z = vector::dot(self.x.row(i), w) + b;
+        for (i, &zi) in z.iter().enumerate() {
+            let zi = zi + b;
             // −y z + log(1 + e^z), the stable cross-entropy form
-            loss += self.weight(i) * (vector::log1p_exp(z) - self.y[i] * z);
+            loss += self.weight(i) * (vector::log1p_exp(zi) - self.y[i] * zi);
         }
         loss / self.total_weight + 0.5 * self.l2 * vector::dot(w, w)
     }
@@ -77,14 +79,15 @@ impl Objective for LogisticLoss<'_> {
         let d = self.x.cols();
         let (w, b) = params.split_at(d);
         let b = b[0];
-        let mut g = vec![0.0; d + 1];
-        for i in 0..self.x.rows() {
-            let row = self.x.row(i);
-            let z = vector::dot(row, w) + b;
-            let r = self.weight(i) * (vector::sigmoid(z) - self.y[i]);
-            vector::axpy(r, row, &mut g[..d]);
-            g[d] += r;
+        // Margins via GEMV, residuals elementwise, then the feature
+        // gradient as one transposed GEMV (Xᵀr).
+        let z = self.x.matvec(w);
+        let mut resid = vec![0.0; self.x.rows()];
+        for (i, &zi) in z.iter().enumerate() {
+            resid[i] = self.weight(i) * (vector::sigmoid(zi + b) - self.y[i]);
         }
+        let mut g = self.x.matvec_t(&resid);
+        g.push(resid.iter().sum::<f64>());
         vector::scale(1.0 / self.total_weight, &mut g);
         for j in 0..d {
             g[j] += self.l2 * w[j];

@@ -341,8 +341,10 @@ fn flush(
         // request's expiry must not unwind its batchmates' pass.
         let _guard = (jobs.len() == 1).then(|| jobs[0].budget.install());
         let t0 = Instant::now();
-        let labels = pipeline.predict(batch);
-        let scores = pipeline.predict_proba(batch);
+        // One encode + one batched GEMV serves both outputs; bit-identical
+        // to the separate predict / predict_proba calls (see
+        // `FittedPipeline::predict_with_proba`).
+        let (labels, scores) = pipeline.predict_with_proba(batch);
         (labels, scores, t0.elapsed().as_micros() as u64)
     }));
     match outcome {

@@ -16,9 +16,28 @@ echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
 if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
-    echo "==> fig10 quick smoke (German panel, parallel runner)"
     smoke_out="$(mktemp -d)"
     trap 'rm -rf "$smoke_out"' EXIT
+
+    echo "==> bench smoke (quick-scale linalg kernels vs committed BENCH_linalg.json)"
+    # Re-measures the quick-scale kernel sweep and fails if any kernel's
+    # fast-path median regressed >20 % vs the committed baseline. Shared
+    # or loaded boxes make timing noisy, so by default a regression only
+    # warns; export FAIRLENS_BENCH_STRICT=1 to turn it into a hard gate.
+    if cargo run --release -p fairlens-bench --bin bench_report -- \
+        --check BENCH_linalg.json > "$smoke_out/bench_check.txt" 2>&1; then
+        echo "    ok: no kernel regressed >20% vs BENCH_linalg.json"
+    elif [[ "${FAIRLENS_BENCH_STRICT:-0}" == "1" ]]; then
+        echo "bench smoke FAILED (FAIRLENS_BENCH_STRICT=1):" >&2
+        cat "$smoke_out/bench_check.txt" >&2
+        exit 1
+    else
+        echo "    WARNING: kernel regression vs BENCH_linalg.json (ignored without FAIRLENS_BENCH_STRICT=1):"
+        grep -E 'REGRESSED|FAILED' "$smoke_out/bench_check.txt" | sed 's/^/    /'
+        echo "    re-baseline with: cargo run --release -p fairlens-bench --bin bench_report -- --out ."
+    fi
+
+    echo "==> fig10 quick smoke (German panel, parallel runner)"
     cargo run --release -p fairlens-bench --bin fig10_correctness_fairness -- \
         german --scale quick --threads 2 --out "$smoke_out" >/dev/null
     records="$(wc -l < "$smoke_out/fig10_correctness_fairness.jsonl")"

@@ -3,8 +3,37 @@
 //! runs each benchmark closure `sample_size` times after a short warm-up
 //! and prints min / median / mean wall-clock per iteration — enough to
 //! compare approaches locally without any network dependency.
+//!
+//! On top of the printed report, every finished benchmark also pushes a
+//! [`Summary`] into a process-global sink; harnesses that drive benchmarks
+//! programmatically (the `bench_report` baseline emitter) drain it with
+//! [`take_results`] instead of scraping stdout.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Machine-readable result of one finished benchmark.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Full benchmark label (`group/id`).
+    pub label: String,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u64,
+    /// Median sample, nanoseconds.
+    pub median_ns: u64,
+    /// Mean over all samples, nanoseconds.
+    pub mean_ns: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<Summary>> = Mutex::new(Vec::new());
+
+/// Drain every [`Summary`] recorded since the last call (process-global,
+/// in completion order).
+pub fn take_results() -> Vec<Summary> {
+    std::mem::take(&mut *RESULTS.lock().unwrap())
+}
 
 /// Prevent the optimiser from deleting a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
@@ -70,6 +99,13 @@ fn report(label: &str, samples: &[Duration]) {
         "{label:<40} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}  ({} samples)",
         sorted.len()
     );
+    RESULTS.lock().unwrap().push(Summary {
+        label: label.to_string(),
+        min_ns: min.as_nanos() as u64,
+        median_ns: median.as_nanos() as u64,
+        mean_ns: mean.as_nanos() as u64,
+        samples: sorted.len(),
+    });
 }
 
 /// A named set of related benchmarks.
@@ -174,5 +210,20 @@ mod tests {
     fn ids_format_like_criterion() {
         assert_eq!(BenchmarkId::new("fit", "LR").to_string(), "fit/LR");
         assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+
+    #[test]
+    fn results_sink_collects_summaries() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("sink");
+        group.sample_size(3);
+        group.bench_function("probe", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        // The sink is process-global and tests run concurrently, so filter
+        // rather than assert exclusivity.
+        let got = take_results();
+        let probe = got.iter().find(|s| s.label == "sink/probe").expect("summary recorded");
+        assert_eq!(probe.samples, 3);
+        assert!(probe.min_ns <= probe.median_ns && probe.min_ns <= probe.mean_ns);
     }
 }
