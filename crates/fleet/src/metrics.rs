@@ -1,0 +1,173 @@
+//! Prometheus text-format metrics for the fleet front door.
+//!
+//! Same conventions as the serve crate's registry: mutexed `BTreeMap`s
+//! keyed by label tuple (request handling is socket-bound; one short
+//! lock per request is noise), deterministic render order, `# HELP` /
+//! `# TYPE` preambles. The families here describe the *fleet* — worker
+//! lifecycle, failover, reload — while each worker keeps exposing its
+//! own `/metrics` for per-model detail.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The fleet's metric registry.
+#[derive(Default)]
+pub struct FleetMetrics {
+    /// `(route, status)` → front-door responses.
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    /// worker → respawns performed by the supervisor.
+    restarts: Mutex<BTreeMap<usize, u64>>,
+    /// worker → (routable now, pid).
+    workers: Mutex<BTreeMap<usize, (bool, u32)>>,
+    /// model → requests answered by a non-first replica after a
+    /// transport failure on an earlier one.
+    failovers: Mutex<BTreeMap<String, u64>>,
+    /// Individual forward attempts that failed at the transport level.
+    forward_retries: AtomicU64,
+    /// reload outcome (`ok`/`rejected`/`failed`) → count.
+    reloads: Mutex<BTreeMap<&'static str, u64>>,
+    /// Models currently paused for a blue/green cutover.
+    paused: AtomicU64,
+}
+
+impl FleetMetrics {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one front-door response.
+    pub fn record_request(&self, route: &str, status: u16) {
+        *self.requests.lock().unwrap().entry((route.to_string(), status)).or_insert(0) += 1;
+    }
+
+    /// Count one supervisor respawn of `worker`.
+    pub fn record_restart(&self, worker: usize) {
+        *self.restarts.lock().unwrap().entry(worker).or_insert(0) += 1;
+    }
+
+    /// Respawns of `worker` so far.
+    pub fn restarts(&self, worker: usize) -> u64 {
+        self.restarts.lock().unwrap().get(&worker).copied().unwrap_or(0)
+    }
+
+    /// Publish `worker`'s routability and pid.
+    pub fn set_worker(&self, worker: usize, up: bool, pid: u32) {
+        self.workers.lock().unwrap().insert(worker, (up, pid));
+    }
+
+    /// Count one request that succeeded on a fallback replica.
+    pub fn record_failover(&self, model: &str) {
+        *self.failovers.lock().unwrap().entry(model.to_string()).or_insert(0) += 1;
+    }
+
+    /// Count one failed forward attempt (transport-level).
+    pub fn record_forward_retry(&self) {
+        self.forward_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `/v1/reload` outcome.
+    pub fn record_reload(&self, outcome: &'static str) {
+        *self.reloads.lock().unwrap().entry(outcome).or_insert(0) += 1;
+    }
+
+    /// Publish how many models are paused for cutover right now.
+    pub fn set_paused(&self, n: u64) {
+        self.paused.store(n, Ordering::Relaxed);
+    }
+
+    /// Render the Prometheus exposition.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+
+        let _ = writeln!(out, "# HELP fairlens_fleet_requests_total Front-door responses by route and status.");
+        let _ = writeln!(out, "# TYPE fairlens_fleet_requests_total counter");
+        for ((route, status), n) in self.requests.lock().unwrap().iter() {
+            let _ = writeln!(
+                out,
+                "fairlens_fleet_requests_total{{route=\"{route}\",status=\"{status}\"}} {n}"
+            );
+        }
+
+        let _ = writeln!(out, "# HELP fairlens_worker_up Whether the worker shard is routable (announced and probing healthy).");
+        let _ = writeln!(out, "# TYPE fairlens_worker_up gauge");
+        let workers = self.workers.lock().unwrap();
+        for (w, (up, _)) in workers.iter() {
+            let _ = writeln!(out, "fairlens_worker_up{{worker=\"{w}\"}} {}", u8::from(*up));
+        }
+        let _ = writeln!(out, "# HELP fairlens_worker_pid The worker shard's OS process id.");
+        let _ = writeln!(out, "# TYPE fairlens_worker_pid gauge");
+        for (w, (_, pid)) in workers.iter() {
+            let _ = writeln!(out, "fairlens_worker_pid{{worker=\"{w}\"}} {pid}");
+        }
+        drop(workers);
+
+        let _ = writeln!(out, "# HELP fairlens_worker_restarts_total Supervisor respawns of the worker shard.");
+        let _ = writeln!(out, "# TYPE fairlens_worker_restarts_total counter");
+        for (w, n) in self.restarts.lock().unwrap().iter() {
+            let _ = writeln!(out, "fairlens_worker_restarts_total{{worker=\"{w}\"}} {n}");
+        }
+
+        let _ = writeln!(out, "# HELP fairlens_fleet_failovers_total Requests answered by a fallback replica after a transport failure.");
+        let _ = writeln!(out, "# TYPE fairlens_fleet_failovers_total counter");
+        for (model, n) in self.failovers.lock().unwrap().iter() {
+            let _ = writeln!(out, "fairlens_fleet_failovers_total{{model=\"{model}\"}} {n}");
+        }
+
+        let _ = writeln!(out, "# HELP fairlens_fleet_forward_retries_total Forward attempts that failed at the transport level.");
+        let _ = writeln!(out, "# TYPE fairlens_fleet_forward_retries_total counter");
+        let _ = writeln!(
+            out,
+            "fairlens_fleet_forward_retries_total {}",
+            self.forward_retries.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(out, "# HELP fairlens_fleet_reloads_total Blue/green reload attempts by outcome.");
+        let _ = writeln!(out, "# TYPE fairlens_fleet_reloads_total counter");
+        for (outcome, n) in self.reloads.lock().unwrap().iter() {
+            let _ = writeln!(out, "fairlens_fleet_reloads_total{{outcome=\"{outcome}\"}} {n}");
+        }
+
+        let _ = writeln!(out, "# HELP fairlens_fleet_paused_models Models currently paused for a blue/green cutover.");
+        let _ = writeln!(out, "# TYPE fairlens_fleet_paused_models gauge");
+        let _ = writeln!(out, "fairlens_fleet_paused_models {}", self.paused.load(Ordering::Relaxed));
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_families_deterministically() {
+        let m = FleetMetrics::new();
+        m.record_request("/v1/predict", 200);
+        m.record_request("/v1/predict", 200);
+        m.record_restart(1);
+        m.set_worker(0, true, 100);
+        m.set_worker(1, false, 101);
+        m.record_failover("german-lr");
+        m.record_forward_retry();
+        m.record_reload("ok");
+        m.set_paused(1);
+        let text = m.render();
+        for needle in [
+            "fairlens_fleet_requests_total{route=\"/v1/predict\",status=\"200\"} 2",
+            "fairlens_worker_up{worker=\"0\"} 1",
+            "fairlens_worker_up{worker=\"1\"} 0",
+            "fairlens_worker_pid{worker=\"0\"} 100",
+            "fairlens_worker_restarts_total{worker=\"1\"} 1",
+            "fairlens_fleet_failovers_total{model=\"german-lr\"} 1",
+            "fairlens_fleet_forward_retries_total 1",
+            "fairlens_fleet_reloads_total{outcome=\"ok\"} 1",
+            "fairlens_fleet_paused_models 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert_eq!(text, m.render(), "render order is deterministic");
+    }
+}

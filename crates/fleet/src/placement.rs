@@ -1,0 +1,117 @@
+//! Consistent-hash model placement: rendezvous (highest-random-weight)
+//! hashing.
+//!
+//! Every `(model, worker)` pair gets a deterministic pseudo-random
+//! weight; a model's replica set is the `R` live workers with the
+//! highest weights. Rendezvous hashing has exactly the property a
+//! supervised fleet needs: when a worker leaves the placement domain
+//! (marked dead), only the models that had a replica *on that worker*
+//! move — every other model's replica set is untouched, and the
+//! surviving replicas keep their relative order, so the old secondary
+//! becomes the new primary without any global reshuffle. When the worker
+//! comes back, placement returns to exactly where it was (the weights
+//! are pure functions of the ids).
+//!
+//! Weights are FNV-1a over the model id and worker index, finished with
+//! a SplitMix64 avalanche so short ids still spread across workers.
+
+/// FNV-1a 64-bit over `bytes`, seeded with `seed`.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finisher: avalanches the raw FNV state so single-bit
+/// input differences (worker 0 vs worker 1) flip about half the output.
+fn avalanche(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The rendezvous weight of placing `model` on `worker`.
+pub fn weight(model: &str, worker: usize) -> u64 {
+    avalanche(fnv1a(worker as u64, model.as_bytes()))
+}
+
+/// All of `workers` ranked by descending weight for `model` (ties break
+/// toward the lower index; with a 64-bit avalanche they are theoretical).
+pub fn rank(model: &str, workers: &[usize]) -> Vec<usize> {
+    let mut ranked: Vec<usize> = workers.to_vec();
+    ranked.sort_by_key(|&w| (std::cmp::Reverse(weight(model, w)), w));
+    ranked
+}
+
+/// The replica set: the top `r` workers of [`rank`], primary first.
+/// Fewer than `r` live workers means every one of them is a replica.
+pub fn replicas(model: &str, workers: &[usize], r: usize) -> Vec<usize> {
+    let mut ranked = rank(model, workers);
+    ranked.truncate(r.max(1));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let workers = [0, 1, 2, 3, 4];
+        let a = replicas("german-lr", &workers, 2);
+        let b = replicas("german-lr", &workers, 2);
+        assert_eq!(a, b, "placement is a pure function of the ids");
+        assert_eq!(a.len(), 2);
+        assert_ne!(a[0], a[1], "replicas land on distinct workers");
+    }
+
+    #[test]
+    fn fewer_workers_than_replicas() {
+        assert_eq!(replicas("m", &[7], 3), vec![7]);
+        assert_eq!(replicas("m", &[], 3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn removing_a_non_replica_worker_changes_nothing() {
+        let all = [0, 1, 2, 3, 4];
+        for model in ["german-lr", "adult-feld", "compas-hardt", "m0", "m1"] {
+            let before = replicas(model, &all, 2);
+            let victim = all.iter().copied().find(|w| !before.contains(w)).unwrap();
+            let survivors: Vec<usize> =
+                all.iter().copied().filter(|&w| w != victim).collect();
+            assert_eq!(
+                replicas(model, &survivors, 2),
+                before,
+                "losing a worker outside {model}'s replica set must not move it"
+            );
+        }
+    }
+
+    #[test]
+    fn killing_the_primary_promotes_the_secondary() {
+        let all = [0, 1, 2];
+        let before = replicas("german-lr", &all, 2);
+        let survivors: Vec<usize> =
+            all.iter().copied().filter(|&w| w != before[0]).collect();
+        let after = replicas("german-lr", &survivors, 2);
+        assert_eq!(after[0], before[1], "old secondary becomes primary");
+        assert!(!after.contains(&before[0]));
+    }
+
+    #[test]
+    fn models_spread_across_workers() {
+        let workers = [0, 1, 2, 3, 4];
+        let mut primaries = [0usize; 5];
+        for i in 0..200 {
+            let model = format!("model-{i}");
+            primaries[replicas(&model, &workers, 2)[0]] += 1;
+        }
+        for (w, &n) in primaries.iter().enumerate() {
+            assert!(n > 10, "worker {w} is primary for only {n}/200 models");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! One supervised `fairlens-serve` worker process.
+//!
+//! The fleet spawns workers with `--addr 127.0.0.1:0` (kernel-assigned
+//! loopback port) and learns the actual address from the worker's
+//! `[serve] listening on ADDR (...)` stderr announce — the same line the
+//! smoke scripts poll for, so the contract is already load-bearing. A
+//! log-pump thread forwards every worker stderr line to the fleet's
+//! stderr under a `[worker N]` prefix, which both keeps the announce
+//! parseable by outer tooling and makes a crash's panic message land in
+//! the supervisor's log.
+//!
+//! `FAIRLENS_FAULT` is scrubbed from the worker environment unless an
+//! explicit per-worker spec is passed: a fault plan aimed at the fleet
+//! process must not leak into every worker, and a respawned worker must
+//! come back *without* its predecessor's fault (otherwise an `abort:`
+//! spec would crash-loop the slot instead of proving recovery).
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A running (or already-exited) worker process.
+pub struct WorkerProc {
+    /// Slot index; also the worker's `--worker-id`.
+    pub idx: usize,
+    /// OS process id (for logs, metrics, and chaos kills).
+    pub pid: u32,
+    child: Child,
+    addr: Arc<Mutex<Option<String>>>,
+    log_pump: Option<JoinHandle<()>>,
+}
+
+impl WorkerProc {
+    /// Spawn `serve_bin` on an ephemeral loopback port over `models_dir`.
+    /// `fault` (a `FAIRLENS_FAULT` spec) applies to this incarnation
+    /// only; respawns pass `None`.
+    pub fn spawn(
+        idx: usize,
+        serve_bin: &Path,
+        models_dir: &Path,
+        extra_args: &[String],
+        fault: Option<&str>,
+    ) -> std::io::Result<Self> {
+        let mut cmd = Command::new(serve_bin);
+        cmd.arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--models")
+            .arg(models_dir)
+            .arg("--worker-id")
+            .arg(idx.to_string())
+            .args(extra_args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .env_remove("FAIRLENS_FAULT");
+        if let Some(spec) = fault {
+            cmd.env("FAIRLENS_FAULT", spec);
+        }
+        let mut child = cmd.spawn()?;
+        let pid = child.id();
+        let stderr = child.stderr.take().expect("stderr was piped");
+        let addr = Arc::new(Mutex::new(None));
+        let addr_slot = addr.clone();
+        let log_pump = std::thread::Builder::new()
+            .name(format!("fleet-worker-{idx}-log"))
+            .spawn(move || {
+                for line in BufReader::new(stderr).lines() {
+                    let Ok(line) = line else { break };
+                    if let Some(rest) = line.strip_prefix("[serve] listening on ") {
+                        if let Some(a) = rest.split_whitespace().next() {
+                            *addr_slot.lock().unwrap() = Some(a.to_string());
+                        }
+                    }
+                    eprintln!("[worker {idx}] {line}");
+                }
+            })?;
+        Ok(Self { idx, pid, child, addr, log_pump: Some(log_pump) })
+    }
+
+    /// The announced listen address, once the worker has printed it.
+    pub fn addr(&self) -> Option<String> {
+        self.addr.lock().unwrap().clone()
+    }
+
+    /// Whether the process has exited (reaps it if so; the answer is
+    /// sticky afterwards).
+    pub fn has_exited(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(Some(_)))
+    }
+
+    /// Kill and reap the process (no-op once exited).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Wait up to `timeout` for a voluntary exit (after a drain request),
+    /// then kill. Returns whether the exit was voluntary.
+    pub fn wait_or_kill(&mut self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.has_exited() {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        self.kill();
+        false
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        // Never leak a worker process past the supervisor's lifetime.
+        self.kill();
+        if let Some(pump) = self.log_pump.take() {
+            let _ = pump.join(); // stderr EOF after the kill ends it
+        }
+    }
+}

@@ -296,6 +296,10 @@ struct Tally {
     latencies_ms: Vec<f64>,
     reconnects: usize,
     retries: usize,
+    /// Requests re-sent after a mid-request transport error (reset,
+    /// refused, truncated response) — what a worker crash mid-failover
+    /// looks like from the client side.
+    transport_retries: usize,
     feedback_sent: usize,
     feedback_failed: usize,
 }
@@ -320,12 +324,19 @@ fn run_closed_loop(
         let mut attempts = 0;
         let final_resp = loop {
             let t0 = Instant::now();
-            let resp = conn.request("POST", "/v1/predict", &body).expect("predict request");
+            let resp = request_resilient(
+                &mut conn,
+                &args.addr,
+                "POST",
+                "/v1/predict",
+                &body,
+                &mut tally.transport_retries,
+            );
             tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
             *tally.counts.entry(resp.status).or_insert(0) += 1;
             if resp.close {
                 tally.reconnects += 1;
-                conn = Conn::open(&args.addr).expect("reconnect");
+                conn = reconnect(&args.addr);
             }
             // A shed with a Retry-After hint: wait as told, retry the
             // same request a few times before accepting the shed.
@@ -402,9 +413,14 @@ fn send_feedback(
             Value::Array(reported.into_iter().map(Value::Integer).collect()),
         ));
     }
-    let resp = conn
-        .request("POST", "/v1/feedback", &object(fields).to_json())
-        .expect("feedback request");
+    let resp = request_resilient(
+        conn,
+        &args.addr,
+        "POST",
+        "/v1/feedback",
+        &object(fields).to_json(),
+        &mut tally.transport_retries,
+    );
     tally.feedback_sent += 1;
     if resp.status != 200 {
         tally.feedback_failed += 1;
@@ -412,7 +428,7 @@ fn send_feedback(
     }
     if resp.close {
         tally.reconnects += 1;
-        *conn = Conn::open(&args.addr).expect("reconnect");
+        *conn = reconnect(&args.addr);
     }
 }
 
@@ -487,6 +503,7 @@ fn run_replay(args: &Args, log_path: &str) -> ! {
     });
     let mut conn = Conn::open(&args.addr).expect("connect for replay");
     let (mut sent, mut clean, mut status_only, mut diffs) = (0usize, 0usize, 0usize, 0usize);
+    let mut transport_retries = 0usize;
     let mut first_diff: Option<String> = None;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let entry = parse(line).unwrap_or_else(|e| {
@@ -513,7 +530,14 @@ fn run_replay(args: &Args, log_path: &str) -> ! {
 
         let mut attempts = 0;
         let resp = loop {
-            let resp = conn.request(&method, &path, &body).expect("replay request");
+            let resp = request_resilient(
+                &mut conn,
+                &args.addr,
+                &method,
+                &path,
+                &body,
+                &mut transport_retries,
+            );
             if resp.close {
                 conn = reconnect(&args.addr);
             }
@@ -551,7 +575,8 @@ fn run_replay(args: &Args, log_path: &str) -> ! {
     }
     eprintln!(
         "[loadgen] replayed {sent} exchange(s): {clean} identical \
-         ({status_only} status-only), {diffs} diff(s)"
+         ({status_only} status-only), {diffs} diff(s), \
+         {transport_retries} transport retry(s)"
     );
     if args.shutdown {
         let mut conn = Conn::open(&args.addr).expect("connect for shutdown");
@@ -595,6 +620,37 @@ fn reconnect(addr: &str) -> Conn {
         std::thread::sleep(Duration::from_millis(20));
     }
     panic!("cannot reconnect to {addr}");
+}
+
+/// Send one request, transparently reconnecting and re-sending it on a
+/// mid-request transport error (connection reset, refused, truncated
+/// response) — exactly what a crashing worker or a failover cutover
+/// looks like from the client. Bounded so a server that is actually gone
+/// still fails loudly; every re-send is counted so a chaos run reports a
+/// retry rate in its summary instead of dying on the first reset.
+fn request_resilient(
+    conn: &mut Conn,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    transport_retries: &mut usize,
+) -> Response {
+    let mut attempts = 0;
+    loop {
+        match conn.request(method, path, body) {
+            Ok(resp) => return resp,
+            Err(e) => {
+                attempts += 1;
+                assert!(
+                    attempts <= 5,
+                    "transport error persists after 5 re-sends of {method} {path} to {addr}: {e}"
+                );
+                *transport_retries += 1;
+                *conn = reconnect(addr);
+            }
+        }
+    }
 }
 
 fn main() {
@@ -664,21 +720,30 @@ fn main() {
             total.latencies_ms.extend(t.latencies_ms);
             total.reconnects += t.reconnects;
             total.retries += t.retries;
+            total.transport_retries += t.transport_retries;
             total.feedback_sent += t.feedback_sent;
             total.feedback_failed += t.feedback_failed;
         }
         total
     });
 
-    let Tally { counts, mut latencies_ms, reconnects, retries, feedback_sent, feedback_failed } =
-        tally;
+    let Tally {
+        counts,
+        mut latencies_ms,
+        reconnects,
+        retries,
+        transport_retries,
+        feedback_sent,
+        feedback_failed,
+    } = tally;
     let sent: usize = counts.values().sum();
     let ok = counts.get(&200).copied().unwrap_or(0);
     let shed: usize =
         SHED_STATUSES.iter().map(|s| counts.get(s).copied().unwrap_or(0)).sum();
     eprintln!(
         "[loadgen] {sent} response(s): {counts:?} — shed rate {:.1}% ({shed} shed), \
-         {reconnects} reconnect(s), {retries} retry-after wait(s)",
+         {reconnects} reconnect(s), {retries} retry-after wait(s), \
+         {transport_retries} transport retry(s)",
         100.0 * shed as f64 / sent.max(1) as f64,
     );
     if feedback_sent > 0 {

@@ -265,6 +265,13 @@ fn executor_loop(
         if !faults.is_empty() && faults.take(model_id, ServeFaultKind::Panic) {
             panic!("injected executor panic for model {model_id}");
         }
+        // Chaos hook for the fleet supervisor: take the whole process
+        // down, not just this executor. stderr is unbuffered, so the
+        // marker reaches the supervisor's log before the abort lands.
+        if !faults.is_empty() && faults.take(model_id, ServeFaultKind::Abort) {
+            eprintln!("[serve] injected abort fault for model {model_id}: aborting process");
+            std::process::abort();
+        }
         let mut jobs = vec![first];
         let mut rows = jobs[0].data.n_rows();
         let deadline = Instant::now() + cfg.batch_wait;

@@ -17,6 +17,13 @@
 //!   job in the flush is answered with a structured timeout.
 //! * `flaky:<k>:<model>` — the first `k` flushes fail with an injected
 //!   internal error (breaker fodder that stops on its own).
+//! * `abort:<model>:<k>` — the **whole process** aborts
+//!   (`std::process::abort`) when the k-th request for the model is
+//!   dequeued. Unlike the budgeted kinds this is a countdown: the first
+//!   `k - 1` requests pass through untouched and the fault fires exactly
+//!   once, which is what the fleet supervisor's respawn path needs — a
+//!   worker that dies deterministically mid-storm, and whose respawned
+//!   incarnation (launched without the fault) stays up.
 //!
 //! Unlike the bench hook this is not `cfg`-gated: the serving hot path
 //! pays one `Vec::is_empty` check per flush, and keeping it always
@@ -36,6 +43,8 @@ pub enum ServeFaultKind {
     Hang,
     /// Fail one flush with an injected internal error.
     Flaky,
+    /// Abort the whole process at the k-th request (countdown, fires once).
+    Abort,
 }
 
 #[derive(Debug)]
@@ -58,7 +67,7 @@ impl ServeFaults {
     }
 
     /// Parse a `;`-separated spec list: `panic:<model>:<k>`,
-    /// `hang:<model>:<k>`, `flaky:<k>:<model>`.
+    /// `hang:<model>:<k>`, `flaky:<k>:<model>`, `abort:<model>:<k>`.
     pub fn parse(s: &str) -> Result<Self, String> {
         let specs = s
             .split(';')
@@ -70,10 +79,11 @@ impl ServeFaults {
                     ["panic", model, k] => (ServeFaultKind::Panic, *model, *k),
                     ["hang", model, k] => (ServeFaultKind::Hang, *model, *k),
                     ["flaky", k, model] => (ServeFaultKind::Flaky, *model, *k),
+                    ["abort", model, k] => (ServeFaultKind::Abort, *model, *k),
                     _ => {
                         return Err(format!(
                             "bad fault spec {part:?} (want panic:<model>:<k>, \
-                             hang:<model>:<k> or flaky:<k>:<model>)"
+                             hang:<model>:<k>, flaky:<k>:<model> or abort:<model>:<k>)"
                         ))
                     }
                 };
@@ -108,15 +118,22 @@ impl ServeFaults {
     }
 
     /// Consume one activation of `kind` for `model`, if any budget is
-    /// left. Each call burns at most one activation.
+    /// left. Each call burns at most one activation. Budgeted kinds
+    /// (panic/hang/flaky) activate on each of the first `k` calls;
+    /// `abort` is a countdown and activates only on the call that takes
+    /// the budget from 1 to 0 — i.e. exactly the k-th matching request.
     pub fn take(&self, model: &str, kind: ServeFaultKind) -> bool {
         self.specs
             .iter()
             .filter(|e| e.kind == kind && e.model == model)
             .any(|e| {
-                e.remaining
+                match e
+                    .remaining
                     .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
-                    .is_ok()
+                {
+                    Ok(prev) => !matches!(e.kind, ServeFaultKind::Abort) || prev == 1,
+                    Err(_) => false,
+                }
             })
     }
 }
@@ -138,6 +155,18 @@ mod tests {
             assert!(f.take("adult-feld", ServeFaultKind::Flaky));
         }
         assert!(!f.take("adult-feld", ServeFaultKind::Flaky));
+    }
+
+    #[test]
+    fn abort_counts_down_and_fires_exactly_once() {
+        let f = ServeFaults::parse("abort:german-lr:3").unwrap();
+        assert!(!f.take("german-lr", ServeFaultKind::Abort), "request 1 passes");
+        assert!(!f.take("german-lr", ServeFaultKind::Abort), "request 2 passes");
+        assert!(f.take("german-lr", ServeFaultKind::Abort), "fires on the 3rd");
+        assert!(!f.take("german-lr", ServeFaultKind::Abort), "spent");
+        // k = 0 never fires.
+        let f = ServeFaults::parse("abort:german-lr:0").unwrap();
+        assert!(!f.take("german-lr", ServeFaultKind::Abort));
     }
 
     #[test]

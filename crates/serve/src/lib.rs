@@ -26,7 +26,9 @@
 //!   latency and batch-size histograms, registry gauges, and the
 //!   overload series (sheds, queue depth, breaker state, in-flight).
 //! * [`faults`] — deterministic `FAIRLENS_FAULT` chaos hooks
-//!   (`panic:`/`hang:`/`flaky:` per model id) for the chaos harness.
+//!   (`panic:`/`hang:`/`flaky:`/`abort:` per model id) for the chaos
+//!   harness; `abort:` kills the whole process at the k-th request, the
+//!   hook the fleet supervisor's respawn path is tested with.
 //! * [`recorder`] — `--record PATH` appends every `/v1/predict` and
 //!   `/v1/feedback` exchange (request, response, score bit patterns,
 //!   timestamps last) as JSONL; the loadgen's `--replay` mode re-sends a
@@ -48,7 +50,15 @@
 //!
 //! Routes: `POST /v1/predict`, `POST /v1/feedback`, `GET /v1/models`,
 //! `GET /healthz`, `GET /metrics`, `POST /v1/promote`,
-//! `POST /v1/shutdown`.
+//! `POST /v1/shadow` (runtime shadow attach/detach), `POST /v1/refresh`
+//! (re-read an artifact from disk — the fleet's blue/green cutover
+//! hook), `POST /v1/shutdown`.
+//!
+//! One `fairlens-serve` process is one fault domain. The companion
+//! `fairlens-fleet` crate supervises several of them as worker shards
+//! behind a routing front door (consistent-hash placement, replication,
+//! crash failover, blue/green artifact reload); `--worker-id` tags a
+//! process as a fleet shard.
 
 pub mod batcher;
 pub mod breaker;

@@ -18,6 +18,7 @@ fairlens-serve [--addr HOST:PORT] [--models DIR] [--workers N]
                [--record PATH] [--monitor-window ROWS] [--monitor-pending N]
                [--drift-threshold METRIC=DELTA]... [--drift-warn N]
                [--drift-alert N] [--drift-recover N] [--drift-min-labeled N]
+               [--worker-id N]
 
 Serves predictions from the .flm artifacts in DIR (default: models).
 Port 0 binds an ephemeral port, announced on stderr as
@@ -60,9 +61,18 @@ clean evaluations step back down; label-dependent metrics wait for
 (\"monitor\" block) and as fairlens_live_metric / fairlens_drift_state /
 fairlens_feedback_total.
 
+Fleet worker mode: --worker-id N tags this process as fleet shard N; the
+id is echoed in GET /healthz along with pid, in-flight count and
+draining status so the fairlens-fleet supervisor can probe it.
+POST /v1/shadow {\"model\", \"artifact\"?} attaches (or, without
+\"artifact\", detaches) a shadow candidate at runtime; POST /v1/refresh
+{\"model\"} re-reads the model's artifact from disk, evicting the
+resident executor — the fleet's blue/green staging and cutover hooks.
+
 Chaos: the FAIRLENS_FAULT env var injects deterministic faults, e.g.
 'panic:german-lr:1;flaky:3:german-lr' (kinds: panic:<model>:<k>,
-hang:<model>:<k>, flaky:<k>:<model>).";
+hang:<model>:<k>, flaky:<k>:<model>, abort:<model>:<k> — abort kills
+the whole process at the k-th request for the model).";
 
 fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
     let Some(value) = value else {
@@ -148,6 +158,7 @@ fn main() {
             "--drift-min-labeled" => {
                 cfg.drift_min_labeled = parse_flag("--drift-min-labeled", value);
             }
+            "--worker-id" => cfg.worker_id = Some(parse_flag("--worker-id", value)),
             other => {
                 eprintln!("unknown flag {other}\n{USAGE}");
                 exit(2);

@@ -171,6 +171,10 @@ pub struct Registry {
     /// [`fairlens_monitor::ManualClock`] here makes breaker timing fully
     /// deterministic in tests.
     clock: Arc<dyn Clock>,
+    /// The scanned models directory, kept so [`Registry::refresh`] can
+    /// resolve `{id}.flm` for ids that never loaded (quarantined at scan,
+    /// or dropped into the directory after startup).
+    dir: PathBuf,
 }
 
 impl Registry {
@@ -220,6 +224,7 @@ impl Registry {
             metrics,
             faults,
             clock: Arc::new(SystemClock),
+            dir: dir.to_path_buf(),
         })
     }
 
@@ -595,6 +600,61 @@ impl Registry {
              after {compared} clean comparison(s)"
         );
         Ok(compared)
+    }
+
+    /// Detach `id`'s shadow candidate without promoting — the fleet's
+    /// reload abort path. Returns whether one was attached; detaching
+    /// with nothing attached is a no-op, so the abort path is idempotent.
+    pub fn detach_shadow(&self, id: &str) -> bool {
+        self.shadows.lock().unwrap().remove(id).is_some()
+    }
+
+    /// Number of models with a resident executor right now.
+    pub fn loaded_count(&self) -> usize {
+        self.loaded.lock().unwrap().map.len()
+    }
+
+    /// Re-read `id`'s artifact from disk: refresh the catalogue entry,
+    /// evict any resident executor (the next admitted request restores
+    /// the new pipeline), detach any attached shadow, and clear the id's
+    /// quarantine entry — a refresh is an explicit operator assertion
+    /// that the file was replaced, the one case where quarantine may
+    /// heal without a restart. This is the fleet's blue/green cutover
+    /// hook: the fleet swaps the artifact file in the shared models
+    /// directory, then refreshes every replica. Ids never seen before
+    /// resolve to `{dir}/{id}.flm`, so a refresh can also introduce a
+    /// model dropped into the directory after startup.
+    pub fn refresh(&self, id: &str) -> Result<(), ServeError> {
+        let path = self
+            .info(id)
+            .map(|i| i.path.clone())
+            .unwrap_or_else(|| self.dir.join(format!("{id}.flm")));
+        let (artifact, stochastic) = load_artifact(&path).map_err(|reason| {
+            // The file on disk is (still) bad: keep or enter quarantine
+            // so per-request traffic keeps getting the cached 503.
+            eprintln!("[serve] refresh of model {id:?} failed: {reason}");
+            self.metrics.record_load_failure();
+            self.quarantined.lock().unwrap().insert(id.to_string(), reason.clone());
+            ServeError::new(
+                ErrorKind::Unavailable,
+                format!("model {id:?} failed to refresh: {reason}"),
+            )
+            .with_retry_after(QUARANTINE_RETRY_AFTER)
+        })?;
+        self.quarantined.lock().unwrap().remove(id);
+        self.infos.lock().unwrap().insert(
+            id.to_string(),
+            Arc::new(info_from(id.to_string(), path, artifact, stochastic)),
+        );
+        {
+            let mut lru = self.loaded.lock().unwrap();
+            lru.map.remove(id);
+            self.metrics.set_models_loaded(lru.map.len());
+            self.metrics.set_queue_depth(id, 0);
+        }
+        self.shadows.lock().unwrap().remove(id);
+        eprintln!("[serve] refreshed model {id:?} from disk");
+        Ok(())
     }
 
     /// Unload everything, joining all executors (shadows included).

@@ -122,6 +122,9 @@ pub struct ServeConfig {
     /// Labeled rows required in-window before label-dependent metrics
     /// participate in drift detection.
     pub drift_min_labeled: usize,
+    /// Fleet worker index (`--worker-id`). Surfaced in `/healthz` so the
+    /// fleet supervisor can confirm it is probing the shard it spawned.
+    pub worker_id: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -152,6 +155,7 @@ impl Default for ServeConfig {
             drift_alert: 4,
             drift_recover: 4,
             drift_min_labeled: 16,
+            worker_id: None,
         }
     }
 }
@@ -177,6 +181,8 @@ struct Ctx {
     /// Live fairness monitoring: per-model windows, feedback joins,
     /// drift detection.
     monitors: MonitorHub,
+    /// Fleet worker index, echoed in `/healthz`.
+    worker_id: Option<u64>,
 }
 
 /// RAII slot in the global in-flight budget: acquired before a predict
@@ -285,6 +291,7 @@ impl Server {
                 req_seq: AtomicU64::new(0),
                 recorder,
                 monitors,
+                worker_id: cfg.worker_id,
             }),
             workers: cfg.workers.max(1),
             trace_path: cfg.trace,
@@ -457,7 +464,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
 fn route_label(path: &str) -> &str {
     match path {
         "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/feedback"
-        | "/v1/promote" | "/v1/shutdown" => path,
+        | "/v1/promote" | "/v1/shadow" | "/v1/refresh" | "/v1/shutdown" => path,
         _ => "other",
     }
 }
@@ -465,7 +472,23 @@ fn route_label(path: &str) -> &str {
 fn route(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeError> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            Ok((200, JSON, object([("status", Value::String("ok".into()))]).to_json()))
+            // Detail beyond "ok" is for the fleet supervisor: the pid
+            // confirms the probe reached the process it spawned, and
+            // draining tells the router to stop placing new traffic here.
+            let draining = ctx.shutdown.load(Ordering::SeqCst);
+            let mut fields = vec![
+                (
+                    "status",
+                    Value::String(if draining { "draining" } else { "ok" }.into()),
+                ),
+                ("pid", Value::Integer(std::process::id() as u64)),
+                ("inflight", Value::Integer(ctx.inflight.load(Ordering::SeqCst))),
+                ("models_loaded", Value::Integer(ctx.registry.loaded_count() as u64)),
+            ];
+            if let Some(w) = ctx.worker_id {
+                fields.push(("worker", Value::Integer(w)));
+            }
+            Ok((200, JSON, object(fields).to_json()))
         }
         ("GET", "/metrics") => Ok((200, PROM, ctx.metrics.render())),
         ("GET", "/v1/models") => Ok((200, JSON, models_body(ctx))),
@@ -483,6 +506,8 @@ fn route(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeE
         }
         ("POST", "/v1/feedback") => feedback(ctx, req),
         ("POST", "/v1/promote") => promote(ctx, req),
+        ("POST", "/v1/shadow") => shadow_ctl(ctx, req),
+        ("POST", "/v1/refresh") => refresh(ctx, req),
         ("POST", "/v1/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             // Wake the blocking accept so the drain starts immediately.
@@ -490,7 +515,7 @@ fn route(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeE
             Ok((200, JSON, object([("status", Value::String("shutting down".into()))]).to_json()))
         }
         (_, "/healthz" | "/metrics" | "/v1/models" | "/v1/predict" | "/v1/feedback"
-        | "/v1/promote" | "/v1/shutdown") => {
+        | "/v1/promote" | "/v1/shadow" | "/v1/refresh" | "/v1/shutdown") => {
             Err(ServeError::new(
                 ErrorKind::MethodNotAllowed,
                 format!("{} does not support {}", req.path, req.method),
@@ -907,6 +932,88 @@ fn promote(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), Serv
             ("status", Value::String("promoted".into())),
             ("model", Value::String(model_id.into())),
             ("compared", Value::Integer(compared)),
+        ])
+        .to_json(),
+    ))
+}
+
+/// `POST /v1/shadow`: runtime shadow control, the fleet's blue/green
+/// staging hook. `{"model": id, "artifact": path}` attaches the artifact
+/// at `path` as the model's shadow candidate (replacing any existing
+/// one); `{"model": id}` detaches whatever is attached without
+/// promoting — the reload abort path. Detaching with nothing attached is
+/// an idempotent no-op so an abort can always run it.
+fn shadow_ctl(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ServeError::bad_request("body is not UTF-8"))?;
+    let v = parse(text).map_err(|e| ServeError::bad_request(format!("invalid JSON: {e}")))?;
+    let model_id = v
+        .get("model")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::bad_request("missing string field \"model\""))?;
+    match v.get("artifact").map(|a| a.as_str()) {
+        Some(Some(artifact)) => {
+            let path = PathBuf::from(artifact);
+            ctx.registry.attach_shadow(model_id, &path).map_err(|e| {
+                if e.contains("no incumbent") {
+                    ServeError::new(ErrorKind::UnknownModel, e)
+                } else {
+                    ServeError::bad_request(e)
+                }
+            })?;
+            eprintln!("[serve] shadowing model {model_id:?} with candidate {}", path.display());
+            Ok((
+                200,
+                JSON,
+                object([
+                    ("status", Value::String("shadowing".into())),
+                    ("model", Value::String(model_id.into())),
+                    ("candidate", Value::String(artifact.into())),
+                ])
+                .to_json(),
+            ))
+        }
+        Some(None) => Err(ServeError::bad_request("\"artifact\" must be a string path")),
+        None => {
+            let detached = ctx.registry.detach_shadow(model_id);
+            if detached {
+                eprintln!("[serve] detached shadow candidate from model {model_id:?}");
+            }
+            Ok((
+                200,
+                JSON,
+                object([
+                    ("status", Value::String("detached".into())),
+                    ("model", Value::String(model_id.into())),
+                    ("was_attached", Value::Bool(detached)),
+                ])
+                .to_json(),
+            ))
+        }
+    }
+}
+
+/// `POST /v1/refresh`: `{"model": id}` — re-read the model's artifact
+/// from disk, evict any resident executor (the next admitted request
+/// restores the new pipeline), drop any attached shadow, and clear the
+/// id's quarantine entry. This is the fleet's blue/green cutover hook:
+/// the fleet swaps the artifact file, then refreshes every replica so no
+/// worker keeps answering from the old version.
+fn refresh(ctx: &Ctx, req: &Request) -> Result<(u16, &'static str, String), ServeError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ServeError::bad_request("body is not UTF-8"))?;
+    let v = parse(text).map_err(|e| ServeError::bad_request(format!("invalid JSON: {e}")))?;
+    let model_id = v
+        .get("model")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::bad_request("missing string field \"model\""))?;
+    ctx.registry.refresh(model_id)?;
+    Ok((
+        200,
+        JSON,
+        object([
+            ("status", Value::String("refreshed".into())),
+            ("model", Value::String(model_id.into())),
         ])
         .to_json(),
     ))

@@ -464,6 +464,150 @@ if [[ "${SKIP_SMOKE:-0}" != "1" ]]; then
         || { echo "monitor smoke FAILED: replay server exited non-zero" >&2; exit 1; }
     fb_ok="$(sed -n 's/^fairlens_feedback_total{model="german-lr",status="ok"} //p' "$smoke_out/monitor-skew-metrics.txt")"
     echo "    ok: live metrics bit-match offline recomputation, skewed labels drove drift to alerting (${fb_ok:-0} reports), replay reproduced the window"
+
+    echo "==> fleet smoke (3 workers, abort chaos + storm, respawn, bit-exact replay, blue/green reload)"
+    # A supervised 3-worker fleet with --replicas 2 takes an open-loop
+    # storm while every worker carries an abort:german-lr:20 fault — so
+    # whichever worker is the model's primary SIGABRTs mid-storm. The
+    # storm must end with zero malformed answers, the supervisor must
+    # respawn the crashed worker (fault-free) and return the fleet to
+    # full strength, a recording taken against a single-process server
+    # must replay bit-exactly through the fleet, and a blue/green reload
+    # under live no-shed traffic must complete with zero non-200s.
+    cargo build --release -p fairlens-fleet --bin fairlens-fleet >/dev/null
+    # Reference recording: a plain single server over the same models.
+    fleet_rec="$smoke_out/fleet.rec.jsonl"
+    fleet_ref_log="$smoke_out/fleet-ref-serve.log"
+    cargo run --release -p fairlens-serve -- \
+        --addr 127.0.0.1:0 --models "$models_dir" --record "$fleet_rec" \
+        2> "$fleet_ref_log" &
+    fleet_ref_pid=$!
+    addr=""
+    for _ in $(seq 1 300); do
+        addr="$(sed -n 's/^\[serve\] listening on \([0-9.:]*\).*$/\1/p' "$fleet_ref_log")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "fleet smoke FAILED: reference server never announced" >&2
+        kill "$fleet_ref_pid" 2>/dev/null || true
+        exit 1
+    fi
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$addr" --model german-lr --requests 250 --conns 2 \
+        2> "$smoke_out/fleet-ref-loadgen.log" \
+        || { echo "fleet smoke FAILED (reference loadgen):" >&2
+             cat "$smoke_out/fleet-ref-loadgen.log" >&2; exit 1; }
+    curl -s -X POST "http://$addr/v1/shutdown" >/dev/null
+    wait "$fleet_ref_pid" \
+        || { echo "fleet smoke FAILED: reference server exited non-zero" >&2; exit 1; }
+    # Boot the fleet: fast supervision knobs, an abort fault on every
+    # worker's first incarnation (respawns come back clean by design).
+    fleet_log="$smoke_out/fleet.log"
+    ./target/release/fairlens-fleet \
+        --addr 127.0.0.1:0 --models "$models_dir" --workers 3 --replicas 2 \
+        --probe-interval-ms 100 --backoff-base-ms 200 --backoff-cap-ms 1000 \
+        --fail-threshold 2 --ok-threshold 2 \
+        --worker-fault 0:abort:german-lr:20 \
+        --worker-fault 1:abort:german-lr:20 \
+        --worker-fault 2:abort:german-lr:20 2> "$fleet_log" &
+    fleet_pid=$!
+    faddr=""
+    for _ in $(seq 1 300); do
+        faddr="$(sed -n 's/^\[fleet\] listening on \([0-9.:]*\).*$/\1/p' "$fleet_log")"
+        [[ -n "$faddr" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$faddr" ]]; then
+        echo "fleet smoke FAILED: fleet never announced its address" >&2
+        kill "$fleet_pid" 2>/dev/null || true
+        exit 1
+    fi
+    # Wait until every worker is routable before aiming the storm.
+    ready=""
+    for _ in $(seq 1 300); do
+        if curl -s "http://$faddr/healthz" | grep -q '"ready": *true'; then
+            ready=1; break
+        fi
+        sleep 0.1
+    done
+    [[ -n "$ready" ]] \
+        || { echo "fleet smoke FAILED: fleet never became ready" >&2; exit 1; }
+    # Phase 1 — storm: the primary's abort fires at its 20th german-lr
+    # request. Every answer must be well-formed (200 or an honest shed);
+    # loadgen exits non-zero on anything else.
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$faddr" --model german-lr --requests 400 --conns 8 \
+        --open-loop --burst 32 --allow-shed 2> "$smoke_out/fleet-storm.log" \
+        || { echo "fleet smoke FAILED (storm phase):" >&2
+             cat "$smoke_out/fleet-storm.log" >&2; exit 1; }
+    # Phase 2 — recovery: the supervisor recorded a respawn and the fleet
+    # is back to full strength within the backoff bound.
+    respawned=""
+    for _ in $(seq 1 200); do
+        if curl -s "http://$faddr/metrics" \
+            | grep -E 'fairlens_worker_restarts_total\{worker="[0-9]+"\} [1-9]' >/dev/null; then
+            respawned=1; break
+        fi
+        sleep 0.1
+    done
+    [[ -n "$respawned" ]] \
+        || { echo "fleet smoke FAILED: no worker respawn recorded after the abort" >&2
+             curl -s "http://$faddr/metrics" >&2; exit 1; }
+    ready=""
+    for _ in $(seq 1 300); do
+        if curl -s "http://$faddr/healthz" | grep -q '"ready": *true'; then
+            ready=1; break
+        fi
+        sleep 0.1
+    done
+    [[ -n "$ready" ]] \
+        || { echo "fleet smoke FAILED: fleet not back to full strength after respawn" >&2; exit 1; }
+    # Phase 3 — bit-exactness: the single-process recording must replay
+    # identically through the post-failover fleet (replay compares score
+    # bits, so this is exact, not approximate).
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$faddr" --replay "$fleet_rec" 2> "$smoke_out/fleet-replay.log" \
+        || { echo "fleet smoke FAILED (replay):" >&2
+             cat "$smoke_out/fleet-replay.log" >&2; exit 1; }
+    grep -q 'REPLAY PASS' "$smoke_out/fleet-replay.log" \
+        || { echo "fleet smoke FAILED: no REPLAY PASS marker" >&2; exit 1; }
+    # Phase 4 — blue/green reload under live traffic that is NOT allowed
+    # to shed: a byte-identical candidate is staged as a shadow, soaks a
+    # 16-comparison window, and cuts over while a closed loop hammers the
+    # model; the loadgen exits non-zero on any non-200.
+    cp "$models_dir/german-lr.flm" "$smoke_out/fleet-candidate.flm"
+    cargo run --release -p fairlens-serve --example loadgen -- \
+        --addr "$faddr" --model german-lr --requests 1500 --conns 2 \
+        2> "$smoke_out/fleet-reload-loadgen.log" &
+    fleet_lg_pid=$!
+    sleep 0.5
+    reload_code="$(curl -s -o "$smoke_out/fleet-reload.json" -w '%{http_code}' \
+        -X POST "http://$faddr/v1/reload" \
+        -d "{\"model\": \"german-lr\", \"artifact\": \"$smoke_out/fleet-candidate.flm\", \"window\": 16}")"
+    if [[ "$reload_code" != "200" ]] \
+        || ! grep -q '"status": *"reloaded"' "$smoke_out/fleet-reload.json"; then
+        echo "fleet smoke FAILED: reload got HTTP $reload_code:" >&2
+        cat "$smoke_out/fleet-reload.json" >&2
+        kill "$fleet_lg_pid" 2>/dev/null || true
+        exit 1
+    fi
+    wait "$fleet_lg_pid" \
+        || { echo "fleet smoke FAILED: a request failed during the blue/green reload:" >&2
+             cat "$smoke_out/fleet-reload-loadgen.log" >&2; exit 1; }
+    curl -s "http://$faddr/metrics" > "$smoke_out/fleet-metrics.txt"
+    grep -q 'fairlens_fleet_reloads_total{outcome="ok"} 1' "$smoke_out/fleet-metrics.txt" \
+        || { echo "fleet smoke FAILED: reload outcome not counted" >&2; exit 1; }
+    # Drain: the fleet asks every worker to drain, then exits clean.
+    curl -s -X POST "http://$faddr/v1/shutdown" >/dev/null
+    if ! wait "$fleet_pid"; then
+        echo "fleet smoke FAILED: fleet exited non-zero" >&2
+        exit 1
+    fi
+    grep -q '\[fleet\] drained, bye' "$fleet_log" \
+        || { echo "fleet smoke FAILED: no drain marker in the fleet log" >&2; exit 1; }
+    restarts="$(sed -n 's/^fairlens_worker_restarts_total{worker="[0-9]*"} //p' "$smoke_out/fleet-metrics.txt" | awk '{s+=$1} END {print s+0}')"
+    echo "    ok: storm survived an aborted primary (${restarts:-?} respawn(s)), replay bit-exact through the fleet, blue/green reload with zero non-200s, clean drain"
 fi
 
 echo "All checks passed."
